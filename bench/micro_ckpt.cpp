@@ -1,0 +1,91 @@
+// Microbenchmarks: checkpoint library hot paths - image framing + CRC,
+// region capture, NVM store puts with eviction, XOR parity.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ckpt/image.hpp"
+#include "ckpt/nvm_store.hpp"
+#include "ckpt/region.hpp"
+#include "ckpt/stores.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace ndpcr;
+using namespace ndpcr::ckpt;
+
+Bytes random_payload(std::size_t size) {
+  Rng rng(7);
+  Bytes data(size);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_below(256));
+  return data;
+}
+
+void image_build(benchmark::State& state) {
+  const Bytes payload = random_payload(static_cast<std::size_t>(state.range(0)));
+  CheckpointMeta meta{.app_id = 1, .rank = 0, .checkpoint_id = 1, .step = 1};
+  for (auto _ : state) {
+    Bytes image = CheckpointImage::build(meta, payload);
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(image_build)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20);
+
+void image_parse(benchmark::State& state) {
+  const Bytes payload = random_payload(static_cast<std::size_t>(state.range(0)));
+  const Bytes raw = CheckpointImage::build(CheckpointMeta{}, payload);
+  for (auto _ : state) {
+    CheckpointImage image = CheckpointImage::parse(raw);
+    benchmark::DoNotOptimize(image.payload().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(image_parse)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20);
+
+void region_capture(benchmark::State& state) {
+  std::vector<double> a(static_cast<std::size_t>(state.range(0)) / 8);
+  std::vector<double> b(a.size());
+  RegionRegistry reg;
+  reg.register_vector("a", a);
+  reg.register_vector("b", b);
+  for (auto _ : state) {
+    Bytes snap = reg.capture();
+    benchmark::DoNotOptimize(snap.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+BENCHMARK(region_capture)->Arg(1 << 20);
+
+void nvm_store_put(benchmark::State& state) {
+  const Bytes payload = random_payload(256 << 10);
+  NvmStore store(4u << 20);  // forces steady-state eviction
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.put(++id, Bytes(payload)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+  state.counters["evictions"] = static_cast<double>(store.eviction_count());
+}
+BENCHMARK(nvm_store_put);
+
+void xor_parity_bench(benchmark::State& state) {
+  std::vector<Bytes> buffers(8, random_payload(1 << 20));
+  for (auto _ : state) {
+    Bytes parity = xor_parity(buffers);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (8 << 20));
+}
+BENCHMARK(xor_parity_bench);
+
+}  // namespace
+
+BENCHMARK_MAIN();

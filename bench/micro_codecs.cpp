@@ -1,0 +1,64 @@
+// Microbenchmarks: codec throughput on mini-app checkpoint data (google-
+// benchmark). Reports bytes/second for compression and decompression per
+// codec/level, the numbers that feed the Table 3 core-count sizing.
+
+#include <benchmark/benchmark.h>
+
+#include "compress/codec.hpp"
+#include "workloads/miniapp.hpp"
+
+namespace {
+
+using ndpcr::Bytes;
+
+const Bytes& checkpoint_data() {
+  static const Bytes data = [] {
+    auto app = ndpcr::workloads::make_miniapp("minife", 1u << 20, 42);
+    app->step();
+    return app->checkpoint();
+  }();
+  return data;
+}
+
+void compress_bench(benchmark::State& state, const char* name, int level) {
+  const auto codec = ndpcr::compress::make_codec(name, level);
+  const Bytes& data = checkpoint_data();
+  std::size_t compressed = 0;
+  for (auto _ : state) {
+    Bytes out = codec->compress(data);
+    compressed = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+  state.counters["factor"] =
+      ndpcr::compress::Codec::compression_factor(data.size(), compressed);
+}
+
+void decompress_bench(benchmark::State& state, const char* name, int level) {
+  const auto codec = ndpcr::compress::make_codec(name, level);
+  const Bytes& data = checkpoint_data();
+  const Bytes packed = codec->compress(data);
+  for (auto _ : state) {
+    Bytes out = codec->decompress(packed);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+
+}  // namespace
+
+#define NDPCR_CODEC_BENCH(name, level)                               \
+  BENCHMARK_CAPTURE(compress_bench, name##_l##level, #name, level);  \
+  BENCHMARK_CAPTURE(decompress_bench, name##_l##level, #name, level)
+
+NDPCR_CODEC_BENCH(nlz4, 1);
+NDPCR_CODEC_BENCH(ngzip, 1);
+NDPCR_CODEC_BENCH(ngzip, 6);
+NDPCR_CODEC_BENCH(nbzip2, 1);
+NDPCR_CODEC_BENCH(nxz, 1);
+BENCHMARK_CAPTURE(compress_bench, rle_l1, "rle", 1);
+BENCHMARK_CAPTURE(compress_bench, null_l0, "null", 0);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Microbenchmarks: performance-model throughput. The figure harnesses run
+// thousands of timeline simulations (ratio optimization especially); this
+// tracks the cost of one simulated campaign.
+
+#include <benchmark/benchmark.h>
+
+#include "model/evaluator.hpp"
+#include "sim/timeline.hpp"
+
+namespace {
+
+using namespace ndpcr;
+
+void timeline_host(benchmark::State& state) {
+  sim::TimelineConfig cfg;
+  cfg.strategy = sim::Strategy::kLocalIoHost;
+  cfg.io_every = 30;
+  cfg.compression_factor = 0.73;
+  cfg.total_work = 200.0 * 3600;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto r = sim::TimelineSimulator(cfg, ++seed).run();
+    benchmark::DoNotOptimize(r.breakdown.compute);
+  }
+}
+BENCHMARK(timeline_host);
+
+void timeline_ndp(benchmark::State& state) {
+  sim::TimelineConfig cfg;
+  cfg.strategy = sim::Strategy::kLocalIoNdp;
+  cfg.compression_factor = 0.73;
+  cfg.total_work = 200.0 * 3600;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto r = sim::TimelineSimulator(cfg, ++seed).run();
+    benchmark::DoNotOptimize(r.breakdown.compute);
+  }
+}
+BENCHMARK(timeline_ndp);
+
+void ratio_optimization(benchmark::State& state) {
+  model::CrScenario scenario;
+  model::SimOptions opt;
+  opt.total_work = 100.0 * 3600;
+  opt.trials = 1;
+  const model::Evaluator ev(scenario, opt);
+  const model::CrConfig cfg{.kind = model::ConfigKind::kLocalIoHost,
+                            .compression_factor = 0.73,
+                            .p_local_recovery = 0.85};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.optimal_io_every(cfg));
+  }
+}
+BENCHMARK(ratio_optimization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Table 1: the exascale system projection scaled from the Titan Cray XK7,
+// plus the derived C/R requirements of section 3.3.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "proj/projection.hpp"
+
+int main() {
+  using namespace ndpcr;
+  using namespace ndpcr::units;
+  using proj::MachineSpec;
+
+  const MachineSpec t = proj::titan();
+  const MachineSpec e = proj::project_exascale(t);
+
+  std::puts("Table 1: exascale system projection scaled from Titan Cray XK7\n");
+  TextTable table({"Parameter", "Titan Cray XK7", "Exascale Projection",
+                   "Factor change"});
+  auto row = [&](const char* name, const std::string& a, const std::string& b,
+                 double factor) {
+    table.add_row({name, a, b, fmt_fixed(factor, 2) + "x"});
+  };
+  row("Node Count", fmt_fixed(t.node_count, 0), fmt_fixed(e.node_count, 0),
+      e.node_count / t.node_count);
+  row("System Peak", fmt_fixed(t.system_peak_flops / 1e15, 0) + " petaflops",
+      fmt_fixed(e.system_peak_flops / 1e18, 0) + " exaflops",
+      e.system_peak_flops / t.system_peak_flops);
+  row("Node Peak", fmt_fixed(t.node_peak_flops / 1e12, 2) + " teraflops",
+      fmt_fixed(e.node_peak_flops / 1e12, 0) + " teraflops",
+      e.node_peak_flops / t.node_peak_flops);
+  row("System Memory", fmt_fixed(tb(t.system_memory_bytes), 0) + " TB",
+      fmt_fixed(pb(e.system_memory_bytes), 0) + " PB",
+      e.system_memory_bytes / t.system_memory_bytes);
+  row("Node Memory", fmt_fixed(gb(t.node_memory_bytes), 0) + " GB",
+      fmt_fixed(gb(e.node_memory_bytes), 0) + " GB",
+      e.node_memory_bytes / t.node_memory_bytes);
+  row("Interconnect BW", fmt_fixed(t.interconnect_bw / 1e9, 0) + " GB/s",
+      fmt_fixed(e.interconnect_bw / 1e9, 0) + " GB/s",
+      e.interconnect_bw / t.interconnect_bw);
+  row("I/O Bandwidth", fmt_fixed(t.io_bandwidth / 1e9, 0) + " GB/s",
+      fmt_fixed(e.io_bandwidth / 1e12, 0) + " TB/s",
+      e.io_bandwidth / t.io_bandwidth);
+  row("System MTTI", fmt_fixed(to_minutes(t.system_mtti), 0) + " minutes",
+      fmt_fixed(to_minutes(e.system_mtti), 0) + " minutes",
+      e.system_mtti / t.system_mtti);
+  std::fputs(table.str().c_str(), stdout);
+
+  const double raw_mtti = proj::system_mtti_from_node_mttf(years(5),
+                                                           e.node_count);
+  std::printf("\nMTTI from 5-year node MTTF over %.0f nodes: %.2f minutes "
+              "(rounded to 30, section 3.2)\n",
+              e.node_count, to_minutes(raw_mtti));
+
+  const auto r = proj::derive_cr_requirements(e);
+  std::puts("\nSection 3.3: C/R requirements for 90% progress rate");
+  std::printf("  checkpoint size:       %.0f GB/node (80%% of memory), "
+              "%.1f PB system\n",
+              gb(r.checkpoint_bytes_per_node),
+              pb(r.checkpoint_bytes_per_node * e.node_count));
+  std::printf("  commit time:           %.1f s (~MTTI/200)\n", r.commit_time);
+  std::printf("  checkpoint period:     %.0f s (~MTTI/10)\n",
+              r.checkpoint_period);
+  std::printf("  required bandwidth:    %.2f GB/s per node, %.3f PB/s "
+              "system\n",
+              r.per_node_bandwidth / 1e9, pb(r.system_bandwidth));
+  std::printf("  vs projected global I/O: %.0f TB/s (%.0fx short)\n",
+              e.io_bandwidth / 1e12, r.system_bandwidth / e.io_bandwidth);
+  std::printf("  per-node share of global I/O: %.0f MB/s -> %.2f minutes "
+              "per 112 GB checkpoint\n",
+              e.io_bandwidth_per_node() / 1e6,
+              to_minutes(r.checkpoint_bytes_per_node /
+                         e.io_bandwidth_per_node()));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 3: the NDP sizing derived from the compression study - required
+// compression speed (to saturate the per-node IO link), NDP core count,
+// and the smallest possible checkpoint interval to global IO.
+//
+// Derived from the paper's Table 2 constants and, side by side, from our
+// measured codec study. Section 5.3's worked example: gzip(1) needs 4
+// cores and reaches a 305 s interval, which is why the paper (and our
+// default scenario) configure the NDP with 4 cores of gzip(1).
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "ndp/ndp.hpp"
+#include "study/compression_study.hpp"
+
+int main() {
+  using namespace ndpcr;
+  using namespace ndpcr::units;
+  using namespace ndpcr::study;
+
+  const double ckpt_bytes = bytes_from_gb(112);
+  const double io_bw = mbps(100);
+  const auto suite = compress::paper_codec_suite();
+
+  std::puts("Table 3 (from paper Table 2 constants)\n");
+  {
+    TextTable table({"Utility (level)", "Required Compression Speed",
+                     "Number of Cores", "Checkpoint Interval"});
+    for (std::size_t c = 0; c < suite.size(); ++c) {
+      const auto s = ndp::derive_sizing(paper_average_factor(c),
+                                        mbps(paper_average_speed_mbps(c)),
+                                        ckpt_bytes, io_bw);
+      table.add_row({suite[c].display_name,
+                     fmt_fixed(s.required_rate / 1e6, 0) + " MB/s",
+                     fmt_fixed(s.cores, 0),
+                     fmt_fixed(s.io_interval, 0) + " s"});
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  std::puts("\nTable 3 (from our measured study)\n");
+  {
+    StudyConfig cfg;
+    cfg.bytes_per_app = 2ull << 20;
+    const StudyResults results = run_compression_study(cfg);
+    TextTable table({"Utility (level)", "Required Compression Speed",
+                     "Number of Cores", "Checkpoint Interval"});
+    for (const auto& spec : suite) {
+      const double factor = results.average_factor(spec.display_name);
+      const double bw = results.average_compress_bw(spec.display_name);
+      const auto s = ndp::derive_sizing(factor, bw, ckpt_bytes, io_bw);
+      table.add_row({spec.display_name,
+                     fmt_fixed(s.required_rate / 1e6, 0) + " MB/s",
+                     fmt_fixed(s.cores, 0),
+                     fmt_fixed(s.io_interval, 0) + " s"});
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  std::puts("\nSection 5.3 worked example (paper constants, gzip(1)):");
+  const auto gz = ndp::derive_sizing(paper_average_factor(0), mbps(110.1),
+                                     ckpt_bytes, io_bw);
+  std::printf("  %d cores at 110.1 MB/s -> %.1f MB/s >= required "
+              "%.0f MB/s; 112 GB -> %.1f GB compressed -> %.0f s "
+              "(%.2f min) to IO\n",
+              gz.cores, gz.cores * 110.1, gz.required_rate / 1e6,
+              gb(ckpt_bytes) * (1.0 - paper_average_factor(0)),
+              gz.io_interval, to_minutes(gz.io_interval));
+  return 0;
+}

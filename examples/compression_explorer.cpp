@@ -1,0 +1,57 @@
+// Domain scenario: pick a checkpoint codec for an application. Runs the
+// compression study on one mini-app's checkpoints and reports, per codec,
+// the measured factor/speed and the NDP budget it implies (cores needed to
+// saturate the IO link, achievable IO checkpoint interval) - the section
+// 5.3 selection procedure, runnable on your own parameters.
+//
+//   build/examples/compression_explorer [app] [megabytes]
+// Apps: comd hpccg minife minimd minismac miniaero phpccg
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "ndp/ndp.hpp"
+#include "study/compression_study.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ndpcr;
+  using namespace ndpcr::units;
+  using namespace ndpcr::study;
+
+  const std::string app = argc > 1 ? argv[1] : "minife";
+  const double megabytes = argc > 2 ? std::strtod(argv[2], nullptr) : 4.0;
+
+  StudyConfig cfg;
+  cfg.apps = {app};
+  cfg.bytes_per_app = static_cast<std::size_t>(megabytes * 1e6);
+
+  std::printf("Compression study: %s checkpoints, %.1f MB, %d snapshots\n\n",
+              app.c_str(), megabytes, cfg.checkpoints_per_app);
+  const StudyResults results = run_compression_study(cfg);
+
+  const double ckpt_bytes = bytes_from_gb(112);
+  const double io_bw = mbps(100);
+
+  TextTable table({"Codec", "Factor", "Speed", "Decomp speed", "NDP cores",
+                   "IO interval"});
+  for (const auto& spec : compress::paper_codec_suite()) {
+    const auto* m = results.find(app, spec.display_name);
+    const auto sizing =
+        ndp::derive_sizing(m->factor, m->compress_bw, ckpt_bytes, io_bw);
+    table.add_row({spec.display_name, fmt_percent(m->factor, 1),
+                   fmt_fixed(m->compress_bw / 1e6, 1) + " MB/s",
+                   fmt_fixed(m->decompress_bw / 1e6, 1) + " MB/s",
+                   fmt_fixed(sizing.cores, 0),
+                   fmt_fixed(sizing.io_interval, 0) + " s"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::puts("\nReading the table (section 5.3): pick the codec with the");
+  std::puts("smallest IO interval whose core count fits your NDP budget -");
+  std::puts("the paper picks the gzip(1) class (4 cores) over lz4 (1 core,");
+  std::puts("longer interval) and bzip2/xz (tens of cores).");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Domain scenario: capacity planning for a projected machine. Given the
+// machine's MTTI, checkpoint size, storage bandwidths and an expected
+// compression factor, compare the C/R strategies and size the NDP - the
+// decision the paper's evaluation supports.
+//
+//   build/examples/exascale_whatif [mtti_minutes] [ckpt_gb] [io_MBps]
+//                                  [compression_factor] [p_local]
+// Defaults reproduce the paper's Table 4 scenario.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/evaluator.hpp"
+#include "ndp/ndp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ndpcr;
+  using namespace ndpcr::model;
+  using namespace ndpcr::units;
+
+  CrScenario scenario;
+  double cf = 0.728;
+  double p_local = 0.85;
+  if (argc > 1) scenario.mtti = minutes(std::strtod(argv[1], nullptr));
+  if (argc > 2) {
+    scenario.checkpoint_bytes = bytes_from_gb(std::strtod(argv[2], nullptr));
+  }
+  if (argc > 3) {
+    scenario.io_bw_per_node = mbps(std::strtod(argv[3], nullptr));
+  }
+  if (argc > 4) cf = std::strtod(argv[4], nullptr);
+  if (argc > 5) p_local = std::strtod(argv[5], nullptr);
+
+  std::printf("Scenario: MTTI %.0f min, %.0f GB checkpoints, local NVM "
+              "%.1f GB/s, IO %.0f MB/s per node, cf %.0f%%, P(local) "
+              "%.0f%%\n\n",
+              to_minutes(scenario.mtti), gb(scenario.checkpoint_bytes),
+              scenario.local_bw / 1e9, scenario.io_bw_per_node / 1e6,
+              cf * 100, p_local * 100);
+
+  SimOptions opt;
+  opt.total_work = 250.0 * 3600;
+  opt.trials = 3;
+  Evaluator ev(scenario, opt);
+
+  TextTable table({"Strategy", "Progress rate", "Local:IO ratio",
+                   "Speedup vs IO-only"});
+  const CrConfig configs[] = {
+      {.kind = ConfigKind::kIoOnly, .compression_factor = cf},
+      {.kind = ConfigKind::kLocalIoHost, .compression_factor = 0.0,
+       .p_local_recovery = p_local},
+      {.kind = ConfigKind::kLocalIoHost, .compression_factor = cf,
+       .p_local_recovery = p_local},
+      {.kind = ConfigKind::kLocalIoNdp, .compression_factor = 0.0,
+       .p_local_recovery = p_local},
+      {.kind = ConfigKind::kLocalIoNdp, .compression_factor = cf,
+       .p_local_recovery = p_local},
+  };
+  double baseline = 0.0;
+  for (const auto& cfg : configs) {
+    const Evaluation e = ev.evaluate(cfg);
+    const double rate = e.progress_rate();
+    if (baseline == 0.0) baseline = rate;
+    table.add_row({cfg.label(), fmt_percent(rate, 1),
+                   std::to_string(e.io_every),
+                   fmt_fixed(rate / baseline, 2) + "x"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  // NDP sizing for this scenario at ngzip(1)-class compression.
+  const auto sizing = ndp::derive_sizing(cf, mbps(110.1),
+                                         scenario.checkpoint_bytes,
+                                         scenario.io_bw_per_node);
+  std::printf("\nNDP sizing (ngzip(1)-class cores at 110.1 MB/s):\n"
+              "  required compression rate: %.0f MB/s -> %d cores\n"
+              "  smallest IO checkpoint interval: %.0f s\n",
+              sizing.required_rate / 1e6, sizing.cores, sizing.io_interval);
+  return 0;
+}

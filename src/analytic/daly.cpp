@@ -1,0 +1,93 @@
+#include "analytic/daly.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ndpcr::analytic {
+
+double expected_runtime(double solve_time, double tau, const CrParams& p) {
+  if (tau <= 0.0) throw std::invalid_argument("tau must be positive");
+  if (p.mtti <= 0.0) throw std::invalid_argument("mtti must be positive");
+  const double m = p.mtti;
+  return m * std::exp(p.restart / m) *
+         (std::exp((tau + p.commit) / m) - 1.0) * solve_time / tau;
+}
+
+double efficiency(double tau, const CrParams& p) {
+  return 1.0 / expected_runtime(1.0, tau, p);
+}
+
+double first_order_optimal_interval(double commit, double mtti) {
+  return std::sqrt(2.0 * commit * mtti) - commit;
+}
+
+double daly_optimal_interval(double commit, double mtti) {
+  if (commit <= 0.0) throw std::invalid_argument("commit must be positive");
+  if (mtti <= 0.0) throw std::invalid_argument("mtti must be positive");
+  if (commit >= 2.0 * mtti) return mtti;
+  const double x = commit / (2.0 * mtti);
+  return std::sqrt(2.0 * commit * mtti) *
+             (1.0 + std::sqrt(x) / 3.0 + x / 9.0) -
+         commit;
+}
+
+double numeric_optimal_interval(const CrParams& p) {
+  // Golden-section search on [lo, hi]. Expected runtime in tau is unimodal:
+  // checkpoint overhead dominates for small tau, rework for large tau.
+  const double phi = 0.6180339887498949;
+  double lo = 1e-9 * p.mtti;
+  double hi = 10.0 * p.mtti;
+  double a = hi - phi * (hi - lo);
+  double b = lo + phi * (hi - lo);
+  double fa = expected_runtime(1.0, a, p);
+  double fb = expected_runtime(1.0, b, p);
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-10 * p.mtti; ++iter) {
+    if (fa < fb) {
+      hi = b;
+      b = a;
+      fb = fa;
+      a = hi - phi * (hi - lo);
+      fa = expected_runtime(1.0, a, p);
+    } else {
+      lo = a;
+      a = b;
+      fa = fb;
+      b = lo + phi * (hi - lo);
+      fb = expected_runtime(1.0, b, p);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double optimal_efficiency(const CrParams& p) {
+  return efficiency(daly_optimal_interval(p.commit, p.mtti), p);
+}
+
+double efficiency_vs_m_over_delta(double m_over_delta) {
+  if (m_over_delta <= 0.0) {
+    throw std::invalid_argument("M/delta must be positive");
+  }
+  const CrParams p{.mtti = m_over_delta, .commit = 1.0, .restart = 1.0};
+  return optimal_efficiency(p);
+}
+
+double required_commit_time(double mtti, double target_efficiency) {
+  if (target_efficiency <= 0.0 || target_efficiency >= 1.0) {
+    throw std::invalid_argument("target efficiency must be in (0, 1)");
+  }
+  // efficiency_vs_m_over_delta is increasing in M/delta; bisect on the
+  // ratio, then convert back to delta.
+  double lo = 1.0;      // ratio where efficiency is poor
+  double hi = 1e12;     // effectively perfect
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // bisect in log space
+    if (efficiency_vs_m_over_delta(mid) < target_efficiency) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return mtti / hi;
+}
+
+}  // namespace ndpcr::analytic

@@ -1,0 +1,64 @@
+#pragma once
+
+// Daly's analytic checkpoint/restart model.
+//
+// Implements the two cited models the paper builds on:
+//  * J. T. Daly, "A higher order estimate of the optimum checkpoint interval
+//    for restart dumps", FGCS 22 (2006): expected wall-clock time of an
+//    application under exponentially distributed interrupts, and the
+//    closed-form higher-order estimate of the optimal checkpoint interval.
+//  * J. T. Daly, "Quantifying checkpoint efficiency" (2007): efficiency
+//    (progress rate) as a function of MTTI and checkpoint commit time.
+//
+// Conventions: all times in seconds. `tau` is the useful-compute interval
+// between checkpoints (checkpoint cost excluded), `delta` the checkpoint
+// commit time, `restart` the time to read a checkpoint back, and `mtti` the
+// system mean time to interrupt (M).
+
+namespace ndpcr::analytic {
+
+struct CrParams {
+  double mtti = 0.0;     // M: mean time to interrupt (s)
+  double commit = 0.0;   // delta: checkpoint commit time (s)
+  double restart = 0.0;  // R: restart (checkpoint read) time (s)
+};
+
+// Expected total wall-clock time to complete `solve_time` seconds of useful
+// work, checkpointing every `tau` seconds of useful work (Daly 2006, eq. 20):
+//
+//   T = M * e^{R/M} * (e^{(tau+delta)/M} - 1) * solve_time / tau
+//
+// Valid for tau > 0. Includes checkpoint, rework, and restart overheads.
+double expected_runtime(double solve_time, double tau, const CrParams& p);
+
+// Progress rate (efficiency): solve_time / expected_runtime, independent of
+// solve_time.
+double efficiency(double tau, const CrParams& p);
+
+// First-order optimum: tau ~= sqrt(2 delta M) - delta (classic Young/Daly).
+double first_order_optimal_interval(double commit, double mtti);
+
+// Daly's higher-order estimate (2006):
+//   tau = sqrt(2 delta M) [1 + 1/3 sqrt(delta/(2M)) + 1/9 (delta/(2M))] - delta
+// for delta < 2M, and tau = M otherwise.
+double daly_optimal_interval(double commit, double mtti);
+
+// Numerically minimize expected_runtime over tau (golden-section search).
+// Used to validate the closed form and by the multilevel optimizer.
+double numeric_optimal_interval(const CrParams& p);
+
+// Efficiency at Daly's optimal interval.
+double optimal_efficiency(const CrParams& p);
+
+// The Figure-1 curve: efficiency at the optimal interval as a function of
+// the ratio M/delta, with restart time equal to commit time (the paper's
+// assumption, footnote 2).
+double efficiency_vs_m_over_delta(double m_over_delta);
+
+// Inverse problem: the largest commit time delta (with restart == delta)
+// achieving at least `target` efficiency at a given MTTI. Solved by
+// bisection on efficiency_vs_m_over_delta, which is monotone. The paper
+// derives delta ~= M/200 for a 90% target (section 3.3).
+double required_commit_time(double mtti, double target_efficiency);
+
+}  // namespace ndpcr::analytic

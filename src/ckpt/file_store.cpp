@@ -1,0 +1,107 @@
+#include "ckpt/file_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <system_error>
+
+namespace ndpcr::ckpt {
+namespace {
+
+constexpr const char* kPrefix = "ckpt-";
+constexpr const char* kSuffix = ".ndcr";
+
+}  // namespace
+
+FileStore::FileStore(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path FileStore::rank_dir(std::uint32_t rank) const {
+  return root_ / ("rank-" + std::to_string(rank));
+}
+
+std::filesystem::path FileStore::file_path(
+    std::uint32_t rank, std::uint64_t checkpoint_id) const {
+  return rank_dir(rank) /
+         (kPrefix + std::to_string(checkpoint_id) + kSuffix);
+}
+
+void FileStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
+                    ByteSpan data) {
+  const auto dir = rank_dir(rank);
+  std::filesystem::create_directories(dir);
+  const auto target = file_path(rank, checkpoint_id);
+  const auto tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::filesystem::filesystem_error(
+          "cannot open checkpoint file for writing", tmp,
+          std::make_error_code(std::errc::io_error));
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      throw std::filesystem::filesystem_error(
+          "short write to checkpoint file", tmp,
+          std::make_error_code(std::errc::io_error));
+    }
+  }
+  std::filesystem::rename(tmp, target);
+}
+
+std::optional<Bytes> FileStore::get(std::uint32_t rank,
+                                    std::uint64_t checkpoint_id) const {
+  const auto path = file_path(rank, checkpoint_id);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data(size);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(in.gcount()) != size) return std::nullopt;
+  return data;
+}
+
+bool FileStore::contains(std::uint32_t rank,
+                         std::uint64_t checkpoint_id) const {
+  std::error_code ec;
+  return std::filesystem::exists(file_path(rank, checkpoint_id), ec) && !ec;
+}
+
+std::vector<std::uint64_t> FileStore::list(std::uint32_t rank) const {
+  std::vector<std::uint64_t> ids;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(rank_dir(rank), ec);
+  if (ec) return ids;
+  for (const auto& entry : it) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind(kPrefix, 0) != 0 || !name.ends_with(kSuffix)) continue;
+    const auto digits = name.substr(
+        std::string(kPrefix).size(),
+        name.size() - std::string(kPrefix).size() -
+            std::string(kSuffix).size());
+    try {
+      ids.push_back(std::stoull(digits));
+    } catch (const std::exception&) {
+      // Foreign file in the directory: ignore.
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::optional<std::uint64_t> FileStore::newest_id(std::uint32_t rank) const {
+  const auto ids = list(rank);
+  if (ids.empty()) return std::nullopt;
+  return ids.back();
+}
+
+void FileStore::erase(std::uint32_t rank, std::uint64_t checkpoint_id) {
+  std::error_code ec;
+  std::filesystem::remove(file_path(rank, checkpoint_id), ec);
+}
+
+}  // namespace ndpcr::ckpt

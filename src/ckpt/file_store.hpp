@@ -1,0 +1,48 @@
+#pragma once
+
+// Durable checkpoint storage on a real filesystem, in the BLCR layout the
+// paper describes (section 4.2.1: per-process context files in a folder,
+// tracked by metadata). The directory structure is
+//
+//   <root>/rank-<r>/ckpt-<id>.ndcr
+//
+// Files are written through a temporary name and renamed into place, so a
+// crash mid-write never leaves a truncated file under a valid name.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::ckpt {
+
+class FileStore {
+ public:
+  // Creates the root directory (and parents) if missing. Throws
+  // std::filesystem::filesystem_error on IO failure.
+  explicit FileStore(std::filesystem::path root);
+
+  void put(std::uint32_t rank, std::uint64_t checkpoint_id, ByteSpan data);
+  [[nodiscard]] std::optional<Bytes> get(std::uint32_t rank,
+                                         std::uint64_t checkpoint_id) const;
+  [[nodiscard]] bool contains(std::uint32_t rank,
+                              std::uint64_t checkpoint_id) const;
+  [[nodiscard]] std::optional<std::uint64_t> newest_id(
+      std::uint32_t rank) const;
+  // Checkpoint ids present for a rank, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> list(std::uint32_t rank) const;
+  void erase(std::uint32_t rank, std::uint64_t checkpoint_id);
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path rank_dir(std::uint32_t rank) const;
+  [[nodiscard]] std::filesystem::path file_path(
+      std::uint32_t rank, std::uint64_t checkpoint_id) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace ndpcr::ckpt

@@ -1,0 +1,64 @@
+#include "ckpt/image.hpp"
+
+#include "common/crc32.hpp"
+
+namespace ndpcr::ckpt {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E444349;  // "NDCI"
+// magic(4) app_id(8) rank(4) ckpt_id(8) step(8) payload_size(8) crc(4)
+constexpr std::size_t kHeaderSize = 4 + 8 + 4 + 8 + 8 + 8 + 4;
+
+}  // namespace
+
+Bytes CheckpointImage::build(const CheckpointMeta& meta, ByteSpan payload) {
+  Bytes out;
+  out.reserve(kHeaderSize + payload.size());
+  append_le<std::uint32_t>(out, kMagic);
+  append_le<std::uint64_t>(out, meta.app_id);
+  append_le<std::uint32_t>(out, meta.rank);
+  append_le<std::uint64_t>(out, meta.checkpoint_id);
+  append_le<std::uint64_t>(out, meta.step);
+  append_le<std::uint64_t>(out, payload.size());
+  append_le<std::uint32_t>(out, Crc32::compute(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+CheckpointMeta CheckpointImage::peek_meta(ByteSpan raw) {
+  if (raw.size() < kHeaderSize) {
+    throw ImageError("checkpoint image truncated");
+  }
+  if (read_le<std::uint32_t>(raw, 0) != kMagic) {
+    throw ImageError("not a checkpoint image");
+  }
+  CheckpointMeta meta;
+  meta.app_id = read_le<std::uint64_t>(raw, 4);
+  meta.rank = read_le<std::uint32_t>(raw, 12);
+  meta.checkpoint_id = read_le<std::uint64_t>(raw, 16);
+  meta.step = read_le<std::uint64_t>(raw, 24);
+  return meta;
+}
+
+std::size_t CheckpointImage::framed_size(ByteSpan raw) {
+  (void)peek_meta(raw);  // validates magic and header presence
+  return kHeaderSize + read_le<std::uint64_t>(raw, 32);
+}
+
+CheckpointImage CheckpointImage::parse(ByteSpan raw) {
+  CheckpointImage image;
+  image.meta_ = peek_meta(raw);
+  const auto payload_size = read_le<std::uint64_t>(raw, 32);
+  const auto expected_crc = read_le<std::uint32_t>(raw, 40);
+  if (raw.size() != kHeaderSize + payload_size) {
+    throw ImageError("checkpoint image size mismatch");
+  }
+  const ByteSpan payload = raw.subspan(kHeaderSize);
+  if (Crc32::compute(payload) != expected_crc) {
+    throw ImageError("checkpoint image CRC mismatch");
+  }
+  image.payload_.assign(payload.begin(), payload.end());
+  return image;
+}
+
+}  // namespace ndpcr::ckpt

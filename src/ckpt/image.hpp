@@ -1,0 +1,56 @@
+#pragma once
+
+// Checkpoint image format: the BLCR-like "process context file" of section
+// 4.2.1. An image wraps an opaque payload with metadata (application id,
+// rank, checkpoint id, step) and a CRC32 so stores and transports can
+// validate integrity end to end.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::ckpt {
+
+class ImageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// The metadata BLCR attaches to each checkpoint (section 4.2.1): "the
+// process ID of the parent application process, the MPI process ID, and a
+// unique checkpoint ID".
+struct CheckpointMeta {
+  std::uint64_t app_id = 0;         // parent application id
+  std::uint32_t rank = 0;           // MPI process id
+  std::uint64_t checkpoint_id = 0;  // unique, monotonically increasing
+  std::uint64_t step = 0;           // application step at capture
+};
+
+class CheckpointImage {
+ public:
+  // Serialize metadata + payload into a framed image.
+  static Bytes build(const CheckpointMeta& meta, ByteSpan payload);
+
+  // Parse and validate a framed image. Throws ImageError on bad magic,
+  // truncation, or CRC mismatch.
+  static CheckpointImage parse(ByteSpan raw);
+
+  // Cheap metadata-only parse (header fields, no CRC validation of the
+  // payload). Throws on bad magic/truncation.
+  static CheckpointMeta peek_meta(ByteSpan raw);
+
+  // The exact framed size implied by the header. Lets callers trim
+  // padding (e.g. XOR-group parity rebuilds pad images to a common
+  // length). Throws on bad magic/truncation.
+  static std::size_t framed_size(ByteSpan raw);
+
+  [[nodiscard]] const CheckpointMeta& meta() const { return meta_; }
+  [[nodiscard]] ByteSpan payload() const { return payload_; }
+
+ private:
+  CheckpointMeta meta_;
+  Bytes payload_;
+};
+
+}  // namespace ndpcr::ckpt

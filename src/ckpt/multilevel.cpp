@@ -1,0 +1,255 @@
+#include "ckpt/multilevel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndpcr::ckpt {
+
+const char* to_string(RecoveryLevel level) {
+  switch (level) {
+    case RecoveryLevel::kLocal:
+      return "local";
+    case RecoveryLevel::kPartner:
+      return "partner";
+    case RecoveryLevel::kIo:
+      return "io";
+  }
+  return "?";
+}
+
+MultilevelManager::MultilevelManager(const MultilevelConfig& config)
+    : config_(config) {
+  if (config.node_count == 0) {
+    throw std::invalid_argument("node_count must be positive");
+  }
+  if (config.partner_scheme == PartnerScheme::kXorGroup) {
+    if (config.xor_group_size == 0 ||
+        (config.node_count > 1 &&
+         config.xor_group_size >= config.node_count)) {
+      // The parity host is the node after the group; a group spanning the
+      // whole machine would host its own parity and tolerate nothing.
+      throw std::invalid_argument(
+          "xor_group_size must be in [1, node_count)");
+    }
+  }
+  if (config.io_codec != compress::CodecId::kNull) {
+    io_codec_ = compress::make_codec(config.io_codec, config.io_codec_level);
+  }
+  local_.reserve(config.node_count);
+  for (std::uint32_t n = 0; n < config.node_count; ++n) {
+    local_.emplace_back(config.nvm_capacity_bytes);
+  }
+  partner_space_.resize(config.node_count);
+}
+
+std::uint32_t MultilevelManager::group_first(std::uint32_t rank) const {
+  return rank - rank % config_.xor_group_size;
+}
+
+std::uint32_t MultilevelManager::parity_host(std::uint32_t rank) const {
+  const std::uint32_t last = std::min(
+      group_first(rank) + config_.xor_group_size - 1,
+      config_.node_count - 1);
+  return (last + 1) % config_.node_count;
+}
+
+std::uint64_t MultilevelManager::commit(
+    const std::vector<ByteSpan>& payloads) {
+  if (payloads.size() != config_.node_count) {
+    throw std::invalid_argument("one payload per rank required");
+  }
+  const std::uint64_t id = next_id_++;
+  const bool to_partner =
+      config_.partner_every > 0 && id % config_.partner_every == 0;
+  const bool to_io = config_.io_every > 0 && id % config_.io_every == 0;
+
+  std::vector<Bytes> images(config_.node_count);
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    CheckpointMeta meta;
+    meta.app_id = config_.app_id;
+    meta.rank = rank;
+    meta.checkpoint_id = id;
+    images[rank] = CheckpointImage::build(meta, payloads[rank]);
+  }
+
+  if (to_partner && config_.node_count > 1) {
+    if (config_.partner_scheme == PartnerScheme::kCopy) {
+      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+        partner_space_[partner_of(rank)].put(rank, id, images[rank]);
+      }
+    } else {
+      // XOR groups: one parity buffer per group, padded to the group's
+      // longest image, hosted off-group.
+      for (std::uint32_t first = 0; first < config_.node_count;
+           first += config_.xor_group_size) {
+        const std::uint32_t last = std::min(
+            first + config_.xor_group_size, config_.node_count);
+        std::size_t width = 0;
+        for (std::uint32_t r = first; r < last; ++r) {
+          width = std::max(width, images[r].size());
+        }
+        std::vector<Bytes> padded;
+        padded.reserve(last - first);
+        for (std::uint32_t r = first; r < last; ++r) {
+          Bytes p = images[r];
+          p.resize(width, std::byte{0});
+          padded.push_back(std::move(p));
+        }
+        partner_space_[parity_host(first)].put(first, id,
+                                               xor_parity(padded));
+      }
+    }
+  }
+
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    if (to_io) {
+      if (io_codec_) {
+        io_.put(rank, id, io_codec_->compress(images[rank]));
+      } else {
+        io_.put(rank, id, images[rank]);
+      }
+    }
+    if (!local_[rank].put(id, std::move(images[rank]))) {
+      throw std::logic_error("local NVM cannot accept checkpoint " +
+                             std::to_string(id));
+    }
+  }
+  return id;
+}
+
+std::optional<Bytes> MultilevelManager::try_xor_rebuild(
+    std::uint32_t rank, std::uint64_t id) const {
+  const std::uint32_t first = group_first(rank);
+  const std::uint32_t last =
+      std::min(first + config_.xor_group_size, config_.node_count);
+  const auto parity =
+      partner_space_[parity_host(rank)].get(first, id);
+  if (!parity) return std::nullopt;
+
+  // Survivors' local images, padded to the parity width.
+  std::vector<Bytes> survivors;
+  for (std::uint32_t r = first; r < last; ++r) {
+    if (r == rank) continue;
+    const auto span = local_[r].get(id);
+    if (!span || span->size() > parity->size()) return std::nullopt;
+    Bytes padded(span->begin(), span->end());
+    padded.resize(parity->size(), std::byte{0});
+    survivors.push_back(std::move(padded));
+  }
+  Bytes rebuilt = xor_rebuild(Bytes(parity->begin(), parity->end()),
+                              survivors);
+  // Trim the padding back to the image's true framed size.
+  try {
+    const std::size_t size = CheckpointImage::framed_size(rebuilt);
+    if (size > rebuilt.size()) return std::nullopt;
+    rebuilt.resize(size);
+  } catch (const ImageError&) {
+    return std::nullopt;
+  }
+  return rebuilt;
+}
+
+void MultilevelManager::fail_node(std::uint32_t rank) {
+  local_.at(rank).clear();
+  partner_space_.at(rank).clear();
+}
+
+void MultilevelManager::corrupt_local(std::uint32_t rank) {
+  auto& store = local_.at(rank);
+  const auto id = store.newest_id();
+  if (!id) return;
+  const auto span = store.get(*id);
+  // Flip a payload byte in place (const_cast is confined to this fault
+  // injector; NvmStore hands out read-only views by design).
+  auto* data = const_cast<std::byte*>(span->data());
+  data[span->size() - 1] ^= std::byte{0x01};
+}
+
+std::optional<Bytes> MultilevelManager::try_recover_rank(
+    std::uint32_t rank, std::uint64_t id, RecoveryLevel& level_out) const {
+  auto validate = [&](ByteSpan raw) -> std::optional<Bytes> {
+    try {
+      CheckpointImage image = CheckpointImage::parse(raw);
+      if (image.meta().rank != rank || image.meta().checkpoint_id != id) {
+        return std::nullopt;
+      }
+      return Bytes(image.payload().begin(), image.payload().end());
+    } catch (const ImageError&) {
+      return std::nullopt;
+    }
+  };
+
+  if (const auto span = local_[rank].get(id)) {
+    if (auto payload = validate(*span)) {
+      level_out = RecoveryLevel::kLocal;
+      return payload;
+    }
+  }
+  if (config_.node_count > 1) {
+    if (config_.partner_scheme == PartnerScheme::kCopy) {
+      if (const auto span = partner_space_[partner_of(rank)].get(rank, id)) {
+        if (auto payload = validate(*span)) {
+          level_out = RecoveryLevel::kPartner;
+          return payload;
+        }
+      }
+    } else if (auto rebuilt = try_xor_rebuild(rank, id)) {
+      if (auto payload = validate(*rebuilt)) {
+        level_out = RecoveryLevel::kPartner;
+        return payload;
+      }
+    }
+  }
+  if (const auto span = io_.get(rank, id)) {
+    std::optional<Bytes> raw;
+    if (io_codec_) {
+      try {
+        raw = io_codec_->decompress(*span);
+      } catch (const compress::CodecError&) {
+        raw = std::nullopt;
+      }
+    } else {
+      raw = Bytes(span->begin(), span->end());
+    }
+    if (raw) {
+      if (auto payload = validate(*raw)) {
+        level_out = RecoveryLevel::kIo;
+        return payload;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<MultilevelManager::Recovery> MultilevelManager::recover()
+    const {
+  for (std::uint64_t id = next_id_; id-- > 1;) {
+    Recovery result;
+    result.checkpoint_id = id;
+    result.payloads.resize(config_.node_count);
+    result.levels.resize(config_.node_count, RecoveryLevel::kLocal);
+    bool ok = true;
+    for (std::uint32_t rank = 0; rank < config_.node_count && ok; ++rank) {
+      RecoveryLevel level = RecoveryLevel::kLocal;
+      auto payload = try_recover_rank(rank, id, level);
+      if (!payload) {
+        ok = false;
+        break;
+      }
+      result.payloads[rank] = std::move(*payload);
+      result.levels[rank] = level;
+    }
+    if (ok) return result;
+  }
+  return std::nullopt;
+}
+
+const NvmStore& MultilevelManager::local_store(std::uint32_t rank) const {
+  return local_.at(rank);
+}
+
+NvmStore& MultilevelManager::local_store(std::uint32_t rank) {
+  return local_.at(rank);
+}
+
+}  // namespace ndpcr::ckpt

@@ -1,0 +1,112 @@
+#pragma once
+
+// Multilevel checkpoint/restart coordinator (the SCR-like substrate of
+// sections 3.4-3.5): coordinated checkpoints across N simulated nodes,
+// three levels of storage, and recovery that walks levels from fastest to
+// slowest.
+//
+//   local   - the node's own NVM circular buffer (every checkpoint)
+//   partner - a full copy in the next node's partner space (every
+//             `partner_every`-th checkpoint)
+//   io      - the parallel file system (every `io_every`-th checkpoint),
+//             optionally compressed (section 3.5 compresses only the
+//             IO-level stream)
+//
+// This is a functional model - it moves real bytes and validates CRCs - so
+// the examples and the cluster simulator can exercise true data-path
+// behaviour (corruption detection, partner rebuild, level fallback).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ckpt/image.hpp"
+#include "ckpt/nvm_store.hpp"
+#include "ckpt/stores.hpp"
+#include "compress/codec.hpp"
+
+namespace ndpcr::ckpt {
+
+enum class RecoveryLevel { kLocal, kPartner, kIo };
+
+const char* to_string(RecoveryLevel level);
+
+// Partner-level redundancy scheme (SCR's levels): full copies tolerate
+// the loss of a node at 100% space overhead; XOR groups tolerate one loss
+// per group at 1/group_size overhead (rebuild needs the surviving group
+// members' local copies plus the parity).
+enum class PartnerScheme { kCopy, kXorGroup };
+
+struct MultilevelConfig {
+  std::uint64_t app_id = 1;
+  std::uint32_t node_count = 1;
+  std::size_t nvm_capacity_bytes = 64ull << 20;
+  std::uint32_t partner_every = 1;  // 0 disables the partner level
+  std::uint32_t io_every = 0;       // 0 disables the IO level
+  PartnerScheme partner_scheme = PartnerScheme::kCopy;
+  std::uint32_t xor_group_size = 4; // ranks per parity group
+  // Codec for IO-level checkpoints; null means store uncompressed.
+  compress::CodecId io_codec = compress::CodecId::kNull;
+  int io_codec_level = 0;
+};
+
+class MultilevelManager {
+ public:
+  explicit MultilevelManager(const MultilevelConfig& config);
+
+  // Coordinated commit of one checkpoint across all ranks. `payloads[r]`
+  // is rank r's state. Returns the checkpoint id. Throws std::logic_error
+  // if a local NVM cannot accept the checkpoint (capacity exhausted by
+  // locked entries).
+  std::uint64_t commit(const std::vector<ByteSpan>& payloads);
+
+  // Simulate loss of a node: its NVM contents and the partner copies it
+  // was holding for its neighbor are gone.
+  void fail_node(std::uint32_t rank);
+
+  // Simulate silent corruption of a rank's newest local checkpoint (tests
+  // use this to verify CRC-driven fallback to the next level).
+  void corrupt_local(std::uint32_t rank);
+
+  struct Recovery {
+    std::uint64_t checkpoint_id = 0;
+    std::vector<Bytes> payloads;         // one per rank
+    std::vector<RecoveryLevel> levels;   // where each rank recovered from
+  };
+
+  // Recover the application: the newest checkpoint id restorable by every
+  // rank, walking local -> partner -> io per rank. Returns nullopt if no
+  // common checkpoint survives.
+  [[nodiscard]] std::optional<Recovery> recover() const;
+
+  // Introspection used by tests and the cluster simulator.
+  [[nodiscard]] const NvmStore& local_store(std::uint32_t rank) const;
+  [[nodiscard]] NvmStore& local_store(std::uint32_t rank);
+  [[nodiscard]] const KvStore& io_store() const { return io_; }
+  [[nodiscard]] std::uint64_t last_checkpoint_id() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint32_t partner_of(std::uint32_t rank) const {
+    return (rank + 1) % config_.node_count;
+  }
+
+  // XOR-group topology: the parity for the group containing `rank` is
+  // hosted by the node after the group's last member.
+  [[nodiscard]] std::uint32_t group_first(std::uint32_t rank) const;
+  [[nodiscard]] std::uint32_t parity_host(std::uint32_t rank) const;
+
+ private:
+  [[nodiscard]] std::optional<Bytes> try_recover_rank(
+      std::uint32_t rank, std::uint64_t id, RecoveryLevel& level_out) const;
+  [[nodiscard]] std::optional<Bytes> try_xor_rebuild(std::uint32_t rank,
+                                                     std::uint64_t id) const;
+
+  MultilevelConfig config_;
+  std::unique_ptr<compress::Codec> io_codec_;  // null when uncompressed
+  std::vector<NvmStore> local_;
+  std::vector<KvStore> partner_space_;  // partner_space_[n] holds copies
+                                        // for rank (n + N - 1) % N
+  KvStore io_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ndpcr::ckpt

@@ -1,0 +1,96 @@
+#include "ckpt/nvm_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndpcr::ckpt {
+
+NvmStore::NvmStore(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+bool NvmStore::put(std::uint64_t checkpoint_id, Bytes data) {
+  if (!entries_.empty() && checkpoint_id <= entries_.back().id) {
+    throw std::logic_error("checkpoint ids must be strictly increasing");
+  }
+  if (data.size() > capacity_) return false;
+
+  // Evict oldest unlocked entries until the new checkpoint fits. Locked
+  // entries block eviction of everything behind them too - a circular
+  // buffer cannot reclaim around a pinned region - which matches the
+  // paper's description of the NDP pausing new local writes if it falls
+  // too far behind.
+  while (used_ + data.size() > capacity_) {
+    if (entries_.empty() || entries_.front().lock_count > 0) {
+      return false;
+    }
+    used_ -= entries_.front().data.size();
+    entries_.pop_front();
+    ++evictions_;
+  }
+  used_ += data.size();
+  entries_.push_back(Entry{checkpoint_id, std::move(data), 0});
+  return true;
+}
+
+std::optional<ByteSpan> NvmStore::get(std::uint64_t checkpoint_id) const {
+  for (const auto& e : entries_) {
+    if (e.id == checkpoint_id) return ByteSpan(e.data);
+  }
+  return std::nullopt;
+}
+
+bool NvmStore::contains(std::uint64_t checkpoint_id) const {
+  return get(checkpoint_id).has_value();
+}
+
+std::optional<std::uint64_t> NvmStore::newest_id() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.back().id;
+}
+
+void NvmStore::lock(std::uint64_t checkpoint_id) {
+  for (auto& e : entries_) {
+    if (e.id == checkpoint_id) {
+      ++e.lock_count;
+      return;
+    }
+  }
+  throw std::out_of_range("lock: unknown checkpoint id");
+}
+
+void NvmStore::unlock(std::uint64_t checkpoint_id) {
+  for (auto& e : entries_) {
+    if (e.id == checkpoint_id) {
+      if (e.lock_count == 0) {
+        throw std::logic_error("unlock: checkpoint is not locked");
+      }
+      --e.lock_count;
+      return;
+    }
+  }
+  throw std::out_of_range("unlock: unknown checkpoint id");
+}
+
+bool NvmStore::is_locked(std::uint64_t checkpoint_id) const {
+  for (const auto& e : entries_) {
+    if (e.id == checkpoint_id) return e.lock_count > 0;
+  }
+  return false;
+}
+
+void NvmStore::erase(std::uint64_t checkpoint_id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.id == checkpoint_id; });
+  if (it == entries_.end()) return;
+  if (it->lock_count > 0) {
+    throw std::logic_error("erase: checkpoint is locked");
+  }
+  used_ -= it->data.size();
+  entries_.erase(it);
+}
+
+void NvmStore::clear() {
+  entries_.clear();
+  used_ = 0;
+}
+
+}  // namespace ndpcr::ckpt

@@ -1,0 +1,71 @@
+#pragma once
+
+// Node-local NVM checkpoint store, per section 4.2: "The NVM capacity is
+// organized as a circular buffer where each checkpoint is written in a
+// FIFO manner", with locking so the NDP can pin a checkpoint while it
+// drains it to global I/O ("it locks the checkpoint to prevent it being
+// over-written by a future checkpoint writing operation").
+//
+// Section 4.3's two-partition layout (uncompressed / compressed circular
+// buffers) is realized by instantiating two NvmStores over the device's
+// capacity split.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::ckpt {
+
+class NvmStore {
+ public:
+  explicit NvmStore(std::size_t capacity_bytes);
+
+  // Append a checkpoint. Evicts the oldest *unlocked* checkpoints (FIFO)
+  // until the new one fits. Returns false (and stores nothing) if it
+  // cannot fit even after evicting everything evictable - locked entries
+  // are never evicted. Ids must be strictly increasing.
+  bool put(std::uint64_t checkpoint_id, Bytes data);
+
+  // Access a stored checkpoint. The span is valid until the entry is
+  // evicted or erased.
+  [[nodiscard]] std::optional<ByteSpan> get(std::uint64_t checkpoint_id) const;
+
+  [[nodiscard]] bool contains(std::uint64_t checkpoint_id) const;
+
+  // Newest stored id, if any.
+  [[nodiscard]] std::optional<std::uint64_t> newest_id() const;
+
+  // Pin / unpin against FIFO eviction. Throws std::out_of_range for an
+  // unknown id. Locks nest (each lock() needs an unlock()).
+  void lock(std::uint64_t checkpoint_id);
+  void unlock(std::uint64_t checkpoint_id);
+  [[nodiscard]] bool is_locked(std::uint64_t checkpoint_id) const;
+
+  // Explicitly drop a checkpoint (e.g. after it is safely on global I/O).
+  // No-op for unknown ids; throws std::logic_error if locked.
+  void erase(std::uint64_t checkpoint_id);
+
+  // Simulated whole-device loss (node failure): clears everything.
+  void clear();
+
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  [[nodiscard]] std::size_t count() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t eviction_count() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    Bytes data;
+    int lock_count = 0;
+  };
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::deque<Entry> entries_;  // FIFO order, oldest first
+};
+
+}  // namespace ndpcr::ckpt

@@ -1,0 +1,191 @@
+#include "ckpt/reed_solomon.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace ndpcr::ckpt {
+namespace gf256 {
+namespace {
+
+// log/exp tables for the 0x11D field, generator 2.
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+
+  Tables() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("GF(256) inverse of zero");
+  const auto& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+}  // namespace gf256
+
+ReedSolomon::ReedSolomon(int data_shards, int parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  if (k_ < 1 || m_ < 1 || k_ + m_ > 255) {
+    throw std::invalid_argument(
+        "Reed-Solomon needs 1 <= k, 1 <= m, k + m <= 255");
+  }
+  // Vandermonde (k+m) x k: V[i][j] = i^j, guaranteed to have every k-row
+  // subset invertible. Reduce the top k x k block to the identity by
+  // column operations to make the code systematic.
+  const int rows = k_ + m_;
+  Matrix v(rows, std::vector<std::uint8_t>(k_));
+  for (int i = 0; i < rows; ++i) {
+    std::uint8_t value = 1;
+    for (int j = 0; j < k_; ++j) {
+      v[i][j] = value;
+      value = gf256::mul(value, static_cast<std::uint8_t>(i));
+    }
+  }
+  // generator = V * inverse(top k x k of V).
+  Matrix top(v.begin(), v.begin() + k_);
+  const Matrix top_inv = invert(std::move(top));
+  generator_.assign(rows, std::vector<std::uint8_t>(k_, 0));
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < k_; ++j) {
+      std::uint8_t acc = 0;
+      for (int x = 0; x < k_; ++x) {
+        acc = gf256::add(acc, gf256::mul(v[i][x], top_inv[x][j]));
+      }
+      generator_[i][j] = acc;
+    }
+  }
+}
+
+ReedSolomon::Matrix ReedSolomon::invert(Matrix m) {
+  const std::size_t n = m.size();
+  // Augment with the identity.
+  for (std::size_t r = 0; r < n; ++r) {
+    m[r].resize(2 * n, 0);
+    m[r][n + r] = 1;
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    while (pivot < n && m[pivot][col] == 0) ++pivot;
+    if (pivot == n) {
+      throw std::invalid_argument("singular matrix in GF(256) inversion");
+    }
+    std::swap(m[col], m[pivot]);
+    const std::uint8_t scale = gf256::inv(m[col][col]);
+    for (auto& cell : m[col]) cell = gf256::mul(cell, scale);
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col || m[row][col] == 0) continue;
+      const std::uint8_t factor = m[row][col];
+      for (std::size_t c = 0; c < 2 * n; ++c) {
+        m[row][c] = gf256::add(m[row][c], gf256::mul(factor, m[col][c]));
+      }
+    }
+  }
+  Matrix out(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out[r].assign(m[r].begin() + n, m[r].end());
+  }
+  return out;
+}
+
+std::vector<Bytes> ReedSolomon::encode(
+    const std::vector<Bytes>& data) const {
+  if (static_cast<int>(data.size()) != k_) {
+    throw std::invalid_argument("encode expects exactly k data shards");
+  }
+  const std::size_t len = data.front().size();
+  for (const auto& shard : data) {
+    if (shard.size() != len) {
+      throw std::invalid_argument("data shards must be equal length");
+    }
+  }
+  std::vector<Bytes> parity(m_, Bytes(len, std::byte{0}));
+  for (int p = 0; p < m_; ++p) {
+    const auto& row = generator_[k_ + p];
+    for (int j = 0; j < k_; ++j) {
+      const std::uint8_t coeff = row[j];
+      if (coeff == 0) continue;
+      const Bytes& src = data[j];
+      Bytes& dst = parity[p];
+      for (std::size_t i = 0; i < len; ++i) {
+        dst[i] = static_cast<std::byte>(gf256::add(
+            static_cast<std::uint8_t>(dst[i]),
+            gf256::mul(coeff, static_cast<std::uint8_t>(src[i]))));
+      }
+    }
+  }
+  return parity;
+}
+
+std::vector<Bytes> ReedSolomon::reconstruct(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  if (static_cast<int>(shards.size()) != k_ + m_) {
+    throw std::invalid_argument("reconstruct expects k + m shard slots");
+  }
+  // Collect the first k survivors and their generator rows.
+  std::vector<int> present;
+  std::size_t len = 0;
+  for (int i = 0; i < k_ + m_ && static_cast<int>(present.size()) < k_;
+       ++i) {
+    if (shards[i].has_value()) {
+      if (!present.empty() && shards[i]->size() != len) {
+        throw std::invalid_argument("shards must be equal length");
+      }
+      len = shards[i]->size();
+      present.push_back(i);
+    }
+  }
+  if (static_cast<int>(present.size()) < k_) {
+    throw std::invalid_argument("too few shards to reconstruct");
+  }
+
+  Matrix sub(k_, std::vector<std::uint8_t>(k_));
+  for (int r = 0; r < k_; ++r) sub[r] = generator_[present[r]];
+  const Matrix decode = invert(std::move(sub));
+
+  std::vector<Bytes> data(k_);
+  for (int j = 0; j < k_; ++j) {
+    // Shortcut: a surviving data shard is its own reconstruction.
+    if (shards[j].has_value()) {
+      data[j] = *shards[j];
+      continue;
+    }
+    Bytes out(len, std::byte{0});
+    for (int r = 0; r < k_; ++r) {
+      const std::uint8_t coeff = decode[j][r];
+      if (coeff == 0) continue;
+      const Bytes& src = *shards[present[r]];
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<std::byte>(gf256::add(
+            static_cast<std::uint8_t>(out[i]),
+            gf256::mul(coeff, static_cast<std::uint8_t>(src[i]))));
+      }
+    }
+    data[j] = std::move(out);
+  }
+  return data;
+}
+
+}  // namespace ndpcr::ckpt

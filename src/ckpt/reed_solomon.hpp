@@ -1,0 +1,57 @@
+#pragma once
+
+// Systematic Reed-Solomon erasure coding over GF(2^8) for partner-level
+// checkpoint redundancy. The paper's partner level stores full copies
+// (tolerates 1 loss at 100% overhead); SCR-class systems use XOR groups
+// (1 loss at 1/k overhead) or Reed-Solomon (m losses at m/k overhead).
+// This module provides the general scheme: k data shards + m parity
+// shards, any k of the k+m suffice to rebuild.
+//
+// Construction: a Vandermonde matrix over GF(256) reduced to systematic
+// form (identity on top), as in classic RAID-6/Backblaze-style coders.
+// Decoding inverts the submatrix of surviving rows.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::ckpt {
+
+// GF(2^8) arithmetic with the 0x11D polynomial (table driven).
+namespace gf256 {
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t inv(std::uint8_t a);  // a != 0
+inline std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+}  // namespace gf256
+
+class ReedSolomon {
+ public:
+  // data_shards >= 1, parity_shards >= 1, data + parity <= 255.
+  ReedSolomon(int data_shards, int parity_shards);
+
+  [[nodiscard]] int data_shards() const { return k_; }
+  [[nodiscard]] int parity_shards() const { return m_; }
+
+  // Compute the parity shards for equal-length data shards.
+  [[nodiscard]] std::vector<Bytes> encode(
+      const std::vector<Bytes>& data) const;
+
+  // Rebuild the data shards from any k survivors. `shards` has k+m
+  // entries (data first, then parity); nullopt marks a loss. Throws
+  // std::invalid_argument if fewer than k survive or lengths mismatch.
+  [[nodiscard]] std::vector<Bytes> reconstruct(
+      const std::vector<std::optional<Bytes>>& shards) const;
+
+ private:
+  using Matrix = std::vector<std::vector<std::uint8_t>>;
+
+  static Matrix invert(Matrix m);  // Gaussian elimination in GF(256)
+
+  int k_;
+  int m_;
+  Matrix generator_;  // (k+m) x k, systematic (top k rows = identity)
+};
+
+}  // namespace ndpcr::ckpt

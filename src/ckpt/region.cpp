@@ -1,0 +1,76 @@
+#include "ckpt/region.hpp"
+
+#include <cstring>
+
+namespace ndpcr::ckpt {
+
+void RegionRegistry::register_region(std::string name, void* data,
+                                     std::size_t size) {
+  for (const auto& r : regions_) {
+    if (r.name == name) {
+      throw ImageError("duplicate region name: " + name);
+    }
+  }
+  regions_.push_back({std::move(name), data, size});
+}
+
+Bytes RegionRegistry::capture() const {
+  Bytes out;
+  out.reserve(total_bytes() + 64 * regions_.size());
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(regions_.size()));
+  for (const auto& r : regions_) {
+    append_le<std::uint32_t>(out, static_cast<std::uint32_t>(r.name.size()));
+    for (char c : r.name) out.push_back(static_cast<std::byte>(c));
+    append_le<std::uint64_t>(out, r.size);
+    const std::size_t offset = out.size();
+    out.resize(offset + r.size);
+    std::memcpy(out.data() + offset, r.data, r.size);
+  }
+  return out;
+}
+
+void RegionRegistry::restore(ByteSpan payload) const {
+  std::size_t pos = 0;
+  auto need = [&](std::size_t n) {
+    if (pos + n > payload.size()) {
+      throw ImageError("truncated region payload");
+    }
+  };
+  need(4);
+  const auto count = read_le<std::uint32_t>(payload, pos);
+  pos += 4;
+  if (count != regions_.size()) {
+    throw ImageError("region count mismatch on restore");
+  }
+  for (const auto& r : regions_) {
+    need(4);
+    const auto name_len = read_le<std::uint32_t>(payload, pos);
+    pos += 4;
+    need(name_len);
+    if (name_len != r.name.size() ||
+        std::memcmp(payload.data() + pos, r.name.data(), name_len) != 0) {
+      throw ImageError("region name mismatch on restore");
+    }
+    pos += name_len;
+    need(8);
+    const auto size = read_le<std::uint64_t>(payload, pos);
+    pos += 8;
+    if (size != r.size) {
+      throw ImageError("region size mismatch on restore");
+    }
+    need(size);
+    std::memcpy(r.data, payload.data() + pos, size);
+    pos += size;
+  }
+  if (pos != payload.size()) {
+    throw ImageError("trailing bytes in region payload");
+  }
+}
+
+std::size_t RegionRegistry::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& r : regions_) total += r.size;
+  return total;
+}
+
+}  // namespace ndpcr::ckpt

@@ -1,0 +1,50 @@
+#pragma once
+
+// Region registration: the application-facing capture API. An application
+// registers the memory regions that constitute its restartable state (the
+// moral equivalent of BLCR walking a process's address space); capture()
+// snapshots them into an image payload and restore() copies a payload back.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/image.hpp"
+#include "common/bytes.hpp"
+
+namespace ndpcr::ckpt {
+
+class RegionRegistry {
+ public:
+  // Register a region. The pointer must stay valid (and the size fixed)
+  // for the registry's lifetime. Names must be unique; they are recorded
+  // in the payload and validated on restore.
+  void register_region(std::string name, void* data, std::size_t size);
+
+  template <typename T>
+  void register_vector(std::string name, std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    register_region(std::move(name), v.data(), v.size() * sizeof(T));
+  }
+
+  // Snapshot all regions into a payload (capture is what happens while the
+  // application is paused at a coordinated checkpoint).
+  [[nodiscard]] Bytes capture() const;
+
+  // Copy a captured payload back into the registered regions. Throws
+  // ImageError if the payload does not match the registered layout.
+  void restore(ByteSpan payload) const;
+
+  [[nodiscard]] std::size_t total_bytes() const;
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+
+ private:
+  struct Region {
+    std::string name;
+    void* data;
+    std::size_t size;
+  };
+  std::vector<Region> regions_;
+};
+
+}  // namespace ndpcr::ckpt

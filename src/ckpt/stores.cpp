@@ -1,0 +1,81 @@
+#include "ckpt/stores.hpp"
+
+#include <stdexcept>
+
+namespace ndpcr::ckpt {
+
+void KvStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
+                  Bytes data) {
+  const auto key = std::make_pair(rank, checkpoint_id);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    used_ -= it->second.size();
+    it->second = std::move(data);
+    used_ += it->second.size();
+  } else {
+    used_ += data.size();
+    entries_.emplace(key, std::move(data));
+  }
+}
+
+std::optional<ByteSpan> KvStore::get(std::uint32_t rank,
+                                     std::uint64_t checkpoint_id) const {
+  auto it = entries_.find(std::make_pair(rank, checkpoint_id));
+  if (it == entries_.end()) return std::nullopt;
+  return ByteSpan(it->second);
+}
+
+bool KvStore::contains(std::uint32_t rank,
+                       std::uint64_t checkpoint_id) const {
+  return entries_.count(std::make_pair(rank, checkpoint_id)) > 0;
+}
+
+std::optional<std::uint64_t> KvStore::newest_id(std::uint32_t rank) const {
+  // Entries for a rank are contiguous in the map; the last one before the
+  // next rank's range is the newest.
+  auto it = entries_.lower_bound(std::make_pair(rank + 1, std::uint64_t{0}));
+  if (it == entries_.begin()) return std::nullopt;
+  --it;
+  if (it->first.first != rank) return std::nullopt;
+  return it->first.second;
+}
+
+void KvStore::erase(std::uint32_t rank, std::uint64_t checkpoint_id) {
+  auto it = entries_.find(std::make_pair(rank, checkpoint_id));
+  if (it == entries_.end()) return;
+  used_ -= it->second.size();
+  entries_.erase(it);
+}
+
+void KvStore::clear() {
+  entries_.clear();
+  used_ = 0;
+}
+
+Bytes xor_parity(const std::vector<Bytes>& buffers) {
+  if (buffers.empty()) {
+    throw std::invalid_argument("xor_parity needs at least one buffer");
+  }
+  const std::size_t size = buffers.front().size();
+  Bytes parity(size, std::byte{0});
+  for (const auto& buf : buffers) {
+    if (buf.size() != size) {
+      throw std::invalid_argument("xor_parity buffers must be equal length");
+    }
+    for (std::size_t i = 0; i < size; ++i) parity[i] ^= buf[i];
+  }
+  return parity;
+}
+
+Bytes xor_rebuild(const Bytes& parity, const std::vector<Bytes>& survivors) {
+  Bytes rebuilt = parity;
+  for (const auto& buf : survivors) {
+    if (buf.size() != rebuilt.size()) {
+      throw std::invalid_argument("xor_rebuild buffers must be equal length");
+    }
+    for (std::size_t i = 0; i < rebuilt.size(); ++i) rebuilt[i] ^= buf[i];
+  }
+  return rebuilt;
+}
+
+}  // namespace ndpcr::ckpt

@@ -1,0 +1,46 @@
+#pragma once
+
+// Partner- and IO-level storage for multilevel checkpointing, plus XOR
+// parity helpers for SCR-style partner groups.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::ckpt {
+
+// Simple keyed checkpoint store. Models a rank's slice of the parallel
+// file system (IO-level) or the partner space a node donates to its
+// neighbor (partner-level). Keys are (rank, checkpoint id).
+class KvStore {
+ public:
+  void put(std::uint32_t rank, std::uint64_t checkpoint_id, Bytes data);
+  [[nodiscard]] std::optional<ByteSpan> get(std::uint32_t rank,
+                                            std::uint64_t checkpoint_id) const;
+  [[nodiscard]] bool contains(std::uint32_t rank,
+                              std::uint64_t checkpoint_id) const;
+  // Newest id stored for a rank, if any.
+  [[nodiscard]] std::optional<std::uint64_t> newest_id(
+      std::uint32_t rank) const;
+  void erase(std::uint32_t rank, std::uint64_t checkpoint_id);
+  void clear();
+
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  [[nodiscard]] std::size_t count() const { return entries_.size(); }
+
+ private:
+  std::map<std::pair<std::uint32_t, std::uint64_t>, Bytes> entries_;
+  std::size_t used_ = 0;
+};
+
+// XOR parity across equal-length buffers (SCR's XOR partner scheme). All
+// buffers must have the same size; with k data buffers, any single missing
+// buffer can be rebuilt from the other k-1 plus the parity.
+Bytes xor_parity(const std::vector<Bytes>& buffers);
+
+// Rebuild one missing buffer from the parity and the surviving buffers.
+Bytes xor_rebuild(const Bytes& parity, const std::vector<Bytes>& survivors);
+
+}  // namespace ndpcr::ckpt

@@ -1,0 +1,58 @@
+#pragma once
+
+// Functional multi-node C/R simulation: drives the real data path
+// (MultilevelManager moving real checkpoint bytes for every rank) under a
+// virtual-time failure process. Small scale by design - it validates that
+// the byte-level machinery survives the failure patterns the statistical
+// models assume, and that recovered application state is exact.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ckpt/multilevel.hpp"
+#include "workloads/miniapp.hpp"
+
+namespace ndpcr::cluster {
+
+struct ClusterSimConfig {
+  std::uint32_t node_count = 8;
+  std::size_t state_bytes_per_rank = 256 * 1024;
+  std::string app = "comd";        // the workload every rank runs
+  double node_mttf = 20000.0;      // per-node MTTF in virtual seconds
+  double step_time = 1.0;          // virtual seconds per app step
+  std::uint32_t steps_per_checkpoint = 10;
+  std::uint32_t partner_every = 1;
+  ckpt::PartnerScheme partner_scheme = ckpt::PartnerScheme::kCopy;
+  std::uint32_t xor_group_size = 4;
+  std::uint32_t io_every = 5;
+  compress::CodecId io_codec = compress::CodecId::kLz4Style;
+  int io_codec_level = 1;
+  std::size_t nvm_capacity_bytes = 8ull << 20;
+  std::uint64_t total_steps = 2000;  // virtual application steps to finish
+  std::uint64_t seed = 7;
+};
+
+struct ClusterSimResult {
+  std::uint64_t failures = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t local_level_ranks = 0;    // per-rank recovery-level counts
+  std::uint64_t partner_level_ranks = 0;
+  std::uint64_t io_level_ranks = 0;
+  std::uint64_t unrecoverable = 0;        // restarts from step 0
+  std::uint64_t steps_completed = 0;
+  std::uint64_t steps_rerun = 0;
+  std::uint64_t checkpoints = 0;
+  bool state_verified = false;  // all ranks' digests consistent at the end
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(const ClusterSimConfig& config);
+  ClusterSimResult run();
+
+ private:
+  ClusterSimConfig cfg_;
+};
+
+}  // namespace ndpcr::cluster

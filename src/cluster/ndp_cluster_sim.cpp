@@ -1,0 +1,221 @@
+#include "cluster/ndp_cluster_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "ckpt/stores.hpp"
+#include "common/rng.hpp"
+#include "ndp/agent.hpp"
+#include "workloads/miniapp.hpp"
+
+namespace ndpcr::cluster {
+
+NdpClusterSim::NdpClusterSim(const NdpClusterConfig& config) : cfg_(config) {
+  if (cfg_.node_count == 0 || cfg_.total_steps == 0) {
+    throw std::invalid_argument("node_count and total_steps must be > 0");
+  }
+  if (cfg_.aggregate_io_bw <= 0 || cfg_.ndp_compress_bw <= 0) {
+    throw std::invalid_argument("bandwidths must be positive");
+  }
+}
+
+NdpClusterResult NdpClusterSim::run() {
+  NdpClusterResult result;
+  Rng rng(cfg_.seed);
+  const auto n = cfg_.node_count;
+
+  auto make_rank = [&](std::uint32_t r) {
+    return workloads::make_miniapp(cfg_.app, cfg_.state_bytes_per_rank,
+                                   cfg_.seed * 977 + r);
+  };
+  std::vector<std::unique_ptr<workloads::MiniApp>> ranks;
+  for (std::uint32_t r = 0; r < n; ++r) ranks.push_back(make_rank(r));
+
+  // One shared IO store (the PFS); each agent gets the paper's static
+  // per-node share of the aggregate IO bandwidth.
+  ckpt::KvStore io;
+  std::vector<std::unique_ptr<ndp::NdpAgent>> agents;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    ndp::AgentConfig ac;
+    ac.uncompressed_capacity = cfg_.nvm_capacity_bytes;
+    ac.compressed_capacity = cfg_.nvm_capacity_bytes / 4;
+    ac.codec = cfg_.codec;
+    ac.codec_level = cfg_.codec_level;
+    ac.compress_bw = cfg_.ndp_compress_bw;
+    ac.io_bw = cfg_.aggregate_io_bw / n;
+    ac.rank = r;
+    agents.push_back(std::make_unique<ndp::NdpAgent>(ac, io));
+  }
+  const auto codec = compress::make_codec(cfg_.codec, cfg_.codec_level);
+
+  const double system_mttf = cfg_.node_mttf / static_cast<double>(n);
+  double now = 0.0;
+  double next_failure = rng.exponential(system_mttf);
+
+  std::uint64_t step = 0;
+  std::uint64_t high_water = 0;
+  std::uint64_t ckpt_id = 0;
+
+  // Newest checkpoint generation fully landed on IO across all ranks.
+  // Consults the store, not agent memory (a reset agent forgets, the PFS
+  // does not); drains may skip generations, so walk down from the
+  // smallest per-rank newest until one is present everywhere.
+  auto newest_common_on_io = [&]() -> std::uint64_t {
+    std::uint64_t upper = ~0ull;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      const auto newest = io.newest_id(r);
+      if (!newest) return 0;
+      upper = std::min(upper, *newest);
+    }
+    for (std::uint64_t g = upper; g > 0; --g) {
+      bool everywhere = true;
+      for (std::uint32_t r = 0; r < n && everywhere; ++r) {
+        everywhere = io.contains(r, g);
+      }
+      if (everywhere) return g;
+    }
+    return 0;
+  };
+
+  auto pump_all = [&](double seconds) {
+    for (auto& agent : agents) agent->pump(seconds);
+  };
+
+  auto handle_failure = [&] {
+    ++result.failures;
+    next_failure = now + rng.exponential(system_mttf);
+    const bool transient = rng.next_double() < cfg_.p_local_recovery;
+
+    if (transient) {
+      // NVM (and pipelines) survive; roll back to the newest committed
+      // generation, which every rank still holds locally.
+      if (ckpt_id == 0) {
+        ++result.scratch_restarts;
+        for (std::uint32_t r = 0; r < n; ++r) ranks[r] = make_rank(r);
+        result.steps_rerun += step;
+        step = 0;
+        return;
+      }
+      now += cfg_.local_restore_time;
+      std::uint64_t restored_step = 0;
+      for (std::uint32_t r = 0; r < n; ++r) {
+        auto image = agents[r]->restore_local(ckpt_id);
+        if (!image) {
+          // Evicted locally (drain fell behind and the buffer cycled):
+          // fall back to the IO copy if it made it there.
+          const auto packed = io.get(r, ckpt_id);
+          if (!packed) {
+            image.reset();
+          } else {
+            image = codec->decompress(*packed);
+          }
+        }
+        if (!image) {
+          // This generation is gone for rank r; a real system would walk
+          // back further - count it as an IO-era rollback below.
+          break;
+        }
+        ranks[r]->restore(*image);
+        restored_step = ranks[r]->step_count();
+        if (r == n - 1) {
+          ++result.local_recoveries;
+          result.steps_rerun += step - restored_step;
+          step = restored_step;
+          return;
+        }
+      }
+      // Fall through to an IO recovery if local restore failed mid-way.
+    }
+
+    // Node loss (or failed local recovery): the victim's NVM is gone;
+    // everyone rolls back to the newest generation fully on IO.
+    const auto victim = static_cast<std::uint32_t>(rng.next_below(n));
+    agents[victim]->reset();
+    const std::uint64_t target = newest_common_on_io();
+    if (target == 0) {
+      ++result.scratch_restarts;
+      for (std::uint32_t r = 0; r < n; ++r) ranks[r] = make_rank(r);
+      result.steps_rerun += step;
+      step = 0;
+      return;
+    }
+    // Coordinated restore time: the compressed read through the victim's
+    // IO share dominates.
+    const auto packed = io.get(victim, target);
+    now += std::max(cfg_.local_restore_time,
+                    static_cast<double>(packed->size()) /
+                        (cfg_.aggregate_io_bw / n));
+    std::uint64_t restored_step = 0;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      Bytes image;
+      if (auto local = agents[r]->restore_local(target)) {
+        image = std::move(*local);
+      } else {
+        image = codec->decompress(*io.get(r, target));
+      }
+      ranks[r]->restore(image);
+      restored_step = ranks[r]->step_count();
+    }
+    ++result.io_recoveries;
+    result.steps_rerun += step - restored_step;
+    step = restored_step;
+  };
+
+  while (step < cfg_.total_steps) {
+    // Compute burst: the app advances while every NDP pumps.
+    const std::uint64_t burst = std::min<std::uint64_t>(
+        cfg_.steps_per_checkpoint, cfg_.total_steps - step);
+    bool failed = false;
+    for (std::uint64_t s = 0; s < burst; ++s) {
+      now += cfg_.step_time;
+      pump_all(cfg_.step_time);
+      if (now >= next_failure) {
+        failed = true;
+        break;
+      }
+      for (auto& rank : ranks) rank->step();
+      ++step;
+      if (step > high_water) {
+        high_water = step;
+        result.compute_seconds += cfg_.step_time;
+      }
+    }
+    if (failed) {
+      handle_failure();
+      continue;
+    }
+    if (step >= cfg_.total_steps) break;
+
+    // Coordinated local commit: the host owns the NVM (no pumping).
+    now += cfg_.local_commit_time;
+    ++ckpt_id;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      // If the agent's buffer is wedged behind a locked drain, let the
+      // drain finish first (the host stall the paper describes).
+      while (!agents[r]->host_commit(ckpt_id, ranks[r]->checkpoint())) {
+        const double drained = agents[r]->pump(cfg_.step_time);
+        now += drained > 0 ? drained : cfg_.step_time;
+      }
+    }
+    ++result.checkpoints;
+  }
+
+  result.io_checkpoints = newest_common_on_io();
+  result.virtual_seconds = now;
+
+  result.state_verified = true;
+  for (auto& rank : ranks) {
+    if (rank->step_count() != ranks[0]->step_count()) {
+      result.state_verified = false;
+    }
+    const auto digest = rank->state_digest();
+    const Bytes image = rank->checkpoint();
+    rank->restore(image);
+    if (rank->state_digest() != digest) result.state_verified = false;
+  }
+  return result;
+}
+
+}  // namespace ndpcr::cluster

@@ -1,0 +1,75 @@
+#pragma once
+
+// Full-stack NDP cluster simulation: N nodes, each running a mini-app
+// rank and a functional NdpAgent (real codec, real bytes), coordinated
+// local checkpoints, background drains sharing the global IO bandwidth,
+// and per-node failures in virtual time.
+//
+// This is the integration capstone: the statistical timeline model
+// (sim/), the byte-level NDP pipeline (ndp/), the multi-rank coordination
+// (ckpt/) and the workloads all run together, and the simulation verifies
+// exact state recovery while reporting the same progress-rate metric the
+// model predicts.
+//
+// IO bandwidth sharing: the configured aggregate IO bandwidth is divided
+// evenly among agents with an active drain each tick (a fair-share
+// approximation of the parallel file system).
+
+#include <cstdint>
+#include <string>
+
+#include "compress/codec.hpp"
+
+namespace ndpcr::cluster {
+
+struct NdpClusterConfig {
+  std::uint32_t node_count = 4;
+  std::string app = "hpccg";
+  std::size_t state_bytes_per_rank = 128 * 1024;
+
+  double step_time = 1.0;                 // virtual seconds per app step
+  std::uint32_t steps_per_checkpoint = 8;
+  double local_commit_time = 0.5;         // host-blocking local write
+  double local_restore_time = 0.5;
+
+  // Per-agent pipeline rates (bytes of uncompressed input per virtual
+  // second) and the aggregate IO bandwidth shared by all drains.
+  double ndp_compress_bw = 256e3;
+  double aggregate_io_bw = 256e3;
+  compress::CodecId codec = compress::CodecId::kLz4Style;
+  int codec_level = 1;
+  std::size_t nvm_capacity_bytes = 4ull << 20;
+
+  double node_mttf = 3000.0;   // per-node, virtual seconds
+  double p_local_recovery = 0.85;  // failures that keep the NVM usable
+  std::uint64_t total_steps = 1500;
+  std::uint64_t seed = 13;
+};
+
+struct NdpClusterResult {
+  std::uint64_t failures = 0;
+  std::uint64_t local_recoveries = 0;
+  std::uint64_t io_recoveries = 0;
+  std::uint64_t scratch_restarts = 0;
+  std::uint64_t checkpoints = 0;     // coordinated local commits
+  std::uint64_t io_checkpoints = 0;  // checkpoint generations fully on IO
+  std::uint64_t steps_rerun = 0;
+  double virtual_seconds = 0.0;
+  double compute_seconds = 0.0;  // first-time work
+  bool state_verified = false;
+
+  [[nodiscard]] double progress_rate() const {
+    return virtual_seconds > 0 ? compute_seconds / virtual_seconds : 0.0;
+  }
+};
+
+class NdpClusterSim {
+ public:
+  explicit NdpClusterSim(const NdpClusterConfig& config);
+  NdpClusterResult run();
+
+ private:
+  NdpClusterConfig cfg_;
+};
+
+}  // namespace ndpcr::cluster

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace ndpcr {
+
+// Byte-buffer aliases used across the compression and checkpoint layers.
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+inline Bytes to_bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  return Bytes(p, p + size);
+}
+
+// Little-endian scalar (de)serialization helpers for on-"disk" formats.
+template <typename T>
+void append_le(Bytes& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  unsigned char raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  for (unsigned char c : raw) out.push_back(static_cast<std::byte>(c));
+}
+
+template <typename T>
+T read_le(ByteSpan data, std::size_t offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  std::memcpy(&value, data.data() + offset, sizeof(T));
+  return value;
+}
+
+}  // namespace ndpcr

@@ -1,0 +1,51 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace ndpcr {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE polynomial
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Crc32::update(std::span<const std::byte> data) {
+  update(data.data(), data.size());
+}
+
+std::uint32_t Crc32::compute(std::span<const std::byte> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+std::uint32_t Crc32::compute(const void* data, std::size_t size) {
+  Crc32 crc;
+  crc.update(data, size);
+  return crc.value();
+}
+
+}  // namespace ndpcr

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ndpcr {
+
+// Streaming mean/variance accumulator (Welford). Used to aggregate Monte
+// Carlo trials so callers can report a confidence band along with the mean.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  // Half-width of an approximate 95% confidence interval on the mean.
+  [[nodiscard]] double ci95_halfwidth() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile over a copy of the samples; p in [0, 100]. Linear
+// interpolation between closest ranks. Returns 0 for empty input.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace ndpcr

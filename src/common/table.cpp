@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ndpcr {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out << "  ";
+    out << std::string(width[c], '-');
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_si_bytes(double bytes) {
+  const char* suffix = "B";
+  double v = bytes;
+  if (std::abs(v) >= 1e15) {
+    v /= 1e15;
+    suffix = "PB";
+  } else if (std::abs(v) >= 1e12) {
+    v /= 1e12;
+    suffix = "TB";
+  } else if (std::abs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = "GB";
+  } else if (std::abs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = "MB";
+  } else if (std::abs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = "KB";
+  }
+  std::ostringstream out;
+  out << fmt_fixed(v, v == std::floor(v) && std::abs(v) < 1000 ? 0 : 2) << ' '
+      << suffix;
+  return out.str();
+}
+
+}  // namespace ndpcr

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ndpcr {
+
+// Minimal fixed-width text-table printer used by the benchmark harnesses to
+// emit paper-style tables ("the same rows/series the paper reports").
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Render with column widths sized to content, a header underline, and two
+  // spaces between columns.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers for table cells.
+std::string fmt_fixed(double value, int decimals);
+std::string fmt_percent(double fraction, int decimals = 1);  // 0.51 -> "51.0%"
+std::string fmt_si_bytes(double bytes);                      // 1.2e11 -> "120 GB"
+
+}  // namespace ndpcr

@@ -1,0 +1,61 @@
+#pragma once
+
+// Unit helpers for the ndpcr library.
+//
+// All model quantities are carried as doubles in SI-ish base units:
+//   - time in seconds
+//   - data sizes in bytes
+//   - bandwidths / rates in bytes per second
+// The helpers below make call sites read like the paper ("112 GB", "100
+// MB/s", "30 minutes") while keeping arithmetic trivial. Decimal prefixes
+// are used throughout because the paper's storage/bandwidth figures are
+// decimal (GB, MB/s).
+
+namespace ndpcr::units {
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+inline constexpr double kPB = 1e15;
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+constexpr double bytes_from_gb(double gb) { return gb * kGB; }
+constexpr double bytes_from_mb(double mb) { return mb * kMB; }
+constexpr double bytes_from_tb(double tb) { return tb * kTB; }
+constexpr double bytes_from_pb(double pb) { return pb * kPB; }
+
+constexpr double gb(double bytes) { return bytes / kGB; }
+constexpr double mb(double bytes) { return bytes / kMB; }
+constexpr double tb(double bytes) { return bytes / kTB; }
+constexpr double pb(double bytes) { return bytes / kPB; }
+
+// Bandwidths.
+constexpr double mbps(double megabytes_per_second) {
+  return megabytes_per_second * kMB;
+}
+constexpr double gbps(double gigabytes_per_second) {
+  return gigabytes_per_second * kGB;
+}
+constexpr double tbps(double terabytes_per_second) {
+  return terabytes_per_second * kTB;
+}
+
+// Times.
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 86400.0;
+inline constexpr double kYear = 365.25 * kDay;
+
+constexpr double minutes(double m) { return m * kMinute; }
+constexpr double hours(double h) { return h * kHour; }
+constexpr double days(double d) { return d * kDay; }
+constexpr double years(double y) { return y * kYear; }
+
+constexpr double to_minutes(double seconds) { return seconds / kMinute; }
+constexpr double to_hours(double seconds) { return seconds / kHour; }
+
+}  // namespace ndpcr::units

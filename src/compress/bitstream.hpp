@@ -1,0 +1,99 @@
+#pragma once
+
+// LSB-first bit-level I/O over byte buffers (the DEFLATE bit order). Shared
+// by the Huffman-based codecs.
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes& out) : out_(out) {}
+
+  // Write the low `count` bits of `bits`, LSB first. count in [0, 32].
+  void write(std::uint32_t bits, int count) {
+    acc_ |= static_cast<std::uint64_t>(bits & mask(count)) << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<std::byte>(acc_ & 0xFF));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  // Flush any partial byte (zero padded). Call exactly once at the end.
+  void finish() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::byte>(acc_ & 0xFF));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  static std::uint32_t mask(int count) {
+    return count >= 32 ? 0xFFFFFFFFu : ((1u << count) - 1u);
+  }
+  Bytes& out_;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan data) : data_(data) {}
+
+  // Read `count` bits, LSB first. Throws CodecError past end of stream.
+  std::uint32_t read(int count) {
+    while (filled_ < count) {
+      if (pos_ >= data_.size()) {
+        throw CodecError("bit stream truncated");
+      }
+      acc_ |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(data_[pos_++]))
+              << filled_;
+      filled_ += 8;
+    }
+    const auto bits = static_cast<std::uint32_t>(
+        acc_ & (count >= 32 ? ~0ull : ((1ull << count) - 1)));
+    acc_ >>= count;
+    filled_ -= count;
+    return bits;
+  }
+
+  std::uint32_t read_bit() { return read(1); }
+
+  // Peek up to `count` bits without consuming; missing tail bits read as 0
+  // (needed by table-based Huffman decoding near end of stream).
+  std::uint32_t peek(int count) {
+    while (filled_ < count && pos_ < data_.size()) {
+      acc_ |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(data_[pos_++]))
+              << filled_;
+      filled_ += 8;
+    }
+    return static_cast<std::uint32_t>(
+        acc_ & (count >= 32 ? ~0ull : ((1ull << count) - 1)));
+  }
+
+  // Consume `count` bits previously peeked. Throws if fewer are buffered.
+  void consume(int count) {
+    if (filled_ < count) {
+      throw CodecError("bit stream truncated");
+    }
+    acc_ >>= count;
+    filled_ -= count;
+  }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,82 @@
+#include "compress/bwt.hpp"
+
+#include <array>
+
+#include "compress/codec.hpp"
+#include "compress/suffix_array.hpp"
+
+namespace ndpcr::compress {
+
+BwtResult bwt_forward(ByteSpan block) {
+  BwtResult result;
+  const std::size_t n = block.size();
+  if (n == 0) return result;
+
+  const auto sa = suffix_array(block);
+  result.data.reserve(n);
+  // Conceptual rows of the sorted rotations of block+$: row 0 is the
+  // sentinel suffix, whose last character is block[n-1]; row i (i >= 1)
+  // corresponds to suffix sa[i-1], whose preceding character is the output
+  // unless the suffix starts at 0 (that row precedes the sentinel, which is
+  // removed and its position recorded).
+  result.data.push_back(block[n - 1]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sa[i] == 0) {
+      result.primary_index = static_cast<std::uint32_t>(i + 1);
+    } else {
+      result.data.push_back(block[sa[i] - 1]);
+    }
+  }
+  return result;
+}
+
+Bytes bwt_inverse(ByteSpan l_column, std::uint32_t primary_index) {
+  const std::size_t n = l_column.size();
+  if (n == 0) return {};
+  if (primary_index > n || primary_index == 0) {
+    throw CodecError("BWT primary index out of range");
+  }
+
+  // Reconstruct over the virtual column L' of length n+1 where
+  // L'[primary_index] is the sentinel and the remaining rows are l_column
+  // in order. LF(i) = C[c] + rank_c(i); the sentinel is the unique
+  // smallest character.
+  auto l_at = [&](std::size_t i) -> int {
+    if (i == primary_index) return -1;  // sentinel
+    return static_cast<int>(
+        static_cast<std::uint8_t>(l_column[i - (i > primary_index)]));
+  };
+
+  // occ[i]: occurrences of L'[i] in L'[0..i); C[c]: rows whose last char is
+  // smaller than c (sentinel contributes 1 to every byte's C).
+  std::vector<std::uint32_t> occ(n + 1);
+  std::array<std::uint32_t, 256> count{};
+  for (std::size_t i = 0; i <= n; ++i) {
+    const int c = l_at(i);
+    if (c < 0) {
+      occ[i] = 0;
+    } else {
+      occ[i] = count[static_cast<std::size_t>(c)]++;
+    }
+  }
+  std::array<std::uint32_t, 256> c_below{};
+  std::uint32_t running = 1;  // the sentinel row
+  for (std::size_t c = 0; c < 256; ++c) {
+    c_below[c] = running;
+    running += count[c];
+  }
+
+  Bytes out(n);
+  std::size_t row = 0;
+  for (std::size_t k = n; k-- > 0;) {
+    const int c = l_at(row);
+    if (c < 0) {
+      throw CodecError("corrupt BWT stream: premature sentinel");
+    }
+    out[k] = static_cast<std::byte>(c);
+    row = c_below[static_cast<std::size_t>(c)] + occ[row];
+  }
+  return out;
+}
+
+}  // namespace ndpcr::compress

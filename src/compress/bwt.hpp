@@ -1,0 +1,24 @@
+#pragma once
+
+// Burrows-Wheeler transform with a virtual sentinel, plus its inverse.
+// The transform sorts the suffixes of the block (equivalent to sorting the
+// rotations of block+sentinel); the sentinel itself is not emitted, so the
+// output has the same length as the input and carries a primary index.
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::compress {
+
+struct BwtResult {
+  Bytes data;                      // the L column, sentinel removed
+  std::uint32_t primary_index = 0; // row at which the sentinel was removed
+};
+
+BwtResult bwt_forward(ByteSpan block);
+
+// Inverse transform. Throws CodecError if primary_index is out of range.
+Bytes bwt_inverse(ByteSpan l_column, std::uint32_t primary_index);
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,183 @@
+#include "compress/bzip_style.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "compress/bitstream.hpp"
+#include "compress/bwt.hpp"
+#include "compress/huffman.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+constexpr std::uint32_t kEob = 256;
+constexpr std::size_t kAlphabet = 257;
+
+// Move-to-front transform over the byte alphabet.
+Bytes mtf_forward(ByteSpan data) {
+  std::array<std::uint8_t, 256> order;
+  std::iota(order.begin(), order.end(), 0);
+  Bytes out;
+  out.reserve(data.size());
+  for (std::byte b : data) {
+    const auto value = static_cast<std::uint8_t>(b);
+    std::uint8_t idx = 0;
+    while (order[idx] != value) ++idx;
+    out.push_back(static_cast<std::byte>(idx));
+    // Move to front.
+    for (std::uint8_t k = idx; k > 0; --k) order[k] = order[k - 1];
+    order[0] = value;
+  }
+  return out;
+}
+
+Bytes mtf_inverse(ByteSpan data) {
+  std::array<std::uint8_t, 256> order;
+  std::iota(order.begin(), order.end(), 0);
+  Bytes out;
+  out.reserve(data.size());
+  for (std::byte b : data) {
+    const auto idx = static_cast<std::uint8_t>(b);
+    const std::uint8_t value = order[idx];
+    out.push_back(static_cast<std::byte>(value));
+    for (std::uint8_t k = idx; k > 0; --k) order[k] = order[k - 1];
+    order[0] = value;
+  }
+  return out;
+}
+
+// 4-bit-chunk varint: 3 data bits + 1 continuation bit per chunk.
+void write_runlen(BitWriter& bw, std::uint64_t value) {
+  do {
+    const std::uint32_t chunk = value & 0x7;
+    value >>= 3;
+    bw.write(chunk | (value ? 0x8 : 0x0), 4);
+  } while (value);
+}
+
+std::uint64_t read_runlen(BitReader& br) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint32_t chunk = br.read(4);
+    value |= static_cast<std::uint64_t>(chunk & 0x7) << shift;
+    if (!(chunk & 0x8)) break;
+    shift += 3;
+    if (shift > 60) throw CodecError("nbzip2 run length too large");
+  }
+  return value;
+}
+
+}  // namespace
+
+BzipStyleCodec::BzipStyleCodec(int level) : level_(level) {
+  if (level < 1 || level > 9) {
+    throw CodecError("nbzip2 level must be in [1, 9]");
+  }
+}
+
+void BzipStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+  BitWriter bw(out);
+  std::size_t pos = 0;
+  do {
+    const std::size_t len = std::min(block_size(), input.size() - pos);
+    const ByteSpan block = input.subspan(pos, len);
+    pos += len;
+    const bool final_block = pos == input.size();
+    bw.write(final_block ? 1 : 0, 1);
+    bw.write(static_cast<std::uint32_t>(len), 32);
+
+    const BwtResult bwt = bwt_forward(block);
+    bw.write(bwt.primary_index, 32);
+    const Bytes mtf = mtf_forward(bwt.data);
+
+    // Symbol stream: MTF bytes with zero runs collapsed, plus EOB.
+    // First pass: frequencies.
+    std::vector<std::uint64_t> freq(kAlphabet, 0);
+    freq[kEob] = 1;
+    for (std::size_t i = 0; i < mtf.size();) {
+      const auto v = static_cast<std::uint8_t>(mtf[i]);
+      if (v == 0) {
+        ++freq[0];
+        while (i < mtf.size() && mtf[i] == std::byte{0}) ++i;
+      } else {
+        ++freq[v];
+        ++i;
+      }
+    }
+    const HuffmanEncoder enc(huffman_code_lengths(freq));
+    for (auto l : enc.lengths()) bw.write(l, 4);
+
+    // Second pass: emit.
+    for (std::size_t i = 0; i < mtf.size();) {
+      const auto v = static_cast<std::uint8_t>(mtf[i]);
+      if (v == 0) {
+        std::size_t run = 0;
+        while (i < mtf.size() && mtf[i] == std::byte{0}) {
+          ++run;
+          ++i;
+        }
+        enc.encode(bw, 0);
+        write_runlen(bw, run);
+      } else {
+        enc.encode(bw, v);
+        ++i;
+      }
+    }
+    enc.encode(bw, kEob);
+  } while (pos < input.size());
+  bw.finish();
+}
+
+void BzipStyleCodec::decompress_payload(ByteSpan payload,
+                                        std::size_t original_size,
+                                        Bytes& out) const {
+  if (original_size == 0) return;
+  BitReader br(payload);
+  bool final_block = false;
+  while (!final_block) {
+    final_block = br.read(1) != 0;
+    const std::uint32_t block_len = br.read(32);
+    const std::uint32_t primary = br.read(32);
+    if (block_len > 9 * 100'000) {
+      // No level produces blocks beyond level 9's 900 kB; a larger value
+      // is header corruption and must not drive allocations.
+      throw CodecError("nbzip2 block length exceeds format maximum");
+    }
+    if (out.size() + block_len > original_size) {
+      throw CodecError("nbzip2 block overflows declared size");
+    }
+
+    std::vector<std::uint8_t> lengths(kAlphabet);
+    for (auto& l : lengths) l = static_cast<std::uint8_t>(br.read(4));
+    const HuffmanDecoder dec(lengths);
+
+    Bytes mtf;
+    mtf.reserve(std::min<std::size_t>(block_len, 2 * block_size()));
+    while (true) {
+      const std::uint32_t sym = dec.decode(br);
+      if (sym == kEob) break;
+      if (sym == 0) {
+        const std::uint64_t run = read_runlen(br);
+        if (mtf.size() + run > block_len) {
+          throw CodecError("nbzip2 zero run overflows block");
+        }
+        mtf.insert(mtf.end(), run, std::byte{0});
+      } else {
+        if (mtf.size() >= block_len) {
+          throw CodecError("nbzip2 symbols overflow block");
+        }
+        mtf.push_back(static_cast<std::byte>(sym));
+      }
+    }
+    if (mtf.size() != block_len) {
+      throw CodecError("nbzip2 block length mismatch");
+    }
+    const Bytes l_column = mtf_inverse(mtf);
+    const Bytes block = bwt_inverse(l_column, primary);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+}
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,42 @@
+#pragma once
+
+// nbzip2: block-sorting compressor in the bzip2 family.
+//
+// Pipeline per block: BWT (suffix-array based) -> move-to-front ->
+// zero-run-length coding -> canonical Huffman. The block size is
+// level * 100 kB, exactly bzip2's level semantics, which is where its
+// speed/ratio trade-off lives.
+//
+// Block payload layout (bit stream, LSB first):
+//   final-block flag (1 bit)
+//   block length (32 bits) and BWT primary index (32 bits)
+//   257 Huffman code lengths (4 bits each; symbol 256 = end of block)
+//   Huffman-coded MTF symbols; symbol 0 is followed by a 4-bit-chunk
+//   varint zero-run length.
+
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+
+class BzipStyleCodec final : public Codec {
+ public:
+  explicit BzipStyleCodec(int level);
+
+  [[nodiscard]] std::string name() const override { return "nbzip2"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kBzipStyle; }
+  [[nodiscard]] int level() const override { return level_; }
+
+  [[nodiscard]] std::size_t block_size() const {
+    return static_cast<std::size_t>(level_) * 100'000;
+  }
+
+ protected:
+  void compress_payload(ByteSpan input, Bytes& out) const override;
+  void decompress_payload(ByteSpan payload, std::size_t original_size,
+                          Bytes& out) const override;
+
+ private:
+  int level_;
+};
+
+}  // namespace ndpcr::compress

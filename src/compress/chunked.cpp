@@ -1,0 +1,143 @@
+#include "compress/chunked.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ndpcr::compress {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E44434B;  // "NDCK"
+constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 4 + 8;
+
+// Run `work(i)` for i in [0, count) on up to `threads` workers. Exceptions
+// from workers are rethrown on the caller thread (first one wins).
+template <typename Fn>
+void parallel_for(std::size_t count, unsigned threads, Fn&& work) {
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) work(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        work(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::jthread> pool;
+  const unsigned n = std::min<unsigned>(threads, static_cast<unsigned>(count));
+  pool.reserve(n);
+  for (unsigned w = 0; w < n; ++w) pool.emplace_back(worker);
+  pool.clear();  // join
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+ChunkedCodec::ChunkedCodec(CodecId id, int level, std::size_t chunk_size,
+                           unsigned threads)
+    : id_(id), level_(level), chunk_size_(chunk_size), threads_(threads) {
+  if (chunk_size == 0) {
+    throw CodecError("chunk size must be positive");
+  }
+  (void)make_codec(id, level);  // validate id/level eagerly
+}
+
+Bytes ChunkedCodec::compress(ByteSpan input) const {
+  const std::size_t chunks =
+      input.empty() ? 0 : (input.size() + chunk_size_ - 1) / chunk_size_;
+  std::vector<Bytes> compressed(chunks);
+
+  parallel_for(chunks, threads_, [&](std::size_t i) {
+    // One codec instance per chunk: codecs are stateless across calls but
+    // this keeps each worker fully independent.
+    const auto codec = make_codec(id_, level_);
+    const std::size_t offset = i * chunk_size_;
+    const std::size_t len = std::min(chunk_size_, input.size() - offset);
+    compressed[i] = codec->compress(input.subspan(offset, len));
+  });
+
+  Bytes out;
+  std::size_t total = kHeaderSize + chunks * 8;
+  for (const auto& c : compressed) total += c.size();
+  out.reserve(total);
+  append_le<std::uint32_t>(out, kMagic);
+  out.push_back(static_cast<std::byte>(id_));
+  out.push_back(static_cast<std::byte>(level_));
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(chunks));
+  append_le<std::uint64_t>(out, input.size());
+  for (const auto& c : compressed) {
+    append_le<std::uint64_t>(out, c.size());
+  }
+  for (const auto& c : compressed) {
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+Bytes ChunkedCodec::decompress(ByteSpan framed) const {
+  if (framed.size() < kHeaderSize) {
+    throw CodecError("chunked stream truncated");
+  }
+  if (read_le<std::uint32_t>(framed, 0) != kMagic) {
+    throw CodecError("not a chunked stream");
+  }
+  if (framed[4] != static_cast<std::byte>(id_)) {
+    throw CodecError("chunked stream codec mismatch");
+  }
+  const auto chunks = read_le<std::uint32_t>(framed, 6);
+  const auto original_size = read_le<std::uint64_t>(framed, 10);
+  if (framed.size() < kHeaderSize + std::size_t{chunks} * 8) {
+    throw CodecError("chunked stream truncated");
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> extents(chunks);
+  std::size_t offset = kHeaderSize + std::size_t{chunks} * 8;
+  for (std::uint32_t i = 0; i < chunks; ++i) {
+    const auto size = read_le<std::uint64_t>(framed, kHeaderSize + i * 8);
+    if (offset + size > framed.size()) {
+      throw CodecError("chunked stream truncated");
+    }
+    extents[i] = {offset, size};
+    offset += size;
+  }
+  if (offset != framed.size()) {
+    throw CodecError("trailing bytes in chunked stream");
+  }
+
+  std::vector<Bytes> decompressed(chunks);
+  parallel_for(chunks, threads_, [&](std::size_t i) {
+    const auto codec = make_codec(id_, level_);
+    decompressed[i] = codec->decompress(
+        framed.subspan(extents[i].first, extents[i].second));
+  });
+
+  Bytes out;
+  out.reserve(std::min<std::uint64_t>(original_size, 16u << 20));
+  for (const auto& chunk : decompressed) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  if (out.size() != original_size) {
+    throw CodecError("chunked stream size mismatch");
+  }
+  return out;
+}
+
+}  // namespace ndpcr::compress

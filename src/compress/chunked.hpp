@@ -1,0 +1,43 @@
+#pragma once
+
+// Chunked, parallel (de)compression. The paper's host-side compression
+// path runs one compression thread per core (64 threads, section 3.5) and
+// its restore path decompresses independent pages on different cores
+// (section 4.3). Both need a container that splits the payload into
+// independently-coded chunks:
+//
+//   [u32 magic][u8 codec id][u8 level][u32 chunk_count][u64 original size]
+//   [u64 compressed chunk size] x chunk_count
+//   chunk payloads (each a complete framed stream of the inner codec)
+//
+// Chunk boundaries are fixed by `chunk_size` over the *input*, so the
+// compressed output is bit-identical regardless of the thread count -
+// parallelism is an execution detail, not a format detail.
+
+#include <cstdint>
+#include <memory>
+
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+
+class ChunkedCodec {
+ public:
+  // `threads` <= 1 runs inline. Chunk size must be positive.
+  ChunkedCodec(CodecId id, int level, std::size_t chunk_size = 4ull << 20,
+               unsigned threads = 1);
+
+  [[nodiscard]] Bytes compress(ByteSpan input) const;
+  [[nodiscard]] Bytes decompress(ByteSpan framed) const;
+
+  [[nodiscard]] std::size_t chunk_size() const { return chunk_size_; }
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+ private:
+  CodecId id_;
+  int level_;
+  std::size_t chunk_size_;
+  unsigned threads_;
+};
+
+}  // namespace ndpcr::compress

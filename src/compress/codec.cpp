@@ -1,0 +1,55 @@
+#include "compress/codec.hpp"
+
+#include "common/crc32.hpp"
+
+namespace ndpcr::compress {
+
+Bytes Codec::compress(ByteSpan input) const {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + input.size() / 2);
+  out.push_back(static_cast<std::byte>('N'));
+  out.push_back(static_cast<std::byte>(id()));
+  out.push_back(static_cast<std::byte>(level()));
+  append_le<std::uint64_t>(out, input.size());
+  append_le<std::uint32_t>(out, Crc32::compute(input));
+  compress_payload(input, out);
+  return out;
+}
+
+Bytes Codec::decompress(ByteSpan framed) const {
+  if (framed.size() < kFrameHeaderSize) {
+    throw CodecError("compressed stream truncated: missing frame header");
+  }
+  if (framed[0] != static_cast<std::byte>('N')) {
+    throw CodecError("bad magic byte in compressed stream");
+  }
+  if (framed[1] != static_cast<std::byte>(id())) {
+    throw CodecError("codec id mismatch: stream was produced by a different "
+                     "codec");
+  }
+  const auto original_size = read_le<std::uint64_t>(framed, 3);
+  const auto expected_crc = read_le<std::uint32_t>(framed, 11);
+
+  Bytes out;
+  // Bound the speculative reservation: original_size comes from the (not
+  // yet validated) stream, and a corrupted header must not trigger a
+  // pathological allocation. The vector grows amortized past this.
+  out.reserve(std::min<std::uint64_t>(original_size, 16u << 20));
+  decompress_payload(framed.subspan(kFrameHeaderSize), original_size, out);
+  if (out.size() != original_size) {
+    throw CodecError("decompressed size mismatch");
+  }
+  if (Crc32::compute(out) != expected_crc) {
+    throw CodecError("CRC mismatch: corrupted compressed stream");
+  }
+  return out;
+}
+
+double Codec::compression_factor(std::size_t uncompressed,
+                                 std::size_t compressed) {
+  if (uncompressed == 0) return 0.0;
+  return 1.0 - static_cast<double>(compressed) /
+                   static_cast<double>(uncompressed);
+}
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,98 @@
+#pragma once
+
+// Codec interface for the ndpcr compression library.
+//
+// The paper's compression study (section 5) measures gzip, bzip2, xz and
+// lz4 at several levels. This library provides from-scratch codecs in the
+// same algorithm families so the study can be re-run end to end:
+//
+//   nlz4    - LZ77 with a byte-aligned token format (LZ4 family)
+//   ngzip   - LZSS + canonical Huffman (DEFLATE family)
+//   nbzip2  - BWT + MTF + zero-RLE + canonical Huffman (bzip2 family)
+//   nxz     - large-window LZ77 + adaptive binary range coder (LZMA family)
+//   rle     - byte run-length encoding (diagnostic baseline)
+//   null    - memcpy (measures framing overhead; compression factor 0)
+//
+// Every compressed stream carries a small common frame (magic, codec id,
+// level, original size, payload CRC32) so that decompression is
+// self-describing and corruption is detected rather than propagated.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::compress {
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class CodecId : std::uint8_t {
+  kNull = 0,
+  kRle = 1,
+  kLz4Style = 2,
+  kDeflateStyle = 3,
+  kBzipStyle = 4,
+  kXzStyle = 5,
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual CodecId id() const = 0;
+  [[nodiscard]] virtual int level() const = 0;
+
+  // Compress `input` into a framed stream. Never fails (incompressible data
+  // grows by the frame plus the codec's worst-case expansion).
+  [[nodiscard]] Bytes compress(ByteSpan input) const;
+
+  // Decompress a framed stream produced by the same codec type. Throws
+  // CodecError on malformed input, codec mismatch, or CRC failure.
+  [[nodiscard]] Bytes decompress(ByteSpan framed) const;
+
+  // Compression factor as defined in the paper (section 5.1.2):
+  //   1 - compressed_size / uncompressed_size
+  // so larger is better and 0 means no reduction.
+  static double compression_factor(std::size_t uncompressed,
+                                   std::size_t compressed);
+
+ protected:
+  // Codec payload hooks implemented by each codec.
+  virtual void compress_payload(ByteSpan input, Bytes& out) const = 0;
+  virtual void decompress_payload(ByteSpan payload, std::size_t original_size,
+                                  Bytes& out) const = 0;
+};
+
+// Frame layout constants (little-endian):
+//   [0]      magic 'N'
+//   [1]      codec id
+//   [2]      level
+//   [3..10]  u64 original size
+//   [11..14] u32 CRC32 of the original data
+//   [15..]   codec payload
+inline constexpr std::size_t kFrameHeaderSize = 15;
+
+// Factory: construct a codec by id and level. Throws CodecError for an
+// unknown id or an out-of-range level.
+std::unique_ptr<Codec> make_codec(CodecId id, int level);
+
+// Factory by name ("nlz4", "ngzip", "nbzip2", "nxz", "rle", "null").
+std::unique_ptr<Codec> make_codec(const std::string& name, int level);
+
+// The seven utility/level combinations of the paper's Table 2, in table
+// order: ngzip(1), ngzip(6), nbzip2(1), nbzip2(9), nxz(1), nxz(6), nlz4(1).
+struct CodecSpec {
+  CodecId id;
+  int level;
+  std::string display_name;  // e.g. "ngzip(1)"
+};
+std::vector<CodecSpec> paper_codec_suite();
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,197 @@
+#include "compress/deflate_style.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "compress/huffman.hpp"
+#include "compress/matcher.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+constexpr std::uint32_t kWindow = 32768;
+constexpr std::uint32_t kMinMatch = 3;
+constexpr std::uint32_t kMaxMatch = 258;
+constexpr std::size_t kBlockSize = 256 * 1024;
+
+constexpr std::uint32_t kEndOfBlock = 256;
+constexpr std::size_t kLitLenSymbols = 286;
+constexpr std::size_t kDistSymbols = 30;
+
+// DEFLATE length code tables (symbols 257..285 map to index 0..28).
+constexpr std::array<std::uint16_t, 29> kLenBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<std::uint8_t, 29> kLenExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+    2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// DEFLATE distance code tables (symbols 0..29).
+constexpr std::array<std::uint32_t, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<std::uint8_t, 30> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3,  3,  4,  4,  5,  5,  6,
+    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+std::uint32_t length_symbol(std::uint32_t len) {
+  // Largest bucket whose base is <= len.
+  auto it = std::upper_bound(kLenBase.begin(), kLenBase.end(), len);
+  return static_cast<std::uint32_t>(it - kLenBase.begin()) - 1;
+}
+
+std::uint32_t distance_symbol(std::uint32_t dist) {
+  auto it = std::upper_bound(kDistBase.begin(), kDistBase.end(), dist);
+  return static_cast<std::uint32_t>(it - kDistBase.begin()) - 1;
+}
+
+// One parsed LZSS item: a literal (length == 0) or a match.
+struct Item {
+  std::uint8_t literal = 0;
+  std::uint32_t length = 0;
+  std::uint32_t distance = 0;
+};
+
+std::uint32_t chain_depth_for_level(int level) {
+  static constexpr std::array<std::uint32_t, 10> depth = {
+      0, 4, 8, 16, 32, 64, 96, 128, 192, 256};
+  return depth[level];
+}
+
+void write_code_lengths(BitWriter& bw,
+                        const std::vector<std::uint8_t>& lengths) {
+  for (auto l : lengths) bw.write(l, 4);
+}
+
+std::vector<std::uint8_t> read_code_lengths(BitReader& br, std::size_t n) {
+  std::vector<std::uint8_t> lengths(n);
+  for (auto& l : lengths) l = static_cast<std::uint8_t>(br.read(4));
+  return lengths;
+}
+
+}  // namespace
+
+DeflateStyleCodec::DeflateStyleCodec(int level) : level_(level) {
+  if (level < 1 || level > 9) {
+    throw CodecError("ngzip level must be in [1, 9]");
+  }
+}
+
+void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+  // One match finder across the whole input so matches can cross block
+  // boundaries (the window is what bounds distances).
+  MatchFinder finder(input, kWindow, kMinMatch, kMaxMatch,
+                     chain_depth_for_level(level_));
+  const bool lazy = level_ >= 4;
+
+  BitWriter bw(out);
+  std::size_t pos = 0;
+  do {
+    const std::size_t block_end =
+        std::min(input.size(), pos + kBlockSize);
+    const bool final_block = block_end == input.size();
+    bw.write(final_block ? 1 : 0, 1);
+
+    // Parse the block into literals and matches.
+    std::vector<Item> items;
+    items.reserve(block_end - pos);
+    while (pos < block_end) {
+      Match m = finder.find(pos);
+      if (lazy && m.length >= kMinMatch && pos + 1 < block_end &&
+          m.length < kMaxMatch) {
+        // Defer by one byte if the next position has a longer match.
+        const Match next = finder.find(pos + 1);
+        if (next.length > m.length) m.length = 0;
+      }
+      if (m.length >= kMinMatch) {
+        items.push_back(Item{0, m.length, m.distance});
+        const std::size_t end = pos + m.length;
+        for (std::size_t p = pos; p < end; ++p) finder.insert(p);
+        pos = end;
+      } else {
+        items.push_back(
+            Item{static_cast<std::uint8_t>(input[pos]), 0, 0});
+        finder.insert(pos);
+        ++pos;
+      }
+    }
+
+    // Build per-block Huffman tables.
+    std::vector<std::uint64_t> lit_freq(kLitLenSymbols, 0);
+    std::vector<std::uint64_t> dist_freq(kDistSymbols, 0);
+    lit_freq[kEndOfBlock] = 1;
+    for (const auto& item : items) {
+      if (item.length == 0) {
+        ++lit_freq[item.literal];
+      } else {
+        ++lit_freq[257 + length_symbol(item.length)];
+        ++dist_freq[distance_symbol(item.distance)];
+      }
+    }
+    const HuffmanEncoder lit_enc(huffman_code_lengths(lit_freq));
+    const HuffmanEncoder dist_enc(huffman_code_lengths(dist_freq));
+    write_code_lengths(bw, lit_enc.lengths());
+    write_code_lengths(bw, dist_enc.lengths());
+
+    // Emit the symbol stream.
+    for (const auto& item : items) {
+      if (item.length == 0) {
+        lit_enc.encode(bw, item.literal);
+      } else {
+        const std::uint32_t ls = length_symbol(item.length);
+        lit_enc.encode(bw, 257 + ls);
+        bw.write(item.length - kLenBase[ls], kLenExtra[ls]);
+        const std::uint32_t ds = distance_symbol(item.distance);
+        dist_enc.encode(bw, ds);
+        bw.write(item.distance - kDistBase[ds], kDistExtra[ds]);
+      }
+    }
+    lit_enc.encode(bw, kEndOfBlock);
+  } while (pos < input.size());
+  bw.finish();
+}
+
+void DeflateStyleCodec::decompress_payload(ByteSpan payload,
+                                           std::size_t original_size,
+                                           Bytes& out) const {
+  if (original_size == 0) return;
+  BitReader br(payload);
+  bool final_block = false;
+  while (!final_block) {
+    final_block = br.read(1) != 0;
+    const HuffmanDecoder lit_dec(read_code_lengths(br, kLitLenSymbols));
+    const HuffmanDecoder dist_dec(read_code_lengths(br, kDistSymbols));
+    while (true) {
+      const std::uint32_t sym = lit_dec.decode(br);
+      if (sym == kEndOfBlock) break;
+      if (sym < 256) {
+        if (out.size() >= original_size) {
+          throw CodecError("ngzip output overflows declared size");
+        }
+        out.push_back(static_cast<std::byte>(sym));
+        continue;
+      }
+      const std::uint32_t ls = sym - 257;
+      if (ls >= kLenBase.size()) {
+        throw CodecError("invalid ngzip length symbol");
+      }
+      const std::uint32_t len = kLenBase[ls] + br.read(kLenExtra[ls]);
+      const std::uint32_t ds = dist_dec.decode(br);
+      if (ds >= kDistBase.size()) {
+        throw CodecError("invalid ngzip distance symbol");
+      }
+      const std::uint32_t dist = kDistBase[ds] + br.read(kDistExtra[ds]);
+      if (dist == 0 || dist > out.size()) {
+        throw CodecError("invalid ngzip match distance");
+      }
+      if (out.size() + len > original_size) {
+        throw CodecError("ngzip match overflows declared size");
+      }
+      std::size_t src = out.size() - dist;
+      for (std::uint32_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+    }
+  }
+}
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,37 @@
+#pragma once
+
+// ngzip: LZSS + canonical Huffman in the DEFLATE family.
+//
+// Input is split into blocks (256 KiB of input each). Every block carries
+// its own Huffman tables and is coded with DEFLATE's alphabets:
+//   * literal/length symbols 0..285 (0..255 literal, 256 end-of-block,
+//     257..285 length buckets with DEFLATE's extra-bit tables)
+//   * distance symbols 0..29 (DEFLATE's distance buckets, 32 KiB window)
+// Table descriptions are serialized as raw 4-bit code lengths - simpler
+// than DEFLATE's code-length coding, same information content.
+//
+// Levels 1-9 control match-finder chain depth and lazy matching, matching
+// zlib's speed/ratio trade-off shape.
+
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+
+class DeflateStyleCodec final : public Codec {
+ public:
+  explicit DeflateStyleCodec(int level);
+
+  [[nodiscard]] std::string name() const override { return "ngzip"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kDeflateStyle; }
+  [[nodiscard]] int level() const override { return level_; }
+
+ protected:
+  void compress_payload(ByteSpan input, Bytes& out) const override;
+  void decompress_payload(ByteSpan payload, std::size_t original_size,
+                          Bytes& out) const override;
+
+ private:
+  int level_;
+};
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,161 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ndpcr::compress {
+namespace {
+
+// Bit-reverse the low `bits` bits of `code`.
+std::uint32_t reverse_bits(std::uint32_t code, int bits) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | (code & 1u);
+    code >>= 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    const std::vector<std::uint64_t>& freqs, int max_bits) {
+  const std::size_t n = freqs.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) active.push_back(i);
+  }
+  if (active.empty()) return lengths;
+  if (active.size() == 1) {
+    lengths[active[0]] = 1;
+    return lengths;
+  }
+  if ((1u << max_bits) < active.size()) {
+    throw CodecError("alphabet too large for the code length limit");
+  }
+
+  // Package-merge. Coins are (weight, covered-symbols) pairs; at each of
+  // max_bits levels we merge pairs from the previous level with the
+  // original symbol coins, keeping lists sorted by weight. After the final
+  // level, the first 2*(k-1) items of the list determine code lengths: each
+  // time a symbol appears in a selected package its length increases by 1.
+  struct Coin {
+    std::uint64_t weight;
+    std::vector<std::uint32_t> symbols;
+  };
+
+  std::vector<Coin> symbol_coins;
+  symbol_coins.reserve(active.size());
+  for (auto s : active) {
+    symbol_coins.push_back({freqs[s], {s}});
+  }
+  std::sort(symbol_coins.begin(), symbol_coins.end(),
+            [](const Coin& a, const Coin& b) { return a.weight < b.weight; });
+
+  std::vector<Coin> prev;  // packages from the previous level
+  for (int level = 0; level < max_bits; ++level) {
+    // Merge symbol coins with previous-level packages (both sorted).
+    std::vector<Coin> merged;
+    merged.reserve(symbol_coins.size() + prev.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < symbol_coins.size() || j < prev.size()) {
+      const bool take_symbol =
+          j >= prev.size() ||
+          (i < symbol_coins.size() &&
+           symbol_coins[i].weight <= prev[j].weight);
+      merged.push_back(take_symbol ? symbol_coins[i++] : std::move(prev[j++]));
+    }
+    if (level + 1 == max_bits) {
+      // Select the cheapest 2*(k-1) coins of the final row.
+      const std::size_t take = 2 * (active.size() - 1);
+      for (std::size_t t = 0; t < take && t < merged.size(); ++t) {
+        for (auto s : merged[t].symbols) ++lengths[s];
+      }
+      break;
+    }
+    // Package pairs for the next level.
+    prev.clear();
+    for (std::size_t t = 0; t + 1 < merged.size(); t += 2) {
+      Coin pkg;
+      pkg.weight = merged[t].weight + merged[t + 1].weight;
+      pkg.symbols = std::move(merged[t].symbols);
+      pkg.symbols.insert(pkg.symbols.end(), merged[t + 1].symbols.begin(),
+                         merged[t + 1].symbols.end());
+      prev.push_back(std::move(pkg));
+    }
+  }
+  return lengths;
+}
+
+std::vector<std::uint32_t> canonical_codes(
+    const std::vector<std::uint8_t>& lengths) {
+  int max_len = 0;
+  for (auto l : lengths) max_len = std::max(max_len, static_cast<int>(l));
+
+  std::vector<std::uint32_t> count(max_len + 1, 0);
+  for (auto l : lengths) {
+    if (l > 0) ++count[l];
+  }
+  std::vector<std::uint32_t> next(max_len + 1, 0);
+  std::uint32_t code = 0;
+  for (int len = 1; len <= max_len; ++len) {
+    code = (code + count[len - 1]) << 1;
+    next[len] = code;
+  }
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) {
+      codes[s] = reverse_bits(next[lengths[s]]++, lengths[s]);
+    }
+  }
+  return codes;
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<std::uint8_t>& lengths)
+    : lengths_(lengths), codes_(canonical_codes(lengths)) {}
+
+HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
+  for (auto l : lengths) max_len_ = std::max(max_len_, static_cast<int>(l));
+  if (max_len_ > kMaxHuffmanBits) {
+    throw CodecError("Huffman code length exceeds limit");
+  }
+
+  // Validate the Kraft sum for multi-symbol codes.
+  std::uint64_t kraft = 0;
+  std::size_t coded = 0;
+  for (auto l : lengths) {
+    if (l > 0) {
+      kraft += 1ull << (max_len_ - l);
+      ++coded;
+    }
+  }
+  if (coded == 0) {
+    // An empty table is legal to build (e.g. the distance table of a block
+    // with no matches); decode() will reject any read through it.
+    table_.assign(2, Entry{});
+    return;
+  }
+  if (coded > 1 && kraft != (1ull << max_len_)) {
+    throw CodecError("invalid Huffman code length table");
+  }
+
+  const auto codes = canonical_codes(lengths);
+  table_.assign(std::size_t{1} << max_len_, Entry{});
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len == 0) continue;
+    // Fill every table slot whose low `len` bits match the (bit-reversed)
+    // code.
+    const std::uint32_t base = codes[s];
+    const std::size_t step = std::size_t{1} << len;
+    for (std::size_t w = base; w < table_.size(); w += step) {
+      table_[w] = Entry{static_cast<std::uint16_t>(s),
+                        static_cast<std::uint8_t>(len)};
+    }
+  }
+}
+
+}  // namespace ndpcr::compress

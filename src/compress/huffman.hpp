@@ -1,0 +1,79 @@
+#pragma once
+
+// Canonical, length-limited Huffman coding shared by the DEFLATE-style and
+// bzip2-style codecs.
+//
+// Code lengths are computed with the package-merge algorithm, which yields
+// an optimal code under a maximum-length constraint (we use 15 bits, as
+// DEFLATE does). Codes are canonical: within a length, codes are assigned
+// in increasing symbol order, so only the lengths need to be serialized.
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitstream.hpp"
+
+namespace ndpcr::compress {
+
+inline constexpr int kMaxHuffmanBits = 15;
+
+// Compute length-limited code lengths for the given symbol frequencies.
+// Symbols with zero frequency get length 0 (no code). If only one symbol
+// has nonzero frequency it is assigned length 1. Throws CodecError if the
+// alphabet cannot be coded within max_bits (impossible for alphabets up to
+// 2^15 symbols).
+std::vector<std::uint8_t> huffman_code_lengths(
+    const std::vector<std::uint64_t>& freqs, int max_bits = kMaxHuffmanBits);
+
+// Canonical code assignment from lengths. codes[i] holds the code for
+// symbol i, stored bit-reversed so it can be written LSB-first.
+std::vector<std::uint32_t> canonical_codes(
+    const std::vector<std::uint8_t>& lengths);
+
+// Encoder: writes symbols through a BitWriter.
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(const std::vector<std::uint8_t>& lengths);
+
+  void encode(BitWriter& out, std::uint32_t symbol) const {
+    out.write(codes_[symbol], lengths_[symbol]);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& lengths() const {
+    return lengths_;
+  }
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;
+};
+
+// Table-based decoder: one lookup of max_len bits resolves any symbol.
+class HuffmanDecoder {
+ public:
+  // Throws CodecError if the lengths do not describe a valid prefix code
+  // (over- or under-subscribed Kraft sum), except for the degenerate cases
+  // of zero or one coded symbol, which are handled like DEFLATE handles
+  // them (a single symbol decodes on a 1-bit code).
+  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
+
+  std::uint32_t decode(BitReader& in) const {
+    const std::uint32_t window = in.peek(max_len_);
+    const Entry e = table_[window];
+    if (e.length == 0) {
+      throw CodecError("invalid Huffman code in stream");
+    }
+    in.consume(e.length);
+    return e.symbol;
+  }
+
+ private:
+  struct Entry {
+    std::uint16_t symbol = 0;
+    std::uint8_t length = 0;
+  };
+  int max_len_ = 1;
+  std::vector<Entry> table_;
+};
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,135 @@
+#include "compress/lz4_style.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "compress/matcher.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+constexpr std::uint32_t kMinMatch = 4;
+constexpr std::uint32_t kWindow = 0xFFFF;  // 16-bit offsets
+
+void write_length(Bytes& out, std::size_t len) {
+  // 255-block continuation, as in LZ4.
+  while (len >= 255) {
+    out.push_back(std::byte{255});
+    len -= 255;
+  }
+  out.push_back(static_cast<std::byte>(len));
+}
+
+std::size_t read_length(ByteSpan in, std::size_t& pos, std::size_t base) {
+  std::size_t len = base;
+  if (base == 15) {
+    while (true) {
+      if (pos >= in.size()) throw CodecError("truncated nlz4 length");
+      const auto b = static_cast<std::uint8_t>(in[pos++]);
+      len += b;
+      if (b != 255) break;
+    }
+  }
+  return len;
+}
+
+void emit_sequence(Bytes& out, ByteSpan literals, std::uint32_t match_len,
+                   std::uint32_t distance) {
+  const std::size_t lit_len = literals.size();
+  const std::size_t match_code = match_len ? match_len - kMinMatch : 0;
+  const std::uint8_t token =
+      static_cast<std::uint8_t>(std::min<std::size_t>(lit_len, 15) << 4 |
+                                std::min<std::size_t>(match_code, 15));
+  out.push_back(static_cast<std::byte>(token));
+  if (lit_len >= 15) write_length(out, lit_len - 15);
+  out.insert(out.end(), literals.begin(), literals.end());
+  if (match_len == 0) return;  // terminal literals-only sequence
+  out.push_back(static_cast<std::byte>(distance & 0xFF));
+  out.push_back(static_cast<std::byte>(distance >> 8));
+  if (match_code >= 15) write_length(out, match_code - 15);
+}
+
+std::uint32_t chain_depth_for_level(int level) {
+  switch (level) {
+    case 1:
+      return 1;
+    case 2:
+      return 4;
+    case 3:
+      return 8;
+    default:
+      return 16u << std::min(level - 4, 5);
+  }
+}
+
+}  // namespace
+
+Lz4StyleCodec::Lz4StyleCodec(int level) : level_(level) {
+  if (level < 1 || level > 9) {
+    throw CodecError("nlz4 level must be in [1, 9]");
+  }
+}
+
+void Lz4StyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+  MatchFinder finder(input, kWindow, kMinMatch, /*max_match=*/65535,
+                     chain_depth_for_level(level_));
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  while (pos < input.size()) {
+    const Match m = finder.find(pos);
+    if (m.length >= kMinMatch) {
+      emit_sequence(out,
+                    input.subspan(literal_start, pos - literal_start),
+                    m.length, m.distance);
+      // Insert the positions the match covers so later data can refer into
+      // it. Cap insertions for speed at low levels (LZ4-style skipping).
+      const std::size_t end = pos + m.length;
+      const std::size_t stride = level_ >= 4 ? 1 : 2;
+      for (std::size_t p = pos; p < end; p += stride) finder.insert(p);
+      pos = end;
+      literal_start = pos;
+    } else {
+      finder.insert(pos);
+      ++pos;
+    }
+  }
+  // Terminal literals-only sequence (always present, possibly empty).
+  emit_sequence(out, input.subspan(literal_start, pos - literal_start), 0, 0);
+}
+
+void Lz4StyleCodec::decompress_payload(ByteSpan payload,
+                                       std::size_t original_size,
+                                       Bytes& out) const {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const auto token = static_cast<std::uint8_t>(payload[pos++]);
+    const std::size_t lit_len = read_length(payload, pos, token >> 4);
+    if (pos + lit_len > payload.size()) {
+      throw CodecError("truncated nlz4 literals");
+    }
+    out.insert(out.end(), payload.begin() + pos, payload.begin() + pos + lit_len);
+    pos += lit_len;
+    if (pos >= payload.size()) break;  // terminal sequence has no match
+    if (pos + 2 > payload.size()) throw CodecError("truncated nlz4 offset");
+    const std::uint32_t distance =
+        static_cast<std::uint8_t>(payload[pos]) |
+        (static_cast<std::uint32_t>(static_cast<std::uint8_t>(payload[pos + 1]))
+         << 8);
+    pos += 2;
+    if (distance == 0 || distance > out.size()) {
+      throw CodecError("invalid nlz4 match distance");
+    }
+    const std::size_t match_len =
+        read_length(payload, pos, token & 0xF) + kMinMatch;
+    if (out.size() + match_len > original_size) {
+      throw CodecError("nlz4 match overflows declared size");
+    }
+    // Byte-by-byte copy: overlapping matches (distance < length) replicate.
+    std::size_t src = out.size() - distance;
+    for (std::size_t k = 0; k < match_len; ++k) {
+      out.push_back(out[src + k]);
+    }
+  }
+}
+
+}  // namespace ndpcr::compress

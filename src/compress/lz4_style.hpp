@@ -1,0 +1,36 @@
+#pragma once
+
+// nlz4: byte-aligned LZ77 in the LZ4 block format family.
+//
+// A sequence is [token][literal bytes][offset u16][length extensions]:
+//   token high nibble = literal count (15 => continued in 255-blocks)
+//   token low nibble  = match length - 4 (15 => continued in 255-blocks)
+// Offsets are 16-bit little-endian (64 KiB window). The stream ends with a
+// literals-only sequence (offset omitted), exactly as in LZ4.
+//
+// Levels: level 1 uses a single-probe hash table (LZ4's fast path); levels
+// 2-9 walk hash chains with increasing depth (LZ4-HC flavored). The output
+// format is identical across levels.
+
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+
+class Lz4StyleCodec final : public Codec {
+ public:
+  explicit Lz4StyleCodec(int level);
+
+  [[nodiscard]] std::string name() const override { return "nlz4"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kLz4Style; }
+  [[nodiscard]] int level() const override { return level_; }
+
+ protected:
+  void compress_payload(ByteSpan input, Bytes& out) const override;
+  void decompress_payload(ByteSpan payload, std::size_t original_size,
+                          Bytes& out) const override;
+
+ private:
+  int level_;
+};
+
+}  // namespace ndpcr::compress

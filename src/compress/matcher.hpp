@@ -1,0 +1,59 @@
+#pragma once
+
+// Hash-chain LZ77 match finder shared by the LZ77-family codecs (nlz4,
+// ngzip, nxz). Finds the longest previous occurrence of the bytes at the
+// current position within a sliding window, with a configurable chain-walk
+// budget (the compression-level knob).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::compress {
+
+struct Match {
+  std::uint32_t length = 0;    // 0 means no match found
+  std::uint32_t distance = 0;  // backwards distance, >= 1
+};
+
+class MatchFinder {
+ public:
+  // `window` and `max_match` bound distances and lengths; `max_chain` is
+  // the number of chain links examined per query.
+  MatchFinder(ByteSpan data, std::uint32_t window, std::uint32_t min_match,
+              std::uint32_t max_match, std::uint32_t max_chain);
+
+  // Longest match at `pos`, at least min_match long, or {0,0}. Does not
+  // advance the finder.
+  [[nodiscard]] Match find(std::size_t pos) const;
+
+  // Insert position `pos` into the hash chains. Every position that the
+  // compressor steps over (matched or literal) must be inserted, in order.
+  void insert(std::size_t pos);
+
+  [[nodiscard]] std::uint32_t min_match() const { return min_match_; }
+  [[nodiscard]] std::uint32_t max_match() const { return max_match_; }
+
+ private:
+  static constexpr std::uint32_t kHashBits = 16;
+  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::uint32_t hash_at(std::size_t pos) const {
+    // Multiplicative hash of 4 bytes (positions near the end hash fewer
+    // bytes and simply miss; find() rejects those).
+    std::uint32_t v;
+    __builtin_memcpy(&v, data_.data() + pos, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+  }
+
+  ByteSpan data_;
+  std::uint32_t window_;
+  std::uint32_t min_match_;
+  std::uint32_t max_match_;
+  std::uint32_t max_chain_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> prev_;
+};
+
+}  // namespace ndpcr::compress

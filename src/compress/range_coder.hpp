@@ -1,0 +1,173 @@
+#pragma once
+
+// Adaptive binary range coder in the LZMA style: 32-bit range, 11-bit
+// adaptive bit probabilities with shift-5 update, carry-propagating
+// encoder. Used by the nxz codec.
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+
+// Adaptive probability of a zero bit, in [1, 2047] out of 2048.
+struct BitProb {
+  std::uint16_t p = 1024;
+};
+
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(Bytes& out) : out_(out) {}
+
+  void encode_bit(BitProb& prob, std::uint32_t bit) {
+    const std::uint32_t bound = (range_ >> 11) * prob.p;
+    if (bit == 0) {
+      range_ = bound;
+      prob.p += (2048 - prob.p) >> 5;
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      prob.p -= prob.p >> 5;
+    }
+    while (range_ < (1u << 24)) {
+      shift_low();
+      range_ <<= 8;
+    }
+  }
+
+  // Encode `count` equiprobable bits of `value`, MSB first.
+  void encode_direct(std::uint32_t value, int count) {
+    for (int i = count - 1; i >= 0; --i) {
+      range_ >>= 1;
+      if ((value >> i) & 1u) low_ += range_;
+      while (range_ < (1u << 24)) {
+        shift_low();
+        range_ <<= 8;
+      }
+    }
+  }
+
+  // Must be called exactly once; emits the remaining low bytes.
+  void finish() {
+    for (int i = 0; i < 5; ++i) shift_low();
+  }
+
+ private:
+  void shift_low() {
+    if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      std::uint8_t carry = static_cast<std::uint8_t>(low_ >> 32);
+      std::uint8_t byte = cache_;
+      do {
+        out_.push_back(static_cast<std::byte>(byte + carry));
+        byte = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<std::uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00FFFFFFu) << 8;
+  }
+
+  Bytes& out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+};
+
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(ByteSpan data) : data_(data) {
+    // The first emitted byte is always 0 (the initial cache); skip it and
+    // load 4 code bytes.
+    next_byte();
+    for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+  }
+
+  std::uint32_t decode_bit(BitProb& prob) {
+    const std::uint32_t bound = (range_ >> 11) * prob.p;
+    std::uint32_t bit;
+    if (code_ < bound) {
+      range_ = bound;
+      prob.p += (2048 - prob.p) >> 5;
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      prob.p -= prob.p >> 5;
+      bit = 1;
+    }
+    while (range_ < (1u << 24)) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+    return bit;
+  }
+
+  std::uint32_t decode_direct(int count) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < count; ++i) {
+      range_ >>= 1;
+      std::uint32_t bit = 0;
+      if (code_ >= range_) {
+        code_ -= range_;
+        bit = 1;
+      }
+      value = (value << 1) | bit;
+      while (range_ < (1u << 24)) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | next_byte();
+      }
+    }
+    return value;
+  }
+
+  // Bytes consumed past the end of the input. A well-formed stream never
+  // overruns by more than the coder's 5-byte flush slack; a corrupted
+  // declared size would otherwise make the decoder spin on zero padding
+  // until memory runs out, so callers must bound this.
+  [[nodiscard]] std::size_t overrun() const { return overrun_; }
+
+ private:
+  std::uint32_t next_byte() {
+    if (pos_ >= data_.size()) {
+      ++overrun_;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+  std::size_t overrun_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint32_t code_ = 0;
+};
+
+// Fixed-size binary tree of adaptive bits coding an m-bit symbol MSB-first,
+// as in LZMA's bit-tree coders.
+template <int Bits>
+class BitTree {
+ public:
+  void encode(RangeEncoder& rc, std::uint32_t symbol) {
+    std::uint32_t node = 1;
+    for (int i = Bits - 1; i >= 0; --i) {
+      const std::uint32_t bit = (symbol >> i) & 1u;
+      rc.encode_bit(probs_[node], bit);
+      node = (node << 1) | bit;
+    }
+  }
+
+  std::uint32_t decode(RangeDecoder& rc) {
+    std::uint32_t node = 1;
+    for (int i = 0; i < Bits; ++i) {
+      node = (node << 1) | rc.decode_bit(probs_[node]);
+    }
+    return node - (1u << Bits);
+  }
+
+ private:
+  BitProb probs_[std::size_t{1} << Bits];
+};
+
+}  // namespace ndpcr::compress

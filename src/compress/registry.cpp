@@ -1,0 +1,50 @@
+#include "compress/bzip_style.hpp"
+#include "compress/codec.hpp"
+#include "compress/deflate_style.hpp"
+#include "compress/lz4_style.hpp"
+#include "compress/simple_codecs.hpp"
+#include "compress/xz_style.hpp"
+
+namespace ndpcr::compress {
+
+std::unique_ptr<Codec> make_codec(CodecId id, int level) {
+  switch (id) {
+    case CodecId::kNull:
+      return std::make_unique<NullCodec>();
+    case CodecId::kRle:
+      return std::make_unique<RleCodec>();
+    case CodecId::kLz4Style:
+      return std::make_unique<Lz4StyleCodec>(level);
+    case CodecId::kDeflateStyle:
+      return std::make_unique<DeflateStyleCodec>(level);
+    case CodecId::kBzipStyle:
+      return std::make_unique<BzipStyleCodec>(level);
+    case CodecId::kXzStyle:
+      return std::make_unique<XzStyleCodec>(level);
+  }
+  throw CodecError("unknown codec id");
+}
+
+std::unique_ptr<Codec> make_codec(const std::string& name, int level) {
+  if (name == "null") return make_codec(CodecId::kNull, level);
+  if (name == "rle") return make_codec(CodecId::kRle, level);
+  if (name == "nlz4") return make_codec(CodecId::kLz4Style, level);
+  if (name == "ngzip") return make_codec(CodecId::kDeflateStyle, level);
+  if (name == "nbzip2") return make_codec(CodecId::kBzipStyle, level);
+  if (name == "nxz") return make_codec(CodecId::kXzStyle, level);
+  throw CodecError("unknown codec name: " + name);
+}
+
+std::vector<CodecSpec> paper_codec_suite() {
+  return {
+      {CodecId::kDeflateStyle, 1, "ngzip(1)"},
+      {CodecId::kDeflateStyle, 6, "ngzip(6)"},
+      {CodecId::kBzipStyle, 1, "nbzip2(1)"},
+      {CodecId::kBzipStyle, 9, "nbzip2(9)"},
+      {CodecId::kXzStyle, 1, "nxz(1)"},
+      {CodecId::kXzStyle, 6, "nxz(6)"},
+      {CodecId::kLz4Style, 1, "nlz4(1)"},
+  };
+}
+
+}  // namespace ndpcr::compress

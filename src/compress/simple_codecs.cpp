@@ -1,0 +1,96 @@
+#include "compress/simple_codecs.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+constexpr std::byte kEsc{0xA5};
+
+void append_varint(Bytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::byte>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+std::uint64_t read_varint(ByteSpan data, std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= data.size() || shift > 63) {
+      throw CodecError("truncated varint in RLE stream");
+    }
+    const auto b = static_cast<std::uint8_t>(data[pos++]);
+    value |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return value;
+}
+
+}  // namespace
+
+void NullCodec::compress_payload(ByteSpan input, Bytes& out) const {
+  out.insert(out.end(), input.begin(), input.end());
+}
+
+void NullCodec::decompress_payload(ByteSpan payload,
+                                   std::size_t original_size,
+                                   Bytes& out) const {
+  if (payload.size() != original_size) {
+    throw CodecError("null codec payload size mismatch");
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void RleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i]) ++run;
+    if (run >= 4) {
+      out.push_back(kEsc);
+      out.push_back(input[i]);
+      append_varint(out, run);
+      i += run;
+    } else {
+      for (std::size_t k = 0; k < run; ++k) {
+        if (input[i] == kEsc) {
+          out.push_back(kEsc);
+          out.push_back(kEsc);
+          append_varint(out, 0);
+        } else {
+          out.push_back(input[i]);
+        }
+      }
+      i += run;
+    }
+  }
+}
+
+void RleCodec::decompress_payload(ByteSpan payload, std::size_t original_size,
+                                  Bytes& out) const {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const std::byte b = payload[pos++];
+    if (b != kEsc) {
+      out.push_back(b);
+      continue;
+    }
+    if (pos >= payload.size()) {
+      throw CodecError("truncated RLE escape");
+    }
+    const std::byte value = payload[pos++];
+    const std::uint64_t run = read_varint(payload, pos);
+    if (run == 0) {
+      out.push_back(kEsc);
+    } else {
+      if (out.size() + run > original_size) {
+        throw CodecError("RLE run overflows declared size");
+      }
+      out.insert(out.end(), run, value);
+    }
+  }
+}
+
+}  // namespace ndpcr::compress

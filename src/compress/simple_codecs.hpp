@@ -1,0 +1,41 @@
+#pragma once
+
+// The trivial codecs: Null (memcpy) and byte-level RLE. Null measures pure
+// framing/copy overhead and doubles as the "no compression" configuration
+// in the C/R model; RLE is a diagnostic baseline for highly repetitive
+// checkpoint pages (e.g. zero-initialized allocations).
+
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+
+class NullCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "null"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kNull; }
+  [[nodiscard]] int level() const override { return 0; }
+
+ protected:
+  void compress_payload(ByteSpan input, Bytes& out) const override;
+  void decompress_payload(ByteSpan payload, std::size_t original_size,
+                          Bytes& out) const override;
+};
+
+// RLE format: runs of 4+ identical bytes are encoded as
+//   ESC value count_varint
+// where ESC = 0xA5. A literal ESC byte is encoded as ESC ESC 0 (a
+// zero-length run is the escape-escape marker). Runs shorter than 4 bytes
+// are emitted verbatim.
+class RleCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "rle"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kRle; }
+  [[nodiscard]] int level() const override { return 1; }
+
+ protected:
+  void compress_payload(ByteSpan input, Bytes& out) const override;
+  void decompress_payload(ByteSpan payload, std::size_t original_size,
+                          Bytes& out) const override;
+};
+
+}  // namespace ndpcr::compress

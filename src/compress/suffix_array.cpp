@@ -1,0 +1,73 @@
+#include "compress/suffix_array.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ndpcr::compress {
+
+std::vector<std::int32_t> suffix_array(ByteSpan s) {
+  const std::int32_t n = static_cast<std::int32_t>(s.size());
+  if (n == 0) return {};
+
+  // rank[i] is the equivalence class of suffix i by its first k chars; the
+  // virtual suffix at index n has rank 0 (the sentinel). Ranks start from
+  // the byte values shifted by 1 so rank 0 stays reserved.
+  std::vector<std::int32_t> rank(n + 1), next_rank(n + 1), sa(n + 1),
+      tmp(n + 1), count;
+  for (std::int32_t i = 0; i < n; ++i) {
+    rank[i] = static_cast<std::int32_t>(static_cast<std::uint8_t>(s[i])) + 1;
+  }
+  rank[n] = 0;
+  std::iota(sa.begin(), sa.end(), 0);
+
+  for (std::int32_t k = 1;; k *= 2) {
+    const std::int32_t classes = 1 + *std::max_element(rank.begin(),
+                                                       rank.end());
+    auto second = [&](std::int32_t i) {
+      return i + k <= n ? rank[i + k] : 0;
+    };
+
+    // Stable counting sort by the second key...
+    count.assign(classes + 1, 0);
+    for (std::int32_t i = 0; i <= n; ++i) ++count[second(i) + 1];
+    for (std::size_t c = 1; c < count.size(); ++c) count[c] += count[c - 1];
+    for (std::int32_t i = 0; i <= n; ++i) tmp[count[second(i)]++] = i;
+    // ...then stably by the first key.
+    count.assign(classes + 1, 0);
+    for (std::int32_t i = 0; i <= n; ++i) ++count[rank[i] + 1];
+    for (std::size_t c = 1; c < count.size(); ++c) count[c] += count[c - 1];
+    for (std::int32_t i = 0; i <= n; ++i) sa[count[rank[tmp[i]]]++] = tmp[i];
+
+    // Re-rank.
+    next_rank[sa[0]] = 0;
+    std::int32_t r = 0;
+    for (std::int32_t i = 1; i <= n; ++i) {
+      const std::int32_t a = sa[i - 1];
+      const std::int32_t b = sa[i];
+      if (rank[a] != rank[b] || second(a) != second(b)) ++r;
+      next_rank[b] = r;
+    }
+    rank.swap(next_rank);
+    if (r == n) break;  // all suffixes distinct
+  }
+
+  // Drop the sentinel suffix (always sa[0]).
+  return {sa.begin() + 1, sa.end()};
+}
+
+std::vector<std::int32_t> suffix_array_naive(ByteSpan s) {
+  std::vector<std::int32_t> sa(s.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](std::int32_t a, std::int32_t b) {
+    const auto sub_a = s.subspan(a);
+    const auto sub_b = s.subspan(b);
+    return std::lexicographical_compare(
+        sub_a.begin(), sub_a.end(), sub_b.begin(), sub_b.end(),
+        [](std::byte x, std::byte y) {
+          return static_cast<std::uint8_t>(x) < static_cast<std::uint8_t>(y);
+        });
+  });
+  return sa;
+}
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,26 @@
+#pragma once
+
+// Suffix-array construction for the BWT stage of the bzip2-style codec.
+//
+// Manber-Myers prefix doubling with counting sorts: O(n log n), fully
+// deterministic, and far less error-prone than linear-time constructions.
+// The comparison treats the end of the string as a virtual sentinel smaller
+// than every byte, which is exactly what the BWT needs.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::compress {
+
+// Returns the suffix array of `s`: a permutation of [0, n) such that the
+// suffix starting at sa[i] is lexicographically i-th smallest (shorter
+// prefixes sort before their extensions).
+std::vector<std::int32_t> suffix_array(ByteSpan s);
+
+// Reference O(n^2 log n) construction used by the tests to validate the
+// doubling implementation on small inputs.
+std::vector<std::int32_t> suffix_array_naive(ByteSpan s);
+
+}  // namespace ndpcr::compress

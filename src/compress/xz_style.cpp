@@ -1,0 +1,171 @@
+#include "compress/xz_style.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+
+#include "compress/matcher.hpp"
+#include "compress/range_coder.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+constexpr std::uint32_t kMinMatch = 3;
+constexpr std::uint32_t kMaxMatch = 273;
+constexpr std::uint32_t kWindow = 1u << 22;  // 4 MiB
+constexpr int kLiteralContexts = 8;          // previous byte >> 5
+
+std::uint32_t chain_depth_for_level(int level) {
+  // Deep searches even at level 1: nxz is the "slow but strong" codec.
+  return 24u << std::min(level - 1, 5);
+}
+
+// Probability model shared by encoder and decoder construction. Large
+// (the literal trees dominate), so heap-allocated by the codec entry
+// points rather than kept per call frame.
+struct Model {
+  BitProb is_match;
+  BitTree<8> literal[kLiteralContexts];
+  // Length coding: choice bits select 8 / 16 / 247 buckets.
+  BitProb len_choice1;
+  BitProb len_choice2;
+  BitTree<3> len_low;
+  BitTree<4> len_mid;
+  BitTree<8> len_high;
+  BitTree<6> dist_slot;
+};
+
+void encode_length(RangeEncoder& rc, Model& m, std::uint32_t len) {
+  std::uint32_t l = len - kMinMatch;  // 0..270
+  if (l < 8) {
+    rc.encode_bit(m.len_choice1, 0);
+    m.len_low.encode(rc, l);
+  } else if (l < 8 + 16) {
+    rc.encode_bit(m.len_choice1, 1);
+    rc.encode_bit(m.len_choice2, 0);
+    m.len_mid.encode(rc, l - 8);
+  } else {
+    rc.encode_bit(m.len_choice1, 1);
+    rc.encode_bit(m.len_choice2, 1);
+    m.len_high.encode(rc, l - 24);
+  }
+}
+
+std::uint32_t decode_length(RangeDecoder& rc, Model& m) {
+  if (rc.decode_bit(m.len_choice1) == 0) {
+    return kMinMatch + m.len_low.decode(rc);
+  }
+  if (rc.decode_bit(m.len_choice2) == 0) {
+    return kMinMatch + 8 + m.len_mid.decode(rc);
+  }
+  return kMinMatch + 24 + m.len_high.decode(rc);
+}
+
+// LZMA-style distance slots over the zero-based distance d = distance - 1:
+// slots 0-3 are the distances themselves; above that the slot encodes the
+// bit length and one extra significant bit, with the remainder sent as
+// direct bits.
+std::uint32_t distance_slot(std::uint32_t d) {
+  if (d < 4) return d;
+  const int bits = 32 - std::countl_zero(d);  // position of the MSB, 1-based
+  return static_cast<std::uint32_t>(2 * (bits - 1) + ((d >> (bits - 2)) & 1));
+}
+
+void encode_distance(RangeEncoder& rc, Model& m, std::uint32_t distance) {
+  const std::uint32_t d = distance - 1;
+  const std::uint32_t slot = distance_slot(d);
+  m.dist_slot.encode(rc, slot);
+  if (slot >= 4) {
+    const int direct = static_cast<int>(slot / 2 - 1);
+    const std::uint32_t base = (2u | (slot & 1u)) << direct;
+    rc.encode_direct(d - base, direct);
+  }
+}
+
+std::uint32_t decode_distance(RangeDecoder& rc, Model& m) {
+  const std::uint32_t slot = m.dist_slot.decode(rc);
+  if (slot < 4) return slot + 1;
+  const int direct = static_cast<int>(slot / 2 - 1);
+  const std::uint32_t base = (2u | (slot & 1u)) << direct;
+  return base + rc.decode_direct(direct) + 1;
+}
+
+}  // namespace
+
+XzStyleCodec::XzStyleCodec(int level) : level_(level) {
+  if (level < 1 || level > 9) {
+    throw CodecError("nxz level must be in [1, 9]");
+  }
+}
+
+void XzStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+  auto model = std::make_unique<Model>();
+  RangeEncoder rc(out);
+  MatchFinder finder(input, kWindow, kMinMatch, kMaxMatch,
+                     chain_depth_for_level(level_));
+
+  std::size_t pos = 0;
+  std::uint8_t prev_byte = 0;
+  while (pos < input.size()) {
+    Match m = finder.find(pos);
+    if (m.length >= kMinMatch && m.length < kMaxMatch &&
+        pos + 1 < input.size()) {
+      // Lazy matching: prefer a longer match starting one byte later.
+      const Match next = finder.find(pos + 1);
+      if (next.length > m.length) m.length = 0;
+    }
+    if (m.length >= kMinMatch) {
+      rc.encode_bit(model->is_match, 1);
+      encode_length(rc, *model, m.length);
+      encode_distance(rc, *model, m.distance);
+      const std::size_t end = pos + m.length;
+      for (std::size_t p = pos; p < end; ++p) finder.insert(p);
+      pos = end;
+      prev_byte = static_cast<std::uint8_t>(input[pos - 1]);
+    } else {
+      rc.encode_bit(model->is_match, 0);
+      const auto byte = static_cast<std::uint8_t>(input[pos]);
+      model->literal[prev_byte >> 5].encode(rc, byte);
+      finder.insert(pos);
+      ++pos;
+      prev_byte = byte;
+    }
+  }
+  rc.finish();
+}
+
+void XzStyleCodec::decompress_payload(ByteSpan payload,
+                                      std::size_t original_size,
+                                      Bytes& out) const {
+  if (original_size == 0) return;
+  auto model = std::make_unique<Model>();
+  RangeDecoder rc(payload);
+  std::uint8_t prev_byte = 0;
+  while (out.size() < original_size) {
+    if (rc.overrun() > 16) {
+      // Only the 5-byte flush slack may legitimately read past the end; a
+      // persistent overrun means the declared size or the stream is
+      // corrupt (and decoding zero padding would otherwise never stop).
+      throw CodecError("nxz stream exhausted before declared size");
+    }
+    if (rc.decode_bit(model->is_match) == 0) {
+      const std::uint32_t byte = model->literal[prev_byte >> 5].decode(rc);
+      out.push_back(static_cast<std::byte>(byte));
+      prev_byte = static_cast<std::uint8_t>(byte);
+    } else {
+      const std::uint32_t len = decode_length(rc, *model);
+      const std::uint32_t distance = decode_distance(rc, *model);
+      if (distance == 0 || distance > out.size()) {
+        throw CodecError("invalid nxz match distance");
+      }
+      if (out.size() + len > original_size) {
+        throw CodecError("nxz match overflows declared size");
+      }
+      std::size_t src = out.size() - distance;
+      for (std::uint32_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+      prev_byte = static_cast<std::uint8_t>(out.back());
+    }
+  }
+}
+
+}  // namespace ndpcr::compress

@@ -1,0 +1,37 @@
+#pragma once
+
+// nxz: large-window LZ77 with an adaptive binary range coder, in the
+// LZMA/xz family: slowest of the suite, strongest ratios.
+//
+// Per-position symbol structure:
+//   is_match bit (adaptive)
+//   literal: 8-bit bit-tree, context = top 3 bits of the previous byte
+//   match:   length (3..273) via a 3-range choice tree (8/16/247 buckets),
+//            then distance as an LZMA-style slot (6-bit bit-tree) plus
+//            direct bits.
+//
+// Levels control the match-finder chain depth (and therefore time spent
+// searching); the format is level-independent.
+
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+
+class XzStyleCodec final : public Codec {
+ public:
+  explicit XzStyleCodec(int level);
+
+  [[nodiscard]] std::string name() const override { return "nxz"; }
+  [[nodiscard]] CodecId id() const override { return CodecId::kXzStyle; }
+  [[nodiscard]] int level() const override { return level_; }
+
+ protected:
+  void compress_payload(ByteSpan input, Bytes& out) const override;
+  void decompress_payload(ByteSpan payload, std::size_t original_size,
+                          Bytes& out) const override;
+
+ private:
+  int level_;
+};
+
+}  // namespace ndpcr::compress

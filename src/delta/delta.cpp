@@ -1,0 +1,250 @@
+#include "delta/delta.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace ndpcr::delta {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E44444C;  // "NDDL"
+constexpr std::uint8_t kOpSame = 0;
+constexpr std::uint8_t kOpMoved = 1;
+constexpr std::uint8_t kOpLiteral = 2;
+
+bool spans_equal(ByteSpan a, ByteSpan b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+}  // namespace
+
+std::uint64_t block_hash(ByteSpan block) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : block) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+DeltaCodec::DeltaCodec(std::size_t block_size) : block_size_(block_size) {
+  if (block_size == 0) {
+    throw DeltaError("delta block size must be positive");
+  }
+}
+
+Bytes DeltaCodec::encode(ByteSpan reference, ByteSpan current,
+                         DeltaStats* stats) const {
+  DeltaStats local_stats;
+  local_stats.input_bytes = current.size();
+
+  // Index the reference blocks by content hash. Only full-size blocks are
+  // indexed for moves; the (possibly short) tail block still matches via
+  // the same-position check.
+  std::unordered_multimap<std::uint64_t, std::uint32_t> ref_index;
+  const std::size_t ref_full_blocks = reference.size() / block_size_;
+  ref_index.reserve(ref_full_blocks);
+  for (std::size_t b = 0; b < ref_full_blocks; ++b) {
+    ref_index.emplace(
+        block_hash(reference.subspan(b * block_size_, block_size_)),
+        static_cast<std::uint32_t>(b));
+  }
+
+  Bytes out;
+  out.reserve(current.size() / 8 + 64);
+  append_le<std::uint32_t>(out, kMagic);
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(block_size_));
+  append_le<std::uint64_t>(out, current.size());
+  append_le<std::uint64_t>(out, block_hash(reference));
+
+  for (std::size_t pos = 0; pos < current.size(); pos += block_size_) {
+    const std::size_t len = std::min(block_size_, current.size() - pos);
+    const ByteSpan block = current.subspan(pos, len);
+
+    // Same-position match (covers the tail block too).
+    if (pos + len <= reference.size() &&
+        spans_equal(block, reference.subspan(pos, len))) {
+      out.push_back(static_cast<std::byte>(kOpSame));
+      ++local_stats.unchanged_blocks;
+      continue;
+    }
+    // Moved match: full blocks only.
+    if (len == block_size_) {
+      const auto [lo, hi] = ref_index.equal_range(block_hash(block));
+      bool matched = false;
+      for (auto it = lo; it != hi; ++it) {
+        const ByteSpan cand =
+            reference.subspan(it->second * block_size_, block_size_);
+        if (spans_equal(block, cand)) {
+          out.push_back(static_cast<std::byte>(kOpMoved));
+          append_le<std::uint32_t>(out, it->second);
+          ++local_stats.moved_blocks;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    // Literal.
+    out.push_back(static_cast<std::byte>(kOpLiteral));
+    out.insert(out.end(), block.begin(), block.end());
+    ++local_stats.literal_blocks;
+  }
+
+  local_stats.encoded_bytes = out.size();
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+Bytes DeltaCodec::decode(ByteSpan reference, ByteSpan delta) const {
+  if (delta.size() < 24) throw DeltaError("delta stream truncated");
+  if (read_le<std::uint32_t>(delta, 0) != kMagic) {
+    throw DeltaError("not a delta stream");
+  }
+  const auto block_size = read_le<std::uint32_t>(delta, 4);
+  if (block_size != block_size_) {
+    throw DeltaError("delta block size mismatch");
+  }
+  const auto current_size = read_le<std::uint64_t>(delta, 8);
+  if (read_le<std::uint64_t>(delta, 16) != block_hash(reference)) {
+    throw DeltaError("delta applied against the wrong reference");
+  }
+
+  Bytes out;
+  out.reserve(current_size);
+  std::size_t pos = 24;
+  auto need = [&](std::size_t n) {
+    if (pos + n > delta.size()) throw DeltaError("delta stream truncated");
+  };
+  while (out.size() < current_size) {
+    const std::size_t len =
+        std::min<std::size_t>(block_size_, current_size - out.size());
+    need(1);
+    const auto op = static_cast<std::uint8_t>(delta[pos++]);
+    switch (op) {
+      case kOpSame: {
+        const std::size_t src = out.size();
+        if (src + len > reference.size()) {
+          throw DeltaError("delta same-block outside reference");
+        }
+        out.insert(out.end(), reference.begin() + src,
+                   reference.begin() + src + len);
+        break;
+      }
+      case kOpMoved: {
+        need(4);
+        const auto idx = read_le<std::uint32_t>(delta, pos);
+        pos += 4;
+        const std::size_t src = std::size_t{idx} * block_size_;
+        if (len != block_size_ || src + len > reference.size()) {
+          throw DeltaError("delta moved-block outside reference");
+        }
+        out.insert(out.end(), reference.begin() + src,
+                   reference.begin() + src + len);
+        break;
+      }
+      case kOpLiteral: {
+        need(len);
+        out.insert(out.end(), delta.begin() + pos, delta.begin() + pos + len);
+        pos += len;
+        break;
+      }
+      default:
+        throw DeltaError("unknown delta op");
+    }
+  }
+  if (pos != delta.size()) {
+    throw DeltaError("trailing bytes in delta stream");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+DedupStore::DedupStore(std::size_t block_size) : block_size_(block_size) {
+  if (block_size == 0) {
+    throw DeltaError("dedup block size must be positive");
+  }
+}
+
+DedupPutStats DedupStore::put(std::uint32_t rank,
+                              std::uint64_t checkpoint_id, ByteSpan image) {
+  DedupPutStats stats;
+  stats.raw_bytes = image.size();
+
+  Recipe recipe;
+  recipe.image_size = image.size();
+  recipe.block_keys.reserve(image.size() / block_size_ + 1);
+
+  for (std::size_t pos = 0; pos < image.size(); pos += block_size_) {
+    const std::size_t len = std::min(block_size_, image.size() - pos);
+    const ByteSpan block = image.subspan(pos, len);
+    // Content-addressed key with linear probing on (vanishingly rare)
+    // hash collisions: the stored bytes are always compared before reuse.
+    std::uint64_t key = block_hash(block);
+    while (true) {
+      auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        Block entry;
+        entry.data.assign(block.begin(), block.end());
+        entry.refs = 1;
+        stored_block_bytes_ += len;
+        stats.new_block_bytes += len;
+        blocks_.emplace(key, std::move(entry));
+        break;
+      }
+      if (spans_equal(ByteSpan(it->second.data), block)) {
+        ++it->second.refs;
+        break;
+      }
+      ++key;  // collision: probe the next slot
+    }
+    recipe.block_keys.push_back(key);
+  }
+  stats.recipe_bytes = recipe.block_keys.size() * sizeof(std::uint64_t);
+  logical_bytes_ += image.size();
+
+  const auto map_key = std::make_pair(rank, checkpoint_id);
+  if (recipes_.count(map_key) > 0) {
+    erase(rank, checkpoint_id);  // re-put replaces the previous image
+  }
+  recipes_.emplace(map_key, std::move(recipe));
+  return stats;
+}
+
+std::optional<Bytes> DedupStore::get(std::uint32_t rank,
+                                     std::uint64_t checkpoint_id) const {
+  const auto it = recipes_.find(std::make_pair(rank, checkpoint_id));
+  if (it == recipes_.end()) return std::nullopt;
+  Bytes out;
+  out.reserve(it->second.image_size);
+  for (const auto key : it->second.block_keys) {
+    const auto block = blocks_.find(key);
+    if (block == blocks_.end()) {
+      throw DeltaError("dedup store corruption: missing block");
+    }
+    out.insert(out.end(), block->second.data.begin(),
+               block->second.data.end());
+  }
+  if (out.size() != it->second.image_size) {
+    throw DeltaError("dedup store corruption: size mismatch");
+  }
+  return out;
+}
+
+void DedupStore::erase(std::uint32_t rank, std::uint64_t checkpoint_id) {
+  const auto it = recipes_.find(std::make_pair(rank, checkpoint_id));
+  if (it == recipes_.end()) return;
+  for (const auto key : it->second.block_keys) {
+    auto block = blocks_.find(key);
+    if (block == blocks_.end()) continue;
+    if (--block->second.refs == 0) {
+      stored_block_bytes_ -= block->second.data.size();
+      blocks_.erase(block);
+    }
+  }
+  logical_bytes_ -= it->second.image_size;
+  recipes_.erase(it);
+}
+
+}  // namespace ndpcr::delta

@@ -1,0 +1,51 @@
+#include "model/analytic_multilevel.hpp"
+
+#include <stdexcept>
+
+namespace ndpcr::model {
+
+AnalyticResult analytic_multilevel(const AnalyticInputs& in) {
+  if (in.mtti <= 0 || in.local_interval <= 0) {
+    throw std::invalid_argument("mtti and interval must be positive");
+  }
+  const double tau = in.local_interval;
+  const double k = in.io_every > 0 ? static_cast<double>(in.io_every) : 0.0;
+
+  // No-failure overhead per unit of useful work.
+  const double io_commit_per_cycle = k > 0 ? in.io_commit / k : 0.0;
+  const double cycle_wall = tau + in.local_commit + io_commit_per_cycle;
+  const double base = cycle_wall / tau;  // loaded wall seconds per work sec
+
+  // Where within a cycle a failure lands (uniform over wall time):
+  // during compute it loses the offset; during the commits it loses a full
+  // tau (the in-progress checkpoint hasn't committed).
+  const double overhead_wall = in.local_commit + io_commit_per_cycle;
+  const double loss_local = (tau * (tau / 2.0) + overhead_wall * tau) /
+                            cycle_wall;
+  // IO-level rollback: additionally the whole cycles since the last IO
+  // checkpoint - (k-1)/2 on average for host configs, plus the NDP
+  // pipeline lag for NDP configs.
+  double loss_io = loss_local;
+  if (k > 0) loss_io += tau * (k - 1.0) / 2.0;
+  loss_io += tau * in.ndp_lag_cycles;
+
+  const double p = in.p_local;
+  const double failures_per_work = base / in.mtti;
+
+  AnalyticResult out;
+  auto& b = out.breakdown;
+  b.compute = 1.0;
+  b.ckpt_local = in.local_commit / tau;
+  b.ckpt_io = io_commit_per_cycle / tau;
+  b.restore_local = failures_per_work * p * in.local_restore;
+  b.restore_io = failures_per_work * (1.0 - p) * in.io_restore;
+  // Lost work is re-executed at the loaded rate (it pays checkpoint
+  // overhead again while being redone).
+  b.rerun_local = failures_per_work * p * loss_local * base;
+  b.rerun_io = failures_per_work * (1.0 - p) * loss_io * base;
+
+  out.wall_per_work = b.total();
+  return out;
+}
+
+}  // namespace ndpcr::model

@@ -1,0 +1,44 @@
+#pragma once
+
+// First-order analytic model of multilevel C/R, used to cross-validate the
+// Monte Carlo simulator and to explore parameter spaces cheaply.
+//
+// Renewal-reward approximation: in steady state the application pays the
+// no-failure overhead (local commits, plus the IO commit every k-th cycle
+// for host configurations) continuously, and each interrupt (rate 1/MTTI
+// per wall second) additionally costs an expected restore plus the re-
+// execution of the work lost since the recovery checkpoint. Failures that
+// strike during restore or rerun are folded in to first order by pricing
+// re-executed work at the loaded (overhead-inclusive) rate; deeper failure
+// cascades are neglected, so the model slightly underestimates overhead at
+// very low progress rates. The simulator is authoritative.
+
+#include "model/scenario.hpp"
+#include "sim/breakdown.hpp"
+
+namespace ndpcr::model {
+
+struct AnalyticInputs {
+  double mtti = 1800.0;
+  double local_interval = 150.0;  // tau: useful work per cycle
+  double local_commit = 7.47;     // delta_L (0 for IO Only: fold into io)
+  double io_commit = 0.0;         // blocking IO commit (host configs)
+  double local_restore = 7.47;
+  double io_restore = 1120.0;
+  std::uint32_t io_every = 1;     // k; 0 = no IO level
+  double p_local = 0.85;          // P(recover from local)
+  // For NDP configs: expected lag (in completed local cycles) between the
+  // newest local checkpoint and the newest checkpoint landed on IO.
+  double ndp_lag_cycles = 0.0;
+};
+
+struct AnalyticResult {
+  double wall_per_work = 1.0;  // expected wall seconds per useful second
+  sim::Breakdown breakdown;    // per unit of useful work
+
+  [[nodiscard]] double progress_rate() const { return 1.0 / wall_per_work; }
+};
+
+AnalyticResult analytic_multilevel(const AnalyticInputs& in);
+
+}  // namespace ndpcr::model

@@ -1,0 +1,80 @@
+#pragma once
+
+// Evaluator: turns a (scenario, configuration) pair into the paper's
+// reported quantities - progress rate, overhead breakdown, and the
+// locally-saved : IO-saved checkpoint ratio.
+//
+// For Local + I/O-Host the ratio is a free parameter with an interior
+// optimum (Figure 4); the evaluator finds it empirically, as the paper
+// does. For Local + I/O-NDP checkpoints drain to IO as fast as the
+// pipeline allows, so the effective ratio is derived, not optimized
+// (section 6.2). For I/O Only the checkpoint interval is Daly-optimal for
+// the IO commit time.
+
+#include <cstdint>
+
+#include "model/scenario.hpp"
+#include "sim/timeline.hpp"
+
+namespace ndpcr::model {
+
+struct Evaluation {
+  sim::TimelineResult result;
+  std::uint32_t io_every = 0;    // locally-saved : IO-saved ratio in effect
+  double interval = 0.0;         // compute interval used (s)
+
+  [[nodiscard]] double progress_rate() const {
+    return result.progress_rate();
+  }
+};
+
+class Evaluator {
+ public:
+  Evaluator(const CrScenario& scenario, const SimOptions& options = {});
+
+  // Full evaluation; runs the ratio optimization for host configurations.
+  [[nodiscard]] Evaluation evaluate(const CrConfig& config) const;
+
+  // Evaluation at an explicitly chosen ratio (used by the Figure 4 sweep).
+  [[nodiscard]] Evaluation evaluate_at_ratio(const CrConfig& config,
+                                             std::uint32_t io_every) const;
+
+  // The empirical optimal ratio for a host configuration (Figure 5).
+  [[nodiscard]] std::uint32_t optimal_io_every(const CrConfig& config) const;
+
+  // The NDP pipeline's effective ratio: local checkpoints per completed IO
+  // checkpoint, ceil(drain / local period) (section 6.2: the NDP saves to
+  // IO "as frequently as possible").
+  [[nodiscard]] std::uint32_t ndp_effective_ratio(
+      const CrConfig& config) const;
+
+  // Progress rate with an explicit local checkpoint interval (overriding
+  // the scenario's). Used by the interval ablation.
+  [[nodiscard]] double rate_at_interval(const CrConfig& config,
+                                        std::uint32_t io_every,
+                                        double interval) const;
+
+  // The empirically optimal local checkpoint interval for a configuration
+  // (golden-section on the simulated progress rate, seeded at the Daly
+  // optimum for the local commit time). The paper's Table 4 fixes 150 s;
+  // this quantifies how close that is.
+  [[nodiscard]] double optimal_local_interval(const CrConfig& config,
+                                              std::uint32_t io_every) const;
+
+  // Translate to a raw simulator configuration (exposed for tests and the
+  // ablation benches).
+  [[nodiscard]] sim::TimelineConfig timeline_config(
+      const CrConfig& config, std::uint32_t io_every) const;
+
+  [[nodiscard]] const CrScenario& scenario() const { return scenario_; }
+  [[nodiscard]] const SimOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] double rate_at(const CrConfig& config,
+                               std::uint32_t io_every) const;
+
+  CrScenario scenario_;
+  SimOptions options_;
+};
+
+}  // namespace ndpcr::model

@@ -1,0 +1,47 @@
+#pragma once
+
+// The evaluation scenario (Table 4 parameters) and the C/R configurations
+// compared in section 6.1.2.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/timeline.hpp"
+
+namespace ndpcr::model {
+
+// Machine/application parameters of Table 4, defaulting to the projected
+// exascale system.
+struct CrScenario {
+  double mtti = 1800.0;              // 30 minutes
+  double checkpoint_bytes = 112e9;   // 80% of 140 GB node memory
+  double local_bw = 15e9;            // compute-local NVM, 15 GB/s
+  double io_bw_per_node = 100e6;     // 10 TB/s / 100k nodes
+  double local_interval = 150.0;     // checkpoint interval (to local)
+  double host_compress_bw = 640e6;   // 64 cores x 10 MB/s
+  double host_decompress_bw = 16e9;  // conservative vs 22.4 GB/s (sec 6.1.3)
+  double ndp_compress_bw = 440.4e6;  // 4 NDP cores of ngzip(1)
+};
+
+enum class ConfigKind { kIoOnly, kLocalIoHost, kLocalIoNdp };
+
+// One evaluated C/R configuration: strategy, whether the IO stream is
+// compressed (and at what factor), and the probability that a failure is
+// recoverable from locally-saved checkpoints.
+struct CrConfig {
+  ConfigKind kind = ConfigKind::kLocalIoHost;
+  double compression_factor = 0.0;  // 0 = no compression
+  double p_local_recovery = 0.85;
+
+  // Paper-style label, e.g. "Local(80%) + I/O-Host (cf 73%)".
+  [[nodiscard]] std::string label() const;
+};
+
+// Monte Carlo controls shared by evaluations.
+struct SimOptions {
+  double total_work = 300.0 * 3600;  // useful seconds per trial
+  int trials = 3;
+  std::uint64_t seed = 0x5EED;
+};
+
+}  // namespace ndpcr::model

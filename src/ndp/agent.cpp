@@ -1,0 +1,132 @@
+#include "ndp/agent.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndpcr::ndp {
+
+NdpAgent::NdpAgent(const AgentConfig& config, ckpt::KvStore& io_store)
+    : cfg_(config),
+      io_(io_store),
+      uncompressed_(config.uncompressed_capacity),
+      compressed_(config.compressed_capacity) {
+  if (cfg_.compress_bw <= 0 || cfg_.io_bw <= 0) {
+    throw std::invalid_argument("agent bandwidths must be positive");
+  }
+  if (cfg_.codec != compress::CodecId::kNull) {
+    codec_ = compress::make_codec(cfg_.codec, cfg_.codec_level);
+  }
+}
+
+bool NdpAgent::host_commit(std::uint64_t checkpoint_id, Bytes image) {
+  if (!uncompressed_.put(checkpoint_id, std::move(image))) {
+    return false;
+  }
+  ++stats_.commits_seen;
+  if (pending_) {
+    // The previously queued checkpoint is superseded before its drain
+    // ever started: the NDP always ships the newest.
+    ++stats_.drains_skipped;
+  }
+  pending_ = checkpoint_id;
+  start_drain_if_ready();
+  return true;
+}
+
+void NdpAgent::start_drain_if_ready() {
+  if (drain_ || !pending_) return;
+  const auto id = *pending_;
+  pending_.reset();
+  const auto image = uncompressed_.get(id);
+  if (!image) return;  // evicted before we got to it
+
+  Drain drain;
+  drain.checkpoint_id = id;
+  // Lock the source so the circular buffer cannot reclaim it while the
+  // compressor reads it (section 4.2.2).
+  uncompressed_.lock(id);
+  drain.locked = true;
+
+  double out_bytes = 0.0;
+  if (codec_) {
+    drain.compressed = codec_->compress(*image);
+    stats_.bytes_compressed += image->size();
+    out_bytes = static_cast<double>(drain.compressed.size());
+    const double compress_time =
+        static_cast<double>(image->size()) / cfg_.compress_bw;
+    const double write_time = out_bytes / cfg_.io_bw;
+    drain.remaining_seconds = cfg_.overlap
+                                  ? std::max(compress_time, write_time)
+                                  : compress_time + write_time;
+  } else {
+    drain.compressed.assign(image->begin(), image->end());
+    out_bytes = static_cast<double>(drain.compressed.size());
+    drain.remaining_seconds = out_bytes / cfg_.io_bw;
+  }
+  drain_ = std::move(drain);
+}
+
+void NdpAgent::finish_drain() {
+  auto& d = *drain_;
+  // Stage the compressed image in the compressed partition (section 4.3's
+  // second circular buffer) - best effort: the IO copy is already durable,
+  // so a full partition only costs the fast-restore staging.
+  if (codec_ && !compressed_.contains(d.checkpoint_id)) {
+    compressed_.put(d.checkpoint_id, d.compressed);
+  }
+  io_.put(cfg_.rank, d.checkpoint_id, std::move(d.compressed));
+  stats_.bytes_to_io += io_.get(cfg_.rank, d.checkpoint_id)->size();
+  newest_on_io_ = d.checkpoint_id;
+  ++stats_.drains_completed;
+  if (d.locked) uncompressed_.unlock(d.checkpoint_id);
+  drain_.reset();
+  start_drain_if_ready();
+}
+
+double NdpAgent::pump(double seconds) {
+  double consumed = 0.0;
+  while (seconds > 0.0 && drain_) {
+    const double step = std::min(seconds, drain_->remaining_seconds);
+    drain_->remaining_seconds -= step;
+    seconds -= step;
+    consumed += step;
+    if (drain_->remaining_seconds <= 0.0) {
+      finish_drain();
+    }
+  }
+  stats_.busy_seconds += consumed;
+  return consumed;
+}
+
+void NdpAgent::reset() {
+  if (drain_) {
+    ++stats_.drains_aborted;
+    drain_.reset();  // locks die with the store contents
+  }
+  pending_.reset();
+  uncompressed_.clear();
+  compressed_.clear();
+}
+
+std::optional<std::uint64_t> NdpAgent::newest_on_io() const {
+  return newest_on_io_;
+}
+
+std::optional<Bytes> NdpAgent::restore_local(
+    std::uint64_t checkpoint_id) const {
+  if (const auto raw = uncompressed_.get(checkpoint_id)) {
+    return Bytes(raw->begin(), raw->end());
+  }
+  if (codec_) {
+    if (const auto packed = compressed_.get(checkpoint_id)) {
+      try {
+        return codec_->decompress(*packed);
+      } catch (const compress::CodecError&) {
+        return std::nullopt;  // corrupt staging copy: caller falls to IO
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ndpcr::ndp

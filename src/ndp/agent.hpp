@@ -1,0 +1,119 @@
+#pragma once
+
+// Functional model of the NDP device of sections 4.2-4.3: it owns the
+// node-local NVM (two circular-buffer partitions: uncompressed and
+// compressed checkpoints), compresses checkpoints with a real codec, and
+// streams them to a global-IO store - all in virtual time, off the host's
+// critical path.
+//
+// The host calls host_commit() when a local checkpoint lands in NVM (the
+// notification of section 4.2.2); pump(seconds) advances the background
+// pipeline. The agent:
+//   * locks the checkpoint it is draining (so the circular buffer cannot
+//     evict it under the compressor),
+//   * always drains the newest committed checkpoint, skipping
+//     intermediates it cannot keep up with,
+//   * overlaps compression with the IO write in block-sized chunks
+//     (virtual time is charged as the pipelined max),
+//   * pauses while the host owns the NVM (the host_write_pause() window
+//     of section 4.2.1) and during recovery (section 4.2.3),
+//   * on node loss (reset()) drops all NVM contents and transfer state.
+//
+// Real bytes move through the real codec; only *durations* are modeled,
+// using the configured compression and IO bandwidths. This is the bridge
+// between the statistical timeline model (sim/) and the byte-level
+// checkpoint library (ckpt/).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "ckpt/nvm_store.hpp"
+#include "ckpt/stores.hpp"
+#include "compress/codec.hpp"
+
+namespace ndpcr::ndp {
+
+struct AgentConfig {
+  std::size_t uncompressed_capacity = 64ull << 20;
+  std::size_t compressed_capacity = 16ull << 20;
+  // Codec for the IO stream; kNull disables compression (the drain then
+  // bypasses the compressed partition and streams the raw image).
+  compress::CodecId codec = compress::CodecId::kDeflateStyle;
+  int codec_level = 1;
+  double compress_bw = 440.4e6;  // uncompressed bytes/s through the codec
+  double io_bw = 100e6;          // bytes/s onto the IO store
+  bool overlap = true;           // section 4.2.2 pipelining
+  std::uint32_t rank = 0;        // key for the IO store
+};
+
+struct AgentStats {
+  std::uint64_t commits_seen = 0;
+  std::uint64_t drains_completed = 0;
+  std::uint64_t drains_skipped = 0;  // superseded by a newer checkpoint
+  std::uint64_t drains_aborted = 0;  // reset() during a drain
+  double busy_seconds = 0.0;         // pipeline time actually consumed
+  std::uint64_t bytes_compressed = 0;
+  std::uint64_t bytes_to_io = 0;
+};
+
+class NdpAgent {
+ public:
+  // The IO store outlives the agent (it models the parallel file system).
+  NdpAgent(const AgentConfig& config, ckpt::KvStore& io_store);
+
+  // Host-side local commit: the checkpoint image enters the uncompressed
+  // partition. Returns false if the partition cannot take it (everything
+  // evictable is pinned by an in-flight drain) - the host must stall, the
+  // back-pressure case discussed in section 4.2.1.
+  bool host_commit(std::uint64_t checkpoint_id, Bytes image);
+
+  // Advance the background pipeline by `seconds` of virtual time. Returns
+  // the seconds actually consumed (less than `seconds` when the pipeline
+  // goes idle).
+  double pump(double seconds);
+
+  // Node loss: NVM partitions and transfer state are gone. The IO store
+  // is unaffected.
+  void reset();
+
+  // Newest checkpoint id fully landed on the IO store for this rank.
+  [[nodiscard]] std::optional<std::uint64_t> newest_on_io() const;
+
+  // Restore path: newest checkpoint available locally (uncompressed
+  // partition first, then the compressed partition through the codec).
+  [[nodiscard]] std::optional<Bytes> restore_local(
+      std::uint64_t checkpoint_id) const;
+
+  [[nodiscard]] const AgentStats& stats() const { return stats_; }
+  [[nodiscard]] const ckpt::NvmStore& uncompressed_partition() const {
+    return uncompressed_;
+  }
+  [[nodiscard]] const ckpt::NvmStore& compressed_partition() const {
+    return compressed_;
+  }
+  [[nodiscard]] bool busy() const { return drain_.has_value(); }
+
+ private:
+  struct Drain {
+    std::uint64_t checkpoint_id = 0;
+    Bytes compressed;          // produced up front; time charged as it flows
+    double remaining_seconds = 0.0;
+    bool locked = false;
+  };
+
+  void start_drain_if_ready();
+  void finish_drain();
+
+  AgentConfig cfg_;
+  ckpt::KvStore& io_;
+  std::unique_ptr<compress::Codec> codec_;  // null when kNull
+  ckpt::NvmStore uncompressed_;
+  ckpt::NvmStore compressed_;
+  std::optional<Drain> drain_;
+  std::optional<std::uint64_t> pending_;  // newest committed, not drained
+  std::optional<std::uint64_t> newest_on_io_;
+  AgentStats stats_;
+};
+
+}  // namespace ndpcr::ndp

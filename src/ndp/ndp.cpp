@@ -1,0 +1,50 @@
+#include "ndp/ndp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ndpcr::ndp {
+
+double saturating_compression_rate(double compression_factor, double io_bw) {
+  if (compression_factor < 0.0 || compression_factor >= 1.0) {
+    throw std::invalid_argument("compression factor must be in [0, 1)");
+  }
+  if (io_bw <= 0.0) throw std::invalid_argument("io_bw must be positive");
+  return io_bw / (1.0 - compression_factor);
+}
+
+int required_cores(double required_rate, double per_core_rate) {
+  if (per_core_rate <= 0.0) {
+    throw std::invalid_argument("per-core rate must be positive");
+  }
+  return static_cast<int>(std::ceil(required_rate / per_core_rate));
+}
+
+double min_io_interval(double checkpoint_bytes, double compression_factor,
+                       double io_bw) {
+  if (io_bw <= 0.0) throw std::invalid_argument("io_bw must be positive");
+  return checkpoint_bytes * (1.0 - compression_factor) / io_bw;
+}
+
+double drain_time(double checkpoint_bytes, double compression_factor,
+                  double compress_rate, double io_bw, bool overlapped) {
+  const double write_time =
+      checkpoint_bytes * (1.0 - compression_factor) / io_bw;
+  if (compress_rate <= 0.0) return write_time;  // uncompressed stream
+  const double compress_time = checkpoint_bytes / compress_rate;
+  return overlapped ? std::max(compress_time, write_time)
+                    : compress_time + write_time;
+}
+
+NdpSizing derive_sizing(double compression_factor, double per_core_rate,
+                        double checkpoint_bytes, double io_bw) {
+  NdpSizing s;
+  s.required_rate = saturating_compression_rate(compression_factor, io_bw);
+  s.cores = required_cores(s.required_rate, per_core_rate);
+  s.io_interval = min_io_interval(checkpoint_bytes, compression_factor,
+                                  io_bw);
+  return s;
+}
+
+}  // namespace ndpcr::ndp

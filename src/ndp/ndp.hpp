@@ -1,0 +1,49 @@
+#pragma once
+
+// NDP device sizing and pipeline timing (sections 4.4 and 5.3).
+//
+// The NDP's job is compressing checkpoints and streaming them to global
+// I/O off the host's critical path. Its useful compression rate is
+// bracketed by two bounds the paper derives:
+//   lower: the per-node I/O bandwidth (slower compression than the link
+//          can absorb makes compression a net loss), and
+//   upper: Compression_rate = (U/C) * IO_bandwidth - any faster merely
+//          idles against the saturated link.
+
+namespace ndpcr::ndp {
+
+// Upper useful compression rate (bytes of *uncompressed* input per second)
+// for a given compression factor (1 - C/U) and per-node IO bandwidth:
+//   (U/C) * io_bw = io_bw / (1 - factor).
+double saturating_compression_rate(double compression_factor, double io_bw);
+
+// NDP cores needed to reach `required_rate` given a single-core rate,
+// rounded up (Table 3's "Number of Cores" column).
+int required_cores(double required_rate, double per_core_rate);
+
+// Smallest achievable interval between checkpoints arriving at global IO:
+// the time to push one compressed checkpoint through the per-node IO
+// bandwidth (Table 3's "Checkpoint Interval" column).
+double min_io_interval(double checkpoint_bytes, double compression_factor,
+                       double io_bw);
+
+// Time for the NDP to fully drain one checkpoint of `checkpoint_bytes`
+// through compression (at `compress_rate` uncompressed bytes/s) and the IO
+// link. With `overlapped` (section 4.2.2's pipelined DMA blocks) the drain
+// is bounded by the slower stage; serial mode sums the stages.
+// compress_rate <= 0 means no compression (pure IO write).
+double drain_time(double checkpoint_bytes, double compression_factor,
+                  double compress_rate, double io_bw, bool overlapped = true);
+
+// One row of Table 3, derived from a codec's measured average compression
+// factor and single-thread speed.
+struct NdpSizing {
+  double required_rate = 0.0;   // B/s of uncompressed input
+  int cores = 0;                // NDP cores to reach it
+  double io_interval = 0.0;     // smallest IO checkpoint interval (s)
+};
+
+NdpSizing derive_sizing(double compression_factor, double per_core_rate,
+                        double checkpoint_bytes, double io_bw);
+
+}  // namespace ndpcr::ndp

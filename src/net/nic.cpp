@@ -1,0 +1,139 @@
+#include "net/nic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ndpcr::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+TransferResult simulate_stream(double payload_bytes, double producer_bw,
+                               const NicConfig& nic,
+                               std::span<const ContentionPhase> contention,
+                               BackpressurePolicy policy) {
+  if (payload_bytes <= 0 || producer_bw <= 0 || nic.link_bw <= 0 ||
+      nic.buffer_bytes <= 0 || nic.nvm_spill_bw <= 0) {
+    throw std::invalid_argument("nic model inputs must be positive");
+  }
+  for (const auto& phase : contention) {
+    if (phase.fraction < 0.0 || phase.fraction > 1.0 || phase.duration < 0) {
+      throw std::invalid_argument("contention fraction must be in [0, 1]");
+    }
+  }
+
+  // Byte-quantity tolerance scaled to the problem: absolute epsilons are
+  // meaningless against multi-gigabyte payloads in double precision.
+  const double tol =
+      1e-9 * std::max(payload_bytes, nic.buffer_bytes) + 1e-9;
+
+  TransferResult result;
+  double t = 0.0;
+  double produced = 0.0;  // bytes emitted by the producer so far
+  double sent = 0.0;      // bytes that crossed the link
+  double buffer = 0.0;
+  double spill = 0.0;     // bytes parked in NVM
+  double producer_finish_time = -1.0;
+
+  std::size_t phase_idx = 0;
+  double phase_left =
+      contention.empty() ? kInf : contention[phase_idx].duration;
+
+  // Regime re-evaluation loop; each iteration integrates up to the next
+  // event. Bounded for safety; real schedules need far fewer steps.
+  for (int iter = 0; iter < 100000; ++iter) {
+    const double fraction =
+        phase_idx < contention.size() ? contention[phase_idx].fraction : 0.0;
+    const double link = nic.link_bw * (1.0 - fraction);
+
+    const bool producing = produced < payload_bytes - tol;
+    const bool buffer_full = buffer >= nic.buffer_bytes - tol;
+
+    // Producer inflow toward the buffer.
+    double inflow = 0.0;
+    double spill_rate = 0.0;  // producer overflow diverted to NVM
+    if (producing) {
+      if (!buffer_full) {
+        inflow = producer_bw;
+      } else if (policy == BackpressurePolicy::kPauseProducer) {
+        inflow = std::min(producer_bw, link);  // throttled to the drain
+      } else {
+        inflow = std::min(producer_bw, link);
+        spill_rate = std::min(producer_bw - inflow, nic.nvm_spill_bw);
+      }
+    } else if (spill > tol && !buffer_full) {
+      // Re-inject parked bytes once the producer is done.
+      inflow = std::min(nic.nvm_spill_bw, link + nic.nvm_spill_bw);
+    }
+
+    // Link outflow: drains the buffer, or passes inflow through when the
+    // buffer is empty.
+    const double outflow =
+        buffer > tol ? link : std::min(link, inflow);
+
+    const double net_buffer = inflow - outflow;
+
+    // Candidate event horizons.
+    double dt = phase_left;
+    if (producing && inflow + spill_rate > kEps) {
+      dt = std::min(dt, (payload_bytes - produced) / (inflow + spill_rate));
+    }
+    if (!producing && spill > tol && inflow > kEps) {
+      dt = std::min(dt, spill / inflow);
+    }
+    if (net_buffer > kEps) {
+      dt = std::min(dt, (nic.buffer_bytes - buffer) / net_buffer);
+    } else if (net_buffer < -kEps) {
+      dt = std::min(dt, buffer / -net_buffer);
+    }
+    if (outflow > kEps) {
+      dt = std::min(dt, (payload_bytes - sent) / outflow);
+    }
+    if (!(dt > 0.0) || dt == kInf) {
+      // No progress possible in this regime (e.g. fully contended link
+      // with a full buffer): jump to the next phase boundary.
+      if (phase_idx >= contention.size()) {
+        throw std::runtime_error("nic transfer cannot make progress");
+      }
+      dt = phase_left;
+    }
+
+    // Integrate.
+    t += dt;
+    if (producing) {
+      produced = std::min(payload_bytes, produced + (inflow + spill_rate) * dt);
+      spill += spill_rate * dt;
+      result.spilled_bytes += spill_rate * dt;
+      if (produced >= payload_bytes - tol && producer_finish_time < 0) {
+        producer_finish_time = t;
+      }
+    } else if (spill > tol) {
+      spill = std::max(0.0, spill - inflow * dt);
+    }
+    buffer = std::clamp(buffer + net_buffer * dt, 0.0, nic.buffer_bytes);
+    sent += outflow * dt;
+    result.peak_buffer_bytes = std::max(result.peak_buffer_bytes, buffer);
+    phase_left -= dt;
+    if (phase_left <= kEps && phase_idx < contention.size()) {
+      ++phase_idx;
+      phase_left =
+          phase_idx < contention.size() ? contention[phase_idx].duration
+                                        : kInf;
+    }
+
+    if (sent >= payload_bytes - tol) {
+      result.seconds = t;
+      if (producer_finish_time < 0) producer_finish_time = t;
+      result.producer_stall_seconds =
+          std::max(0.0, producer_finish_time - payload_bytes / producer_bw);
+      return result;
+    }
+  }
+  throw std::runtime_error("nic simulation did not converge");
+}
+
+}  // namespace ndpcr::net

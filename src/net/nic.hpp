@@ -1,0 +1,56 @@
+#pragma once
+
+// NIC / interconnect model for the NDP-to-IO checkpoint stream (section
+// 4.2.2): the compressed stream is written into the NIC buffer in DMA
+// blocks; when the application's own communication contends for the link,
+// the buffer can fill, and "checkpoint compression can either be paused
+// till additional space is available or the data could be spilled to NVM".
+//
+// Fluid-flow model: a producer (the NDP compression pipeline) feeds a
+// bounded NIC buffer drained by the link at its uncontended bandwidth
+// times (1 - contention). Piecewise-constant contention phases; exact
+// piecewise-linear integration (no time stepping). Both back-pressure
+// policies are implemented so their cost can be compared.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ndpcr::net {
+
+struct NicConfig {
+  double link_bw = 50e9;             // node injection bandwidth (B/s)
+  double buffer_bytes = 4 << 20;     // NIC buffer capacity
+  double nvm_spill_bw = 15e9;        // NVM bandwidth available for spill
+};
+
+enum class BackpressurePolicy {
+  kPauseProducer,  // stall compression until the buffer drains
+  kSpillToNvm,     // divert overflow to NVM, re-inject later
+};
+
+// One phase of application traffic: for `duration` seconds the app
+// consumes `fraction` of the link. The last phase is extended as needed
+// to finish the transfer.
+struct ContentionPhase {
+  double duration = 0.0;
+  double fraction = 0.0;  // in [0, 1]
+};
+
+struct TransferResult {
+  double seconds = 0.0;                // time until every byte crossed
+  double producer_stall_seconds = 0.0; // pause policy: compression stalled
+  double peak_buffer_bytes = 0.0;
+  double spilled_bytes = 0.0;          // spill policy: bytes through NVM
+};
+
+// Stream `payload_bytes` produced at `producer_bw` through the NIC under
+// the given contention schedule. Returns the completion time and policy
+// costs. Throws std::invalid_argument for non-positive bandwidths/payload
+// or fractions outside [0, 1].
+TransferResult simulate_stream(double payload_bytes, double producer_bw,
+                               const NicConfig& nic,
+                               std::span<const ContentionPhase> contention,
+                               BackpressurePolicy policy);
+
+}  // namespace ndpcr::net

@@ -1,0 +1,86 @@
+#include "proj/projection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytic/daly.hpp"
+#include "common/units.hpp"
+
+namespace ndpcr::proj {
+
+using namespace ndpcr::units;
+
+MachineSpec titan() {
+  MachineSpec m;
+  m.name = "Titan Cray XK7";
+  m.node_count = 18688;
+  m.node_peak_flops = 1.44e12;
+  m.system_peak_flops = 27e15;
+  m.node_memory_bytes = bytes_from_gb(38);  // 32 GB CPU + 6 GB GPU
+  m.system_memory_bytes = m.node_memory_bytes * m.node_count;  // ~710 TB
+  m.interconnect_bw = gbps(20);
+  m.io_bandwidth = gbps(1000);
+  m.system_mtti = minutes(160);  // 9 failures/day [25]
+  return m;
+}
+
+MachineSpec project_exascale(const MachineSpec& base,
+                             const ScalingAssumptions& a) {
+  if (a.node_flops <= 0 || a.target_system_flops <= 0) {
+    throw std::invalid_argument("flops targets must be positive");
+  }
+  MachineSpec m;
+  m.name = "Projected exascale";
+  m.node_peak_flops = a.node_flops;
+  // Section 3.1 rounds 37x/7x to "a 5.3x increase in node count ... leads
+  // to 100,000 compute nodes". We follow the paper and round the node count
+  // up to the nearest 100,000 when within 10% (matching its arithmetic),
+  // otherwise keep the exact quotient rounded to an integer.
+  const double exact_nodes = a.target_system_flops / a.node_flops;
+  const double rounded = std::ceil(exact_nodes / 1e5) * 1e5;
+  m.node_count = (rounded / exact_nodes <= 1.1) ? rounded
+                                                : std::round(exact_nodes);
+  m.system_peak_flops = m.node_count * m.node_peak_flops;
+  m.node_memory_bytes =
+      a.cpu_cores * a.memory_per_core_bytes + a.gpu_memory_bytes;  // 140 GB
+  m.system_memory_bytes = m.node_memory_bytes * m.node_count;      // 14 PB
+  m.interconnect_bw = a.interconnect_bw;
+  m.io_bandwidth = a.io_bandwidth;
+
+  const double node_mttf = years(a.node_mttf_years);
+  double mtti = system_mtti_from_node_mttf(node_mttf, m.node_count);
+  if (a.mtti_round_to_minutes > 0) {
+    // The paper rounds ~26.28 minutes up to an optimistic 30 minutes.
+    mtti = minutes(a.mtti_round_to_minutes);
+  }
+  m.system_mtti = mtti;
+  (void)base;  // the projection is anchored on the assumptions; the base
+               // machine documents provenance and provides Table 1's
+               // "factor change" column in the benchmark harness.
+  return m;
+}
+
+double system_mtti_from_node_mttf(double node_mttf, double node_count) {
+  if (node_mttf <= 0 || node_count <= 0) {
+    throw std::invalid_argument("mttf and node count must be positive");
+  }
+  // Independent exponential node failures: system failure rate is the sum
+  // of node rates.
+  return node_mttf / node_count;
+}
+
+CrRequirements derive_cr_requirements(const MachineSpec& machine,
+                                      double memory_fraction,
+                                      double target_efficiency) {
+  CrRequirements r;
+  r.checkpoint_bytes_per_node = memory_fraction * machine.node_memory_bytes;
+  r.commit_time =
+      analytic::required_commit_time(machine.system_mtti, target_efficiency);
+  r.checkpoint_period =
+      analytic::daly_optimal_interval(r.commit_time, machine.system_mtti);
+  r.per_node_bandwidth = r.checkpoint_bytes_per_node / r.commit_time;
+  r.system_bandwidth = r.per_node_bandwidth * machine.node_count;
+  return r;
+}
+
+}  // namespace ndpcr::proj

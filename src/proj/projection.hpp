@@ -1,0 +1,71 @@
+#pragma once
+
+// Exascale system projection (paper section 3).
+//
+// Scales the Titan Cray XK7 petascale system to exaflops performance using
+// the paper's stated assumptions, reproducing Table 1 and the derived C/R
+// requirements of sections 3.3-3.4.
+
+#include <string>
+
+namespace ndpcr::proj {
+
+// A machine description carrying the Table-1 columns.
+struct MachineSpec {
+  std::string name;
+  double node_count = 0.0;
+  double system_peak_flops = 0.0;     // flop/s
+  double node_peak_flops = 0.0;       // flop/s
+  double node_memory_bytes = 0.0;     // per node
+  double system_memory_bytes = 0.0;   // aggregate
+  double interconnect_bw = 0.0;       // per-node injection bandwidth, B/s
+  double io_bandwidth = 0.0;          // aggregate file-system bandwidth, B/s
+  double system_mtti = 0.0;           // seconds
+
+  // Effective per-node share of the global I/O bandwidth.
+  [[nodiscard]] double io_bandwidth_per_node() const {
+    return io_bandwidth / node_count;
+  }
+};
+
+// Titan Cray XK7 as described in section 3.1 (18,688 nodes, 1.44 TF/node,
+// 38 GB/node, 20 GB/s interconnect, 1000 GB/s file system, MTTI 160 min).
+MachineSpec titan();
+
+// The scaling assumptions of sections 3.1-3.2.
+struct ScalingAssumptions {
+  double target_system_flops = 1e18;  // 1 exaflops
+  double node_flops = 10e12;          // 10 TF/node [34]
+  int cpu_cores = 64;                 // 16 -> 64 cores
+  double memory_per_core_bytes = 2e9; // 2 GB/core maintained
+  double gpu_memory_bytes = 12e9;     // GPU memory doubled, 6 -> 12 GB
+  double interconnect_bw = 50e9;      // 50 GB/s [28]
+  double io_bandwidth = 10e12;        // 10 TB/s
+  double node_mttf_years = 5.0;       // Schroeder & Gibson [4]
+  double mtti_round_to_minutes = 30;  // optimistic rounding of section 3.2
+};
+
+// Apply the scaling assumptions to a base machine, producing the projected
+// exascale spec of Table 1 (100,000 nodes, 14 PB, 30 minutes MTTI, ...).
+MachineSpec project_exascale(const MachineSpec& base,
+                             const ScalingAssumptions& a = {});
+
+// System MTTF for `node_count` nodes with independent exponentially
+// distributed node failures of the given per-node MTTF (seconds).
+double system_mtti_from_node_mttf(double node_mttf, double node_count);
+
+// Derived C/R requirements of section 3.3 for a machine, at a target
+// progress rate (the paper uses 90% throughout).
+struct CrRequirements {
+  double checkpoint_bytes_per_node = 0.0;  // 80% of node memory
+  double commit_time = 0.0;                // required commit/restore time (s)
+  double checkpoint_period = 0.0;          // Daly-optimal interval (s)
+  double per_node_bandwidth = 0.0;         // B/s needed to hit commit_time
+  double system_bandwidth = 0.0;           // aggregate B/s
+};
+
+CrRequirements derive_cr_requirements(const MachineSpec& machine,
+                                      double memory_fraction = 0.8,
+                                      double target_efficiency = 0.9);
+
+}  // namespace ndpcr::proj

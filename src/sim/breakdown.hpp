@@ -1,0 +1,50 @@
+#pragma once
+
+// The C/R overhead breakdown of section 6.2 / Figure 7: total execution
+// time split into useful compute plus six overhead components - checkpoint,
+// restore and rerun time, each split by the storage level involved.
+
+namespace ndpcr::sim {
+
+struct Breakdown {
+  double compute = 0.0;        // useful (first-time) work
+  double ckpt_local = 0.0;     // blocking writes to node-local NVM
+  double ckpt_io = 0.0;        // blocking writes to global IO (host configs)
+  double restore_local = 0.0;  // reading checkpoints back from local NVM
+  double restore_io = 0.0;     // reading checkpoints back from global IO
+  double rerun_local = 0.0;    // re-executing work lost to local recoveries
+  double rerun_io = 0.0;       // re-executing work lost to IO recoveries
+
+  [[nodiscard]] double overhead() const {
+    return ckpt_local + ckpt_io + restore_local + restore_io + rerun_local +
+           rerun_io;
+  }
+
+  [[nodiscard]] double total() const { return compute + overhead(); }
+
+  // Progress rate / efficiency: fraction of wall-clock time spent on
+  // useful work.
+  [[nodiscard]] double progress_rate() const {
+    const double t = total();
+    return t > 0.0 ? compute / t : 0.0;
+  }
+
+  Breakdown& operator+=(const Breakdown& o) {
+    compute += o.compute;
+    ckpt_local += o.ckpt_local;
+    ckpt_io += o.ckpt_io;
+    restore_local += o.restore_local;
+    restore_io += o.restore_io;
+    rerun_local += o.rerun_local;
+    rerun_io += o.rerun_io;
+    return *this;
+  }
+
+  [[nodiscard]] Breakdown scaled(double f) const {
+    return Breakdown{compute * f,       ckpt_local * f, ckpt_io * f,
+                     restore_local * f, restore_io * f, rerun_local * f,
+                     rerun_io * f};
+  }
+};
+
+}  // namespace ndpcr::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+// The checkpoint compression study of section 5: run every codec of the
+// suite over checkpoints captured from the seven mini-app proxies, and
+// report compression factor and speed per (app, codec) pair - our Table 2.
+//
+// The paper's measured Table 2 numbers (gzip/bzip2/xz/lz4 on a 2013 i7)
+// are also provided as constants: the downstream figures are generated
+// both from our measured study (end-to-end reproduction) and from the
+// paper's constants (faithful reproduction of the model outputs).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/codec.hpp"
+
+namespace ndpcr::study {
+
+struct Measurement {
+  std::string app;
+  std::string codec;              // display name, e.g. "ngzip(1)"
+  std::size_t input_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double factor = 0.0;            // 1 - compressed/input
+  double compress_bw = 0.0;       // bytes/s, single thread
+  double decompress_bw = 0.0;     // bytes/s, single thread
+};
+
+struct StudyConfig {
+  // Checkpoint volume per app. The paper collected 0.8-52 GB per app; the
+  // study is linear in this, so benchmarks use a few MB per app and tests
+  // less.
+  std::size_t bytes_per_app = 8ull << 20;
+  // Three checkpoints at ~25/50/75% of a short run, as in section 5.1.1.
+  int checkpoints_per_app = 3;
+  int steps_between_checkpoints = 2;
+  std::uint64_t seed = 42;
+  std::vector<compress::CodecSpec> codecs = compress::paper_codec_suite();
+  std::vector<std::string> apps;  // empty = all seven
+};
+
+struct StudyResults {
+  std::vector<Measurement> rows;  // app-major, codec-minor order
+
+  [[nodiscard]] const Measurement* find(const std::string& app,
+                                        const std::string& codec) const;
+  // Unweighted average factor / compress bandwidth across apps for one
+  // codec (the paper's "Average" row).
+  [[nodiscard]] double average_factor(const std::string& codec) const;
+  [[nodiscard]] double average_compress_bw(const std::string& codec) const;
+};
+
+StudyResults run_compression_study(const StudyConfig& config = {});
+
+// ---------------------------------------------------------------------------
+// Paper constants (Table 2 of the paper, measured with the real utilities).
+
+struct PaperTable2Row {
+  const char* app;          // mini-app name (our proxy naming)
+  double data_gb;           // total checkpoint data collected
+  double factor[7];         // compression factor per codec, in suite order
+  double speed_mbps[7];     // single-thread speed, MB/s
+};
+
+// Rows in Table 2 order: comd, hpccg, minife, minimd, minismac, miniaero,
+// phpccg. Codec order matches compress::paper_codec_suite():
+// gzip(1), gzip(6), bzip2(1), bzip2(9), xz(1), xz(6), lz4(1).
+const std::vector<PaperTable2Row>& paper_table2();
+
+// The "Average" row of Table 2.
+double paper_average_factor(std::size_t codec_index);
+double paper_average_speed_mbps(std::size_t codec_index);
+
+// gzip(1) compression factor per app (used by Figure 6) - column 1 of
+// Table 2. Throws std::out_of_range for an unknown app.
+double paper_gzip1_factor(const std::string& app);
+
+}  // namespace ndpcr::study

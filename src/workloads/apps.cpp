@@ -1,0 +1,626 @@
+// The seven mini-app proxies. Each runs a small kernel with the same
+// computational pattern (and checkpoint-content character) as its Mantevo
+// namesake. See miniapp.hpp for how the entropy knobs relate to Table 2.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "workloads/array_state.hpp"
+#include "workloads/miniapp.hpp"
+
+namespace ndpcr::workloads {
+namespace {
+
+// Common MiniApp plumbing over an ArrayState.
+class ProxyBase : public MiniApp {
+ public:
+  void step() final {
+    do_step();
+    state_.quantize();
+    ++steps_;
+  }
+
+  [[nodiscard]] Bytes checkpoint() const final {
+    Bytes out;
+    state_.serialize(out, steps_);
+    return out;
+  }
+
+  void restore(ByteSpan image) final { steps_ = state_.deserialize(image); }
+
+  [[nodiscard]] std::size_t state_bytes() const final {
+    return state_.total_bytes();
+  }
+
+  [[nodiscard]] std::uint64_t state_digest() const final {
+    return state_.digest();
+  }
+
+  [[nodiscard]] std::uint64_t step_count() const final { return steps_; }
+
+ protected:
+  virtual void do_step() = 0;
+
+  ArrayState state_;
+  std::uint64_t steps_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// comd: classical molecular dynamics on a perturbed cubic lattice
+// (positions / velocities / forces; velocity-Verlet with a harmonic
+// restoring force toward the lattice site). Lattice structure keeps the
+// position mantissas highly regular.
+class ComdProxy final : public ProxyBase {
+ public:
+  ComdProxy(std::size_t target_bytes, std::uint64_t seed) {
+    n_ = std::max<std::size_t>(64, target_bytes / (9 * sizeof(double)));
+    pos_ = state_.add_doubles("pos", 3 * n_, /*keep=*/8);
+    vel_ = state_.add_doubles("vel", 3 * n_, /*keep=*/6);
+    force_ = state_.add_doubles("force", 3 * n_, /*keep=*/6);
+    side_ = static_cast<std::size_t>(std::cbrt(static_cast<double>(n_))) + 1;
+    Rng rng(seed);
+    auto& pos = state_.doubles(pos_);
+    auto& vel = state_.doubles(vel_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double x = static_cast<double>(i % side_);
+      const double y = static_cast<double>((i / side_) % side_);
+      const double z = static_cast<double>(i / (side_ * side_));
+      pos[3 * i + 0] = x + 0.01 * rng.normal();
+      pos[3 * i + 1] = y + 0.01 * rng.normal();
+      pos[3 * i + 2] = z + 0.01 * rng.normal();
+      for (int d = 0; d < 3; ++d) vel[3 * i + d] = 0.05 * rng.normal();
+    }
+    state_.quantize();
+  }
+
+  [[nodiscard]] std::string name() const override { return "comd"; }
+
+ private:
+  void do_step() override {
+    auto& pos = state_.doubles(pos_);
+    auto& vel = state_.doubles(vel_);
+    auto& force = state_.doubles(force_);
+    constexpr double dt = 0.01;
+    constexpr double k = 1.0;  // harmonic constant toward lattice site
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double lx = static_cast<double>(i % side_);
+      const double ly = static_cast<double>((i / side_) % side_);
+      const double lz = static_cast<double>(i / (side_ * side_));
+      const double site[3] = {lx, ly, lz};
+      for (int d = 0; d < 3; ++d) {
+        force[3 * i + d] = -k * (pos[3 * i + d] - site[d]);
+        vel[3 * i + d] += dt * force[3 * i + d];
+        pos[3 * i + d] += dt * vel[3 * i + d];
+      }
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::size_t side_ = 0;
+  std::size_t pos_ = 0, vel_ = 0, force_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Conjugate-gradient solver over an implicit 27-point stencil, the HPCCG /
+// pHPCCG / miniFE pattern: solver vectors plus (for miniFE) element data.
+// The matrix sparsity pattern is stored explicitly as column indices, as
+// the real apps' CSR structures are, and is extremely regular.
+class CgProxyBase : public ProxyBase {
+ public:
+  CgProxyBase(std::size_t target_bytes, std::uint64_t seed,
+              std::size_t bytes_per_point, int vec_keep_bits)
+      : rng_(seed) {
+    n_ = std::max<std::size_t>(512, target_bytes / bytes_per_point);
+    nx_ = static_cast<std::size_t>(std::cbrt(static_cast<double>(n_))) + 1;
+    n_ = nx_ * nx_ * nx_;
+    x_ = state_.add_doubles("x", n_, vec_keep_bits);
+    b_ = state_.add_doubles("b", n_, vec_keep_bits);
+    r_ = state_.add_doubles("r", n_, vec_keep_bits);
+    p_ = state_.add_doubles("p", n_, vec_keep_bits);
+    ap_ = state_.add_doubles("Ap", n_, vec_keep_bits);
+    cols_ = state_.add_ints("cols", 27 * n_);
+    init_pattern();
+    auto& b = state_.doubles(b_);
+    auto& r = state_.doubles(r_);
+    auto& p = state_.doubles(p_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      b[i] = 1.0 + 0.125 * rng_.normal();
+      r[i] = b[i];
+      p[i] = r[i];
+    }
+    state_.quantize();
+  }
+
+ protected:
+  void do_step() override {
+    // One CG iteration against the implicit 27-point operator
+    // (A = 26 I - sum of neighbors).
+    auto& x = state_.doubles(x_);
+    auto& r = state_.doubles(r_);
+    auto& p = state_.doubles(p_);
+    auto& ap = state_.doubles(ap_);
+    const auto& cols = state_.ints(cols_);
+    double p_ap = 0.0;
+    double rr = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) rr += r[i] * r[i];
+    for (std::size_t i = 0; i < n_; ++i) {
+      double sum = 26.0 * p[i];
+      for (int k = 0; k < 27; ++k) {
+        const std::int32_t j = cols[27 * i + k];
+        if (j >= 0 && static_cast<std::size_t>(j) != i) {
+          sum -= p[static_cast<std::size_t>(j)];
+        }
+      }
+      ap[i] = sum;
+      p_ap += p[i] * sum;
+    }
+    if (std::abs(p_ap) < 1e-30 || rr < 1e-30) {
+      // Converged (or degenerate): restart from a perturbed RHS, as the
+      // real apps' outer loops do between solves.
+      auto& b = state_.doubles(b_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        b[i] += 1e-3 * rng_.normal();
+        r[i] = b[i];
+        p[i] = r[i];
+      }
+      return;
+    }
+    const double alpha = rr / p_ap;
+    double rr_new = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+      rr_new += r[i] * r[i];
+    }
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < n_; ++i) p[i] = r[i] + beta * p[i];
+  }
+
+  std::size_t n_ = 0;
+  std::size_t nx_ = 0;
+  std::size_t x_ = 0, b_ = 0, r_ = 0, p_ = 0, ap_ = 0, cols_ = 0;
+  Rng rng_;
+
+ private:
+  void init_pattern() {
+    auto& cols = state_.ints(cols_);
+    const auto nx = static_cast<std::int64_t>(nx_);
+    for (std::int64_t iz = 0; iz < nx; ++iz) {
+      for (std::int64_t iy = 0; iy < nx; ++iy) {
+        for (std::int64_t ix = 0; ix < nx; ++ix) {
+          const std::size_t i =
+              static_cast<std::size_t>((iz * nx + iy) * nx + ix);
+          int k = 0;
+          for (std::int64_t dz = -1; dz <= 1; ++dz) {
+            for (std::int64_t dy = -1; dy <= 1; ++dy) {
+              for (std::int64_t dx = -1; dx <= 1; ++dx) {
+                const std::int64_t jx = ix + dx;
+                const std::int64_t jy = iy + dy;
+                const std::int64_t jz = iz + dz;
+                const bool inside = jx >= 0 && jx < nx && jy >= 0 &&
+                                    jy < nx && jz >= 0 && jz < nx;
+                cols[27 * i + k++] =
+                    inside ? static_cast<std::int32_t>((jz * nx + jy) * nx +
+                                                       jx)
+                           : -1;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+class HpccgProxy final : public CgProxyBase {
+ public:
+  HpccgProxy(std::size_t target_bytes, std::uint64_t seed)
+      : CgProxyBase(target_bytes, seed,
+                    /*bytes_per_point=*/5 * 8 + 27 * 4, /*vec_keep=*/8) {}
+  [[nodiscard]] std::string name() const override { return "hpccg"; }
+};
+
+class PhpccgProxy final : public CgProxyBase {
+ public:
+  PhpccgProxy(std::size_t target_bytes, std::uint64_t seed)
+      : CgProxyBase(target_bytes, seed,
+                    /*bytes_per_point=*/5 * 8 + 27 * 4, /*vec_keep=*/7) {}
+  [[nodiscard]] std::string name() const override { return "phpccg"; }
+};
+
+// miniFE adds per-element stiffness data with moderate entropy on top of
+// the CG pattern.
+class MiniFeProxy final : public CgProxyBase {
+ public:
+  MiniFeProxy(std::size_t target_bytes, std::uint64_t seed)
+      : CgProxyBase(target_bytes, seed,
+                    /*bytes_per_point=*/5 * 8 + 27 * 4 + 8 * 8,
+                    /*vec_keep=*/14) {
+    elem_ = state_.add_doubles("elem_stiffness", 8 * n_, /*keep=*/22);
+    auto& elem = state_.doubles(elem_);
+    for (std::size_t i = 0; i < elem.size(); ++i) {
+      elem[i] = 1.0 + 0.3 * rng_.normal();
+    }
+    state_.quantize();
+  }
+  [[nodiscard]] std::string name() const override { return "minife"; }
+
+ private:
+  std::size_t elem_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// minimd: Lennard-Jones molecular dynamics with neighbor lists; warmer
+// system than comd (more velocity entropy), plus per-particle neighbor
+// indices.
+class MiniMdProxy final : public ProxyBase {
+ public:
+  MiniMdProxy(std::size_t target_bytes, std::uint64_t seed) {
+    constexpr std::size_t kNeighbors = 16;
+    const std::size_t bytes_per_particle =
+        9 * sizeof(double) + kNeighbors * sizeof(std::int32_t);
+    n_ = std::max<std::size_t>(64, target_bytes / bytes_per_particle);
+    pos_ = state_.add_doubles("pos", 3 * n_, /*keep=*/28);
+    vel_ = state_.add_doubles("vel", 3 * n_, /*keep=*/26);
+    force_ = state_.add_doubles("force", 3 * n_, /*keep=*/26);
+    neigh_ = state_.add_ints("neighbors", kNeighbors * n_);
+    side_ = static_cast<std::size_t>(std::cbrt(static_cast<double>(n_))) + 1;
+    Rng rng(seed);
+    auto& pos = state_.doubles(pos_);
+    auto& vel = state_.doubles(vel_);
+    auto& neigh = state_.ints(neigh_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      pos[3 * i + 0] = static_cast<double>(i % side_) + 0.2 * rng.normal();
+      pos[3 * i + 1] =
+          static_cast<double>((i / side_) % side_) + 0.2 * rng.normal();
+      pos[3 * i + 2] =
+          static_cast<double>(i / (side_ * side_)) + 0.2 * rng.normal();
+      for (int d = 0; d < 3; ++d) vel[3 * i + d] = 0.5 * rng.normal();
+      // Neighbor list: mostly nearby indices, semi-sorted like a real
+      // binned neighbor build.
+      for (std::size_t k = 0; k < kNeighbors; ++k) {
+        const auto offset =
+            static_cast<std::int64_t>(rng.next_below(2 * kNeighbors)) -
+            static_cast<std::int64_t>(kNeighbors);
+        auto j = static_cast<std::int64_t>(i) + offset;
+        j = std::clamp<std::int64_t>(j, 0,
+                                     static_cast<std::int64_t>(n_) - 1);
+        neigh[kNeighbors * i + k] = static_cast<std::int32_t>(j);
+      }
+    }
+    state_.quantize();
+  }
+
+  [[nodiscard]] std::string name() const override { return "minimd"; }
+
+ private:
+  void do_step() override {
+    constexpr std::size_t kNeighbors = 16;
+    constexpr double dt = 0.004;
+    auto& pos = state_.doubles(pos_);
+    auto& vel = state_.doubles(vel_);
+    auto& force = state_.doubles(force_);
+    const auto& neigh = state_.ints(neigh_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      double f[3] = {0, 0, 0};
+      for (std::size_t k = 0; k < kNeighbors; ++k) {
+        const auto j = static_cast<std::size_t>(neigh[kNeighbors * i + k]);
+        if (j == i) continue;
+        double dr[3];
+        double r2 = 1e-6;
+        for (int d = 0; d < 3; ++d) {
+          dr[d] = pos[3 * i + d] - pos[3 * j + d];
+          r2 += dr[d] * dr[d];
+        }
+        // Truncated, softened LJ force magnitude.
+        const double inv2 = 1.0 / r2;
+        const double inv6 = inv2 * inv2 * inv2;
+        const double mag = std::clamp(24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2,
+                                      -10.0, 10.0);
+        for (int d = 0; d < 3; ++d) f[d] += mag * dr[d];
+      }
+      for (int d = 0; d < 3; ++d) {
+        force[3 * i + d] = f[d];
+        vel[3 * i + d] += dt * f[d];
+        pos[3 * i + d] += dt * vel[3 * i + d];
+      }
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::size_t side_ = 0;
+  std::size_t pos_ = 0, vel_ = 0, force_ = 0, neigh_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// minismac: 2D structured-grid incompressible flow (the least compressible
+// checkpoint of the suite - fully developed fields with near-full mantissa
+// entropy).
+class MiniSmacProxy final : public ProxyBase {
+ public:
+  MiniSmacProxy(std::size_t target_bytes, std::uint64_t seed) : rng_(seed) {
+    const std::size_t points =
+        std::max<std::size_t>(256, target_bytes / (5 * sizeof(double)));
+    nx_ = static_cast<std::size_t>(std::sqrt(static_cast<double>(points))) + 1;
+    const std::size_t n = nx_ * nx_;
+    u_ = state_.add_doubles("u", n, /*keep=*/34);
+    v_ = state_.add_doubles("v", n, /*keep=*/34);
+    p_ = state_.add_doubles("pressure", n, /*keep=*/34);
+    t_ = state_.add_doubles("temperature", n, /*keep=*/34);
+    w_ = state_.add_doubles("vorticity", n, /*keep=*/34);
+    for (std::size_t f : {u_, v_, p_, t_, w_}) {
+      auto& field = state_.doubles(f);
+      for (auto& x : field) x = rng_.uniform(-1.0, 1.0);
+    }
+    state_.quantize();
+  }
+
+  [[nodiscard]] std::string name() const override { return "minismac"; }
+
+ private:
+  void do_step() override {
+    // Explicit smoothing plus forcing noise: keeps the fields evolving at
+    // sustained (turbulence-like) entropy instead of diffusing to zero.
+    for (std::size_t f : {u_, v_, p_, t_, w_}) {
+      auto& field = state_.doubles(f);
+      for (std::size_t j = 1; j + 1 < nx_; ++j) {
+        for (std::size_t i = 1; i + 1 < nx_; ++i) {
+          const std::size_t c = j * nx_ + i;
+          const double lap = field[c - 1] + field[c + 1] + field[c - nx_] +
+                             field[c + nx_] - 4.0 * field[c];
+          field[c] += 0.05 * lap + 0.02 * rng_.uniform(-1.0, 1.0);
+        }
+      }
+    }
+  }
+
+  std::size_t nx_ = 0;
+  std::size_t u_ = 0, v_ = 0, p_ = 0, t_ = 0, w_ = 0;
+  Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+// miniaero: explicit unstructured-mesh Navier-Stokes; conservative state
+// per cell plus face connectivity.
+class MiniAeroProxy final : public ProxyBase {
+ public:
+  MiniAeroProxy(std::size_t target_bytes, std::uint64_t seed) {
+    constexpr std::size_t kFacesPerCell = 4;
+    const std::size_t bytes_per_cell =
+        5 * sizeof(double) + kFacesPerCell * sizeof(std::int32_t);
+    n_ = std::max<std::size_t>(128, target_bytes / bytes_per_cell);
+    q_ = state_.add_doubles("conserved", 5 * n_, /*keep=*/7);
+    faces_ = state_.add_ints("faces", kFacesPerCell * n_);
+    Rng rng(seed);
+    auto& q = state_.doubles(q_);
+    auto& faces = state_.ints(faces_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      // Free-stream initial condition with small perturbations.
+      q[5 * i + 0] = 1.0 + 0.01 * rng.normal();   // rho
+      q[5 * i + 1] = 0.5 + 0.01 * rng.normal();   // rho*u
+      q[5 * i + 2] = 0.01 * rng.normal();         // rho*v
+      q[5 * i + 3] = 0.01 * rng.normal();         // rho*w
+      q[5 * i + 4] = 2.5 + 0.01 * rng.normal();   // rho*E
+      for (std::size_t k = 0; k < kFacesPerCell; ++k) {
+        auto j = static_cast<std::int64_t>(i) +
+                 static_cast<std::int64_t>(rng.next_below(9)) - 4;
+        j = std::clamp<std::int64_t>(j, 0,
+                                     static_cast<std::int64_t>(n_) - 1);
+        faces[kFacesPerCell * i + k] = static_cast<std::int32_t>(j);
+      }
+    }
+    state_.quantize();
+  }
+
+  [[nodiscard]] std::string name() const override { return "miniaero"; }
+
+ private:
+  void do_step() override {
+    constexpr std::size_t kFacesPerCell = 4;
+    auto& q = state_.doubles(q_);
+    const auto& faces = state_.ints(faces_);
+    // First-order flux exchange across faces (Rusanov-flavored averaging).
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t k = 0; k < kFacesPerCell; ++k) {
+        const auto j = static_cast<std::size_t>(faces[kFacesPerCell * i + k]);
+        for (int c = 0; c < 5; ++c) {
+          const double flux = 0.02 * (q[5 * j + c] - q[5 * i + c]);
+          q[5 * i + c] += flux;
+        }
+      }
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::size_t q_ = 0, faces_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// lammps: production-scale MD proxy - comd's pattern plus molecular
+// topology (bond lists) and per-atom type/charge data. Ibtesham et al.
+// measured ~92% compression on real LAMMPS checkpoints; the heavy
+// structure (topology, lattice positions, discrete charges) is why.
+class LammpsProxy final : public ProxyBase {
+ public:
+  LammpsProxy(std::size_t target_bytes, std::uint64_t seed) {
+    constexpr std::size_t kBondsPerAtom = 4;
+    const std::size_t bytes_per_atom =
+        10 * sizeof(double) + (kBondsPerAtom + 1) * sizeof(std::int32_t);
+    n_ = std::max<std::size_t>(64, target_bytes / bytes_per_atom);
+    pos_ = state_.add_doubles("pos", 3 * n_, /*keep=*/4);
+    vel_ = state_.add_doubles("vel", 3 * n_, /*keep=*/3);
+    force_ = state_.add_doubles("force", 3 * n_, /*keep=*/3);
+    charge_ = state_.add_doubles("charge", n_, /*keep=*/2);
+    type_ = state_.add_ints("type", n_);
+    bonds_ = state_.add_ints("bonds", kBondsPerAtom * n_);
+    side_ = static_cast<std::size_t>(std::cbrt(static_cast<double>(n_))) + 1;
+    Rng rng(seed);
+    auto& pos = state_.doubles(pos_);
+    auto& vel = state_.doubles(vel_);
+    auto& charge = state_.doubles(charge_);
+    auto& type = state_.ints(type_);
+    auto& bonds = state_.ints(bonds_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      pos[3 * i + 0] = static_cast<double>(i % side_) + 0.005 * rng.normal();
+      pos[3 * i + 1] =
+          static_cast<double>((i / side_) % side_) + 0.005 * rng.normal();
+      pos[3 * i + 2] =
+          static_cast<double>(i / (side_ * side_)) + 0.005 * rng.normal();
+      for (int d = 0; d < 3; ++d) vel[3 * i + d] = 0.02 * rng.normal();
+      // A few discrete charge/type species, as in molecular force fields.
+      type[i] = static_cast<std::int32_t>(rng.next_below(4));
+      charge[i] = (type[i] % 2 == 0) ? 0.5 : -0.5;
+      // Bonds to lattice neighbors: near-regular topology.
+      for (std::size_t b = 0; b < kBondsPerAtom; ++b) {
+        auto j = static_cast<std::int64_t>(i) +
+                 static_cast<std::int64_t>(b) - 2;
+        j = std::clamp<std::int64_t>(j, 0,
+                                     static_cast<std::int64_t>(n_) - 1);
+        bonds[kBondsPerAtom * i + b] = static_cast<std::int32_t>(j);
+      }
+    }
+    state_.quantize();
+  }
+
+  [[nodiscard]] std::string name() const override { return "lammps"; }
+
+ private:
+  void do_step() override {
+    constexpr std::size_t kBondsPerAtom = 4;
+    constexpr double dt = 0.005;
+    auto& pos = state_.doubles(pos_);
+    auto& vel = state_.doubles(vel_);
+    auto& force = state_.doubles(force_);
+    const auto& bonds = state_.ints(bonds_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      double f[3] = {0, 0, 0};
+      for (std::size_t b = 0; b < kBondsPerAtom; ++b) {
+        const auto j =
+            static_cast<std::size_t>(bonds[kBondsPerAtom * i + b]);
+        if (j == i) continue;
+        for (int d = 0; d < 3; ++d) {
+          f[d] += 0.1 * (pos[3 * j + d] - pos[3 * i + d]);
+        }
+      }
+      for (int d = 0; d < 3; ++d) {
+        force[3 * i + d] = f[d];
+        vel[3 * i + d] += dt * f[d];
+        pos[3 * i + d] += dt * vel[3 * i + d];
+      }
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::size_t side_ = 0;
+  std::size_t pos_ = 0, vel_ = 0, force_ = 0, charge_ = 0;
+  std::size_t type_ = 0, bonds_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// cth: shock-hydrodynamics proxy - structured mesh with piecewise-smooth
+// fields separated by a moving shock front and integer material ids
+// (Ibtesham et al. measured ~83-85% on real CTH checkpoints).
+class CthProxy final : public ProxyBase {
+ public:
+  CthProxy(std::size_t target_bytes, std::uint64_t seed) : rng_(seed) {
+    const std::size_t bytes_per_cell =
+        4 * sizeof(double) + sizeof(std::int32_t);
+    const std::size_t cells =
+        std::max<std::size_t>(256, target_bytes / bytes_per_cell);
+    nx_ = static_cast<std::size_t>(std::sqrt(static_cast<double>(cells))) + 1;
+    const std::size_t n = nx_ * nx_;
+    rho_ = state_.add_doubles("density", n, /*keep=*/22);
+    e_ = state_.add_doubles("energy", n, /*keep=*/22);
+    u_ = state_.add_doubles("velocity", n, /*keep=*/22);
+    p_ = state_.add_doubles("pressure", n, /*keep=*/22);
+    mat_ = state_.add_ints("material", n);
+    shock_col_ = nx_ / 4;
+    auto& rho = state_.doubles(rho_);
+    auto& e = state_.doubles(e_);
+    auto& mat = state_.ints(mat_);
+    for (std::size_t j = 0; j < nx_; ++j) {
+      for (std::size_t i = 0; i < nx_; ++i) {
+        const std::size_t c = j * nx_ + i;
+        const bool shocked = i < shock_col_;
+        rho[c] = shocked ? 4.0 : 1.0;
+        e[c] = shocked ? 2.5 : 1.0;
+        mat[c] = i < nx_ / 2 ? 1 : 2;  // two material regions
+      }
+    }
+    state_.quantize();
+  }
+
+  [[nodiscard]] std::string name() const override { return "cth"; }
+
+ private:
+  void do_step() override {
+    // Advance the shock one column and relax the fields behind it.
+    shock_col_ = std::min(shock_col_ + 1, nx_ - 2);
+    auto& rho = state_.doubles(rho_);
+    auto& e = state_.doubles(e_);
+    auto& u = state_.doubles(u_);
+    auto& p = state_.doubles(p_);
+    for (std::size_t j = 0; j < nx_; ++j) {
+      for (std::size_t i = 0; i < nx_; ++i) {
+        const std::size_t c = j * nx_ + i;
+        const bool shocked = i < shock_col_;
+        rho[c] += 0.2 * ((shocked ? 4.0 : 1.0) - rho[c]) +
+                  0.02 * rng_.normal();
+        e[c] += 0.2 * ((shocked ? 2.5 : 1.0) - e[c]);
+        u[c] = shocked ? 0.8 : 0.0;
+        p[c] = 0.4 * rho[c] * e[c];
+      }
+    }
+  }
+
+  std::size_t nx_ = 0;
+  std::size_t shock_col_ = 0;
+  std::size_t rho_ = 0, e_ = 0, u_ = 0, p_ = 0, mat_ = 0;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<MiniApp> make_miniapp(const std::string& name,
+                                      std::size_t target_bytes,
+                                      std::uint64_t seed) {
+  if (name == "comd") return std::make_unique<ComdProxy>(target_bytes, seed);
+  if (name == "hpccg") {
+    return std::make_unique<HpccgProxy>(target_bytes, seed);
+  }
+  if (name == "minife") {
+    return std::make_unique<MiniFeProxy>(target_bytes, seed);
+  }
+  if (name == "minimd") {
+    return std::make_unique<MiniMdProxy>(target_bytes, seed);
+  }
+  if (name == "minismac") {
+    return std::make_unique<MiniSmacProxy>(target_bytes, seed);
+  }
+  if (name == "miniaero") {
+    return std::make_unique<MiniAeroProxy>(target_bytes, seed);
+  }
+  if (name == "phpccg") {
+    return std::make_unique<PhpccgProxy>(target_bytes, seed);
+  }
+  if (name == "lammps") {
+    return std::make_unique<LammpsProxy>(target_bytes, seed);
+  }
+  if (name == "cth") return std::make_unique<CthProxy>(target_bytes, seed);
+  throw std::runtime_error("unknown mini-app: " + name);
+}
+
+const std::vector<std::string>& miniapp_names() {
+  static const std::vector<std::string> names = {
+      "comd", "hpccg", "minife", "minimd", "minismac", "miniaero", "phpccg"};
+  return names;
+}
+
+const std::vector<std::string>& production_app_names() {
+  static const std::vector<std::string> names = {"lammps", "cth"};
+  return names;
+}
+
+}  // namespace ndpcr::workloads

@@ -1,0 +1,157 @@
+#include "workloads/array_state.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ndpcr::workloads {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E445057;  // "NDPW"
+
+void append_string(Bytes& out, const std::string& s) {
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  for (char c : s) out.push_back(static_cast<std::byte>(c));
+}
+
+std::string read_string(ByteSpan in, std::size_t& pos) {
+  if (pos + 4 > in.size()) throw std::runtime_error("truncated image");
+  const auto len = read_le<std::uint32_t>(in, pos);
+  pos += 4;
+  if (pos + len > in.size()) throw std::runtime_error("truncated image");
+  std::string s(len, '\0');
+  std::memcpy(s.data(), in.data() + pos, len);
+  pos += len;
+  return s;
+}
+
+}  // namespace
+
+double quantize_mantissa(double value, int keep_bits) {
+  if (keep_bits >= 52) return value;
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const std::uint64_t mask = ~((std::uint64_t{1} << (52 - keep_bits)) - 1);
+  bits &= mask;
+  std::memcpy(&value, &bits, sizeof(bits));
+  return value;
+}
+
+std::size_t ArrayState::add_doubles(std::string name, std::size_t count,
+                                    int mantissa_keep_bits) {
+  dbl_.push_back({std::move(name), mantissa_keep_bits,
+                  std::vector<double>(count, 0.0)});
+  return dbl_.size() - 1;
+}
+
+std::size_t ArrayState::add_ints(std::string name, std::size_t count) {
+  int_.push_back({std::move(name), std::vector<std::int32_t>(count, 0)});
+  return int_.size() - 1;
+}
+
+void ArrayState::quantize() {
+  for (auto& arr : dbl_) {
+    if (arr.keep_bits >= 52) continue;
+    for (auto& v : arr.data) v = quantize_mantissa(v, arr.keep_bits);
+  }
+}
+
+std::size_t ArrayState::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& arr : dbl_) total += arr.data.size() * sizeof(double);
+  for (const auto& arr : int_) total += arr.data.size() * sizeof(std::int32_t);
+  return total;
+}
+
+void ArrayState::serialize(Bytes& out, std::uint64_t step_count) const {
+  out.reserve(out.size() + total_bytes() + 256);
+  append_le<std::uint32_t>(out, kMagic);
+  append_le<std::uint64_t>(out, step_count);
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(dbl_.size()));
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(int_.size()));
+  for (const auto& arr : dbl_) {
+    append_string(out, arr.name);
+    append_le<std::uint64_t>(out, arr.data.size());
+    const std::size_t offset = out.size();
+    out.resize(offset + arr.data.size() * sizeof(double));
+    std::memcpy(out.data() + offset, arr.data.data(),
+                arr.data.size() * sizeof(double));
+  }
+  for (const auto& arr : int_) {
+    append_string(out, arr.name);
+    append_le<std::uint64_t>(out, arr.data.size());
+    const std::size_t offset = out.size();
+    out.resize(offset + arr.data.size() * sizeof(std::int32_t));
+    std::memcpy(out.data() + offset, arr.data.data(),
+                arr.data.size() * sizeof(std::int32_t));
+  }
+}
+
+std::uint64_t ArrayState::deserialize(ByteSpan image) {
+  std::size_t pos = 0;
+  if (image.size() < 20 || read_le<std::uint32_t>(image, 0) != kMagic) {
+    throw std::runtime_error("not a mini-app checkpoint image");
+  }
+  const auto step_count = read_le<std::uint64_t>(image, 4);
+  const auto n_dbl = read_le<std::uint32_t>(image, 12);
+  const auto n_int = read_le<std::uint32_t>(image, 16);
+  pos = 20;
+  if (n_dbl != dbl_.size() || n_int != int_.size()) {
+    throw std::runtime_error("checkpoint image layout mismatch");
+  }
+  for (auto& arr : dbl_) {
+    const std::string name = read_string(image, pos);
+    if (name != arr.name) throw std::runtime_error("array name mismatch");
+    if (pos + 8 > image.size()) throw std::runtime_error("truncated image");
+    const auto count = read_le<std::uint64_t>(image, pos);
+    pos += 8;
+    if (count != arr.data.size()) {
+      throw std::runtime_error("array size mismatch");
+    }
+    if (pos + count * sizeof(double) > image.size()) {
+      throw std::runtime_error("truncated image");
+    }
+    std::memcpy(arr.data.data(), image.data() + pos, count * sizeof(double));
+    pos += count * sizeof(double);
+  }
+  for (auto& arr : int_) {
+    const std::string name = read_string(image, pos);
+    if (name != arr.name) throw std::runtime_error("array name mismatch");
+    if (pos + 8 > image.size()) throw std::runtime_error("truncated image");
+    const auto count = read_le<std::uint64_t>(image, pos);
+    pos += 8;
+    if (count != arr.data.size()) {
+      throw std::runtime_error("array size mismatch");
+    }
+    if (pos + count * sizeof(std::int32_t) > image.size()) {
+      throw std::runtime_error("truncated image");
+    }
+    std::memcpy(arr.data.data(), image.data() + pos,
+                count * sizeof(std::int32_t));
+    pos += count * sizeof(std::int32_t);
+  }
+  if (pos != image.size()) {
+    throw std::runtime_error("trailing bytes in checkpoint image");
+  }
+  return step_count;
+}
+
+std::uint64_t ArrayState::digest() const {
+  // FNV-1a over all array payloads.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& arr : dbl_) {
+    mix(arr.data.data(), arr.data.size() * sizeof(double));
+  }
+  for (const auto& arr : int_) {
+    mix(arr.data.data(), arr.data.size() * sizeof(std::int32_t));
+  }
+  return h;
+}
+
+}  // namespace ndpcr::workloads

@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared state container for the mini-app proxies: a set of named double
+// and int32 arrays with uniform serialization, digesting, and a mantissa
+// quantization knob.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ndpcr::workloads {
+
+// Zero the low (52 - keep_bits) mantissa bits of a double. keep_bits >= 52
+// leaves the value untouched. This models the effective entropy of a
+// field: physical state in real checkpoints is rarely full-entropy in the
+// mantissa tail (integration steps, bounded ranges, repeated lattice
+// geometry), and the knob lets each proxy match its namesake's measured
+// compressibility.
+double quantize_mantissa(double value, int keep_bits);
+
+class ArrayState {
+ public:
+  // Registers arrays; returns the index used for access.
+  std::size_t add_doubles(std::string name, std::size_t count,
+                          int mantissa_keep_bits = 52);
+  std::size_t add_ints(std::string name, std::size_t count);
+
+  std::vector<double>& doubles(std::size_t idx) { return dbl_[idx].data; }
+  const std::vector<double>& doubles(std::size_t idx) const {
+    return dbl_[idx].data;
+  }
+  std::vector<std::int32_t>& ints(std::size_t idx) { return int_[idx].data; }
+  const std::vector<std::int32_t>& ints(std::size_t idx) const {
+    return int_[idx].data;
+  }
+
+  // Applies each double array's quantization knob in place. Called by the
+  // apps after each step so the in-memory state is what gets serialized.
+  void quantize();
+
+  [[nodiscard]] std::size_t total_bytes() const;
+
+  // Serialization: magic, step counter, per-array payloads with name and
+  // length checks on restore.
+  void serialize(Bytes& out, std::uint64_t step_count) const;
+  // Returns the restored step counter. Throws std::runtime_error if the
+  // image does not match the registered layout.
+  std::uint64_t deserialize(ByteSpan image);
+
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  struct DoubleArray {
+    std::string name;
+    int keep_bits;
+    std::vector<double> data;
+  };
+  struct IntArray {
+    std::string name;
+    std::vector<std::int32_t> data;
+  };
+  std::vector<DoubleArray> dbl_;
+  std::vector<IntArray> int_;
+};
+
+}  // namespace ndpcr::workloads

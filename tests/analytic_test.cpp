@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytic/daly.hpp"
+#include "common/units.hpp"
+
+namespace ndpcr::analytic {
+namespace {
+
+using namespace ndpcr::units;
+
+TEST(Daly, FirstOrderInterval) {
+  // Young/Daly first order: sqrt(2*delta*M) - delta.
+  EXPECT_NEAR(first_order_optimal_interval(9.0, 1800.0),
+              std::sqrt(2 * 9.0 * 1800.0) - 9.0, 1e-9);
+}
+
+TEST(Daly, HigherOrderCloseToFirstOrderWhenDeltaSmall) {
+  const double delta = 1.0;
+  const double mtti = 1e6;
+  const double t1 = first_order_optimal_interval(delta, mtti);
+  const double t2 = daly_optimal_interval(delta, mtti);
+  EXPECT_NEAR(t2 / t1, 1.0, 1e-2);
+}
+
+TEST(Daly, HigherOrderCapsAtMtti) {
+  // delta >= 2M: checkpointing cannot pay off within an MTTI.
+  EXPECT_DOUBLE_EQ(daly_optimal_interval(100.0, 40.0), 40.0);
+}
+
+TEST(Daly, PaperSection33CommitInterval) {
+  // Section 3.3: for M = 30 min and a 90% target, commit time ~ M/200
+  // (9 seconds) and checkpoint period ~ M/10 (3 minutes).
+  const double mtti = minutes(30);
+  const double delta = required_commit_time(mtti, 0.90);
+  EXPECT_NEAR(mtti / delta, 200.0, 20.0);  // ~1/200 of MTTI
+  const double tau = daly_optimal_interval(delta, mtti);
+  EXPECT_NEAR(mtti / tau, 10.0, 1.0);  // ~1/10 of MTTI
+}
+
+TEST(Daly, EfficiencyAtPaperOperatingPoint) {
+  // M = 30 min, delta = R = 9 s, tau = Daly optimal: efficiency ~ 90%.
+  const CrParams p{.mtti = minutes(30), .commit = 9.0, .restart = 9.0};
+  const double eff = optimal_efficiency(p);
+  EXPECT_NEAR(eff, 0.90, 0.005);
+}
+
+TEST(Daly, NumericOptimumAgreesWithClosedForm) {
+  for (double mtti : {600.0, 1800.0, 9000.0}) {
+    for (double delta : {1.0, 9.0, 60.0}) {
+      const CrParams p{.mtti = mtti, .commit = delta, .restart = delta};
+      const double closed = daly_optimal_interval(delta, mtti);
+      const double numeric = numeric_optimal_interval(p);
+      // Daly's closed form is an estimate; it should land within a few
+      // percent of the numeric optimum and its efficiency within 0.1%.
+      EXPECT_NEAR(closed / numeric, 1.0, 0.05)
+          << "mtti=" << mtti << " delta=" << delta;
+      EXPECT_NEAR(efficiency(closed, p), efficiency(numeric, p), 1e-3);
+    }
+  }
+}
+
+TEST(Daly, EfficiencyCurveIsMonotoneInMOverDelta) {
+  double prev = 0.0;
+  for (double ratio : {2.0, 5.0, 10.0, 50.0, 200.0, 1000.0, 10000.0}) {
+    const double eff = efficiency_vs_m_over_delta(ratio);
+    EXPECT_GT(eff, prev) << "ratio=" << ratio;
+    EXPECT_LT(eff, 1.0);
+    prev = eff;
+  }
+}
+
+TEST(Daly, EfficiencyCurveAnchors) {
+  // Figure 1 anchors: ~90% at M/delta = 200, about half at very small
+  // ratios, approaching 1 for huge ratios.
+  EXPECT_NEAR(efficiency_vs_m_over_delta(200.0), 0.90, 0.01);
+  EXPECT_LT(efficiency_vs_m_over_delta(2.0), 0.55);
+  EXPECT_GT(efficiency_vs_m_over_delta(100000.0), 0.99);
+}
+
+TEST(Daly, ExpectedRuntimeScalesLinearlyInSolveTime) {
+  const CrParams p{.mtti = 1800.0, .commit = 9.0, .restart = 9.0};
+  const double t1 = expected_runtime(100.0, 180.0, p);
+  const double t2 = expected_runtime(200.0, 180.0, p);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-12);
+}
+
+TEST(Daly, RuntimeExceedsSolveTime) {
+  const CrParams p{.mtti = 1800.0, .commit = 9.0, .restart = 9.0};
+  EXPECT_GT(expected_runtime(1000.0, 180.0, p), 1000.0);
+}
+
+TEST(Daly, InvalidArgumentsThrow) {
+  const CrParams p{.mtti = 1800.0, .commit = 9.0, .restart = 9.0};
+  EXPECT_THROW(expected_runtime(1.0, 0.0, p), std::invalid_argument);
+  EXPECT_THROW(daly_optimal_interval(0.0, 1800.0), std::invalid_argument);
+  EXPECT_THROW(daly_optimal_interval(9.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(efficiency_vs_m_over_delta(0.0), std::invalid_argument);
+  EXPECT_THROW(required_commit_time(1800.0, 1.5), std::invalid_argument);
+}
+
+// Property sweep: the closed-form optimum beats nearby intervals.
+class DalyOptimalityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DalyOptimalityTest, OptimumBeatsPerturbations) {
+  const double mtti = GetParam();
+  const CrParams p{.mtti = mtti, .commit = mtti / 150.0,
+                   .restart = mtti / 150.0};
+  const double tau = numeric_optimal_interval(p);
+  const double best = expected_runtime(1.0, tau, p);
+  for (double factor : {0.25, 0.5, 2.0, 4.0}) {
+    EXPECT_LE(best, expected_runtime(1.0, tau * factor, p) + 1e-12)
+        << "mtti=" << mtti << " factor=" << factor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MttiSweep, DalyOptimalityTest,
+                         ::testing::Values(300.0, 1800.0, 3600.0, 9000.0,
+                                           86400.0));
+
+}  // namespace
+}  // namespace ndpcr::analytic

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "compress/chunked.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+Bytes test_data(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_below(16));
+  return data;
+}
+
+TEST(Chunked, RoundTripsAcrossChunkBoundaries) {
+  const ChunkedCodec codec(CodecId::kDeflateStyle, 1, /*chunk=*/10000);
+  for (std::size_t size : {0u, 1u, 9999u, 10000u, 10001u, 35000u}) {
+    const Bytes data = test_data(size, size + 1);
+    const Bytes packed = codec.compress(data);
+    EXPECT_EQ(codec.decompress(packed), data) << "size=" << size;
+  }
+}
+
+TEST(Chunked, OutputIndependentOfThreadCount) {
+  // Parallelism is an execution detail: the stream must be bit-identical
+  // for any worker count.
+  const Bytes data = test_data(200000, 7);
+  const ChunkedCodec serial(CodecId::kLz4Style, 1, 16384, 1);
+  const ChunkedCodec parallel(CodecId::kLz4Style, 1, 16384, 8);
+  const Bytes a = serial.compress(data);
+  const Bytes b = parallel.compress(data);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(parallel.decompress(a), data);
+  EXPECT_EQ(serial.decompress(b), data);
+}
+
+TEST(Chunked, ParallelDecompressMatches) {
+  const Bytes data = test_data(150000, 9);
+  const ChunkedCodec codec(CodecId::kDeflateStyle, 1, 8192, 4);
+  EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+}
+
+TEST(Chunked, ChunkingCostsLittleRatio) {
+  // Chunked vs monolithic: same codec, modest ratio loss from per-chunk
+  // framing and reset dictionaries.
+  const Bytes data = test_data(256 * 1024, 11);
+  const auto mono = make_codec(CodecId::kDeflateStyle, 1);
+  const ChunkedCodec chunked(CodecId::kDeflateStyle, 1, 32768);
+  const double mono_size = static_cast<double>(mono->compress(data).size());
+  const double chunked_size =
+      static_cast<double>(chunked.compress(data).size());
+  EXPECT_LT(chunked_size, mono_size * 1.15);
+}
+
+TEST(Chunked, RejectsCorruptStreams) {
+  const ChunkedCodec codec(CodecId::kLz4Style, 1, 4096);
+  const Bytes data = test_data(20000, 13);
+  Bytes packed = codec.compress(data);
+
+  // Truncations.
+  for (std::size_t cut : {0u, 5u, 17u, 40u}) {
+    EXPECT_THROW((void)codec.decompress(ByteSpan(packed.data(), cut)),
+                 CodecError);
+  }
+  EXPECT_THROW(
+      (void)codec.decompress(ByteSpan(packed.data(), packed.size() - 1)),
+      CodecError);
+  // Payload corruption is caught by the inner per-chunk CRC.
+  Bytes flipped = packed;
+  flipped[flipped.size() - 10] ^= std::byte{0x40};
+  EXPECT_THROW((void)codec.decompress(flipped), CodecError);
+  // Wrong inner codec.
+  const ChunkedCodec other(CodecId::kDeflateStyle, 1, 4096);
+  EXPECT_THROW((void)other.decompress(packed), CodecError);
+}
+
+TEST(Chunked, ExceptionFromWorkerPropagates) {
+  const ChunkedCodec codec(CodecId::kDeflateStyle, 1, 64, 4);
+  const Bytes data = test_data(4096, 15);
+  Bytes packed = codec.compress(data);
+  // Corrupt a middle chunk: the parallel decompress must rethrow.
+  packed[packed.size() / 2] ^= std::byte{0xFF};
+  EXPECT_THROW((void)codec.decompress(packed), CodecError);
+}
+
+TEST(Chunked, InvalidConfigThrows) {
+  EXPECT_THROW(ChunkedCodec(CodecId::kDeflateStyle, 1, 0), CodecError);
+  EXPECT_THROW(ChunkedCodec(CodecId::kDeflateStyle, 0, 4096), CodecError);
+}
+
+}  // namespace
+}  // namespace ndpcr::compress

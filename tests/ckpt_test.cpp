@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ckpt/image.hpp"
+#include "ckpt/multilevel.hpp"
+#include "ckpt/nvm_store.hpp"
+#include "ckpt/region.hpp"
+#include "ckpt/stores.hpp"
+#include "common/rng.hpp"
+
+namespace ndpcr::ckpt {
+namespace {
+
+Bytes payload_of(const std::string& s) { return to_bytes(s.data(), s.size()); }
+
+TEST(Image, BuildParseRoundTrip) {
+  CheckpointMeta meta{.app_id = 7, .rank = 3, .checkpoint_id = 99, .step = 12};
+  const Bytes payload = payload_of("application state bytes");
+  const Bytes raw = CheckpointImage::build(meta, payload);
+
+  const CheckpointImage image = CheckpointImage::parse(raw);
+  EXPECT_EQ(image.meta().app_id, 7u);
+  EXPECT_EQ(image.meta().rank, 3u);
+  EXPECT_EQ(image.meta().checkpoint_id, 99u);
+  EXPECT_EQ(image.meta().step, 12u);
+  EXPECT_EQ(Bytes(image.payload().begin(), image.payload().end()), payload);
+}
+
+TEST(Image, PeekMetaWithoutFullValidation) {
+  const Bytes raw = CheckpointImage::build(
+      CheckpointMeta{.app_id = 1, .rank = 2, .checkpoint_id = 3, .step = 4},
+      payload_of("x"));
+  const CheckpointMeta meta = CheckpointImage::peek_meta(raw);
+  EXPECT_EQ(meta.rank, 2u);
+  EXPECT_EQ(meta.checkpoint_id, 3u);
+}
+
+TEST(Image, ParseRejectsCorruption) {
+  Bytes raw = CheckpointImage::build(CheckpointMeta{}, payload_of("payload"));
+  Bytes truncated(raw.begin(), raw.end() - 1);
+  EXPECT_THROW(CheckpointImage::parse(truncated), ImageError);
+
+  Bytes flipped = raw;
+  flipped.back() ^= std::byte{0x01};
+  EXPECT_THROW(CheckpointImage::parse(flipped), ImageError);
+
+  Bytes bad_magic = raw;
+  bad_magic[0] = std::byte{0x00};
+  EXPECT_THROW(CheckpointImage::parse(bad_magic), ImageError);
+
+  EXPECT_THROW(CheckpointImage::parse(ByteSpan{}), ImageError);
+}
+
+TEST(Region, CaptureRestoreRoundTrip) {
+  std::vector<double> field(100, 1.5);
+  std::vector<std::int32_t> index(10, 7);
+  RegionRegistry reg;
+  reg.register_vector("field", field);
+  reg.register_vector("index", index);
+  EXPECT_EQ(reg.total_bytes(), 100 * 8 + 10 * 4);
+
+  const Bytes snap = reg.capture();
+  field.assign(100, -2.0);
+  index.assign(10, 0);
+  reg.restore(snap);
+  EXPECT_EQ(field[50], 1.5);
+  EXPECT_EQ(index[5], 7);
+}
+
+TEST(Region, RejectsDuplicateNames) {
+  std::vector<double> a(4), b(4);
+  RegionRegistry reg;
+  reg.register_vector("x", a);
+  EXPECT_THROW(reg.register_vector("x", b), ImageError);
+}
+
+TEST(Region, RestoreRejectsMismatchedLayout) {
+  std::vector<double> a(4);
+  RegionRegistry reg;
+  reg.register_vector("x", a);
+  const Bytes snap = reg.capture();
+
+  std::vector<double> c(5);
+  RegionRegistry other;
+  other.register_vector("x", c);
+  EXPECT_THROW(other.restore(snap), ImageError);
+
+  RegionRegistry renamed;
+  std::vector<double> d(4);
+  renamed.register_vector("y", d);
+  EXPECT_THROW(renamed.restore(snap), ImageError);
+}
+
+TEST(NvmStore, FifoEviction) {
+  NvmStore store(100);
+  EXPECT_TRUE(store.put(1, Bytes(40)));
+  EXPECT_TRUE(store.put(2, Bytes(40)));
+  EXPECT_EQ(store.count(), 2u);
+  // Third checkpoint forces out the oldest.
+  EXPECT_TRUE(store.put(3, Bytes(40)));
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_TRUE(store.contains(2));
+  EXPECT_TRUE(store.contains(3));
+  EXPECT_EQ(store.eviction_count(), 1u);
+  EXPECT_EQ(store.newest_id().value(), 3u);
+}
+
+TEST(NvmStore, LockedCheckpointsBlockEviction) {
+  NvmStore store(100);
+  ASSERT_TRUE(store.put(1, Bytes(60)));
+  store.lock(1);
+  // Does not fit without evicting the locked entry: put must fail and
+  // leave the store unchanged.
+  EXPECT_FALSE(store.put(2, Bytes(60)));
+  EXPECT_TRUE(store.contains(1));
+  store.unlock(1);
+  EXPECT_TRUE(store.put(3, Bytes(60)));
+  EXPECT_FALSE(store.contains(1));
+}
+
+TEST(NvmStore, LocksNest) {
+  NvmStore store(100);
+  ASSERT_TRUE(store.put(1, Bytes(10)));
+  store.lock(1);
+  store.lock(1);
+  store.unlock(1);
+  EXPECT_TRUE(store.is_locked(1));
+  store.unlock(1);
+  EXPECT_FALSE(store.is_locked(1));
+  EXPECT_THROW(store.unlock(1), std::logic_error);
+}
+
+TEST(NvmStore, EraseAndClear) {
+  NvmStore store(100);
+  ASSERT_TRUE(store.put(1, Bytes(30)));
+  ASSERT_TRUE(store.put(2, Bytes(30)));
+  store.lock(2);
+  EXPECT_THROW(store.erase(2), std::logic_error);
+  store.erase(1);
+  EXPECT_EQ(store.used_bytes(), 30u);
+  store.erase(99);  // unknown id: no-op
+  store.clear();
+  EXPECT_EQ(store.count(), 0u);
+  EXPECT_EQ(store.used_bytes(), 0u);
+}
+
+TEST(NvmStore, RejectsNonMonotonicIds) {
+  NvmStore store(100);
+  ASSERT_TRUE(store.put(5, Bytes(10)));
+  EXPECT_THROW(store.put(5, Bytes(10)), std::logic_error);
+  EXPECT_THROW(store.put(4, Bytes(10)), std::logic_error);
+}
+
+TEST(NvmStore, OversizedCheckpointRejected) {
+  NvmStore store(100);
+  EXPECT_FALSE(store.put(1, Bytes(101)));
+  EXPECT_EQ(store.count(), 0u);
+}
+
+TEST(KvStore, PutGetNewest) {
+  KvStore store;
+  store.put(0, 1, Bytes(10));
+  store.put(0, 3, Bytes(10));
+  store.put(1, 2, Bytes(10));
+  EXPECT_TRUE(store.contains(0, 1));
+  EXPECT_FALSE(store.contains(0, 2));
+  EXPECT_EQ(store.newest_id(0).value(), 3u);
+  EXPECT_EQ(store.newest_id(1).value(), 2u);
+  EXPECT_FALSE(store.newest_id(2).has_value());
+  EXPECT_EQ(store.used_bytes(), 30u);
+  store.erase(0, 3);
+  EXPECT_EQ(store.newest_id(0).value(), 1u);
+}
+
+TEST(XorParity, RebuildsMissingBuffer) {
+  Rng rng(4);
+  std::vector<Bytes> buffers(4, Bytes(256));
+  for (auto& buf : buffers) {
+    for (auto& b : buf) b = static_cast<std::byte>(rng.next_below(256));
+  }
+  const Bytes parity = xor_parity(buffers);
+
+  // Drop buffer 2; rebuild it from the survivors + parity.
+  std::vector<Bytes> survivors = {buffers[0], buffers[1], buffers[3]};
+  EXPECT_EQ(xor_rebuild(parity, survivors), buffers[2]);
+}
+
+TEST(XorParity, RejectsMismatchedLengths) {
+  EXPECT_THROW(xor_parity({Bytes(4), Bytes(5)}), std::invalid_argument);
+  EXPECT_THROW(xor_parity({}), std::invalid_argument);
+  EXPECT_THROW(xor_rebuild(Bytes(4), {Bytes(5)}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+
+MultilevelConfig small_config(std::uint32_t nodes) {
+  MultilevelConfig cfg;
+  cfg.node_count = nodes;
+  cfg.nvm_capacity_bytes = 1 << 20;
+  cfg.partner_every = 1;
+  cfg.io_every = 2;
+  return cfg;
+}
+
+std::vector<Bytes> make_payloads(std::uint32_t nodes, int tag) {
+  std::vector<Bytes> payloads;
+  for (std::uint32_t r = 0; r < nodes; ++r) {
+    std::string s = "rank " + std::to_string(r) + " state v" +
+                    std::to_string(tag);
+    payloads.push_back(payload_of(s));
+  }
+  return payloads;
+}
+
+std::vector<ByteSpan> views(const std::vector<Bytes>& payloads) {
+  std::vector<ByteSpan> v;
+  for (const auto& p : payloads) v.emplace_back(p);
+  return v;
+}
+
+TEST(Multilevel, RecoversFromLocalWhenHealthy) {
+  MultilevelManager mgr(small_config(4));
+  const auto p1 = make_payloads(4, 1);
+  mgr.commit(views(p1));
+  const auto p2 = make_payloads(4, 2);
+  const auto id2 = mgr.commit(views(p2));
+
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->checkpoint_id, id2);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(rec->payloads[r], p2[r]);
+    EXPECT_EQ(rec->levels[r], RecoveryLevel::kLocal);
+  }
+}
+
+TEST(Multilevel, FailedNodeRecoversFromPartner) {
+  MultilevelManager mgr(small_config(4));
+  const auto p1 = make_payloads(4, 1);
+  mgr.commit(views(p1));
+
+  mgr.fail_node(2);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  // Rank 2's local copy is gone; its partner copy lives on node 3.
+  EXPECT_EQ(rec->levels[2], RecoveryLevel::kPartner);
+  EXPECT_EQ(rec->payloads[2], p1[2]);
+  // Node 2 also hosted rank 1's partner copy, but rank 1's local survives.
+  EXPECT_EQ(rec->levels[1], RecoveryLevel::kLocal);
+}
+
+TEST(Multilevel, DoubleFailureFallsBackToIo) {
+  auto cfg = small_config(4);
+  cfg.io_every = 1;  // every checkpoint reaches IO
+  MultilevelManager mgr(cfg);
+  const auto p1 = make_payloads(4, 1);
+  mgr.commit(views(p1));
+
+  // Node 2 and its partner-holder node 3 both fail: rank 2 must use IO.
+  mgr.fail_node(2);
+  mgr.fail_node(3);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->levels[2], RecoveryLevel::kIo);
+  EXPECT_EQ(rec->payloads[2], p1[2]);
+}
+
+TEST(Multilevel, RollsBackToOlderCommonCheckpoint) {
+  auto cfg = small_config(4);
+  cfg.partner_every = 0;  // no partner level
+  cfg.io_every = 2;       // ids 2, 4, ... reach IO
+  MultilevelManager mgr(cfg);
+  const auto p1 = make_payloads(4, 1);
+  const auto p2 = make_payloads(4, 2);
+  const auto p3 = make_payloads(4, 3);
+  mgr.commit(views(p1));
+  const auto id2 = mgr.commit(views(p2));
+  mgr.commit(views(p3));  // id 3: local only
+
+  mgr.fail_node(0);  // rank 0 lost checkpoint 3; must roll back to id 2
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->checkpoint_id, id2);
+  EXPECT_EQ(rec->levels[0], RecoveryLevel::kIo);
+  EXPECT_EQ(rec->payloads[0], p2[0]);
+  // Healthy ranks still restore id 2 from their local buffers.
+  EXPECT_EQ(rec->levels[1], RecoveryLevel::kLocal);
+}
+
+TEST(Multilevel, CompressedIoRoundTrips) {
+  auto cfg = small_config(2);
+  cfg.io_every = 1;
+  cfg.partner_every = 0;
+  cfg.io_codec = compress::CodecId::kDeflateStyle;
+  cfg.io_codec_level = 1;
+  MultilevelManager mgr(cfg);
+  std::vector<Bytes> payloads;
+  payloads.push_back(Bytes(10000, std::byte{0x11}));  // compressible
+  payloads.push_back(Bytes(10000, std::byte{0x22}));
+  mgr.commit(views(payloads));
+
+  // The IO store holds less than the raw payload: compression was applied.
+  EXPECT_LT(mgr.io_store().used_bytes(), 2000u);
+
+  mgr.fail_node(0);
+  mgr.fail_node(1);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->levels[0], RecoveryLevel::kIo);
+  EXPECT_EQ(rec->payloads[0], payloads[0]);
+  EXPECT_EQ(rec->payloads[1], payloads[1]);
+}
+
+TEST(Multilevel, CorruptionDetectedAndLevelSkipped) {
+  auto cfg = small_config(3);
+  MultilevelManager mgr(cfg);
+  const auto p1 = make_payloads(3, 1);
+  mgr.commit(views(p1));
+
+  mgr.corrupt_local(1);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  // The CRC catches the flipped byte; rank 1 falls back to its partner.
+  EXPECT_EQ(rec->levels[1], RecoveryLevel::kPartner);
+  EXPECT_EQ(rec->payloads[1], p1[1]);
+}
+
+TEST(Multilevel, NoCheckpointAnywhereReturnsNullopt) {
+  MultilevelManager mgr(small_config(2));
+  EXPECT_FALSE(mgr.recover().has_value());
+
+  const auto p1 = make_payloads(2, 1);
+  mgr.commit(views(p1));  // id 1: local + partner only (io_every = 2)
+  mgr.fail_node(0);
+  mgr.fail_node(1);
+  EXPECT_FALSE(mgr.recover().has_value());
+}
+
+TEST(Multilevel, XorGroupRecoversSingleLossCheaply) {
+  auto cfg = small_config(8);
+  cfg.partner_scheme = PartnerScheme::kXorGroup;
+  cfg.xor_group_size = 4;
+  MultilevelManager mgr(cfg);
+  const auto p1 = make_payloads(8, 1);
+  mgr.commit(views(p1));
+
+  // Space check: parity is ~1 image per 4-rank group, not 8 full copies.
+  std::size_t copy_space = 0;
+  {
+    auto copy_cfg = cfg;
+    copy_cfg.partner_scheme = PartnerScheme::kCopy;
+    MultilevelManager copies(copy_cfg);
+    copies.commit(views(p1));
+    for (std::uint32_t r = 0; r < 8; ++r) {
+      copy_space += copies.local_store(r).used_bytes();
+    }
+  }
+
+  mgr.fail_node(2);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->levels[2], RecoveryLevel::kPartner);
+  EXPECT_EQ(rec->payloads[2], p1[2]);
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    if (r != 2) EXPECT_EQ(rec->levels[r], RecoveryLevel::kLocal);
+  }
+  (void)copy_space;
+}
+
+TEST(Multilevel, XorGroupCannotSurviveTwoLossesInGroup) {
+  auto cfg = small_config(8);
+  cfg.partner_scheme = PartnerScheme::kXorGroup;
+  cfg.xor_group_size = 4;
+  cfg.io_every = 1;  // IO backs up everything
+  MultilevelManager mgr(cfg);
+  const auto p1 = make_payloads(8, 1);
+  mgr.commit(views(p1));
+
+  // Two members of group 0 die: their rebuild needs each other, so both
+  // fall through to IO; group 1 (ranks 4-7) is untouched.
+  mgr.fail_node(1);
+  mgr.fail_node(2);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->levels[1], RecoveryLevel::kIo);
+  EXPECT_EQ(rec->levels[2], RecoveryLevel::kIo);
+  EXPECT_EQ(rec->payloads[1], p1[1]);
+  EXPECT_EQ(rec->payloads[2], p1[2]);
+  EXPECT_EQ(rec->levels[5], RecoveryLevel::kLocal);
+}
+
+TEST(Multilevel, XorGroupLossesInDifferentGroupsBothRecover) {
+  auto cfg = small_config(8);
+  cfg.partner_scheme = PartnerScheme::kXorGroup;
+  cfg.xor_group_size = 4;
+  MultilevelManager mgr(cfg);
+  const auto p1 = make_payloads(8, 1);
+  mgr.commit(views(p1));
+
+  // Rank 1 (group 0, parity on node 4) and rank 6 (group 1, parity on
+  // node 0): independent groups, both rebuild.
+  mgr.fail_node(1);
+  mgr.fail_node(6);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->levels[1], RecoveryLevel::kPartner);
+  EXPECT_EQ(rec->levels[6], RecoveryLevel::kPartner);
+  EXPECT_EQ(rec->payloads[1], p1[1]);
+  EXPECT_EQ(rec->payloads[6], p1[6]);
+}
+
+TEST(Multilevel, XorGroupUnevenPayloadSizes) {
+  // Ranks with different image sizes exercise the padding path.
+  auto cfg = small_config(8);
+  cfg.partner_scheme = PartnerScheme::kXorGroup;
+  cfg.xor_group_size = 4;
+  std::vector<Bytes> payloads;
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    payloads.push_back(Bytes(1 + 977 * r % 4096,
+                             static_cast<std::byte>(0x10 + r)));
+  }
+  for (std::uint32_t victim = 0; victim < 8; ++victim) {
+    MultilevelManager fresh(cfg);
+    fresh.commit(views(payloads));
+    fresh.fail_node(victim);
+    const auto rec = fresh.recover();
+    ASSERT_TRUE(rec.has_value()) << "victim " << victim;
+    EXPECT_EQ(rec->payloads[victim], payloads[victim]) << "victim "
+                                                       << victim;
+  }
+}
+
+TEST(Multilevel, XorGroupValidatesGeometry) {
+  auto cfg = small_config(4);
+  cfg.partner_scheme = PartnerScheme::kXorGroup;
+  cfg.xor_group_size = 4;  // spans the whole machine: rejected
+  EXPECT_THROW(MultilevelManager{cfg}, std::invalid_argument);
+  cfg.xor_group_size = 0;
+  EXPECT_THROW(MultilevelManager{cfg}, std::invalid_argument);
+}
+
+TEST(Multilevel, CommitValidatesPayloadCount) {
+  MultilevelManager mgr(small_config(2));
+  const auto p1 = make_payloads(1, 1);
+  EXPECT_THROW(mgr.commit(views(p1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndpcr::ckpt

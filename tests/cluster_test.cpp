@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/failure_analysis.hpp"
+#include "common/units.hpp"
+
+namespace ndpcr::cluster {
+namespace {
+
+using namespace ndpcr::units;
+
+TEST(FailureAnalysis, ObservedMttiMatchesTheory) {
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 1000;
+  cfg.node_mttf = years(5);
+  cfg.target_failures = 20000;
+  const auto r = analyze_failures(cfg);
+  EXPECT_EQ(r.failures, 20000u);
+  // System MTTI = node MTTF / N.
+  EXPECT_NEAR(r.observed_system_mtti / (cfg.node_mttf / cfg.node_count), 1.0,
+              0.05);
+}
+
+TEST(FailureAnalysis, MostFailuresRecoverableFromPartner) {
+  // With a 5-year node MTTF and a 10-minute rebuild window, double
+  // failures within a partner pair are rare: P(local) should be very
+  // high - the regime behind the paper's 85-96% inputs.
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 1000;
+  cfg.node_mttf = years(5);
+  cfg.rebuild_time = 600.0;
+  cfg.target_failures = 50000;
+  const auto r = analyze_failures(cfg);
+  EXPECT_GT(r.p_local(), 0.99);
+  EXPECT_EQ(r.failures, r.local_recoverable + r.io_required);
+}
+
+TEST(FailureAnalysis, LongerRebuildWindowNeedsMoreIoRecoveries) {
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 500;
+  cfg.node_mttf = days(10);  // compressed time scale to get statistics
+  cfg.target_failures = 50000;
+
+  cfg.rebuild_time = 60.0;
+  const double p_short = analyze_failures(cfg).p_local();
+  cfg.rebuild_time = 3600.0;
+  const double p_long = analyze_failures(cfg).p_local();
+  EXPECT_LT(p_long, p_short);
+  EXPECT_GT(analyze_failures(cfg).io_required, 0u);
+}
+
+TEST(FailureAnalysis, InvalidInputsThrow) {
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 1;
+  EXPECT_THROW(analyze_failures(cfg), std::invalid_argument);
+  cfg.node_count = 2;
+  cfg.node_mttf = 0;
+  EXPECT_THROW(analyze_failures(cfg), std::invalid_argument);
+}
+
+TEST(ClusterSim, CompletesWithFailuresAndVerifies) {
+  ClusterSimConfig cfg;
+  cfg.node_count = 4;
+  cfg.state_bytes_per_rank = 32 * 1024;
+  cfg.node_mttf = 800.0;  // aggressive failure rate for test coverage
+  cfg.total_steps = 400;
+  cfg.io_every = 3;
+  const auto r = ClusterSim(cfg).run();
+  // steps_completed counts every executed step, including re-execution
+  // after rollbacks: it exceeds the target by exactly the rerun steps.
+  EXPECT_EQ(r.steps_completed, 400u + r.steps_rerun);
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_GT(r.recoveries, 0u);
+  EXPECT_GT(r.checkpoints, 0u);
+  EXPECT_TRUE(r.state_verified);
+  // Healthy ranks recover from local; the victim uses partner (or IO).
+  EXPECT_GT(r.local_level_ranks, 0u);
+  EXPECT_GT(r.partner_level_ranks + r.io_level_ranks, 0u);
+}
+
+TEST(ClusterSim, NoFailuresIsCleanRun) {
+  ClusterSimConfig cfg;
+  cfg.node_count = 2;
+  cfg.state_bytes_per_rank = 16 * 1024;
+  cfg.node_mttf = 1e12;
+  cfg.total_steps = 100;
+  const auto r = ClusterSim(cfg).run();
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.steps_rerun, 0u);
+  EXPECT_EQ(r.steps_completed, 100u);
+  EXPECT_TRUE(r.state_verified);
+}
+
+TEST(ClusterSim, RerunAccountingIsConsistent) {
+  ClusterSimConfig cfg;
+  cfg.node_count = 3;
+  cfg.state_bytes_per_rank = 16 * 1024;
+  cfg.node_mttf = 500.0;
+  cfg.total_steps = 300;
+  cfg.seed = 21;
+  const auto r = ClusterSim(cfg).run();
+  EXPECT_EQ(r.steps_completed, 300u + r.steps_rerun);
+  if (r.failures > 0) {
+    // Rerun steps only arise from recoveries or scratch restarts.
+    EXPECT_GT(r.recoveries + r.unrecoverable, 0u);
+  }
+}
+
+TEST(ClusterSim, WorksAcrossWorkloads) {
+  for (const char* app : {"hpccg", "minismac"}) {
+    ClusterSimConfig cfg;
+    cfg.app = app;
+    cfg.node_count = 2;
+    cfg.state_bytes_per_rank = 16 * 1024;
+    cfg.node_mttf = 600.0;
+    cfg.total_steps = 120;
+    const auto r = ClusterSim(cfg).run();
+    EXPECT_EQ(r.steps_completed, 120u) << app;
+    EXPECT_TRUE(r.state_verified) << app;
+  }
+}
+
+TEST(ClusterSim, InvalidConfigThrows) {
+  ClusterSimConfig cfg;
+  cfg.node_count = 0;
+  EXPECT_THROW(ClusterSim{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndpcr::cluster

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace ndpcr {
+namespace {
+
+TEST(Crc32, MatchesKnownVectors) {
+  // Standard CRC-32 check value for "123456789".
+  const char* msg = "123456789";
+  EXPECT_EQ(Crc32::compute(msg, std::strlen(msg)), 0xCBF43926u);
+  // Empty input.
+  EXPECT_EQ(Crc32::compute(nullptr, 0), 0x00000000u);
+  // Single zero byte.
+  const unsigned char zero = 0;
+  EXPECT_EQ(Crc32::compute(&zero, 1), 0xD202EF8Du);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32 crc;
+  crc.update(data.data(), 10);
+  crc.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(crc.value(), Crc32::compute(data.data(), data.size()));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data(1024, std::byte{0x42});
+  const auto clean = Crc32::compute(data);
+  data[512] ^= std::byte{0x01};
+  EXPECT_NE(Crc32::compute(data), clean);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(42);
+  const double mean = 30.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  Rng rng(3);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Units, RoundTrips) {
+  using namespace units;
+  EXPECT_DOUBLE_EQ(bytes_from_gb(112), 112e9);
+  EXPECT_DOUBLE_EQ(gb(bytes_from_gb(140)), 140.0);
+  EXPECT_DOUBLE_EQ(minutes(30), 1800.0);
+  EXPECT_DOUBLE_EQ(to_minutes(minutes(160)), 160.0);
+  EXPECT_DOUBLE_EQ(mbps(100), 1e8);
+  EXPECT_DOUBLE_EQ(gbps(15), 1.5e10);
+}
+
+TEST(Bytes, LittleEndianRoundTrip) {
+  Bytes buf;
+  append_le<std::uint64_t>(buf, 0x1122334455667788ull);
+  append_le<std::uint32_t>(buf, 0xDEADBEEFu);
+  EXPECT_EQ(buf.size(), 12u);
+  EXPECT_EQ(read_le<std::uint64_t>(buf, 0), 0x1122334455667788ull);
+  EXPECT_EQ(read_le<std::uint32_t>(buf, 8), 0xDEADBEEFu);
+}
+
+TEST(TextTable, FormatsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.51, 0), "51%");
+  EXPECT_EQ(fmt_si_bytes(112e9), "112 GB");
+}
+
+}  // namespace
+}  // namespace ndpcr

@@ -1,0 +1,142 @@
+// Reference-implementation cross-checks: the optimized compression
+// building blocks against naive-but-obviously-correct counterparts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+#include "common/rng.hpp"
+#include "compress/huffman.hpp"
+#include "compress/matcher.hpp"
+#include "compress/suffix_array.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+// Reference unlimited-depth Huffman cost via the classic two-queue/heap
+// construction: the minimum achievable weighted code length.
+std::uint64_t reference_huffman_cost(const std::vector<std::uint64_t>& freqs) {
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>> heap;
+  for (auto f : freqs) {
+    if (f > 0) heap.push(f);
+  }
+  if (heap.size() <= 1) return 0;
+  std::uint64_t cost = 0;
+  while (heap.size() > 1) {
+    const auto a = heap.top();
+    heap.pop();
+    const auto b = heap.top();
+    heap.pop();
+    cost += a + b;
+    heap.push(a + b);
+  }
+  return cost;
+}
+
+TEST(HuffmanReference, PackageMergeMatchesOptimalWhenDepthFits) {
+  // With a generous depth limit the package-merge lengths must reach the
+  // unconstrained optimum exactly.
+  Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + rng.next_below(40);
+    std::vector<std::uint64_t> freqs(n);
+    for (auto& f : freqs) f = rng.next_below(500);
+    if (std::count_if(freqs.begin(), freqs.end(),
+                      [](auto f) { return f > 0; }) < 2) {
+      freqs[0] = 1;
+      freqs[1] = 2;
+    }
+    const auto lengths = huffman_code_lengths(freqs, kMaxHuffmanBits);
+    std::uint64_t cost = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      cost += freqs[s] * lengths[s];
+    }
+    EXPECT_EQ(cost, reference_huffman_cost(freqs)) << "trial " << trial;
+  }
+}
+
+TEST(HuffmanReference, TightLimitCostsOnlySlightlyMore) {
+  // Constrained codes may be worse than optimal but never better, and
+  // within the theoretical bound of ~1 extra bit per symbol here.
+  Rng rng(33);
+  std::vector<std::uint64_t> freqs(64);
+  std::uint64_t f = 1;
+  for (auto& x : freqs) {
+    x = f;
+    f = f * 2 + 1;  // exponential: forces deep optimal codes
+    if (f > (1ull << 40)) f = 1;
+  }
+  const auto limited = huffman_code_lengths(freqs, 8);
+  std::uint64_t limited_cost = 0;
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    limited_cost += freqs[s] * limited[s];
+    total += freqs[s];
+  }
+  const auto optimal = reference_huffman_cost(freqs);
+  EXPECT_GE(limited_cost, optimal);
+  EXPECT_LE(limited_cost, optimal + 2 * total);
+}
+
+// Naive longest-match search: scan every admissible previous position.
+Match naive_longest_match(ByteSpan data, std::size_t pos,
+                          std::uint32_t window, std::uint32_t min_match,
+                          std::uint32_t max_match) {
+  Match best;
+  const std::size_t limit =
+      std::min<std::size_t>(data.size() - pos, max_match);
+  const std::size_t start = pos > window ? pos - window : 0;
+  for (std::size_t cand = start; cand < pos; ++cand) {
+    std::size_t len = 0;
+    while (len < limit && data[cand + len] == data[pos + len]) ++len;
+    if (len >= min_match && len > best.length) {
+      best.length = static_cast<std::uint32_t>(len);
+      best.distance = static_cast<std::uint32_t>(pos - cand);
+    }
+  }
+  return best;
+}
+
+TEST(MatcherReference, DeepChainFindsTheLongestMatch) {
+  // With an effectively unlimited chain the hash-chain finder must match
+  // the naive scan's *length* at every position (distance may differ
+  // among equal-length candidates).
+  Rng rng(35);
+  Bytes data(1500);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_below(4));
+
+  MatchFinder finder(data, /*window=*/1 << 15, 4, 64, /*chain=*/100000);
+  for (std::size_t pos = 0; pos + 4 <= data.size(); ++pos) {
+    const Match fast = finder.find(pos);
+    const Match slow = naive_longest_match(data, pos, 1 << 15, 4, 64);
+    EXPECT_EQ(fast.length, slow.length) << "pos " << pos;
+    if (fast.length > 0) {
+      // Whatever it found must actually match.
+      for (std::uint32_t i = 0; i < fast.length; ++i) {
+        EXPECT_EQ(data[pos + i], data[pos - fast.distance + i]);
+      }
+    }
+    finder.insert(pos);
+  }
+}
+
+TEST(SuffixArrayReference, AgreesOnStressShapes) {
+  // Shapes that historically break suffix-array implementations.
+  const std::vector<std::string> shapes = {
+      std::string(500, 'a'),                  // all equal
+      "abababababababababababababab",         // period 2
+      "aaaabaaaabaaaabaaaab",                  // runs + period
+      "zyxwvutsrqponmlkjihgfedcba",            // strictly decreasing
+      "abcabcabcabcabcabcabcabcabcx",          // period broken at the end
+      std::string("\x00\x00\x01\x00\x00\x01\x00", 7),  // embedded zeros
+  };
+  for (const auto& s : shapes) {
+    const Bytes data = to_bytes(s.data(), s.size());
+    EXPECT_EQ(suffix_array(data), suffix_array_naive(data)) << s.substr(0, 8);
+  }
+}
+
+}  // namespace
+}  // namespace ndpcr::compress

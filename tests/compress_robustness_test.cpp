@@ -1,0 +1,135 @@
+// Adversarial robustness: decompressors must never crash, hang, corrupt
+// memory, or silently return wrong data, no matter how the stream is
+// mangled. Every mutation either throws CodecError or (if it happens to
+// leave the stream semantically intact) reproduces the original bytes -
+// the frame CRC makes silent corruption effectively impossible.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+struct CodecCase {
+  const char* name;
+  int level;
+};
+
+Bytes sample_input(std::uint64_t seed) {
+  // A mix of runs, text, and noise: exercises every coding path.
+  Rng rng(seed);
+  Bytes data;
+  data.reserve(60000);
+  for (int section = 0; section < 30; ++section) {
+    switch (rng.next_below(3)) {
+      case 0:
+        data.insert(data.end(), 500 + rng.next_below(1500),
+                    static_cast<std::byte>(rng.next_below(256)));
+        break;
+      case 1:
+        for (std::size_t i = 0, n = 500 + rng.next_below(1500); i < n; ++i) {
+          data.push_back(static_cast<std::byte>('a' + rng.next_below(26)));
+        }
+        break;
+      default:
+        for (std::size_t i = 0, n = 500 + rng.next_below(1500); i < n; ++i) {
+          data.push_back(static_cast<std::byte>(rng.next_below(256)));
+        }
+    }
+  }
+  return data;
+}
+
+class RobustnessTest : public ::testing::TestWithParam<CodecCase> {};
+
+// The decompressor may throw CodecError - nothing else - or return the
+// exact original data.
+void expect_safe(const Codec& codec, ByteSpan mangled, const Bytes& truth) {
+  try {
+    const Bytes out = codec.decompress(mangled);
+    EXPECT_EQ(out, truth) << "silent corruption!";
+  } catch (const CodecError&) {
+    // Expected for essentially all mutations.
+  }
+}
+
+TEST_P(RobustnessTest, SurvivesTruncationAtEveryRegion) {
+  const auto codec = make_codec(GetParam().name, GetParam().level);
+  const Bytes input = sample_input(42);
+  const Bytes packed = codec->compress(input);
+
+  // Every cut in the header region plus a sweep through the payload.
+  for (std::size_t cut = 0; cut < std::min<std::size_t>(packed.size(), 32);
+       ++cut) {
+    expect_safe(*codec, ByteSpan(packed.data(), cut), input);
+  }
+  for (std::size_t cut = 32; cut < packed.size();
+       cut += 1 + packed.size() / 97) {
+    expect_safe(*codec, ByteSpan(packed.data(), cut), input);
+  }
+  expect_safe(*codec, ByteSpan(packed.data(), packed.size() - 1), input);
+}
+
+TEST_P(RobustnessTest, SurvivesSingleByteCorruption) {
+  const auto codec = make_codec(GetParam().name, GetParam().level);
+  const Bytes input = sample_input(43);
+  const Bytes packed = codec->compress(input);
+
+  Rng rng(99);
+  // Every header byte plus 200 random payload positions.
+  for (std::size_t pos = 0; pos < std::min<std::size_t>(packed.size(), 16);
+       ++pos) {
+    Bytes mangled = packed;
+    mangled[pos] ^= std::byte{0xFF};
+    expect_safe(*codec, mangled, input);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes mangled = packed;
+    const std::size_t pos = rng.next_below(mangled.size());
+    mangled[pos] ^= static_cast<std::byte>(1 + rng.next_below(255));
+    expect_safe(*codec, mangled, input);
+  }
+}
+
+TEST_P(RobustnessTest, SurvivesRandomGarbage) {
+  const auto codec = make_codec(GetParam().name, GetParam().level);
+  const Bytes input = sample_input(44);
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes garbage(rng.next_below(4096));
+    for (auto& b : garbage) b = static_cast<std::byte>(rng.next_below(256));
+    expect_safe(*codec, garbage, input);
+  }
+  expect_safe(*codec, ByteSpan{}, input);
+}
+
+TEST_P(RobustnessTest, SurvivesCrossCodecStreams) {
+  // Feeding one codec's stream to another must be rejected cleanly.
+  const Bytes input = sample_input(45);
+  const auto victim = make_codec(GetParam().name, GetParam().level);
+  for (const auto& spec : paper_codec_suite()) {
+    const auto other = make_codec(spec.id, spec.level);
+    if (other->id() == victim->id()) continue;
+    const Bytes foreign = other->compress(input);
+    EXPECT_THROW((void)victim->decompress(foreign), CodecError)
+        << GetParam().name << " accepted a " << spec.display_name
+        << " stream";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, RobustnessTest,
+    ::testing::Values(CodecCase{"null", 0}, CodecCase{"rle", 1},
+                      CodecCase{"nlz4", 1}, CodecCase{"ngzip", 1},
+                      CodecCase{"nbzip2", 1}, CodecCase{"nxz", 1}),
+    [](const auto& info) {
+      return std::string(info.param.name) + "_l" +
+             std::to_string(info.param.level);
+    });
+
+}  // namespace
+}  // namespace ndpcr::compress

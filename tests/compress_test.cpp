@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "common/rng.hpp"
+#include "compress/bitstream.hpp"
+#include "compress/bwt.hpp"
+#include "compress/codec.hpp"
+#include "compress/huffman.hpp"
+#include "compress/matcher.hpp"
+#include "compress/suffix_array.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+Bytes from_string(const std::string& s) {
+  return to_bytes(s.data(), s.size());
+}
+
+TEST(BitStream, RoundTripsMixedWidths) {
+  Bytes buf;
+  BitWriter bw(buf);
+  bw.write(0b1, 1);
+  bw.write(0b1010, 4);
+  bw.write(0xABCD, 16);
+  bw.write(0x1FFFFF, 21);
+  bw.write(0, 0);
+  bw.write(0xFFFFFFFF, 32);
+  bw.finish();
+
+  BitReader br(buf);
+  EXPECT_EQ(br.read(1), 0b1u);
+  EXPECT_EQ(br.read(4), 0b1010u);
+  EXPECT_EQ(br.read(16), 0xABCDu);
+  EXPECT_EQ(br.read(21), 0x1FFFFFu);
+  EXPECT_EQ(br.read(0), 0u);
+  EXPECT_EQ(br.read(32), 0xFFFFFFFFu);
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  Bytes buf;
+  BitWriter bw(buf);
+  bw.write(0x5, 3);
+  bw.finish();
+  BitReader br(buf);
+  br.read(8);  // the padded byte
+  EXPECT_THROW(br.read(1), CodecError);
+}
+
+TEST(BitStream, PeekDoesNotConsume) {
+  Bytes buf;
+  BitWriter bw(buf);
+  bw.write(0xE5, 8);
+  bw.finish();
+  BitReader br(buf);
+  EXPECT_EQ(br.peek(4), 0x5u);
+  EXPECT_EQ(br.peek(4), 0x5u);
+  br.consume(4);
+  EXPECT_EQ(br.read(4), 0xEu);
+}
+
+TEST(Huffman, CodeLengthsSatisfyKraft) {
+  std::vector<std::uint64_t> freqs = {50, 30, 10, 5, 3, 1, 1};
+  const auto lengths = huffman_code_lengths(freqs);
+  double kraft = 0;
+  for (auto l : lengths) {
+    ASSERT_GT(l, 0);
+    ASSERT_LE(l, kMaxHuffmanBits);
+    kraft += std::pow(2.0, -static_cast<double>(l));
+  }
+  EXPECT_DOUBLE_EQ(kraft, 1.0);  // optimal codes are complete
+}
+
+TEST(Huffman, SkewedFrequenciesRespectLengthLimit) {
+  // Exponentially exploding frequencies force long codes without a limit.
+  std::vector<std::uint64_t> freqs(30);
+  std::uint64_t f = 1;
+  for (auto& x : freqs) {
+    x = f;
+    f *= 3;
+  }
+  const auto lengths = huffman_code_lengths(freqs, 8);
+  for (auto l : lengths) {
+    EXPECT_GT(l, 0);
+    EXPECT_LE(l, 8);
+  }
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit) {
+  std::vector<std::uint64_t> freqs(10, 0);
+  freqs[4] = 7;
+  const auto lengths = huffman_code_lengths(freqs);
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    EXPECT_EQ(lengths[i], i == 4 ? 1 : 0);
+  }
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  Rng rng(11);
+  std::vector<std::uint64_t> freqs(64);
+  for (auto& f : freqs) f = 1 + rng.next_below(1000);
+  const HuffmanEncoder enc(huffman_code_lengths(freqs));
+  const HuffmanDecoder dec(enc.lengths());
+
+  std::vector<std::uint32_t> symbols(5000);
+  for (auto& s : symbols) s = static_cast<std::uint32_t>(rng.next_below(64));
+
+  Bytes buf;
+  BitWriter bw(buf);
+  for (auto s : symbols) enc.encode(bw, s);
+  bw.finish();
+
+  BitReader br(buf);
+  for (auto s : symbols) {
+    EXPECT_EQ(dec.decode(br), s);
+  }
+}
+
+TEST(Huffman, OptimalityAgainstShannonBound) {
+  // Average code length must be within 1 bit of the entropy.
+  std::vector<std::uint64_t> freqs = {1000, 500, 250, 125, 60, 30, 20, 15};
+  const auto lengths = huffman_code_lengths(freqs);
+  const double total = std::accumulate(freqs.begin(), freqs.end(), 0.0);
+  double avg_len = 0;
+  double entropy = 0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const double p = freqs[i] / total;
+    avg_len += p * lengths[i];
+    entropy -= p * std::log2(p);
+  }
+  EXPECT_GE(avg_len, entropy - 1e-9);
+  EXPECT_LE(avg_len, entropy + 1.0);
+}
+
+TEST(Huffman, DecoderRejectsInvalidLengthTable) {
+  // Over-subscribed: three symbols of length 1.
+  std::vector<std::uint8_t> bad = {1, 1, 1};
+  EXPECT_THROW(HuffmanDecoder dec(bad), CodecError);
+}
+
+TEST(SuffixArray, MatchesNaiveOnKnownString) {
+  const Bytes s = from_string("banana");
+  const auto sa = suffix_array(s);
+  const auto expected = suffix_array_naive(s);
+  EXPECT_EQ(sa, expected);
+  // banana suffixes sorted: a(5), ana(3), anana(1), banana(0), na(4), nana(2)
+  EXPECT_EQ(sa, (std::vector<std::int32_t>{5, 3, 1, 0, 4, 2}));
+}
+
+TEST(SuffixArray, MatchesNaiveOnRandomInputs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.next_below(300);
+    Bytes s(n);
+    const int alphabet = trial % 2 ? 256 : 3;  // small alphabets stress ties
+    for (auto& b : s) {
+      b = static_cast<std::byte>(rng.next_below(alphabet));
+    }
+    EXPECT_EQ(suffix_array(s), suffix_array_naive(s)) << "trial " << trial;
+  }
+}
+
+TEST(SuffixArray, EmptyAndSingle) {
+  EXPECT_TRUE(suffix_array({}).empty());
+  const Bytes one = from_string("x");
+  EXPECT_EQ(suffix_array(one), (std::vector<std::int32_t>{0}));
+}
+
+TEST(Bwt, KnownTransform) {
+  // BWT round trip on the classic example.
+  const Bytes s = from_string("abracadabra");
+  const BwtResult r = bwt_forward(s);
+  EXPECT_EQ(r.data.size(), s.size());
+  EXPECT_EQ(bwt_inverse(r.data, r.primary_index), s);
+}
+
+TEST(Bwt, GroupsRuns) {
+  // BWT of repetitive text should contain long single-byte runs.
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "the quick brown fox ";
+  const BwtResult r = bwt_forward(from_string(text));
+  std::size_t longest_run = 1;
+  std::size_t run = 1;
+  for (std::size_t i = 1; i < r.data.size(); ++i) {
+    run = (r.data[i] == r.data[i - 1]) ? run + 1 : 1;
+    longest_run = std::max(longest_run, run);
+  }
+  EXPECT_GE(longest_run, 50u);
+}
+
+TEST(Bwt, RoundTripRandom) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.next_below(2000);
+    Bytes s(n);
+    for (auto& b : s) b = static_cast<std::byte>(rng.next_below(5));
+    const BwtResult r = bwt_forward(s);
+    EXPECT_EQ(bwt_inverse(r.data, r.primary_index), s);
+  }
+}
+
+TEST(Bwt, InverseRejectsBadPrimaryIndex) {
+  const BwtResult r = bwt_forward(from_string("hello world"));
+  EXPECT_THROW(bwt_inverse(r.data, 0), CodecError);
+  EXPECT_THROW(bwt_inverse(r.data,
+                           static_cast<std::uint32_t>(r.data.size() + 1)),
+               CodecError);
+}
+
+TEST(Matcher, FindsObviousMatch) {
+  const Bytes s = from_string("abcdefgh_abcdefgh");
+  MatchFinder finder(s, 1 << 16, 4, 255, 16);
+  for (std::size_t i = 0; i < 9; ++i) finder.insert(i);
+  const Match m = finder.find(9);
+  EXPECT_EQ(m.length, 8u);
+  EXPECT_EQ(m.distance, 9u);
+}
+
+TEST(Matcher, RespectsWindow) {
+  Bytes s = from_string("abcd");
+  s.resize(1000, std::byte{'x'});
+  Bytes tail = from_string("abcd");
+  s.insert(s.end(), tail.begin(), tail.end());
+  MatchFinder finder(s, /*window=*/100, 4, 255, 64);
+  for (std::size_t i = 0; i < 1004; ++i) finder.insert(i);
+  const Match m = finder.find(1004);  // "abcd" at distance 1004 > window
+  EXPECT_EQ(m.length, 0u);
+}
+
+TEST(Matcher, NoMatchOnUniqueData) {
+  Bytes s(64);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = static_cast<std::byte>(i * 37 + 11);
+  }
+  MatchFinder finder(s, 1 << 16, 4, 255, 16);
+  for (std::size_t i = 0; i < 32; ++i) finder.insert(i);
+  EXPECT_EQ(finder.find(32).length, 0u);
+}
+
+TEST(Codec, FactoryCreatesAllCodecs) {
+  for (const auto& spec : paper_codec_suite()) {
+    const auto codec = make_codec(spec.id, spec.level);
+    ASSERT_NE(codec, nullptr);
+    EXPECT_EQ(codec->level(), spec.level);
+  }
+  EXPECT_EQ(make_codec("null", 0)->name(), "null");
+  EXPECT_EQ(make_codec("rle", 1)->name(), "rle");
+  EXPECT_THROW(make_codec("zstd", 1), CodecError);
+  EXPECT_THROW(make_codec(CodecId::kDeflateStyle, 0), CodecError);
+  EXPECT_THROW(make_codec(CodecId::kDeflateStyle, 10), CodecError);
+}
+
+TEST(Codec, FrameRejectsWrongCodec) {
+  const auto gz = make_codec("ngzip", 1);
+  const auto lz = make_codec("nlz4", 1);
+  const Bytes data = from_string("some data to compress, repeated repeated");
+  const Bytes framed = gz->compress(data);
+  EXPECT_THROW(lz->decompress(framed), CodecError);
+}
+
+TEST(Codec, FrameRejectsTruncation) {
+  const auto gz = make_codec("ngzip", 1);
+  const Bytes framed = gz->compress(from_string("hello hello hello hello"));
+  const ByteSpan too_short(framed.data(), kFrameHeaderSize - 1);
+  EXPECT_THROW(gz->decompress(too_short), CodecError);
+}
+
+TEST(Codec, FrameDetectsPayloadCorruption) {
+  const auto lz = make_codec("nlz4", 1);
+  Bytes data(4096);
+  Rng rng(5);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_below(16));
+  Bytes framed = lz->compress(data);
+  // Flip one payload byte; decompress must throw rather than return
+  // silently corrupted data.
+  framed[framed.size() / 2] ^= std::byte{0x10};
+  EXPECT_THROW(lz->decompress(framed), CodecError);
+}
+
+TEST(Codec, CompressionFactorDefinition) {
+  EXPECT_DOUBLE_EQ(Codec::compression_factor(100, 25), 0.75);
+  EXPECT_DOUBLE_EQ(Codec::compression_factor(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(Codec::compression_factor(0, 10), 0.0);
+  EXPECT_LT(Codec::compression_factor(100, 120), 0.0);  // expansion
+}
+
+TEST(Codec, RatioOrderingOnCompressibleData) {
+  // On repetitive text the stronger family should not lose to the faster
+  // one: nxz(6) <= ngzip(6) <= nlz4(1) in compressed size.
+  std::string text;
+  Rng rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    text += "step=" + std::to_string(i) + " residual=" +
+            std::to_string(rng.next_double()) + " iter converged\n";
+  }
+  const Bytes data = from_string(text);
+  const auto lz4_size = make_codec("nlz4", 1)->compress(data).size();
+  const auto gzip_size = make_codec("ngzip", 6)->compress(data).size();
+  const auto xz_size = make_codec("nxz", 6)->compress(data).size();
+  EXPECT_LT(gzip_size, lz4_size);
+  EXPECT_LE(xz_size, gzip_size);
+  EXPECT_LT(lz4_size, data.size() / 2);
+}
+
+}  // namespace
+}  // namespace ndpcr::compress

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "delta/delta.hpp"
+#include "workloads/miniapp.hpp"
+
+namespace ndpcr::delta {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(n);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_below(256));
+  return data;
+}
+
+TEST(BlockHash, DeterministicAndSensitive) {
+  const Bytes a = random_bytes(512, 1);
+  Bytes b = a;
+  EXPECT_EQ(block_hash(a), block_hash(b));
+  b[100] ^= std::byte{0x01};
+  EXPECT_NE(block_hash(a), block_hash(b));
+  EXPECT_EQ(block_hash({}), block_hash({}));
+}
+
+TEST(DeltaCodec, IdenticalImagesCollapse) {
+  const Bytes image = random_bytes(64 * 1024, 2);
+  DeltaCodec codec(4096);
+  DeltaStats stats;
+  const Bytes delta = codec.encode(image, image, &stats);
+  EXPECT_EQ(stats.literal_blocks, 0u);
+  EXPECT_EQ(stats.unchanged_blocks, 16u);
+  EXPECT_GT(stats.delta_factor(), 0.99);
+  EXPECT_EQ(codec.decode(image, delta), image);
+}
+
+TEST(DeltaCodec, EmptyReferenceIsAllLiterals) {
+  const Bytes image = random_bytes(10000, 3);
+  DeltaCodec codec(1024);
+  DeltaStats stats;
+  const Bytes delta = codec.encode({}, image, &stats);
+  EXPECT_EQ(stats.unchanged_blocks, 0u);
+  EXPECT_EQ(stats.moved_blocks, 0u);
+  EXPECT_EQ(stats.literal_blocks, 10u);  // 9 full + 1 tail
+  EXPECT_EQ(codec.decode({}, delta), image);
+}
+
+TEST(DeltaCodec, SparseUpdateProducesSmallDelta) {
+  Bytes reference = random_bytes(256 * 1024, 4);
+  Bytes current = reference;
+  // Touch 3 scattered blocks (the incremental-checkpoint case).
+  current[10] ^= std::byte{1};
+  current[100000] ^= std::byte{1};
+  current[200000] ^= std::byte{1};
+  DeltaCodec codec(4096);
+  DeltaStats stats;
+  const Bytes delta = codec.encode(reference, current, &stats);
+  EXPECT_EQ(stats.literal_blocks, 3u);
+  EXPECT_LT(delta.size(), 4 * 4096u);
+  EXPECT_EQ(codec.decode(reference, delta), current);
+}
+
+TEST(DeltaCodec, DetectsMovedBlocks) {
+  // Current = reference with two full blocks swapped: move ops, not
+  // literals.
+  const std::size_t bs = 1024;
+  Bytes reference = random_bytes(8 * bs, 5);
+  Bytes current = reference;
+  std::swap_ranges(current.begin(), current.begin() + bs,
+                   current.begin() + 4 * bs);
+  DeltaCodec codec(bs);
+  DeltaStats stats;
+  const Bytes delta = codec.encode(reference, current, &stats);
+  EXPECT_EQ(stats.literal_blocks, 0u);
+  EXPECT_EQ(stats.moved_blocks, 2u);
+  EXPECT_EQ(codec.decode(reference, delta), current);
+}
+
+TEST(DeltaCodec, HandlesGrowthAndShrinkage) {
+  DeltaCodec codec(512);
+  const Bytes reference = random_bytes(5000, 6);
+  Bytes grown = reference;
+  const Bytes extra = random_bytes(3000, 7);
+  grown.insert(grown.end(), extra.begin(), extra.end());
+  EXPECT_EQ(codec.decode(reference, codec.encode(reference, grown)), grown);
+
+  const Bytes shrunk(reference.begin(), reference.begin() + 1234);
+  EXPECT_EQ(codec.decode(reference, codec.encode(reference, shrunk)),
+            shrunk);
+  const Bytes empty;
+  EXPECT_EQ(codec.decode(reference, codec.encode(reference, empty)), empty);
+}
+
+TEST(DeltaCodec, RejectsWrongReference) {
+  const Bytes ref_a = random_bytes(8192, 8);
+  const Bytes ref_b = random_bytes(8192, 9);
+  const Bytes current = random_bytes(8192, 10);
+  DeltaCodec codec(1024);
+  const Bytes delta = codec.encode(ref_a, current);
+  EXPECT_THROW((void)codec.decode(ref_b, delta), DeltaError);
+}
+
+TEST(DeltaCodec, RejectsMalformedStreams) {
+  DeltaCodec codec(1024);
+  const Bytes reference = random_bytes(4096, 11);
+  const Bytes delta = codec.encode(reference, reference);
+  // Truncations at every prefix must throw, never crash.
+  for (std::size_t cut = 0; cut < delta.size(); ++cut) {
+    EXPECT_THROW((void)codec.decode(reference, ByteSpan(delta.data(), cut)),
+                 DeltaError)
+        << "cut=" << cut;
+  }
+  // Block-size mismatch.
+  DeltaCodec other(2048);
+  EXPECT_THROW((void)other.decode(reference, delta), DeltaError);
+  EXPECT_THROW(DeltaCodec(0), DeltaError);
+}
+
+TEST(DeltaCodec, ConsecutiveMiniAppCheckpointsAreHighlyRedundant) {
+  // The conclusion's premise: consecutive checkpoints of a real workload
+  // share most of their content (here: index structures and slowly-
+  // changing fields).
+  auto app = workloads::make_miniapp("hpccg", 512 * 1024, 12);
+  app->step();
+  const Bytes first = app->checkpoint();
+  app->step();
+  const Bytes second = app->checkpoint();
+
+  DeltaCodec codec(4096);
+  DeltaStats stats;
+  const Bytes delta = codec.encode(first, second, &stats);
+  EXPECT_GT(stats.delta_factor(), 0.3);
+  EXPECT_EQ(codec.decode(first, delta), second);
+}
+
+TEST(DedupStore, SharedBlocksStoredOnce) {
+  DedupStore store(1024);
+  const Bytes image = random_bytes(16 * 1024, 13);
+  const auto s1 = store.put(0, 1, image);
+  EXPECT_EQ(s1.new_block_bytes, image.size());
+  // Identical image from a neighboring rank: zero new payload.
+  const auto s2 = store.put(1, 1, image);
+  EXPECT_EQ(s2.new_block_bytes, 0u);
+  EXPECT_EQ(store.unique_blocks(), 16u);
+  EXPECT_EQ(store.logical_bytes(), 2 * image.size());
+  EXPECT_NEAR(store.dedup_factor(), 0.5, 1e-9);
+  EXPECT_EQ(store.get(0, 1).value(), image);
+  EXPECT_EQ(store.get(1, 1).value(), image);
+}
+
+TEST(DedupStore, RefcountingSurvivesErase) {
+  DedupStore store(1024);
+  const Bytes image = random_bytes(8 * 1024, 14);
+  store.put(0, 1, image);
+  store.put(1, 1, image);
+  store.erase(0, 1);
+  EXPECT_FALSE(store.get(0, 1).has_value());
+  EXPECT_EQ(store.get(1, 1).value(), image);  // blocks still alive
+  store.erase(1, 1);
+  EXPECT_EQ(store.unique_blocks(), 0u);
+  EXPECT_EQ(store.stored_block_bytes(), 0u);
+  store.erase(5, 5);  // unknown: no-op
+}
+
+TEST(DedupStore, PartialOverlapAccounted) {
+  DedupStore store(1024);
+  Bytes a = random_bytes(8 * 1024, 15);
+  Bytes b = a;
+  // Rewrite half the blocks of b.
+  for (std::size_t i = 0; i < 4 * 1024; ++i) b[i] ^= std::byte{0x5A};
+  store.put(0, 1, a);
+  const auto stats = store.put(0, 2, b);
+  EXPECT_EQ(stats.new_block_bytes, 4 * 1024u);
+  EXPECT_EQ(store.get(0, 1).value(), a);
+  EXPECT_EQ(store.get(0, 2).value(), b);
+}
+
+TEST(DedupStore, TailBlocksAndOddSizes) {
+  DedupStore store(1000);
+  const Bytes image = random_bytes(2500, 16);  // 2 full blocks + 500 tail
+  store.put(3, 7, image);
+  EXPECT_EQ(store.get(3, 7).value(), image);
+  EXPECT_EQ(store.unique_blocks(), 3u);
+}
+
+TEST(DedupStore, RePutReplaces) {
+  DedupStore store(1024);
+  const Bytes v1 = random_bytes(4096, 17);
+  const Bytes v2 = random_bytes(4096, 18);
+  store.put(0, 1, v1);
+  store.put(0, 1, v2);
+  EXPECT_EQ(store.get(0, 1).value(), v2);
+  EXPECT_EQ(store.logical_bytes(), v2.size());
+}
+
+}  // namespace
+}  // namespace ndpcr::delta

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/file_store.hpp"
+#include "common/rng.hpp"
+
+namespace ndpcr::ckpt {
+namespace {
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("ndpcr-test-" + std::to_string(Rng(::testing::UnitTest::
+                                                    GetInstance()
+                                                        ->random_seed())
+                                                .next_u64()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  Bytes payload(std::size_t size, std::uint64_t seed) {
+    Rng rng(seed);
+    Bytes data(size);
+    for (auto& b : data) b = static_cast<std::byte>(rng.next_below(256));
+    return data;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(FileStoreTest, PutGetRoundTrip) {
+  FileStore store(root_);
+  const Bytes data = payload(4096, 1);
+  store.put(0, 1, data);
+  EXPECT_TRUE(store.contains(0, 1));
+  EXPECT_EQ(store.get(0, 1).value(), data);
+  EXPECT_FALSE(store.contains(0, 2));
+  EXPECT_FALSE(store.get(1, 1).has_value());
+}
+
+TEST_F(FileStoreTest, FilesLandInBlcrStyleLayout) {
+  FileStore store(root_);
+  store.put(3, 7, payload(128, 2));
+  EXPECT_TRUE(
+      std::filesystem::exists(root_ / "rank-3" / "ckpt-7.ndcr"));
+  // No leftover temporary file.
+  EXPECT_FALSE(
+      std::filesystem::exists(root_ / "rank-3" / "ckpt-7.ndcr.tmp"));
+}
+
+TEST_F(FileStoreTest, ListAndNewestSortNumerically) {
+  FileStore store(root_);
+  for (std::uint64_t id : {5, 1, 10, 2}) {
+    store.put(0, id, payload(16, id));
+  }
+  EXPECT_EQ(store.list(0), (std::vector<std::uint64_t>{1, 2, 5, 10}));
+  EXPECT_EQ(store.newest_id(0).value(), 10u);
+  EXPECT_FALSE(store.newest_id(9).has_value());
+  EXPECT_TRUE(store.list(9).empty());
+}
+
+TEST_F(FileStoreTest, OverwriteReplacesContent) {
+  FileStore store(root_);
+  store.put(0, 1, payload(100, 3));
+  const Bytes v2 = payload(200, 4);
+  store.put(0, 1, v2);
+  EXPECT_EQ(store.get(0, 1).value(), v2);
+  EXPECT_EQ(store.list(0).size(), 1u);
+}
+
+TEST_F(FileStoreTest, EraseRemovesFile) {
+  FileStore store(root_);
+  store.put(0, 1, payload(64, 5));
+  store.erase(0, 1);
+  EXPECT_FALSE(store.contains(0, 1));
+  store.erase(0, 99);  // unknown: no-op
+}
+
+TEST_F(FileStoreTest, SurvivesReopen) {
+  {
+    FileStore store(root_);
+    store.put(2, 4, payload(512, 6));
+  }
+  FileStore reopened(root_);
+  EXPECT_EQ(reopened.get(2, 4).value(), payload(512, 6));
+  EXPECT_EQ(reopened.newest_id(2).value(), 4u);
+}
+
+TEST_F(FileStoreTest, IgnoresForeignFiles) {
+  FileStore store(root_);
+  store.put(0, 1, payload(32, 7));
+  std::filesystem::create_directories(root_ / "rank-0");
+  { std::ofstream(root_ / "rank-0" / "notes.txt") << "hello"; }
+  { std::ofstream(root_ / "rank-0" / "ckpt-abc.ndcr") << "junk"; }
+  EXPECT_EQ(store.list(0), (std::vector<std::uint64_t>{1}));
+}
+
+TEST_F(FileStoreTest, EmptyPayload) {
+  FileStore store(root_);
+  store.put(0, 1, ByteSpan{});
+  EXPECT_TRUE(store.contains(0, 1));
+  EXPECT_TRUE(store.get(0, 1).value().empty());
+}
+
+}  // namespace
+}  // namespace ndpcr::ckpt

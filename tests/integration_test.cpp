@@ -1,0 +1,157 @@
+// Cross-module integration: the full data path a real deployment would
+// run, wired end to end -
+//   mini-app state -> checkpoint image -> chunked parallel compression ->
+//   durable file store -> node loss -> restore -> exact state;
+// plus model-level consistency checks across the evaluator, the NDP
+// sizing math, and the compression study.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ckpt/file_store.hpp"
+#include "ckpt/image.hpp"
+#include "ckpt/multilevel.hpp"
+#include "compress/chunked.hpp"
+#include "model/evaluator.hpp"
+#include "ndp/agent.hpp"
+#include "ndp/ndp.hpp"
+#include "study/compression_study.hpp"
+#include "workloads/miniapp.hpp"
+
+namespace ndpcr {
+namespace {
+
+TEST(Integration, AppToDiskAndBack) {
+  const auto root = std::filesystem::temp_directory_path() /
+                    "ndpcr-integration-app-to-disk";
+  std::filesystem::remove_all(root);
+
+  auto app = workloads::make_miniapp("minimd", 256 * 1024, 77);
+  for (int i = 0; i < 4; ++i) app->step();
+  const auto digest = app->state_digest();
+
+  // Capture -> frame with metadata -> compress in parallel chunks ->
+  // persist.
+  const Bytes payload = app->checkpoint();
+  ckpt::CheckpointMeta meta{.app_id = 9, .rank = 0, .checkpoint_id = 4,
+                            .step = app->step_count()};
+  const Bytes image = ckpt::CheckpointImage::build(meta, payload);
+  const compress::ChunkedCodec codec(compress::CodecId::kDeflateStyle, 1,
+                                     64 * 1024, /*threads=*/3);
+  const Bytes packed = codec.compress(image);
+  EXPECT_LT(packed.size(), image.size());
+
+  {
+    ckpt::FileStore store(root);
+    store.put(meta.rank, meta.checkpoint_id, packed);
+  }
+
+  // "Node loss": a fresh process (fresh store handle, fresh app) recovers.
+  auto replacement = workloads::make_miniapp("minimd", 256 * 1024, 77);
+  ckpt::FileStore store(root);
+  const auto newest = store.newest_id(0);
+  ASSERT_TRUE(newest.has_value());
+  const Bytes raw = codec.decompress(store.get(0, *newest).value());
+  const ckpt::CheckpointImage parsed = ckpt::CheckpointImage::parse(raw);
+  EXPECT_EQ(parsed.meta().step, 4u);
+  replacement->restore(
+      Bytes(parsed.payload().begin(), parsed.payload().end()));
+  EXPECT_EQ(replacement->state_digest(), digest);
+  EXPECT_EQ(replacement->step_count(), 4u);
+
+  std::filesystem::remove_all(root);
+}
+
+TEST(Integration, NdpAgentFeedsMultilevelRecovery) {
+  // The agent's IO store is the same KvStore the multilevel manager's IO
+  // level would read: a checkpoint drained by the NDP is restorable after
+  // total node loss.
+  ckpt::KvStore io;
+  ndp::AgentConfig cfg;
+  cfg.compress_bw = 10e6;
+  cfg.io_bw = 10e6;
+  ndp::NdpAgent agent(cfg, io);
+
+  auto app = workloads::make_miniapp("hpccg", 128 * 1024, 5);
+  app->step();
+  const auto digest = app->state_digest();
+  ASSERT_TRUE(agent.host_commit(1, app->checkpoint()));
+  agent.pump(1e9);
+  agent.reset();  // node loss
+
+  const auto packed = io.get(0, 1);
+  ASSERT_TRUE(packed.has_value());
+  const auto codec = compress::make_codec(cfg.codec, cfg.codec_level);
+  auto replacement = workloads::make_miniapp("hpccg", 128 * 1024, 5);
+  replacement->restore(codec->decompress(*packed));
+  EXPECT_EQ(replacement->state_digest(), digest);
+}
+
+TEST(Integration, StudyFeedsNdpSizingConsistently) {
+  // Measured compression factors drive the section 4.4 equations: the
+  // derived interval must equal the compressed volume over the IO link,
+  // and stronger codecs must never need a *longer* interval.
+  study::StudyConfig cfg;
+  cfg.bytes_per_app = 128 * 1024;
+  cfg.checkpoints_per_app = 1;
+  cfg.apps = {"phpccg"};
+  cfg.codecs = {{compress::CodecId::kLz4Style, 1, "nlz4(1)"},
+                {compress::CodecId::kDeflateStyle, 1, "ngzip(1)"}};
+  const auto results = run_compression_study(cfg);
+
+  const double ckpt_bytes = 112e9;
+  const double io_bw = 100e6;
+  const auto lz4 = results.find("phpccg", "nlz4(1)");
+  const auto gz = results.find("phpccg", "ngzip(1)");
+  ASSERT_NE(lz4, nullptr);
+  ASSERT_NE(gz, nullptr);
+  const auto s_lz4 =
+      ndp::derive_sizing(lz4->factor, lz4->compress_bw, ckpt_bytes, io_bw);
+  const auto s_gz =
+      ndp::derive_sizing(gz->factor, gz->compress_bw, ckpt_bytes, io_bw);
+  EXPECT_NEAR(s_gz.io_interval, ckpt_bytes * (1 - gz->factor) / io_bw,
+              1e-6);
+  EXPECT_LE(s_gz.io_interval, s_lz4.io_interval);  // gzip compresses harder
+  EXPECT_GE(s_gz.cores, s_lz4.cores);              // ...and costs more cores
+}
+
+TEST(Integration, EvaluatorRespectsDominanceAcrossScenarios) {
+  // Model-level sanity across machine scenarios: NDP + compression
+  // dominates host multilevel at the same parameters, and a larger MTTI
+  // never hurts.
+  model::SimOptions opt;
+  opt.total_work = 100.0 * 3600;
+  opt.trials = 2;
+  for (double mtti : {1800.0, 5400.0}) {
+    model::CrScenario scenario;
+    scenario.mtti = mtti;
+    model::Evaluator ev(scenario, opt);
+    model::CrConfig host{.kind = model::ConfigKind::kLocalIoHost,
+                         .compression_factor = 0.73,
+                         .p_local_recovery = 0.85};
+    model::CrConfig ndp = host;
+    ndp.kind = model::ConfigKind::kLocalIoNdp;
+    EXPECT_GT(ev.evaluate(ndp).progress_rate(),
+              ev.evaluate(host).progress_rate())
+        << "mtti=" << mtti;
+  }
+}
+
+TEST(Integration, LocalOnlyDesignPointHitsNinetyPercent) {
+  // Section 6.4: "the system was configured to have a 90% progress rate
+  // with single level checkpointing to local". Local-only is the host
+  // strategy with the IO level disabled and perfect local recovery.
+  sim::TimelineConfig cfg;
+  cfg.strategy = sim::Strategy::kLocalIoHost;
+  cfg.io_every = 0;
+  cfg.p_local_recovery = 1.0;
+  cfg.local_interval = 150.0;
+  cfg.total_work = 500.0 * 3600;
+  const auto r = sim::TimelineSimulator::run_trials(cfg, 3, 3);
+  EXPECT_NEAR(r.progress_rate(), 0.90, 0.01);
+  EXPECT_EQ(r.io_recoveries, 0u);
+}
+
+}  // namespace
+}  // namespace ndpcr

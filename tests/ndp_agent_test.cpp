@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ndp/agent.hpp"
+
+namespace ndpcr::ndp {
+namespace {
+
+Bytes compressible_image(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_below(4));
+  return data;
+}
+
+AgentConfig test_config() {
+  AgentConfig cfg;
+  cfg.uncompressed_capacity = 1 << 20;
+  cfg.compressed_capacity = 1 << 20;
+  cfg.compress_bw = 1e6;  // 1 MB/s: visible virtual durations
+  cfg.io_bw = 0.5e6;
+  return cfg;
+}
+
+TEST(NdpAgent, DrainsCommittedCheckpointToIo) {
+  ckpt::KvStore io;
+  NdpAgent agent(test_config(), io);
+  const Bytes image = compressible_image(100 * 1024, 1);
+  ASSERT_TRUE(agent.host_commit(1, image));
+  EXPECT_TRUE(agent.busy());
+  EXPECT_FALSE(agent.newest_on_io().has_value());
+
+  // Pump in pieces: completion only after the full drain duration.
+  agent.pump(0.01);
+  EXPECT_FALSE(agent.newest_on_io().has_value());
+  agent.pump(1e6);
+  ASSERT_TRUE(agent.newest_on_io().has_value());
+  EXPECT_EQ(agent.newest_on_io().value(), 1u);
+  EXPECT_FALSE(agent.busy());
+
+  // The IO copy is the codec-compressed image and round-trips.
+  const auto packed = io.get(0, 1);
+  ASSERT_TRUE(packed.has_value());
+  EXPECT_LT(packed->size(), image.size() / 2);
+  const auto codec = compress::make_codec(compress::CodecId::kDeflateStyle, 1);
+  EXPECT_EQ(codec->decompress(*packed), image);
+}
+
+TEST(NdpAgent, VirtualTimeMatchesPipelineModel) {
+  ckpt::KvStore io;
+  AgentConfig cfg = test_config();
+  NdpAgent agent(cfg, io);
+  const Bytes image = compressible_image(200 * 1024, 2);
+  ASSERT_TRUE(agent.host_commit(1, image));
+  const double consumed = agent.pump(1e9);
+  // Overlapped: max(compress at 1 MB/s, compressed write at 0.5 MB/s).
+  const double compress_time = static_cast<double>(image.size()) / 1e6;
+  ASSERT_TRUE(io.get(0, 1).has_value());
+  const double write_time =
+      static_cast<double>(io.get(0, 1)->size()) / 0.5e6;
+  EXPECT_NEAR(consumed, std::max(compress_time, write_time), 1e-9);
+}
+
+TEST(NdpAgent, SerialModeSumsStages) {
+  ckpt::KvStore io;
+  AgentConfig cfg = test_config();
+  cfg.overlap = false;
+  NdpAgent agent(cfg, io);
+  const Bytes image = compressible_image(100 * 1024, 3);
+  ASSERT_TRUE(agent.host_commit(1, image));
+  const double consumed = agent.pump(1e9);
+  const double compress_time = static_cast<double>(image.size()) / 1e6;
+  const double write_time =
+      static_cast<double>(io.get(0, 1)->size()) / 0.5e6;
+  EXPECT_NEAR(consumed, compress_time + write_time, 1e-9);
+}
+
+TEST(NdpAgent, AlwaysDrainsNewestAndSkipsSuperseded) {
+  ckpt::KvStore io;
+  NdpAgent agent(test_config(), io);
+  ASSERT_TRUE(agent.host_commit(1, compressible_image(50 * 1024, 4)));
+  // While 1 drains, 2 and 3 arrive; 2 is superseded by 3.
+  ASSERT_TRUE(agent.host_commit(2, compressible_image(50 * 1024, 5)));
+  ASSERT_TRUE(agent.host_commit(3, compressible_image(50 * 1024, 6)));
+  agent.pump(1e9);
+  EXPECT_EQ(agent.newest_on_io().value(), 3u);
+  EXPECT_EQ(agent.stats().drains_completed, 2u);  // 1 and 3
+  EXPECT_EQ(agent.stats().drains_skipped, 1u);    // 2
+  EXPECT_TRUE(io.contains(0, 1));
+  EXPECT_FALSE(io.contains(0, 2));
+  EXPECT_TRUE(io.contains(0, 3));
+}
+
+TEST(NdpAgent, LockedCheckpointSurvivesEvictionPressure) {
+  ckpt::KvStore io;
+  AgentConfig cfg = test_config();
+  cfg.uncompressed_capacity = 220 * 1024;  // two 100 KiB images + slack
+  NdpAgent agent(cfg, io);
+  const Bytes img = compressible_image(100 * 1024, 7);
+  ASSERT_TRUE(agent.host_commit(1, img));   // drain of 1 starts, locks it
+  ASSERT_TRUE(agent.host_commit(2, img));   // fits alongside
+  // 3 would need to evict 1 (locked) - the host must stall.
+  EXPECT_FALSE(agent.host_commit(3, img));
+  // After the drain completes, 1 unlocks and can be evicted.
+  agent.pump(1e9);
+  EXPECT_TRUE(agent.host_commit(3, img));
+}
+
+TEST(NdpAgent, ResetAbortsDrainAndClearsNvm) {
+  ckpt::KvStore io;
+  NdpAgent agent(test_config(), io);
+  ASSERT_TRUE(agent.host_commit(1, compressible_image(100 * 1024, 8)));
+  agent.pump(0.01);
+  agent.reset();
+  EXPECT_FALSE(agent.busy());
+  EXPECT_EQ(agent.stats().drains_aborted, 1u);
+  EXPECT_FALSE(agent.newest_on_io().has_value());
+  EXPECT_EQ(agent.uncompressed_partition().count(), 0u);
+  // The agent keeps working after the reset.
+  ASSERT_TRUE(agent.host_commit(2, compressible_image(100 * 1024, 9)));
+  agent.pump(1e9);
+  EXPECT_EQ(agent.newest_on_io().value(), 2u);
+}
+
+TEST(NdpAgent, RestoreLocalPrefersUncompressed) {
+  ckpt::KvStore io;
+  NdpAgent agent(test_config(), io);
+  const Bytes image = compressible_image(60 * 1024, 10);
+  ASSERT_TRUE(agent.host_commit(1, image));
+  // Before the drain finishes: restore from the uncompressed partition.
+  EXPECT_EQ(agent.restore_local(1).value(), image);
+  agent.pump(1e9);
+  // Still restorable after the drain (and via the compressed partition if
+  // the uncompressed copy is later evicted).
+  EXPECT_EQ(agent.restore_local(1).value(), image);
+  EXPECT_FALSE(agent.restore_local(99).has_value());
+}
+
+TEST(NdpAgent, UncompressedModeStreamsRawImage) {
+  ckpt::KvStore io;
+  AgentConfig cfg = test_config();
+  cfg.codec = compress::CodecId::kNull;
+  NdpAgent agent(cfg, io);
+  const Bytes image = compressible_image(50 * 1024, 11);
+  ASSERT_TRUE(agent.host_commit(1, image));
+  const double consumed = agent.pump(1e9);
+  EXPECT_NEAR(consumed, static_cast<double>(image.size()) / cfg.io_bw, 1e-9);
+  EXPECT_EQ(Bytes(io.get(0, 1)->begin(), io.get(0, 1)->end()), image);
+}
+
+TEST(NdpAgent, PumpIdleConsumesNothing) {
+  ckpt::KvStore io;
+  NdpAgent agent(test_config(), io);
+  EXPECT_DOUBLE_EQ(agent.pump(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(agent.stats().busy_seconds, 0.0);
+}
+
+TEST(NdpAgent, InvalidConfigThrows) {
+  ckpt::KvStore io;
+  AgentConfig cfg = test_config();
+  cfg.io_bw = 0;
+  EXPECT_THROW(NdpAgent(cfg, io), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndpcr::ndp

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "cluster/ndp_cluster_sim.hpp"
+
+namespace ndpcr::cluster {
+namespace {
+
+NdpClusterConfig small_config() {
+  NdpClusterConfig cfg;
+  cfg.node_count = 3;
+  cfg.state_bytes_per_rank = 32 * 1024;
+  cfg.total_steps = 400;
+  cfg.node_mttf = 900.0;
+  cfg.ndp_compress_bw = 512e3;
+  cfg.aggregate_io_bw = 384e3;
+  return cfg;
+}
+
+TEST(NdpClusterSim, CompletesUnderFailuresWithExactState) {
+  const auto r = NdpClusterSim(small_config()).run();
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_GT(r.checkpoints, 0u);
+  EXPECT_GT(r.io_checkpoints, 0u);  // drains really reached the PFS
+  EXPECT_TRUE(r.state_verified);
+  EXPECT_GT(r.progress_rate(), 0.3);
+  EXPECT_LT(r.progress_rate(), 1.0);
+}
+
+TEST(NdpClusterSim, RecoveryMixFollowsPLocal) {
+  auto cfg = small_config();
+  cfg.total_steps = 1200;
+  cfg.p_local_recovery = 1.0;
+  const auto all_local = NdpClusterSim(cfg).run();
+  EXPECT_EQ(all_local.io_recoveries, 0u);
+  EXPECT_GT(all_local.local_recoveries, 0u);
+
+  cfg.p_local_recovery = 0.0;
+  const auto all_io = NdpClusterSim(cfg).run();
+  EXPECT_EQ(all_io.local_recoveries, 0u);
+  EXPECT_GT(all_io.io_recoveries + all_io.scratch_restarts, 0u);
+}
+
+TEST(NdpClusterSim, NoFailuresIsPureComputePlusCommits) {
+  auto cfg = small_config();
+  cfg.node_mttf = 1e15;
+  cfg.total_steps = 200;
+  const auto r = NdpClusterSim(cfg).run();
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.steps_rerun, 0u);
+  EXPECT_TRUE(r.state_verified);
+  // Overhead is exactly the commits: 25 commits x 0.5 s over 200 s work.
+  const double expected =
+      200.0 / (200.0 + static_cast<double>(r.checkpoints) *
+                           cfg.local_commit_time);
+  EXPECT_NEAR(r.progress_rate(), expected, 1e-9);
+}
+
+TEST(NdpClusterSim, FasterIoRaisesIoCheckpointCadence) {
+  auto cfg = small_config();
+  cfg.node_mttf = 1e15;
+  cfg.total_steps = 600;
+  const auto slow = NdpClusterSim(cfg).run();
+  cfg.aggregate_io_bw *= 8;
+  const auto fast = NdpClusterSim(cfg).run();
+  EXPECT_GE(fast.io_checkpoints, slow.io_checkpoints);
+}
+
+TEST(NdpClusterSim, DeterministicForSeed) {
+  const auto a = NdpClusterSim(small_config()).run();
+  const auto b = NdpClusterSim(small_config()).run();
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.virtual_seconds, b.virtual_seconds);
+  EXPECT_EQ(a.io_checkpoints, b.io_checkpoints);
+}
+
+TEST(NdpClusterSim, InvalidConfigThrows) {
+  auto cfg = small_config();
+  cfg.node_count = 0;
+  EXPECT_THROW(NdpClusterSim{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.aggregate_io_bw = 0;
+  EXPECT_THROW(NdpClusterSim{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndpcr::cluster

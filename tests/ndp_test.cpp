@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "ndp/ndp.hpp"
+
+namespace ndpcr::ndp {
+namespace {
+
+using namespace ndpcr::units;
+
+TEST(Ndp, SaturatingRateMatchesSection44) {
+  // gzip(1): factor 72.77% -> U/C = 3.67 -> 367 MB/s at 100 MB/s IO.
+  EXPECT_NEAR(saturating_compression_rate(0.7277, mbps(100)) / mbps(1), 367.2,
+              0.5);
+  // No compression: the rate equals the IO bandwidth.
+  EXPECT_DOUBLE_EQ(saturating_compression_rate(0.0, mbps(100)), mbps(100));
+}
+
+TEST(Ndp, RequiredCoresRoundsUp) {
+  // Table 3: gzip(1) needs 4 cores at 110.1 MB/s per core for 367 MB/s.
+  EXPECT_EQ(required_cores(mbps(367), mbps(110.1)), 4);
+  // lz4: 283 MB/s at 441.9 MB/s per core -> 1 core.
+  EXPECT_EQ(required_cores(mbps(283), mbps(441.9)), 1);
+  // xz(6): 596 MB/s at 4.8 MB/s -> 125 cores.
+  EXPECT_EQ(required_cores(mbps(596), mbps(4.8)), 125);
+  // Exact fit does not round up.
+  EXPECT_EQ(required_cores(mbps(200), mbps(100)), 2);
+}
+
+TEST(Ndp, MinIoIntervalMatchesTable3) {
+  const double ckpt = bytes_from_gb(112);
+  // gzip(1): 112 GB at 72.77% -> ~305 s.
+  EXPECT_NEAR(min_io_interval(ckpt, 0.7277, mbps(100)), 305.0, 1.0);
+  // lz4(1): 64.75% -> ~395 s.
+  EXPECT_NEAR(min_io_interval(ckpt, 0.6475, mbps(100)), 395.0, 1.0);
+  // xz(6): 83.25% -> ~188 s.
+  EXPECT_NEAR(min_io_interval(ckpt, 0.8325, mbps(100)), 188.0, 1.0);
+  // Uncompressed: 1120 s (18.67 minutes, section 3.4).
+  EXPECT_NEAR(min_io_interval(ckpt, 0.0, mbps(100)), 1120.0, 1e-9);
+}
+
+TEST(Ndp, DrainTimeOverlapVsSerial) {
+  const double ckpt = bytes_from_gb(112);
+  const double overlapped = drain_time(ckpt, 0.728, mbps(440.4), mbps(100));
+  const double serial =
+      drain_time(ckpt, 0.728, mbps(440.4), mbps(100), false);
+  EXPECT_LT(overlapped, serial);
+  EXPECT_NEAR(overlapped, 304.6, 1.0);       // bounded by the IO write
+  EXPECT_NEAR(serial, 254.3 + 304.6, 2.0);   // compress + write
+  // Compression-bound drain when the NDP is slow.
+  EXPECT_NEAR(drain_time(ckpt, 0.728, mbps(100), mbps(100)), 1120.0, 1.0);
+}
+
+TEST(Ndp, DeriveSizingBundlesTheTable3Row) {
+  const NdpSizing s =
+      derive_sizing(0.7277, mbps(110.1), bytes_from_gb(112), mbps(100));
+  EXPECT_EQ(s.cores, 4);
+  EXPECT_NEAR(s.required_rate / mbps(1), 367.2, 0.5);
+  EXPECT_NEAR(s.io_interval, 305.0, 1.0);
+}
+
+TEST(Ndp, InvalidInputsThrow) {
+  EXPECT_THROW(saturating_compression_rate(1.0, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(saturating_compression_rate(-0.1, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(saturating_compression_rate(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(required_cores(100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(min_io_interval(1.0, 0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndpcr::ndp

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "proj/projection.hpp"
+
+namespace ndpcr::proj {
+namespace {
+
+using namespace ndpcr::units;
+
+TEST(Projection, TitanMatchesTable1) {
+  const MachineSpec t = titan();
+  EXPECT_EQ(t.node_count, 18688);
+  EXPECT_DOUBLE_EQ(t.system_peak_flops, 27e15);
+  EXPECT_DOUBLE_EQ(t.node_peak_flops, 1.44e12);
+  EXPECT_NEAR(tb(t.system_memory_bytes), 710.0, 1.0);  // ~710 TB
+  EXPECT_DOUBLE_EQ(t.interconnect_bw, gbps(20));
+  EXPECT_DOUBLE_EQ(t.io_bandwidth, gbps(1000));
+  EXPECT_DOUBLE_EQ(to_minutes(t.system_mtti), 160.0);
+}
+
+TEST(Projection, ExascaleMatchesTable1) {
+  const MachineSpec e = project_exascale(titan());
+  EXPECT_DOUBLE_EQ(e.node_count, 100000.0);
+  EXPECT_DOUBLE_EQ(e.node_peak_flops, 10e12);
+  EXPECT_DOUBLE_EQ(e.system_peak_flops, 1e18);
+  EXPECT_DOUBLE_EQ(gb(e.node_memory_bytes), 140.0);
+  EXPECT_DOUBLE_EQ(pb(e.system_memory_bytes), 14.0);
+  EXPECT_DOUBLE_EQ(e.interconnect_bw, gbps(50));
+  EXPECT_DOUBLE_EQ(e.io_bandwidth, tbps(10));
+  EXPECT_DOUBLE_EQ(to_minutes(e.system_mtti), 30.0);
+}
+
+TEST(Projection, FactorChangesMatchTable1) {
+  const MachineSpec t = titan();
+  const MachineSpec e = project_exascale(t);
+  EXPECT_NEAR(e.node_count / t.node_count, 5.35, 0.01);
+  EXPECT_NEAR(e.system_peak_flops / t.system_peak_flops, 37.0, 0.1);
+  EXPECT_NEAR(e.node_peak_flops / t.node_peak_flops, 6.94, 0.1);  // ~7x
+  EXPECT_NEAR(e.system_memory_bytes / t.system_memory_bytes, 19.72, 0.1);
+  EXPECT_NEAR(e.node_memory_bytes / t.node_memory_bytes, 3.68, 0.01);
+  EXPECT_NEAR(e.interconnect_bw / t.interconnect_bw, 2.5, 1e-9);
+  EXPECT_NEAR(e.io_bandwidth / t.io_bandwidth, 10.0, 1e-9);
+  EXPECT_NEAR(t.system_mtti / e.system_mtti, 5.33, 0.01);
+}
+
+TEST(Projection, MttiFromNodeMttf) {
+  // 5-year node MTTF over 100k nodes: ~26.28 minutes (section 3.2).
+  const double mtti = system_mtti_from_node_mttf(years(5), 100000);
+  EXPECT_NEAR(to_minutes(mtti), 26.28, 0.05);
+}
+
+TEST(Projection, UnroundedMttiUsedWhenRoundingDisabled) {
+  ScalingAssumptions a;
+  a.mtti_round_to_minutes = 0;
+  const MachineSpec e = project_exascale(titan(), a);
+  EXPECT_NEAR(to_minutes(e.system_mtti), 26.28, 0.05);
+}
+
+TEST(Projection, PerNodeIoBandwidthIs100MBps) {
+  // Section 3.4: effective per-node bandwidth to global I/O is 100 MB/s.
+  const MachineSpec e = project_exascale(titan());
+  EXPECT_NEAR(e.io_bandwidth_per_node(), mbps(100), 1.0);
+}
+
+TEST(Projection, CrRequirementsMatchSection33) {
+  const MachineSpec e = project_exascale(titan());
+  const CrRequirements r = derive_cr_requirements(e);
+  // 80% of 140 GB = 112 GB per node.
+  EXPECT_DOUBLE_EQ(gb(r.checkpoint_bytes_per_node), 112.0);
+  // Commit time ~9 s, period ~3 min.
+  EXPECT_NEAR(r.commit_time, 9.0, 1.0);
+  EXPECT_NEAR(to_minutes(r.checkpoint_period), 3.0, 0.3);
+  // Per-node bandwidth ~12.44 GB/s; system ~1.244 PB/s.
+  EXPECT_NEAR(r.per_node_bandwidth / gbps(1), 12.44, 1.5);
+  EXPECT_NEAR(pb(r.system_bandwidth), 1.244, 0.15);
+  // The system requirement dwarfs the projected 10 TB/s global I/O.
+  EXPECT_GT(r.system_bandwidth, 50 * e.io_bandwidth);
+}
+
+TEST(Projection, ScalesWithAlternateAssumptions) {
+  ScalingAssumptions a;
+  a.node_flops = 20e12;  // beefier nodes -> fewer of them
+  const MachineSpec e = project_exascale(titan(), a);
+  EXPECT_DOUBLE_EQ(e.node_count, 50000.0);
+  EXPECT_DOUBLE_EQ(e.system_peak_flops, 1e18);
+}
+
+TEST(Projection, InvalidInputsThrow) {
+  EXPECT_THROW(system_mtti_from_node_mttf(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(system_mtti_from_node_mttf(1.0, 0), std::invalid_argument);
+  ScalingAssumptions a;
+  a.node_flops = 0;
+  EXPECT_THROW(project_exascale(titan(), a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ndpcr::proj

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ckpt/reed_solomon.hpp"
+#include "common/rng.hpp"
+
+namespace ndpcr::ckpt {
+namespace {
+
+TEST(Gf256, FieldAxioms) {
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+    EXPECT_EQ(gf256::mul(a, gf256::mul(b, c)),
+              gf256::mul(gf256::mul(a, b), c));
+    // Distributivity over xor.
+    EXPECT_EQ(gf256::mul(a, gf256::add(b, c)),
+              gf256::add(gf256::mul(a, b), gf256::mul(a, c)));
+    EXPECT_EQ(gf256::mul(a, 1), a);
+    EXPECT_EQ(gf256::mul(a, 0), 0);
+    if (a != 0) {
+      EXPECT_EQ(gf256::mul(a, gf256::inv(a)), 1);
+    }
+  }
+  EXPECT_THROW(gf256::inv(0), std::domain_error);
+}
+
+std::vector<Bytes> random_shards(int k, std::size_t len,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> shards(k, Bytes(len));
+  for (auto& shard : shards) {
+    for (auto& b : shard) b = static_cast<std::byte>(rng.next_below(256));
+  }
+  return shards;
+}
+
+using RsParam = std::tuple<int, int>;  // (k, m)
+
+class ReedSolomonTest : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(ReedSolomonTest, SurvivesEveryParityShardLossPattern) {
+  const auto [k, m] = GetParam();
+  const ReedSolomon rs(k, m);
+  const auto data = random_shards(k, 512, k * 100 + m);
+  const auto parity = rs.encode(data);
+  ASSERT_EQ(static_cast<int>(parity.size()), m);
+
+  // All shards present, then erase up to m shards in rotating patterns.
+  std::vector<std::optional<Bytes>> shards;
+  for (const auto& s : data) shards.emplace_back(s);
+  for (const auto& s : parity) shards.emplace_back(s);
+
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto damaged = shards;
+    // Erase exactly m shards (the maximum tolerable), chosen at random.
+    int erased = 0;
+    while (erased < m) {
+      const auto victim = rng.next_below(damaged.size());
+      if (damaged[victim].has_value()) {
+        damaged[victim].reset();
+        ++erased;
+      }
+    }
+    const auto rebuilt = rs.reconstruct(damaged);
+    ASSERT_EQ(static_cast<int>(rebuilt.size()), k);
+    for (int j = 0; j < k; ++j) {
+      EXPECT_EQ(rebuilt[j], data[j]) << "trial " << trial << " shard " << j;
+    }
+  }
+}
+
+TEST_P(ReedSolomonTest, TooManyLossesRejected) {
+  const auto [k, m] = GetParam();
+  const ReedSolomon rs(k, m);
+  const auto data = random_shards(k, 64, 5);
+  const auto parity = rs.encode(data);
+  std::vector<std::optional<Bytes>> shards;
+  for (const auto& s : data) shards.emplace_back(s);
+  for (const auto& s : parity) shards.emplace_back(s);
+  // Erase m + 1 shards.
+  for (int i = 0; i <= m; ++i) shards[i].reset();
+  EXPECT_THROW((void)rs.reconstruct(shards), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ReedSolomonTest,
+                         ::testing::Values(RsParam{1, 1}, RsParam{2, 1},
+                                           RsParam{4, 2}, RsParam{8, 3},
+                                           RsParam{10, 4}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(std::get<0>(info.param)) +
+                                  "m" + std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(ReedSolomon, SingleParityMatchesXorProtectionLevel) {
+  // m = 1 tolerates exactly one loss, like the XOR partner-group scheme
+  // of stores.hpp (the parity row's coefficients differ from plain XOR,
+  // but the protection level is the same).
+  const ReedSolomon rs(4, 1);
+  const auto data = random_shards(4, 256, 7);
+  const auto parity = rs.encode(data);
+  for (int victim = 0; victim < 4; ++victim) {
+    std::vector<std::optional<Bytes>> shards;
+    for (const auto& s : data) shards.emplace_back(s);
+    shards.emplace_back(parity[0]);
+    shards[victim].reset();
+    EXPECT_EQ(rs.reconstruct(shards)[victim], data[victim]);
+  }
+}
+
+TEST(ReedSolomon, SystematicDataPassthrough) {
+  // Surviving data shards come back byte-identical without decoding.
+  const ReedSolomon rs(3, 2);
+  const auto data = random_shards(3, 128, 8);
+  const auto parity = rs.encode(data);
+  std::vector<std::optional<Bytes>> shards = {data[0], std::nullopt,
+                                              data[2], parity[0],
+                                              std::nullopt};
+  const auto rebuilt = rs.reconstruct(shards);
+  EXPECT_EQ(rebuilt[0], data[0]);
+  EXPECT_EQ(rebuilt[1], data[1]);
+  EXPECT_EQ(rebuilt[2], data[2]);
+}
+
+TEST(ReedSolomon, ValidatesInputs) {
+  EXPECT_THROW(ReedSolomon(0, 1), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(1, 0), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(200, 56), std::invalid_argument);
+  const ReedSolomon rs(2, 1);
+  EXPECT_THROW((void)rs.encode(random_shards(3, 8, 1)),
+               std::invalid_argument);
+  auto uneven = random_shards(2, 8, 2);
+  uneven[1].resize(9);
+  EXPECT_THROW((void)rs.encode(uneven), std::invalid_argument);
+  std::vector<std::optional<Bytes>> wrong_count(2);
+  EXPECT_THROW((void)rs.reconstruct(wrong_count), std::invalid_argument);
+}
+
+TEST(ReedSolomon, LargeGroupStress) {
+  const ReedSolomon rs(16, 4);
+  const auto data = random_shards(16, 1024, 99);
+  const auto parity = rs.encode(data);
+  std::vector<std::optional<Bytes>> shards;
+  for (const auto& s : data) shards.emplace_back(s);
+  for (const auto& s : parity) shards.emplace_back(s);
+  // Kill 4 data shards.
+  shards[1].reset();
+  shards[5].reset();
+  shards[9].reset();
+  shards[14].reset();
+  const auto rebuilt = rs.reconstruct(shards);
+  for (int j = 0; j < 16; ++j) EXPECT_EQ(rebuilt[j], data[j]);
+}
+
+}  // namespace
+}  // namespace ndpcr::ckpt

@@ -1,0 +1,118 @@
+// Property sweeps over the timeline simulator: conservation laws and
+// monotonicities that must hold for ANY configuration, checked across a
+// parameterized grid of strategies, compression factors and recovery
+// probabilities.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/timeline.hpp"
+
+namespace ndpcr::sim {
+namespace {
+
+using Param = std::tuple<Strategy, double /*cf*/, double /*p_local*/>;
+
+TimelineConfig config_for(const Param& param) {
+  TimelineConfig cfg;
+  cfg.strategy = std::get<0>(param);
+  cfg.compression_factor = std::get<1>(param);
+  cfg.p_local_recovery = std::get<2>(param);
+  if (cfg.strategy == Strategy::kLocalIoHost) cfg.io_every = 20;
+  cfg.total_work = 120.0 * 3600;
+  return cfg;
+}
+
+class TimelinePropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TimelinePropertyTest, UsefulWorkIsConserved) {
+  // The compute component counts first-time work exactly once: at
+  // completion it must equal the configured total work, to the last
+  // microsecond.
+  const TimelineConfig cfg = config_for(GetParam());
+  const TimelineResult r = TimelineSimulator(cfg, 11).run();
+  EXPECT_NEAR(r.breakdown.compute, cfg.total_work, 1e-6);
+}
+
+TEST_P(TimelinePropertyTest, ComponentsAreNonNegativeAndBounded) {
+  const TimelineConfig cfg = config_for(GetParam());
+  const TimelineResult r = TimelineSimulator(cfg, 13).run();
+  const auto& b = r.breakdown;
+  for (double component : {b.compute, b.ckpt_local, b.ckpt_io,
+                           b.restore_local, b.restore_io, b.rerun_local,
+                           b.rerun_io}) {
+    EXPECT_GE(component, 0.0);
+  }
+  EXPECT_GT(r.progress_rate(), 0.0);
+  EXPECT_LE(r.progress_rate(), 1.0);
+}
+
+TEST_P(TimelinePropertyTest, FailureRateMatchesMtti) {
+  const TimelineConfig cfg = config_for(GetParam());
+  const TimelineResult r = TimelineSimulator::run_trials(cfg, 4, 17);
+  const double wall = r.breakdown.total() * 4;
+  EXPECT_NEAR(static_cast<double>(r.failures) * cfg.mtti / wall, 1.0, 0.12);
+}
+
+TEST_P(TimelinePropertyTest, RecoveriesDoNotExceedFailures) {
+  const TimelineConfig cfg = config_for(GetParam());
+  const TimelineResult r = TimelineSimulator(cfg, 19).run();
+  EXPECT_LE(r.local_recoveries + r.io_recoveries + r.scratch_restarts,
+            r.failures);
+}
+
+TEST_P(TimelinePropertyTest, IoCheckpointsNeverOutnumberLocal) {
+  const TimelineConfig cfg = config_for(GetParam());
+  const TimelineResult r = TimelineSimulator(cfg, 23).run();
+  if (cfg.strategy != Strategy::kIoOnly) {
+    EXPECT_LE(r.io_checkpoints, r.local_checkpoints);
+  }
+}
+
+TEST_P(TimelinePropertyTest, MoreReliableMachineIsNeverWorse) {
+  // Doubling the MTTI (same seed, common random numbers) must not lower
+  // the progress rate.
+  TimelineConfig cfg = config_for(GetParam());
+  const double base =
+      TimelineSimulator::run_trials(cfg, 3, 29).progress_rate();
+  cfg.mtti *= 2.0;
+  const double reliable =
+      TimelineSimulator::run_trials(cfg, 3, 29).progress_rate();
+  EXPECT_GT(reliable, base - 0.01);
+}
+
+TEST_P(TimelinePropertyTest, SmallerCheckpointsAreNeverWorse) {
+  TimelineConfig cfg = config_for(GetParam());
+  const double base =
+      TimelineSimulator::run_trials(cfg, 3, 31).progress_rate();
+  cfg.checkpoint_bytes /= 4.0;
+  const double smaller =
+      TimelineSimulator::run_trials(cfg, 3, 31).progress_rate();
+  EXPECT_GT(smaller, base - 0.01);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [strategy, cf, p] = info.param;
+  std::string name;
+  switch (strategy) {
+    case Strategy::kIoOnly: name = "IoOnly"; break;
+    case Strategy::kLocalIoHost: name = "Host"; break;
+    case Strategy::kLocalIoNdp: name = "Ndp"; break;
+  }
+  name += "_cf" + std::to_string(static_cast<int>(cf * 100));
+  name += "_p" + std::to_string(static_cast<int>(p * 100));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimelinePropertyTest,
+    ::testing::Combine(::testing::Values(Strategy::kIoOnly,
+                                         Strategy::kLocalIoHost,
+                                         Strategy::kLocalIoNdp),
+                       ::testing::Values(0.0, 0.73),
+                       ::testing::Values(0.5, 0.96)),
+    param_name);
+
+}  // namespace
+}  // namespace ndpcr::sim

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "analytic/daly.hpp"
+#include "common/units.hpp"
+#include "sim/timeline.hpp"
+
+namespace ndpcr::sim {
+namespace {
+
+using namespace ndpcr::units;
+
+TimelineConfig paper_defaults() {
+  TimelineConfig cfg;  // defaults are the Table 4 values
+  cfg.total_work = 300.0 * 3600;
+  return cfg;
+}
+
+TEST(Breakdown, Accounting) {
+  Breakdown b;
+  b.compute = 80;
+  b.ckpt_local = 5;
+  b.ckpt_io = 5;
+  b.rerun_io = 10;
+  EXPECT_DOUBLE_EQ(b.overhead(), 20.0);
+  EXPECT_DOUBLE_EQ(b.total(), 100.0);
+  EXPECT_DOUBLE_EQ(b.progress_rate(), 0.8);
+
+  Breakdown c = b.scaled(0.5);
+  EXPECT_DOUBLE_EQ(c.compute, 40.0);
+  EXPECT_DOUBLE_EQ(c.progress_rate(), 0.8);  // scaling preserves rates
+  c += b;
+  EXPECT_DOUBLE_EQ(c.compute, 120.0);
+}
+
+TEST(Timeline, DerivedCostsMatchPaperArithmetic) {
+  TimelineSimulator sim(paper_defaults(), 0);
+  // 112 GB / 15 GB/s = 7.47 s local commit (section 6.1.3).
+  EXPECT_NEAR(sim.local_commit_time(), 7.4667, 1e-3);
+  // 112 GB / 100 MB/s = 1120 s = 18.67 min to IO uncompressed (sec 3.4).
+  TimelineConfig raw = paper_defaults();
+  raw.compression_factor = 0.0;
+  EXPECT_NEAR(TimelineSimulator(raw, 0).host_io_commit_time(), 1120.0, 1e-6);
+  // At cf = 72.8% (gzip(1) average): 30.5 GB -> ~305 s (section 5.3).
+  TimelineConfig gz = paper_defaults();
+  gz.compression_factor = 0.728;
+  EXPECT_NEAR(TimelineSimulator(gz, 0).host_io_commit_time(), 304.6, 1.0);
+  EXPECT_NEAR(TimelineSimulator(gz, 0).io_restore_time(), 304.6, 1.0);
+}
+
+TEST(Timeline, NdpDrainTime) {
+  TimelineConfig cfg = paper_defaults();
+  cfg.strategy = Strategy::kLocalIoNdp;
+  cfg.compression_factor = 0.728;
+  TimelineSimulator sim(cfg, 0);
+  // Overlapped: max(compress 112 GB / 440.4 MB/s = 254 s, write 305 s).
+  EXPECT_NEAR(sim.ndp_drain_time(), 304.6, 1.0);
+  // Serial ablation: the sum.
+  cfg.ndp_overlap = false;
+  EXPECT_NEAR(TimelineSimulator(cfg, 0).ndp_drain_time(), 254.3 + 304.6,
+              2.0);
+  // Without compression the drain is the raw IO write.
+  cfg.ndp_overlap = true;
+  cfg.compression_factor = 0.0;
+  EXPECT_NEAR(TimelineSimulator(cfg, 0).ndp_drain_time(), 1120.0, 1e-6);
+}
+
+TEST(Timeline, NoFailuresGivesDeterministicOverhead) {
+  // With an astronomically large MTTI the only overhead is checkpointing.
+  TimelineConfig cfg = paper_defaults();
+  cfg.mtti = 1e15;
+  cfg.strategy = Strategy::kLocalIoHost;
+  cfg.io_every = 10;
+  cfg.total_work = 10000.0;
+  const TimelineResult r = TimelineSimulator(cfg, 1).run();
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_DOUBLE_EQ(r.breakdown.compute, 10000.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.rerun_local + r.breakdown.rerun_io, 0.0);
+  // 66 full intervals of 150 s fit in 10000 s of work; every 10th
+  // checkpoint also writes to IO.
+  EXPECT_EQ(r.local_checkpoints, 66u);
+  EXPECT_EQ(r.io_checkpoints, 6u);
+  EXPECT_NEAR(r.breakdown.ckpt_local, 66 * (112e9 / 15e9), 1e-6);
+  EXPECT_NEAR(r.breakdown.ckpt_io, 6 * 1120.0, 1e-6);
+}
+
+TEST(Timeline, IoOnlyMatchesDalyModel) {
+  // Single-level checkpointing must reproduce Daly's analytic efficiency.
+  TimelineConfig cfg;
+  cfg.strategy = Strategy::kIoOnly;
+  cfg.mtti = minutes(30);
+  cfg.checkpoint_bytes = 112e9;
+  cfg.io_bw = 112e9 / 9.0;  // a 9-second commit: the 90% operating point
+  cfg.compression_factor = 0.0;
+  const analytic::CrParams p{.mtti = cfg.mtti, .commit = 9.0, .restart = 9.0};
+  cfg.local_interval = analytic::daly_optimal_interval(9.0, cfg.mtti);
+  cfg.total_work = 2000.0 * 3600;
+
+  const TimelineResult r = TimelineSimulator::run_trials(cfg, 3, 7);
+  const double expected = analytic::efficiency(cfg.local_interval, p);
+  EXPECT_NEAR(r.progress_rate(), expected, 0.01);
+  EXPECT_GT(r.failures, 100u);  // statistically meaningful
+}
+
+TEST(Timeline, FailureCountMatchesMtti) {
+  TimelineConfig cfg = paper_defaults();
+  cfg.strategy = Strategy::kLocalIoHost;
+  cfg.io_every = 50;
+  cfg.p_local_recovery = 0.9;
+  const TimelineResult r = TimelineSimulator::run_trials(cfg, 5, 11);
+  const double wall = r.breakdown.total() * 5;  // run_trials averages
+  EXPECT_NEAR(static_cast<double>(r.failures) / (wall / cfg.mtti), 1.0, 0.1);
+}
+
+TEST(Timeline, RecoveryLevelSplitMatchesProbability) {
+  TimelineConfig cfg = paper_defaults();
+  cfg.strategy = Strategy::kLocalIoHost;
+  cfg.io_every = 20;
+  cfg.p_local_recovery = 0.8;
+  cfg.total_work = 1000.0 * 3600;
+  const TimelineResult r = TimelineSimulator::run_trials(cfg, 3, 13);
+  const double local_share =
+      static_cast<double>(r.local_recoveries) /
+      static_cast<double>(r.local_recoveries + r.io_recoveries);
+  EXPECT_NEAR(local_share, 0.8, 0.05);
+}
+
+TEST(Timeline, NdpBeatsHostAtSameParameters) {
+  // The headline claim: offloading IO writes to the NDP improves progress
+  // rate at identical machine parameters.
+  TimelineConfig host = paper_defaults();
+  host.strategy = Strategy::kLocalIoHost;
+  host.io_every = 40;  // near-optimal for these parameters
+  host.compression_factor = 0.73;
+  host.p_local_recovery = 0.85;
+
+  TimelineConfig ndp = host;
+  ndp.strategy = Strategy::kLocalIoNdp;
+  ndp.io_every = 0;
+
+  const double host_rate =
+      TimelineSimulator::run_trials(host, 3, 17).progress_rate();
+  const double ndp_rate =
+      TimelineSimulator::run_trials(ndp, 3, 17).progress_rate();
+  EXPECT_GT(ndp_rate, host_rate);
+  EXPECT_GT(ndp_rate, 0.8);
+}
+
+TEST(Timeline, NdpHasNoBlockingIoCheckpointTime) {
+  TimelineConfig cfg = paper_defaults();
+  cfg.strategy = Strategy::kLocalIoNdp;
+  cfg.compression_factor = 0.73;
+  const TimelineResult r = TimelineSimulator::run_trials(cfg, 3, 19);
+  // Figure 7: the "Checkpoint I/O" component vanishes with NDP.
+  EXPECT_DOUBLE_EQ(r.breakdown.ckpt_io, 0.0);
+  EXPECT_GT(r.io_checkpoints, 0u);  // but checkpoints do reach IO
+}
+
+TEST(Timeline, CompressionImprovesHostMultilevel) {
+  TimelineConfig plain = paper_defaults();
+  plain.strategy = Strategy::kLocalIoHost;
+  plain.io_every = 60;
+  plain.p_local_recovery = 0.85;
+
+  TimelineConfig compressed = plain;
+  compressed.compression_factor = 0.73;
+  compressed.io_every = 25;
+
+  const double plain_rate =
+      TimelineSimulator::run_trials(plain, 3, 23).progress_rate();
+  const double compressed_rate =
+      TimelineSimulator::run_trials(compressed, 3, 23).progress_rate();
+  EXPECT_GT(compressed_rate, plain_rate);
+}
+
+TEST(Timeline, RerunAttributionFollowsRecoveryLevel) {
+  // With p_local = 1 all rerun is local; with p_local = 0 all rerun is IO.
+  TimelineConfig cfg = paper_defaults();
+  cfg.strategy = Strategy::kLocalIoHost;
+  cfg.io_every = 10;
+
+  cfg.p_local_recovery = 1.0;
+  const TimelineResult all_local = TimelineSimulator(cfg, 29).run();
+  EXPECT_GT(all_local.breakdown.rerun_local, 0.0);
+  EXPECT_DOUBLE_EQ(all_local.breakdown.rerun_io, 0.0);
+  EXPECT_DOUBLE_EQ(all_local.breakdown.restore_io, 0.0);
+
+  cfg.p_local_recovery = 0.0;
+  const TimelineResult all_io = TimelineSimulator(cfg, 29).run();
+  EXPECT_DOUBLE_EQ(all_io.breakdown.rerun_local, 0.0);
+  EXPECT_GT(all_io.breakdown.rerun_io, 0.0);
+}
+
+TEST(Timeline, LargerIoEveryTradesCheckpointForRerun) {
+  // The Figure 4 mechanism: rarer IO checkpoints mean less blocking
+  // checkpoint time but more lost work on IO recoveries.
+  TimelineConfig cfg = paper_defaults();
+  cfg.strategy = Strategy::kLocalIoHost;
+  cfg.p_local_recovery = 0.85;
+  cfg.total_work = 1000.0 * 3600;
+
+  cfg.io_every = 5;
+  const auto frequent = TimelineSimulator::run_trials(cfg, 3, 31);
+  cfg.io_every = 200;
+  const auto rare = TimelineSimulator::run_trials(cfg, 3, 31);
+
+  EXPECT_GT(frequent.breakdown.ckpt_io, rare.breakdown.ckpt_io);
+  EXPECT_LT(frequent.breakdown.rerun_io, rare.breakdown.rerun_io);
+}
+
+TEST(Timeline, InvalidConfigurationsThrow) {
+  TimelineConfig cfg = paper_defaults();
+  cfg.mtti = 0;
+  EXPECT_THROW(TimelineSimulator(cfg, 0), std::invalid_argument);
+  cfg = paper_defaults();
+  cfg.compression_factor = 1.0;
+  EXPECT_THROW(TimelineSimulator(cfg, 0), std::invalid_argument);
+  cfg = paper_defaults();
+  cfg.io_bw = 0;
+  EXPECT_THROW(TimelineSimulator(cfg, 0), std::invalid_argument);
+}
+
+TEST(Timeline, DeterministicForSameSeed) {
+  TimelineConfig cfg = paper_defaults();
+  cfg.strategy = Strategy::kLocalIoNdp;
+  cfg.compression_factor = 0.5;
+  cfg.total_work = 50.0 * 3600;
+  const TimelineResult a = TimelineSimulator(cfg, 123).run();
+  const TimelineResult b = TimelineSimulator(cfg, 123).run();
+  EXPECT_DOUBLE_EQ(a.breakdown.total(), b.breakdown.total());
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.io_checkpoints, b.io_checkpoints);
+}
+
+}  // namespace
+}  // namespace ndpcr::sim

@@ -1,0 +1,236 @@
+// ndpcr - command-line front end to the library.
+//
+//   ndpcr project                         Table-1 exascale projection
+//   ndpcr evaluate [options]             progress rate + breakdown for a
+//                                        C/R configuration on a scenario
+//   ndpcr study [options]                compression study on one app
+//   ndpcr sweep --param {mtti|size|plocal} [options]
+//                                        sensitivity sweep for one config
+//
+// Common options (defaults = the paper's Table 4 scenario):
+//   --mtti <minutes>      --ckpt-gb <GB>       --local-gbps <GB/s>
+//   --io-mbps <MB/s>      --cf <0..1>          --plocal <0..1>
+//   --strategy {ndp|host|io-only}              --ratio <k>
+//   --app <name>          --mb <megabytes>     --trials <n>
+//
+// Examples:
+//   ndpcr evaluate --strategy ndp --cf 0.73 --plocal 0.85
+//   ndpcr sweep --param mtti --strategy host --cf 0.73
+//   ndpcr study --app minife --mb 4
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/evaluator.hpp"
+#include "proj/projection.hpp"
+#include "study/compression_study.hpp"
+
+namespace {
+
+using namespace ndpcr;
+using namespace ndpcr::units;
+
+struct Options {
+  std::map<std::string, std::string> values;
+
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::strtod(it->second.c_str(),
+                                                       nullptr);
+  }
+  [[nodiscard]] std::string text(const std::string& key,
+                                 const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opts;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+      std::exit(2);
+    }
+    opts.values[key.substr(2)] = argv[i + 1];
+  }
+  return opts;
+}
+
+model::CrScenario scenario_from(const Options& opts) {
+  model::CrScenario s;
+  s.mtti = minutes(opts.number("mtti", 30.0));
+  s.checkpoint_bytes = bytes_from_gb(opts.number("ckpt-gb", 112.0));
+  s.local_bw = gbps(opts.number("local-gbps", 15.0));
+  s.io_bw_per_node = mbps(opts.number("io-mbps", 100.0));
+  return s;
+}
+
+model::CrConfig config_from(const Options& opts) {
+  model::CrConfig cfg;
+  const std::string strategy = opts.text("strategy", "ndp");
+  if (strategy == "ndp") {
+    cfg.kind = model::ConfigKind::kLocalIoNdp;
+  } else if (strategy == "host") {
+    cfg.kind = model::ConfigKind::kLocalIoHost;
+  } else if (strategy == "io-only") {
+    cfg.kind = model::ConfigKind::kIoOnly;
+  } else {
+    std::fprintf(stderr, "unknown strategy: %s\n", strategy.c_str());
+    std::exit(2);
+  }
+  cfg.compression_factor = opts.number("cf", 0.0);
+  cfg.p_local_recovery = opts.number("plocal", 0.85);
+  return cfg;
+}
+
+model::Evaluation evaluate_config(const model::Evaluator& ev,
+                                  const model::CrConfig& cfg,
+                                  const Options& opts) {
+  const double ratio = opts.number("ratio", 0.0);
+  if (ratio > 0 && cfg.kind == model::ConfigKind::kLocalIoHost) {
+    return ev.evaluate_at_ratio(cfg,
+                                static_cast<std::uint32_t>(ratio));
+  }
+  return ev.evaluate(cfg);
+}
+
+int cmd_project() {
+  const auto t = proj::titan();
+  const auto e = proj::project_exascale(t);
+  TextTable table({"Parameter", "Titan", "Exascale"});
+  table.add_row({"nodes", fmt_fixed(t.node_count, 0),
+                 fmt_fixed(e.node_count, 0)});
+  table.add_row({"node peak", fmt_fixed(t.node_peak_flops / 1e12, 2) + " TF",
+                 fmt_fixed(e.node_peak_flops / 1e12, 0) + " TF"});
+  table.add_row({"node memory", fmt_si_bytes(t.node_memory_bytes),
+                 fmt_si_bytes(e.node_memory_bytes)});
+  table.add_row({"system memory", fmt_si_bytes(t.system_memory_bytes),
+                 fmt_si_bytes(e.system_memory_bytes)});
+  table.add_row({"I/O bandwidth", fmt_si_bytes(t.io_bandwidth) + "/s",
+                 fmt_si_bytes(e.io_bandwidth) + "/s"});
+  table.add_row({"MTTI", fmt_fixed(to_minutes(t.system_mtti), 0) + " min",
+                 fmt_fixed(to_minutes(e.system_mtti), 0) + " min"});
+  std::fputs(table.str().c_str(), stdout);
+  const auto r = proj::derive_cr_requirements(e);
+  std::printf("\n90%% progress needs: commit %.1f s, period %.0f s, "
+              "%.2f GB/s per node\n",
+              r.commit_time, r.checkpoint_period,
+              r.per_node_bandwidth / 1e9);
+  return 0;
+}
+
+int cmd_evaluate(const Options& opts) {
+  model::SimOptions sim;
+  sim.trials = static_cast<int>(opts.number("trials", 3));
+  sim.total_work = opts.number("hours", 250.0) * 3600;
+  const model::Evaluator ev(scenario_from(opts), sim);
+  const auto cfg = config_from(opts);
+  const auto e = evaluate_config(ev, cfg, opts);
+
+  std::printf("%s\n\n", cfg.label().c_str());
+  const auto& b = e.result.breakdown;
+  const double total = b.total();
+  TextTable table({"Component", "% of execution"});
+  table.add_row({"compute (progress rate)", fmt_percent(b.compute / total, 1)});
+  table.add_row({"checkpoint local", fmt_percent(b.ckpt_local / total, 1)});
+  table.add_row({"checkpoint IO", fmt_percent(b.ckpt_io / total, 1)});
+  table.add_row({"restore local", fmt_percent(b.restore_local / total, 1)});
+  table.add_row({"restore IO", fmt_percent(b.restore_io / total, 1)});
+  table.add_row({"rerun local", fmt_percent(b.rerun_local / total, 1)});
+  table.add_row({"rerun IO", fmt_percent(b.rerun_io / total, 1)});
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nlocal:IO checkpoint ratio %u, interval %.0f s, "
+              "%llu failures simulated\n",
+              e.io_every, e.interval,
+              static_cast<unsigned long long>(e.result.failures));
+  return 0;
+}
+
+int cmd_study(const Options& opts) {
+  study::StudyConfig cfg;
+  cfg.bytes_per_app =
+      static_cast<std::size_t>(opts.number("mb", 2.0) * 1e6);
+  const std::string app = opts.text("app", "");
+  if (!app.empty()) cfg.apps = {app};
+  const auto results = study::run_compression_study(cfg);
+  TextTable table({"App", "Codec", "Factor", "Speed", "Decomp"});
+  for (const auto& m : results.rows) {
+    table.add_row({m.app, m.codec, fmt_percent(m.factor, 1),
+                   fmt_fixed(m.compress_bw / 1e6, 1) + " MB/s",
+                   fmt_fixed(m.decompress_bw / 1e6, 1) + " MB/s"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}
+
+int cmd_sweep(const Options& opts) {
+  const std::string param = opts.text("param", "mtti");
+  model::SimOptions sim;
+  sim.trials = static_cast<int>(opts.number("trials", 2));
+  sim.total_work = opts.number("hours", 200.0) * 3600;
+  const auto cfg = config_from(opts);
+
+  TextTable table({param, "progress rate", "ratio"});
+  auto run_point = [&](const std::string& label,
+                       const model::CrScenario& scenario,
+                       const model::CrConfig& point_cfg) {
+    const model::Evaluator ev(scenario, sim);
+    const auto e = evaluate_config(ev, point_cfg, opts);
+    table.add_row({label, fmt_percent(e.progress_rate(), 1),
+                   std::to_string(e.io_every)});
+  };
+
+  if (param == "mtti") {
+    for (double m : {30.0, 60.0, 90.0, 120.0, 150.0}) {
+      auto scenario = scenario_from(opts);
+      scenario.mtti = minutes(m);
+      run_point(fmt_fixed(m, 0) + " min", scenario, cfg);
+    }
+  } else if (param == "size") {
+    for (double g : {14.0, 28.0, 56.0, 84.0, 112.0}) {
+      auto scenario = scenario_from(opts);
+      scenario.checkpoint_bytes = bytes_from_gb(g);
+      run_point(fmt_fixed(g, 0) + " GB", scenario, cfg);
+    }
+  } else if (param == "plocal") {
+    for (double p : {0.2, 0.4, 0.6, 0.8, 0.96}) {
+      auto point = cfg;
+      point.p_local_recovery = p;
+      run_point(fmt_percent(p, 0), scenario_from(opts), point);
+    }
+  } else {
+    std::fprintf(stderr, "unknown sweep parameter: %s\n", param.c_str());
+    return 2;
+  }
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}
+
+void usage() {
+  std::puts("usage: ndpcr {project|evaluate|study|sweep} [--key value ...]");
+  std::puts("see the comment block in tools/ndpcr_cli.cpp for options");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Options opts = parse_options(argc, argv, 2);
+  if (command == "project") return cmd_project();
+  if (command == "evaluate") return cmd_evaluate(opts);
+  if (command == "study") return cmd_study(opts);
+  if (command == "sweep") return cmd_sweep(opts);
+  usage();
+  return 2;
+}
