@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cluster_validation.dir/ablation_cluster_validation.cpp.o"
+  "CMakeFiles/ablation_cluster_validation.dir/ablation_cluster_validation.cpp.o.d"
+  "ablation_cluster_validation"
+  "ablation_cluster_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

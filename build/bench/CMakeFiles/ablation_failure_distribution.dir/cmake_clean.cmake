@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failure_distribution.dir/ablation_failure_distribution.cpp.o"
+  "CMakeFiles/ablation_failure_distribution.dir/ablation_failure_distribution.cpp.o.d"
+  "ablation_failure_distribution"
+  "ablation_failure_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failure_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

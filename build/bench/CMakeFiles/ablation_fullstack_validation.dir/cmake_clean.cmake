@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fullstack_validation.dir/ablation_fullstack_validation.cpp.o"
+  "CMakeFiles/ablation_fullstack_validation.dir/ablation_fullstack_validation.cpp.o.d"
+  "ablation_fullstack_validation"
+  "ablation_fullstack_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fullstack_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

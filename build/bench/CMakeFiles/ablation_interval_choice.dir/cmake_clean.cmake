@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interval_choice.dir/ablation_interval_choice.cpp.o"
+  "CMakeFiles/ablation_interval_choice.dir/ablation_interval_choice.cpp.o.d"
+  "ablation_interval_choice"
+  "ablation_interval_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interval_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ndp_pipeline.dir/ablation_ndp_pipeline.cpp.o"
+  "CMakeFiles/ablation_ndp_pipeline.dir/ablation_ndp_pipeline.cpp.o.d"
+  "ablation_ndp_pipeline"
+  "ablation_ndp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ndp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nic_contention.dir/ablation_nic_contention.cpp.o"
+  "CMakeFiles/ablation_nic_contention.dir/ablation_nic_contention.cpp.o.d"
+  "ablation_nic_contention"
+  "ablation_nic_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nic_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

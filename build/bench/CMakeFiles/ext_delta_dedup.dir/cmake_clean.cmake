@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_delta_dedup.dir/ext_delta_dedup.cpp.o"
+  "CMakeFiles/ext_delta_dedup.dir/ext_delta_dedup.cpp.o.d"
+  "ext_delta_dedup"
+  "ext_delta_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_delta_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

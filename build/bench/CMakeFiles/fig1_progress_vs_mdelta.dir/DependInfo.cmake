@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_progress_vs_mdelta.cpp" "bench/CMakeFiles/fig1_progress_vs_mdelta.dir/fig1_progress_vs_mdelta.cpp.o" "gcc" "bench/CMakeFiles/fig1_progress_vs_mdelta.dir/fig1_progress_vs_mdelta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytic/CMakeFiles/ndpcr_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ndpcr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_progress_vs_mdelta.dir/fig1_progress_vs_mdelta.cpp.o"
+  "CMakeFiles/fig1_progress_vs_mdelta.dir/fig1_progress_vs_mdelta.cpp.o.d"
+  "fig1_progress_vs_mdelta"
+  "fig1_progress_vs_mdelta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_progress_vs_mdelta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_optimal_ratios.dir/fig5_optimal_ratios.cpp.o"
+  "CMakeFiles/fig5_optimal_ratios.dir/fig5_optimal_ratios.cpp.o.d"
+  "fig5_optimal_ratios"
+  "fig5_optimal_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_optimal_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

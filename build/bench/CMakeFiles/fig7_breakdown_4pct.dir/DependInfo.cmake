@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_breakdown_4pct.cpp" "bench/CMakeFiles/fig7_breakdown_4pct.dir/fig7_breakdown_4pct.cpp.o" "gcc" "bench/CMakeFiles/fig7_breakdown_4pct.dir/fig7_breakdown_4pct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ndpcr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/ndpcr_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ndpcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/ndpcr_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/ndpcr_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ndpcr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ndpcr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

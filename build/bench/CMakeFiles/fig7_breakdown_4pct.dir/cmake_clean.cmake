@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_breakdown_4pct.dir/fig7_breakdown_4pct.cpp.o"
+  "CMakeFiles/fig7_breakdown_4pct.dir/fig7_breakdown_4pct.cpp.o.d"
+  "fig7_breakdown_4pct"
+  "fig7_breakdown_4pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_breakdown_4pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mtti_sensitivity.dir/fig9_mtti_sensitivity.cpp.o"
+  "CMakeFiles/fig9_mtti_sensitivity.dir/fig9_mtti_sensitivity.cpp.o.d"
+  "fig9_mtti_sensitivity"
+  "fig9_mtti_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mtti_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

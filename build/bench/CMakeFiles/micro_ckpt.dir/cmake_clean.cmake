@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ckpt.dir/micro_ckpt.cpp.o"
+  "CMakeFiles/micro_ckpt.dir/micro_ckpt.cpp.o.d"
+  "micro_ckpt"
+  "micro_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_projection.dir/table1_projection.cpp.o"
+  "CMakeFiles/table1_projection.dir/table1_projection.cpp.o.d"
+  "table1_projection"
+  "table1_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_compression_study.dir/table2_compression_study.cpp.o"
+  "CMakeFiles/table2_compression_study.dir/table2_compression_study.cpp.o.d"
+  "table2_compression_study"
+  "table2_compression_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_compression_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

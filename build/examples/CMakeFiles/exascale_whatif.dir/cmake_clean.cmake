@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exascale_whatif.dir/exascale_whatif.cpp.o"
+  "CMakeFiles/exascale_whatif.dir/exascale_whatif.cpp.o.d"
+  "exascale_whatif"
+  "exascale_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exascale_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

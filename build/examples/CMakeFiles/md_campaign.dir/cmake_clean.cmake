@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_campaign.dir/md_campaign.cpp.o"
+  "CMakeFiles/md_campaign.dir/md_campaign.cpp.o.d"
+  "md_campaign"
+  "md_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

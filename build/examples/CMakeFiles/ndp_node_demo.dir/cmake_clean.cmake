@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_node_demo.dir/ndp_node_demo.cpp.o"
+  "CMakeFiles/ndp_node_demo.dir/ndp_node_demo.cpp.o.d"
+  "ndp_node_demo"
+  "ndp_node_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_node_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("analytic")
+subdirs("proj")
+subdirs("compress")
+subdirs("workloads")
+subdirs("ckpt")
+subdirs("delta")
+subdirs("net")
+subdirs("ndp")
+subdirs("sim")
+subdirs("model")
+subdirs("study")
+subdirs("cluster")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_analytic.dir/daly.cpp.o"
+  "CMakeFiles/ndpcr_analytic.dir/daly.cpp.o.d"
+  "libndpcr_analytic.a"
+  "libndpcr_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/file_store.cpp" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/file_store.cpp.o" "gcc" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/file_store.cpp.o.d"
+  "/root/repo/src/ckpt/image.cpp" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/image.cpp.o" "gcc" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/image.cpp.o.d"
+  "/root/repo/src/ckpt/multilevel.cpp" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/multilevel.cpp.o" "gcc" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/multilevel.cpp.o.d"
+  "/root/repo/src/ckpt/nvm_store.cpp" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/nvm_store.cpp.o" "gcc" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/nvm_store.cpp.o.d"
+  "/root/repo/src/ckpt/reed_solomon.cpp" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/reed_solomon.cpp.o" "gcc" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/ckpt/region.cpp" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/region.cpp.o" "gcc" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/region.cpp.o.d"
+  "/root/repo/src/ckpt/stores.cpp" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/stores.cpp.o" "gcc" "src/ckpt/CMakeFiles/ndpcr_ckpt.dir/stores.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ndpcr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ndpcr_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_ckpt.dir/file_store.cpp.o"
+  "CMakeFiles/ndpcr_ckpt.dir/file_store.cpp.o.d"
+  "CMakeFiles/ndpcr_ckpt.dir/image.cpp.o"
+  "CMakeFiles/ndpcr_ckpt.dir/image.cpp.o.d"
+  "CMakeFiles/ndpcr_ckpt.dir/multilevel.cpp.o"
+  "CMakeFiles/ndpcr_ckpt.dir/multilevel.cpp.o.d"
+  "CMakeFiles/ndpcr_ckpt.dir/nvm_store.cpp.o"
+  "CMakeFiles/ndpcr_ckpt.dir/nvm_store.cpp.o.d"
+  "CMakeFiles/ndpcr_ckpt.dir/reed_solomon.cpp.o"
+  "CMakeFiles/ndpcr_ckpt.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/ndpcr_ckpt.dir/region.cpp.o"
+  "CMakeFiles/ndpcr_ckpt.dir/region.cpp.o.d"
+  "CMakeFiles/ndpcr_ckpt.dir/stores.cpp.o"
+  "CMakeFiles/ndpcr_ckpt.dir/stores.cpp.o.d"
+  "libndpcr_ckpt.a"
+  "libndpcr_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

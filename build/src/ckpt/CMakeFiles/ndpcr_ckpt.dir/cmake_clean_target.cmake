@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libndpcr_ckpt.a"
+)

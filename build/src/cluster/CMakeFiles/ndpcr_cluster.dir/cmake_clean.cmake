@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_cluster.dir/cluster_sim.cpp.o"
+  "CMakeFiles/ndpcr_cluster.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/ndpcr_cluster.dir/failure_analysis.cpp.o"
+  "CMakeFiles/ndpcr_cluster.dir/failure_analysis.cpp.o.d"
+  "CMakeFiles/ndpcr_cluster.dir/ndp_cluster_sim.cpp.o"
+  "CMakeFiles/ndpcr_cluster.dir/ndp_cluster_sim.cpp.o.d"
+  "libndpcr_cluster.a"
+  "libndpcr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_common.dir/crc32.cpp.o"
+  "CMakeFiles/ndpcr_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/ndpcr_common.dir/stats.cpp.o"
+  "CMakeFiles/ndpcr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ndpcr_common.dir/table.cpp.o"
+  "CMakeFiles/ndpcr_common.dir/table.cpp.o.d"
+  "libndpcr_common.a"
+  "libndpcr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

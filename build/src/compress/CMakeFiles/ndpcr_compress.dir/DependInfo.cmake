@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bwt.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/bwt.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/bwt.cpp.o.d"
+  "/root/repo/src/compress/bzip_style.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/bzip_style.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/bzip_style.cpp.o.d"
+  "/root/repo/src/compress/chunked.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/chunked.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/chunked.cpp.o.d"
+  "/root/repo/src/compress/codec.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/codec.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/codec.cpp.o.d"
+  "/root/repo/src/compress/deflate_style.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/deflate_style.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/deflate_style.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/lz4_style.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/lz4_style.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/lz4_style.cpp.o.d"
+  "/root/repo/src/compress/matcher.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/matcher.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/matcher.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/registry.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/registry.cpp.o.d"
+  "/root/repo/src/compress/simple_codecs.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/simple_codecs.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/simple_codecs.cpp.o.d"
+  "/root/repo/src/compress/suffix_array.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/suffix_array.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/suffix_array.cpp.o.d"
+  "/root/repo/src/compress/xz_style.cpp" "src/compress/CMakeFiles/ndpcr_compress.dir/xz_style.cpp.o" "gcc" "src/compress/CMakeFiles/ndpcr_compress.dir/xz_style.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ndpcr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

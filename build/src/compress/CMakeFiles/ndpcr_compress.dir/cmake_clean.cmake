@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_compress.dir/bwt.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/bwt.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/bzip_style.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/bzip_style.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/chunked.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/chunked.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/codec.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/deflate_style.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/deflate_style.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/huffman.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/lz4_style.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/lz4_style.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/matcher.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/matcher.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/registry.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/registry.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/simple_codecs.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/simple_codecs.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/suffix_array.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/suffix_array.cpp.o.d"
+  "CMakeFiles/ndpcr_compress.dir/xz_style.cpp.o"
+  "CMakeFiles/ndpcr_compress.dir/xz_style.cpp.o.d"
+  "libndpcr_compress.a"
+  "libndpcr_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

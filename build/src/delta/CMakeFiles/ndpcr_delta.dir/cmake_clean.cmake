@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_delta.dir/delta.cpp.o"
+  "CMakeFiles/ndpcr_delta.dir/delta.cpp.o.d"
+  "libndpcr_delta.a"
+  "libndpcr_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

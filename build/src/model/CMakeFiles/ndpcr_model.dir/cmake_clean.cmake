@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_model.dir/analytic_multilevel.cpp.o"
+  "CMakeFiles/ndpcr_model.dir/analytic_multilevel.cpp.o.d"
+  "CMakeFiles/ndpcr_model.dir/evaluator.cpp.o"
+  "CMakeFiles/ndpcr_model.dir/evaluator.cpp.o.d"
+  "libndpcr_model.a"
+  "libndpcr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

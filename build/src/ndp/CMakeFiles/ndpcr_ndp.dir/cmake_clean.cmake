@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_ndp.dir/agent.cpp.o"
+  "CMakeFiles/ndpcr_ndp.dir/agent.cpp.o.d"
+  "CMakeFiles/ndpcr_ndp.dir/ndp.cpp.o"
+  "CMakeFiles/ndpcr_ndp.dir/ndp.cpp.o.d"
+  "libndpcr_ndp.a"
+  "libndpcr_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_net.dir/nic.cpp.o"
+  "CMakeFiles/ndpcr_net.dir/nic.cpp.o.d"
+  "libndpcr_net.a"
+  "libndpcr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

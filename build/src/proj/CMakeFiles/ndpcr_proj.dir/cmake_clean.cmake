@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_proj.dir/projection.cpp.o"
+  "CMakeFiles/ndpcr_proj.dir/projection.cpp.o.d"
+  "libndpcr_proj.a"
+  "libndpcr_proj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_proj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

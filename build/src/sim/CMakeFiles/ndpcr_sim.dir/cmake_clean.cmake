@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_sim.dir/timeline.cpp.o"
+  "CMakeFiles/ndpcr_sim.dir/timeline.cpp.o.d"
+  "libndpcr_sim.a"
+  "libndpcr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

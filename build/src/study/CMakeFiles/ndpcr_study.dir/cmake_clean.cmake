@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_study.dir/compression_study.cpp.o"
+  "CMakeFiles/ndpcr_study.dir/compression_study.cpp.o.d"
+  "libndpcr_study.a"
+  "libndpcr_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

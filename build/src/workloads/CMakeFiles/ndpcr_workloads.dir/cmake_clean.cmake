@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr_workloads.dir/apps.cpp.o"
+  "CMakeFiles/ndpcr_workloads.dir/apps.cpp.o.d"
+  "CMakeFiles/ndpcr_workloads.dir/array_state.cpp.o"
+  "CMakeFiles/ndpcr_workloads.dir/array_state.cpp.o.d"
+  "libndpcr_workloads.a"
+  "libndpcr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

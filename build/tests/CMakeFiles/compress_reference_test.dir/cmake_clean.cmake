@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_reference_test.dir/compress_reference_test.cpp.o"
+  "CMakeFiles/compress_reference_test.dir/compress_reference_test.cpp.o.d"
+  "compress_reference_test"
+  "compress_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_robustness_test.dir/compress_robustness_test.cpp.o"
+  "CMakeFiles/compress_robustness_test.dir/compress_robustness_test.cpp.o.d"
+  "compress_robustness_test"
+  "compress_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

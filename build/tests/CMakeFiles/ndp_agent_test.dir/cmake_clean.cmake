@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_agent_test.dir/ndp_agent_test.cpp.o"
+  "CMakeFiles/ndp_agent_test.dir/ndp_agent_test.cpp.o.d"
+  "ndp_agent_test"
+  "ndp_agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

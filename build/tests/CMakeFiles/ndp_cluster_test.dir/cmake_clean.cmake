@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_cluster_test.dir/ndp_cluster_test.cpp.o"
+  "CMakeFiles/ndp_cluster_test.dir/ndp_cluster_test.cpp.o.d"
+  "ndp_cluster_test"
+  "ndp_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

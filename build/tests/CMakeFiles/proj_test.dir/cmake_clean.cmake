@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proj_test.dir/proj_test.cpp.o"
+  "CMakeFiles/proj_test.dir/proj_test.cpp.o.d"
+  "proj_test"
+  "proj_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpcr.dir/ndpcr_cli.cpp.o"
+  "CMakeFiles/ndpcr.dir/ndpcr_cli.cpp.o.d"
+  "ndpcr"
+  "ndpcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
