@@ -2,48 +2,61 @@
 // from? The failure-analysis DES derives it from first principles (double
 // failures within a partner pair during the rebuild window), and the
 // functional cluster simulation exercises the real byte-moving data path
-// under the same failure process.
+// under the same failure process. The functional runs fan out as
+// independent replicates on the execution engine (seed = sub_seed(base,
+// r)), so the summary statistics are stable under --threads.
+//
+// Engine flags: --trials (= replicates) /--seed/--threads/--csv.
 
 #include <cstdio>
 
-#include "cluster/cluster_sim.hpp"
+#include "bench_util.hpp"
 #include "cluster/failure_analysis.hpp"
-#include "common/table.hpp"
+#include "cluster/replicates.hpp"
 #include "common/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndpcr;
   using namespace ndpcr::cluster;
   using namespace ndpcr::units;
 
-  std::puts("P(local recovery) from the failure process: 100k nodes,");
-  std::puts("5-year node MTTF, ring partner scheme\n");
-  TextTable table({"Rebuild window", "System MTTI", "P(local)",
-                   "IO recoveries"});
-  for (double rebuild_minutes : {1.0, 10.0, 30.0, 60.0, 180.0, 600.0}) {
-    FailureAnalysisConfig cfg;
-    cfg.node_count = 100000;
-    cfg.node_mttf = years(5);
-    cfg.rebuild_time = minutes(rebuild_minutes);
-    cfg.target_failures = 200000;
-    const auto r = analyze_failures(cfg);
-    table.add_row({fmt_fixed(rebuild_minutes, 0) + " min",
-                   fmt_fixed(to_minutes(r.observed_system_mtti), 1) + " min",
-                   fmt_percent(r.p_local(), 3),
-                   std::to_string(r.io_required)});
-  }
-  std::fputs(table.str().c_str(), stdout);
-  std::puts("\nNote: with independent exponential failures the ring-partner");
-  std::puts("double-failure window alone yields P(local) >> 96%; the");
-  std::puts("paper's 85% (Moody et al.) reflects correlated and multi-node");
-  std::puts("failures, which is why the model keeps P(local) an input.");
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
+  const int replicates = args.trials_or(4);
+  const std::uint64_t seed = args.seed_or(7);
 
-  std::puts("\nPartner-scheme comparison (functional, 8 nodes): full");
-  std::puts("copies vs XOR groups of 4 - same single-loss protection at a");
-  std::puts("quarter of the redundancy space:\n");
+  bench::BenchReport report(
+      "ablation_cluster_validation", args, seed, replicates,
+      "100k-node failure DES + 8-node functional replicates");
+
   {
-    TextTable cmp({"Scheme", "partner recoveries", "io recoveries",
-                   "scratch", "verified"});
+    report.add_section(
+        "P(local recovery) from the failure process: 100k nodes, 5-year "
+        "node MTTF, ring partner scheme",
+        {"Rebuild window", "System MTTI", "P(local)", "IO recoveries"});
+    for (double rebuild_minutes : {1.0, 10.0, 30.0, 60.0, 180.0, 600.0}) {
+      FailureAnalysisConfig cfg;
+      cfg.node_count = 100000;
+      cfg.node_mttf = years(5);
+      cfg.rebuild_time = minutes(rebuild_minutes);
+      cfg.target_failures = 200000;
+      cfg.seed = seed;
+      const auto r = analyze_failures(cfg);
+      report.add_row({fmt_fixed(rebuild_minutes, 0) + " min",
+                      fmt_fixed(to_minutes(r.observed_system_mtti), 1) +
+                          " min",
+                      fmt_percent(r.p_local(), 3),
+                      std::to_string(r.io_required)});
+    }
+  }
+
+  {
+    report.add_section(
+        "Partner-scheme comparison (functional, 8 nodes, " +
+            std::to_string(replicates) +
+            " replicates each): full copies vs XOR groups of 4",
+        {"Scheme", "mean partner recoveries", "mean io recoveries",
+         "scratch (total)", "verified"});
     for (auto scheme : {ckpt::PartnerScheme::kCopy,
                         ckpt::PartnerScheme::kXorGroup}) {
       ClusterSimConfig c;
@@ -54,40 +67,53 @@ int main() {
       c.io_every = 4;
       c.partner_scheme = scheme;
       c.xor_group_size = 4;
-      const auto res = ClusterSim(c).run();
-      cmp.add_row({scheme == ckpt::PartnerScheme::kCopy ? "copy"
-                                                        : "xor-group(4)",
-                   std::to_string(res.partner_level_ranks),
-                   std::to_string(res.io_level_ranks),
-                   std::to_string(res.unrecoverable),
-                   res.state_verified ? "yes" : "NO"});
+      c.seed = seed;
+      const auto sum = run_cluster_replicates(c, replicates);
+      report.add_row({scheme == ckpt::PartnerScheme::kCopy ? "copy"
+                                                           : "xor-group(4)",
+                      fmt_fixed(sum.mean_partner_level_ranks, 2),
+                      fmt_fixed(sum.mean_io_level_ranks, 2),
+                      std::to_string(sum.total_unrecoverable),
+                      sum.all_verified ? "yes" : "NO"});
     }
-    std::fputs(cmp.str().c_str(), stdout);
   }
 
-  std::puts("\nFunctional cluster run (real bytes through the multilevel");
-  std::puts("store, 8 nodes, aggressive failure rate):\n");
-  ClusterSimConfig cfg;
-  cfg.node_count = 8;
-  cfg.state_bytes_per_rank = 128 * 1024;
-  cfg.node_mttf = 2000.0;
-  cfg.total_steps = 3000;
-  cfg.io_every = 4;
-  const auto r = ClusterSim(cfg).run();
-  TextTable run({"Metric", "Value"});
-  run.add_row({"failures", std::to_string(r.failures)});
-  run.add_row({"recoveries", std::to_string(r.recoveries)});
-  run.add_row({"rank-recoveries from local",
-               std::to_string(r.local_level_ranks)});
-  run.add_row({"rank-recoveries from partner",
-               std::to_string(r.partner_level_ranks)});
-  run.add_row({"rank-recoveries from IO", std::to_string(r.io_level_ranks)});
-  run.add_row({"unrecoverable (scratch restarts)",
-               std::to_string(r.unrecoverable)});
-  run.add_row({"checkpoints committed", std::to_string(r.checkpoints)});
-  run.add_row({"steps executed", std::to_string(r.steps_completed)});
-  run.add_row({"steps re-executed", std::to_string(r.steps_rerun)});
-  run.add_row({"state verified", r.state_verified ? "yes" : "NO"});
-  std::fputs(run.str().c_str(), stdout);
+  {
+    ClusterSimConfig cfg;
+    cfg.node_count = 8;
+    cfg.state_bytes_per_rank = 128 * 1024;
+    cfg.node_mttf = 2000.0;
+    cfg.total_steps = 3000;
+    cfg.io_every = 4;
+    cfg.seed = seed;
+    const auto sum = run_cluster_replicates(cfg, replicates);
+    report.add_section(
+        "Functional cluster replicates (real bytes through the multilevel "
+        "store, 8 nodes, aggressive failure rate, " +
+            std::to_string(replicates) + " replicates)",
+        {"Metric", "Value"});
+    report.add_row({"replicates", std::to_string(sum.runs.size())});
+    report.add_row({"failures (total)", std::to_string(sum.total_failures)});
+    report.add_row({"failures (mean/replicate)",
+                    fmt_fixed(sum.mean_failures, 2)});
+    report.add_row({"rank-recoveries from local (mean)",
+                    fmt_fixed(sum.mean_local_level_ranks, 2)});
+    report.add_row({"rank-recoveries from partner (mean)",
+                    fmt_fixed(sum.mean_partner_level_ranks, 2)});
+    report.add_row({"rank-recoveries from IO (mean)",
+                    fmt_fixed(sum.mean_io_level_ranks, 2)});
+    report.add_row({"unrecoverable (total scratch restarts)",
+                    std::to_string(sum.total_unrecoverable)});
+    report.add_row({"steps re-executed (mean)",
+                    fmt_fixed(sum.mean_steps_rerun, 2)});
+    report.add_row({"state verified (all replicates)",
+                    sum.all_verified ? "yes" : "NO"});
+  }
+  report.finish();
+
+  std::puts("\nNote: with independent exponential failures the ring-partner");
+  std::puts("double-failure window alone yields P(local) >> 96%; the");
+  std::puts("paper's 85% (Moody et al.) reflects correlated and multi-node");
+  std::puts("failures, which is why the model keeps P(local) an input.");
   return 0;
 }

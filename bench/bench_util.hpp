@@ -1,57 +1,134 @@
 #pragma once
 
-// Shared helpers for the figure-reproduction harnesses.
+// Shared helpers for the figure-reproduction harnesses: the common
+// command-line surface (--trials/--seed/--threads/--csv), a stopwatch for
+// run metadata, and re-exports of the breakdown table rows that now live
+// in common/breakdown_table.hpp (kept here so harnesses keep writing
+// bench::breakdown_row).
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "common/breakdown_table.hpp"
 #include "common/table.hpp"
-#include "sim/breakdown.hpp"
+#include "exec/reporter.hpp"
+#include "exec/task_pool.hpp"
 
 namespace ndpcr::bench {
 
-inline std::vector<std::string> breakdown_header(const char* first_col) {
-  return {first_col,      "Progress", "Compute",  "CkptLocal", "CkptIO",
-          "RestoreLocal", "RestoreIO", "RerunLocal", "RerunIO"};
-}
+using table::breakdown_header;
+using table::breakdown_row;
+using table::normalized_header;
+using table::normalized_row;
 
-// One row of a Figure 4/7-style table: every component as a percentage of
-// total execution time.
-inline std::vector<std::string> breakdown_row(const std::string& label,
-                                              const sim::Breakdown& b) {
-  const double t = b.total();
-  auto pct = [&](double x) { return fmt_percent(t > 0 ? x / t : 0.0, 1); };
-  return {label,
-          fmt_percent(b.progress_rate(), 1),
-          pct(b.compute),
-          pct(b.ckpt_local),
-          pct(b.ckpt_io),
-          pct(b.restore_local),
-          pct(b.restore_io),
-          pct(b.rerun_local),
-          pct(b.rerun_io)};
-}
+// The engine flags every figure binary understands:
+//   --trials N    Monte-Carlo trials per point (harness default if absent)
+//   --seed S      base RNG seed
+//   --threads T   engine threads (0/absent = NDPCR_THREADS or hardware)
+//   --csv PATH    write the Reporter's structured output ("-" = stdout;
+//                 a .json suffix selects JSON, anything else CSV)
+// Unknown "--key value" pairs are collected for harness-specific options
+// (e.g. table2's --bytes-per-app).
+struct BenchArgs {
+  int trials = 0;  // 0 = keep the harness default
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+  unsigned threads = 0;
+  std::string csv;
+  std::map<std::string, std::string> extra;
 
-// Normalized-to-compute variant (Figure 4a / Figure 7 left).
-inline std::vector<std::string> normalized_row(const std::string& label,
-                                               const sim::Breakdown& b) {
-  const double c = b.compute > 0 ? b.compute : 1.0;
-  auto norm = [&](double x) { return fmt_fixed(x / c, 3); };
-  return {label,
-          fmt_fixed(b.total() / c, 3),
-          norm(b.compute),
-          norm(b.ckpt_local),
-          norm(b.ckpt_io),
-          norm(b.restore_local),
-          norm(b.restore_io),
-          norm(b.rerun_local),
-          norm(b.rerun_io)};
-}
+  // Parses argv; on --help (or a stray non-flag token) prints usage and
+  // returns false. Applies --threads to the global engine pool.
+  bool parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string key = argv[i];
+      if (key == "--help" || key == "-h" || key.rfind("--", 0) != 0 ||
+          i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--trials N] [--seed S] [--threads T] "
+                     "[--csv PATH] [--<harness-option> VALUE ...]\n",
+                     argv[0]);
+        return false;
+      }
+      const std::string value = argv[++i];
+      if (key == "--trials") {
+        trials = std::atoi(value.c_str());
+      } else if (key == "--seed") {
+        seed = std::strtoull(value.c_str(), nullptr, 0);
+        has_seed = true;
+      } else if (key == "--threads") {
+        threads = static_cast<unsigned>(std::strtoul(value.c_str(),
+                                                     nullptr, 10));
+      } else if (key == "--csv") {
+        csv = value;
+      } else {
+        extra[key.substr(2)] = value;
+      }
+    }
+    if (threads > 0) exec::set_global_threads(threads);
+    return true;
+  }
 
-inline std::vector<std::string> normalized_header(const char* first_col) {
-  return {first_col,      "Total/Compute", "Compute",  "CkptLocal",
-          "CkptIO",       "RestoreLocal",  "RestoreIO", "RerunLocal",
-          "RerunIO"};
-}
+  [[nodiscard]] int trials_or(int fallback) const {
+    return trials > 0 ? trials : fallback;
+  }
+  [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
+    return has_seed ? seed : fallback;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = extra.find(key);
+    return it == extra.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+// A Reporter pre-stamped with the run metadata, plus the finish() step
+// that prints the ASCII tables and writes the structured form.
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, const BenchArgs& args,
+              std::uint64_t seed, int trials, std::string config)
+      : reporter_({std::move(bench_name), seed, trials,
+                   exec::global_pool().thread_count(), std::move(config)}),
+        csv_(args.csv),
+        start_(std::chrono::steady_clock::now()) {}
+
+  exec::Reporter& reporter() { return reporter_; }
+  void add_section(std::string name, std::vector<std::string> header) {
+    reporter_.add_section(std::move(name), std::move(header));
+  }
+  void add_row(std::vector<std::string> cells) {
+    reporter_.add_row(std::move(cells));
+  }
+
+  // Print every section as the classic fixed-width tables and, when
+  // --csv was given, emit the structured rows as well. An unwritable
+  // --csv path must not abort the process after a long run: the ASCII
+  // output above already reached the user, so report and exit cleanly.
+  void finish() {
+    reporter_.set_wall_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count());
+    std::fputs(reporter_.ascii().c_str(), stdout);
+    if (csv_.empty()) return;
+    try {
+      reporter_.write(csv_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }
+
+ private:
+  exec::Reporter reporter_;
+  std::string csv_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace ndpcr::bench

@@ -3,20 +3,26 @@
 // normalized to compute time; (b) percentage breakdown of total execution
 // time. Checkpoint-time falls and rerun-time grows with the ratio; total
 // overhead has an interior minimum.
+//
+// Engine flags: --trials/--seed/--threads/--csv (see bench_util.hpp).
 
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "model/evaluator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndpcr;
   using namespace ndpcr::model;
+
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
 
   CrScenario scenario;
   SimOptions opt;
   opt.total_work = 400.0 * 3600;
-  opt.trials = 3;
+  opt.trials = args.trials_or(3);
+  opt.seed = args.seed_or(opt.seed);
   Evaluator ev(scenario, opt);
 
   // The configuration of the Figure 4 sweep: host-managed IO level with
@@ -25,32 +31,36 @@ int main() {
                .compression_factor = 0.73,
                .p_local_recovery = 0.85};
 
-  const std::uint32_t ratios[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  bench::BenchReport report("fig4_ratio_sweep", args, opt.seed, opt.trials,
+                            cfg.label());
+  const std::vector<std::uint32_t> ratios = {1,  2,  4,   8,   16,
+                                             32, 64, 128, 256, 512};
 
-  std::puts("Figure 4a: overhead breakdown normalized to compute time");
-  std::puts("(Local + I/O-Host, cf 73%, P(local) = 85%)\n");
-  TextTable norm(bench::normalized_header("Local:IO ratio"));
+  std::puts("Figure 4: Local + I/O-Host, cf 73%, P(local) = 85%\n");
+  report.add_section(
+      "Figure 4a: overhead breakdown normalized to compute time",
+      bench::normalized_header("Local:IO ratio"));
   std::vector<Evaluation> evals;
   for (const auto k : ratios) {
     evals.push_back(ev.evaluate_at_ratio(cfg, k));
-    norm.add_row(bench::normalized_row(std::to_string(k),
-                                       evals.back().result.breakdown));
+    report.add_row(bench::normalized_row(std::to_string(k),
+                                         evals.back().result.breakdown));
   }
-  std::fputs(norm.str().c_str(), stdout);
 
-  std::puts("\nFigure 4b: % breakdown of total execution time\n");
-  TextTable pct(bench::breakdown_header("Local:IO ratio"));
-  for (std::size_t i = 0; i < std::size(ratios); ++i) {
-    pct.add_row(bench::breakdown_row(std::to_string(ratios[i]),
-                                     evals[i].result.breakdown));
+  report.add_section("Figure 4b: % breakdown of total execution time",
+                     bench::breakdown_header("Local:IO ratio"));
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    report.add_row(bench::breakdown_row(std::to_string(ratios[i]),
+                                        evals[i].result.breakdown));
   }
-  std::fputs(pct.str().c_str(), stdout);
 
   const auto best = ev.optimal_io_every(cfg);
-  std::printf("\nEmpirical optimal ratio: %u (progress %s)\n", best,
-              fmt_percent(ev.evaluate_at_ratio(cfg, best).progress_rate(), 1)
-                  .c_str());
-  std::puts("Shape check: CkptIO decreases and RerunIO increases with the");
+  report.add_section("Empirical optimal ratio", {"Ratio", "Progress"});
+  report.add_row(
+      {std::to_string(best),
+       fmt_percent(ev.evaluate_at_ratio(cfg, best).progress_rate(), 1)});
+  report.finish();
+  std::puts("\nShape check: CkptIO decreases and RerunIO increases with the");
   std::puts("ratio; total overhead is minimized at an interior ratio.");
   return 0;
 }

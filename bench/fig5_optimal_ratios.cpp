@@ -5,33 +5,42 @@
 // configuration has one derived ratio per compression factor - it saves
 // to IO as frequently as the drain pipeline allows, independent of
 // P(local recovery).
+//
+// Engine flags: --trials/--seed/--threads/--csv (see bench_util.hpp).
 
 #include <cstdio>
 
-#include "common/table.hpp"
+#include "bench_util.hpp"
 #include "model/evaluator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndpcr;
   using namespace ndpcr::model;
+
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
 
   CrScenario scenario;
   SimOptions opt;
   opt.total_work = 250.0 * 3600;
-  opt.trials = 2;
+  opt.trials = args.trials_or(2);
+  opt.seed = args.seed_or(opt.seed);
   Evaluator ev(scenario, opt);
 
   const double factors[] = {0.0, 0.35, 0.57, 0.73, 0.85};
   const double p_locals[] = {0.2, 0.4, 0.6, 0.8, 0.96};
 
-  std::puts("Figure 5: locally-saved : IO-saved checkpoint ratio\n");
-  std::puts("Local + I/O-Host (empirical optimum per P(local)):\n");
+  bench::BenchReport report("fig5_optimal_ratios", args, opt.seed,
+                            opt.trials, "paper Table 4 scenario");
   {
     std::vector<std::string> header = {"Compression factor"};
     for (double p : p_locals) {
       header.push_back("P(local)=" + fmt_percent(p, 0));
     }
-    TextTable table(header);
+    report.add_section(
+        "Figure 5: Local + I/O-Host locally-saved : IO-saved ratio "
+        "(empirical optimum per P(local))",
+        header);
     for (double cf : factors) {
       std::vector<std::string> cells = {fmt_percent(cf, 0)};
       for (double p : p_locals) {
@@ -40,23 +49,20 @@ int main() {
                      .p_local_recovery = p};
         cells.push_back(std::to_string(ev.optimal_io_every(cfg)));
       }
-      table.add_row(cells);
+      report.add_row(cells);
     }
-    std::fputs(table.str().c_str(), stdout);
   }
 
-  std::puts("\nLocal + I/O-NDP (derived from the drain pipeline; one value");
-  std::puts("per compression factor, independent of P(local)):\n");
-  {
-    TextTable table({"Compression factor", "Ratio"});
-    for (double cf : factors) {
-      CrConfig cfg{.kind = ConfigKind::kLocalIoNdp,
-                   .compression_factor = cf};
-      table.add_row({fmt_percent(cf, 0),
-                     std::to_string(ev.ndp_effective_ratio(cfg))});
-    }
-    std::fputs(table.str().c_str(), stdout);
+  report.add_section(
+      "Local + I/O-NDP (derived from the drain pipeline; one value per "
+      "compression factor, independent of P(local))",
+      {"Compression factor", "Ratio"});
+  for (double cf : factors) {
+    CrConfig cfg{.kind = ConfigKind::kLocalIoNdp, .compression_factor = cf};
+    report.add_row({fmt_percent(cf, 0),
+                    std::to_string(ev.ndp_effective_ratio(cfg))});
   }
+  report.finish();
 
   std::puts("\nShape check: host ratios fall with compression factor and");
   std::puts("rise with P(local); NDP ratios are small and fall with");

@@ -7,22 +7,28 @@
 // Also prints the section 6.3 headline: the average progress rate of
 // multilevel + compression vs NDP + compression over the four P(local)
 // values (the paper's 51% -> 78%).
+//
+// Engine flags: --trials/--seed/--threads/--csv (see bench_util.hpp).
 
 #include <cstdio>
 #include <vector>
 
-#include "common/table.hpp"
+#include "bench_util.hpp"
 #include "model/evaluator.hpp"
 #include "study/compression_study.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndpcr;
   using namespace ndpcr::model;
+
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
 
   CrScenario scenario;
   SimOptions opt;
   opt.total_work = 250.0 * 3600;
-  opt.trials = 3;
+  opt.trials = args.trials_or(3);
+  opt.seed = args.seed_or(opt.seed);
   Evaluator ev(scenario, opt);
 
   const double p_locals[] = {0.2, 0.4, 0.6, 0.8};
@@ -43,7 +49,13 @@ int main() {
   for (const auto& c : columns) {
     header.push_back(c.name + " (cf " + fmt_percent(c.cf, 0) + ")");
   }
-  TextTable table(header);
+
+  bench::BenchReport report("fig6_progress_comparison", args, opt.seed,
+                            opt.trials,
+                            "paper Table 4 scenario, per-app gzip(1) cf");
+  report.add_section(
+      "Figure 6: progress rate per configuration and compression factor",
+      header);
 
   auto add_config_row = [&](const std::string& label, ConfigKind kind,
                             double p) {
@@ -54,12 +66,11 @@ int main() {
                    .p_local_recovery = p};
       cells.push_back(fmt_percent(ev.evaluate(cfg).progress_rate(), 1));
     }
-    table.add_row(cells);
+    report.add_row(cells);
   };
 
-  std::puts("Figure 6: progress rate per configuration and per-app gzip(1)");
-  std::puts("compression factor (may take a minute: each host cell runs a");
-  std::puts("ratio optimization)\n");
+  std::puts("Figure 6 (each host cell runs a ratio optimization; candidate");
+  std::puts("ratios evaluate concurrently on the engine)\n");
 
   {
     std::vector<std::string> cells = {"I/O Only"};
@@ -68,7 +79,7 @@ int main() {
                    .compression_factor = col.cf};
       cells.push_back(fmt_percent(ev.evaluate(cfg).progress_rate(), 1));
     }
-    table.add_row(cells);
+    report.add_row(cells);
   }
   for (double p : p_locals) {
     add_config_row("Local(" + fmt_percent(p, 0) + ") + I/O-Host",
@@ -78,7 +89,6 @@ int main() {
     add_config_row("Local(" + fmt_percent(p, 0) + ") + I/O-NDP",
                    ConfigKind::kLocalIoNdp, p);
   }
-  std::fputs(table.str().c_str(), stdout);
 
   // Headline: averages over the four P(local) values at the average
   // compression factor.
@@ -94,10 +104,11 @@ int main() {
     host_avg += ev.evaluate(host).progress_rate() / 4.0;
     ndp_avg += ev.evaluate(ndp).progress_rate() / 4.0;
   }
-  std::printf("\nHeadline (paper section 6.3: 51%% -> 78%%): multilevel + "
-              "compression %s -> NDP + compression %s (%.0f%% speedup)\n",
-              fmt_percent(host_avg, 1).c_str(),
-              fmt_percent(ndp_avg, 1).c_str(),
-              (ndp_avg / host_avg - 1.0) * 100.0);
+  report.add_section("Section 6.3 headline (paper: 51% -> 78%)",
+                     {"Multilevel + compression", "NDP + compression",
+                      "Speedup"});
+  report.add_row({fmt_percent(host_avg, 1), fmt_percent(ndp_avg, 1),
+                  fmt_percent(ndp_avg / host_avg - 1.0, 0)});
+  report.finish();
   return 0;
 }

@@ -11,20 +11,26 @@
 // configurations despite only 4% of recoveries using IO; compression
 // roughly halves it; the NDP configurations have no "Checkpoint I/O"
 // component at all and drive "Rerun I/O" to ~1% or less.
+//
+// Engine flags: --trials/--seed/--threads/--csv (see bench_util.hpp).
 
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "model/evaluator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndpcr;
   using namespace ndpcr::model;
+
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
 
   CrScenario scenario;
   SimOptions opt;
   opt.total_work = 400.0 * 3600;
-  opt.trials = 3;
+  opt.trials = args.trials_or(3);
+  opt.seed = args.seed_or(opt.seed);
   Evaluator ev(scenario, opt);
 
   const double p = 0.96;
@@ -50,21 +56,31 @@ int main() {
   };
 
   std::puts("Figure 7: overhead breakdown at P(local) = 96%, cf = 73%");
-  std::puts("(host rows run a ratio optimization; takes a moment)\n");
+  std::puts("(host rows run a ratio optimization on the engine)\n");
 
-  TextTable norm(bench::normalized_header("Configuration"));
-  TextTable pct(bench::breakdown_header("Configuration"));
+  bench::BenchReport report("fig7_breakdown_4pct", args, opt.seed,
+                            opt.trials, "P(local)=96%, cf=73%");
+  std::vector<Evaluation> evals;
+  std::vector<std::string> labels;
   for (const auto& row : rows) {
     const Evaluation e = ev.evaluate(row.cfg);
-    std::string label = row.label;
-    label += " (ratio " + std::to_string(e.io_every) + ")";
-    norm.add_row(bench::normalized_row(label, e.result.breakdown));
-    pct.add_row(bench::breakdown_row(label, e.result.breakdown));
+    evals.push_back(e);
+    labels.push_back(std::string(row.label) + " (ratio " +
+                     std::to_string(e.io_every) + ")");
   }
-  std::puts("Left plot (normalized to compute time):\n");
-  std::fputs(norm.str().c_str(), stdout);
-  std::puts("\nRight plot (% of total execution time):\n");
-  std::fputs(pct.str().c_str(), stdout);
+  report.add_section("Left plot (normalized to compute time)",
+                     bench::normalized_header("Configuration"));
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    report.add_row(
+        bench::normalized_row(labels[i], evals[i].result.breakdown));
+  }
+  report.add_section("Right plot (% of total execution time)",
+                     bench::breakdown_header("Configuration"));
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    report.add_row(
+        bench::breakdown_row(labels[i], evals[i].result.breakdown));
+  }
+  report.finish();
 
   std::puts("\nShape check: CkptIO = 0 for the NDP rows; RerunIO shrinks");
   std::puts("from I/O-H to I/O-HC and nearly vanishes for I/O-N(C); the");

@@ -7,21 +7,31 @@
 //   L-15GBps + I/O-NC  NDP + compression, 15 GB/s
 //   L-2GBps  + I/O-N   NDP, no compression, 2 GB/s local NVM
 //   L-2GBps  + I/O-NC  NDP + compression, 2 GB/s
+//
+// Engine flags: --trials/--seed/--threads/--csv (see bench_util.hpp).
 
 #include <cstdio>
 
-#include "common/table.hpp"
+#include "bench_util.hpp"
 #include "common/units.hpp"
 #include "model/evaluator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndpcr;
   using namespace ndpcr::model;
   using namespace ndpcr::units;
 
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
+
   const double p = 0.85;
   const double cf = 0.73;
   const double node_memory = bytes_from_gb(140);
+
+  SimOptions opt;
+  opt.total_work = 250.0 * 3600;
+  opt.trials = args.trials_or(2);
+  opt.seed = args.seed_or(opt.seed);
 
   struct Variant {
     const char* label;
@@ -37,16 +47,19 @@ int main() {
       {"L-2GBps + I/O-NC", gbps(2), ConfigKind::kLocalIoNdp, cf},
   };
 
-  std::puts("Figure 8: progress rate vs checkpoint size (MTTI 30 min,");
-  std::puts("P(local) = 85%, cf = 73%)\n");
-
   std::vector<std::string> header = {"Configuration"};
   const double fractions[] = {0.1, 0.2, 0.4, 0.6, 0.8};
   for (double f : fractions) {
     header.push_back(fmt_fixed(gb(node_memory * f), 0) + " GB (" +
                      fmt_percent(f, 0) + ")");
   }
-  TextTable table(header);
+
+  bench::BenchReport report("fig8_size_sensitivity", args, opt.seed,
+                            opt.trials, "MTTI 30 min, P(local)=85%, cf=73%");
+  report.add_section(
+      "Figure 8: progress rate vs checkpoint size (MTTI 30 min, "
+      "P(local) = 85%, cf = 73%)",
+      header);
 
   for (const auto& v : variants) {
     std::vector<std::string> cells = {v.label};
@@ -54,18 +67,15 @@ int main() {
       CrScenario scenario;
       scenario.checkpoint_bytes = node_memory * f;
       scenario.local_bw = v.local_bw;
-      SimOptions opt;
-      opt.total_work = 250.0 * 3600;
-      opt.trials = 2;
       Evaluator ev(scenario, opt);
       CrConfig cfg{.kind = v.kind,
                    .compression_factor = v.compression,
                    .p_local_recovery = p};
       cells.push_back(fmt_percent(ev.evaluate(cfg).progress_rate(), 1));
     }
-    table.add_row(cells);
+    report.add_row(cells);
   }
-  std::fputs(table.str().c_str(), stdout);
+  report.finish();
 
   std::puts("\nShape check: every curve falls with checkpoint size; the");
   std::puts("NDP-with-compression gain over multilevel-with-compression");

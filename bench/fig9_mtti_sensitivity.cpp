@@ -1,20 +1,30 @@
 // Figure 9: progress rate for five C/R configurations as the system MTTI
 // grows from 30 to 150 minutes. Checkpoint size fixed at 112 GB/node,
 // P(local) = 85%, cf = 73%. Same configuration set as Figure 8.
+//
+// Engine flags: --trials/--seed/--threads/--csv (see bench_util.hpp).
 
 #include <cstdio>
 
-#include "common/table.hpp"
+#include "bench_util.hpp"
 #include "common/units.hpp"
 #include "model/evaluator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ndpcr;
   using namespace ndpcr::model;
   using namespace ndpcr::units;
 
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
+
   const double p = 0.85;
   const double cf = 0.73;
+
+  SimOptions opt;
+  opt.total_work = 250.0 * 3600;
+  opt.trials = args.trials_or(2);
+  opt.seed = args.seed_or(opt.seed);
 
   struct Variant {
     const char* label;
@@ -30,13 +40,17 @@ int main() {
       {"L-2GBps + I/O-NC", gbps(2), ConfigKind::kLocalIoNdp, cf},
   };
 
-  std::puts("Figure 9: progress rate vs system MTTI (112 GB checkpoints,");
-  std::puts("P(local) = 85%, cf = 73%)\n");
-
   const double mttis[] = {30, 60, 90, 120, 150};
   std::vector<std::string> header = {"Configuration"};
   for (double m : mttis) header.push_back(fmt_fixed(m, 0) + " min");
-  TextTable table(header);
+
+  bench::BenchReport report("fig9_mtti_sensitivity", args, opt.seed,
+                            opt.trials,
+                            "112 GB checkpoints, P(local)=85%, cf=73%");
+  report.add_section(
+      "Figure 9: progress rate vs system MTTI (112 GB checkpoints, "
+      "P(local) = 85%, cf = 73%)",
+      header);
 
   for (const auto& v : variants) {
     std::vector<std::string> cells = {v.label};
@@ -44,18 +58,15 @@ int main() {
       CrScenario scenario;
       scenario.mtti = minutes(m);
       scenario.local_bw = v.local_bw;
-      SimOptions opt;
-      opt.total_work = 250.0 * 3600;
-      opt.trials = 2;
       Evaluator ev(scenario, opt);
       CrConfig cfg{.kind = v.kind,
                    .compression_factor = v.compression,
                    .p_local_recovery = p};
       cells.push_back(fmt_percent(ev.evaluate(cfg).progress_rate(), 1));
     }
-    table.add_row(cells);
+    report.add_row(cells);
   }
-  std::fputs(table.str().c_str(), stdout);
+  report.finish();
 
   std::puts("\nShape check: all curves rise with MTTI and the NDP advantage");
   std::puts("over multilevel + compression shrinks as failures get rarer;");

@@ -5,12 +5,14 @@
 // authors' testbed) and our end-to-end measurement (the from-scratch
 // codecs over the mini-app proxies' checkpoints on this machine).
 // Pass --bytes-per-app N to change the per-app checkpoint volume.
+//
+// Engine flags: --seed/--threads/--csv (see bench_util.hpp). With
+// --threads > 1 the app x codec grid compresses concurrently; factors are
+// deterministic, measured speeds share the machine like any timing.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
-#include "common/table.hpp"
+#include "bench_util.hpp"
 #include "study/compression_study.hpp"
 #include "workloads/miniapp.hpp"
 
@@ -18,20 +20,26 @@ int main(int argc, char** argv) {
   using namespace ndpcr;
   using namespace ndpcr::study;
 
-  std::size_t bytes_per_app = 3ull << 20;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--bytes-per-app") == 0) {
-      bytes_per_app = std::strtoull(argv[i + 1], nullptr, 10);
-    }
-  }
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
+  const auto bytes_per_app =
+      static_cast<std::size_t>(args.number("bytes-per-app", 3 << 20));
 
   const auto suite = compress::paper_codec_suite();
+  StudyConfig cfg;
+  cfg.bytes_per_app = bytes_per_app;
+  cfg.seed = args.seed_or(cfg.seed);
 
-  std::puts("Table 2 (paper constants): compression factor / speed (MB/s)\n");
+  bench::BenchReport report(
+      "table2_compression_study", args, cfg.seed, cfg.checkpoints_per_app,
+      "bytes_per_app=" + std::to_string(bytes_per_app));
+
   {
     std::vector<std::string> header = {"Mini-app", "Data"};
     for (const auto& c : suite) header.push_back(c.display_name);
-    TextTable table(header);
+    report.add_section(
+        "Table 2 (paper constants): compression factor / speed (MB/s)",
+        header);
     for (const auto& row : paper_table2()) {
       std::vector<std::string> cells = {row.app,
                                         fmt_fixed(row.data_gb, 2) + " GB"};
@@ -39,27 +47,24 @@ int main(int argc, char** argv) {
         cells.push_back(fmt_percent(row.factor[c], 1) + " @" +
                         fmt_fixed(row.speed_mbps[c], 1));
       }
-      table.add_row(cells);
+      report.add_row(cells);
     }
     std::vector<std::string> avg = {"Average", ""};
     for (std::size_t c = 0; c < suite.size(); ++c) {
       avg.push_back(fmt_percent(paper_average_factor(c), 1) + " @" +
                     fmt_fixed(paper_average_speed_mbps(c), 1));
     }
-    table.add_row(avg);
-    std::fputs(table.str().c_str(), stdout);
+    report.add_row(avg);
   }
 
-  std::printf("\nTable 2 (measured): our codecs over mini-app proxy "
-              "checkpoints, %.1f MB/app\n\n",
-              static_cast<double>(bytes_per_app) / 1e6);
-  StudyConfig cfg;
-  cfg.bytes_per_app = bytes_per_app;
   const StudyResults results = run_compression_study(cfg);
   {
     std::vector<std::string> header = {"Mini-app", "Data"};
     for (const auto& c : suite) header.push_back(c.display_name);
-    TextTable table(header);
+    report.add_section(
+        "Table 2 (measured): our codecs over mini-app proxy checkpoints, " +
+            fmt_fixed(static_cast<double>(bytes_per_app) / 1e6, 1) + " MB/app",
+        header);
     for (const auto& app : workloads::miniapp_names()) {
       const auto* first = results.find(app, suite.front().display_name);
       std::vector<std::string> cells = {
@@ -70,7 +75,7 @@ int main(int argc, char** argv) {
         cells.push_back(fmt_percent(m->factor, 1) + " @" +
                         fmt_fixed(m->compress_bw / 1e6, 1));
       }
-      table.add_row(cells);
+      report.add_row(cells);
     }
     std::vector<std::string> avg = {"Average", ""};
     for (const auto& c : suite) {
@@ -80,29 +85,30 @@ int main(int argc, char** argv) {
                                   1e6,
                               1));
     }
-    table.add_row(avg);
-    std::fputs(table.str().c_str(), stdout);
+    report.add_row(avg);
   }
 
   // Section 5.2's production-app comparison: Ibtesham et al. measured
   // 91.6% (zip) / 92.7% (pbzip2) on LAMMPS and ~83% / ~85% on CTH.
-  std::puts("\nProduction-app proxies (section 5.2 cross-check; paper cites");
-  std::puts("LAMMPS 91.6% zip / 92.7% pbzip2, CTH ~83% / ~85%):\n");
   {
     StudyConfig pcfg;
     pcfg.bytes_per_app = bytes_per_app;
+    pcfg.seed = cfg.seed;
     pcfg.apps = workloads::production_app_names();
     pcfg.codecs = {{compress::CodecId::kDeflateStyle, 1, "ngzip(1)"},
                    {compress::CodecId::kBzipStyle, 1, "nbzip2(1)"}};
     const StudyResults prod = run_compression_study(pcfg);
-    TextTable table({"App", "ngzip(1)", "nbzip2(1)"});
+    report.add_section(
+        "Production-app proxies (section 5.2 cross-check; paper cites "
+        "LAMMPS 91.6% zip / 92.7% pbzip2, CTH ~83% / ~85%)",
+        {"App", "ngzip(1)", "nbzip2(1)"});
     for (const auto& app : pcfg.apps) {
-      table.add_row(
+      report.add_row(
           {app, fmt_percent(prod.find(app, "ngzip(1)")->factor, 1),
            fmt_percent(prod.find(app, "nbzip2(1)")->factor, 1)});
     }
-    std::fputs(table.str().c_str(), stdout);
   }
+  report.finish();
 
   std::puts("\nCells are: compression factor @ single-thread speed (MB/s).");
   std::puts("Expected shape: lz4-family fastest / weakest, xz-family");

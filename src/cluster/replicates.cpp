@@ -1,0 +1,89 @@
+#include "cluster/replicates.hpp"
+
+#include <algorithm>
+
+#include "exec/task_pool.hpp"
+
+namespace ndpcr::cluster {
+namespace {
+
+exec::TaskPool* resolve_pool(exec::TaskPool* pool) {
+  if (pool != nullptr) return pool;
+  return exec::TaskPool::in_worker() ? nullptr : &exec::global_pool();
+}
+
+template <typename Result, typename RunFn>
+std::vector<Result> run_replicated(int replicates, exec::TaskPool* pool,
+                                   const RunFn& run_one) {
+  const auto n = static_cast<std::size_t>(std::max(replicates, 0));
+  pool = resolve_pool(pool);
+  if (pool == nullptr || n <= 1) {
+    std::vector<Result> runs;
+    runs.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) runs.push_back(run_one(r));
+    return runs;
+  }
+  return pool->parallel_map(n, run_one);
+}
+
+}  // namespace
+
+ClusterReplicateSummary run_cluster_replicates(const ClusterSimConfig& base,
+                                               int replicates,
+                                               exec::TaskPool* pool) {
+  ClusterReplicateSummary s;
+  s.runs = run_replicated<ClusterSimResult>(replicates, pool,
+                                            [&](std::size_t r) {
+                                              ClusterSimConfig cfg = base;
+                                              cfg.seed =
+                                                  exec::sub_seed(base.seed, r);
+                                              return ClusterSim(cfg).run();
+                                            });
+  if (s.runs.empty()) return s;
+  s.all_verified = true;
+  for (const auto& r : s.runs) {
+    s.total_failures += r.failures;
+    s.total_unrecoverable += r.unrecoverable;
+    s.mean_failures += static_cast<double>(r.failures);
+    s.mean_steps_rerun += static_cast<double>(r.steps_rerun);
+    s.mean_local_level_ranks += static_cast<double>(r.local_level_ranks);
+    s.mean_partner_level_ranks += static_cast<double>(r.partner_level_ranks);
+    s.mean_io_level_ranks += static_cast<double>(r.io_level_ranks);
+    s.all_verified = s.all_verified && r.state_verified;
+  }
+  const auto n = static_cast<double>(s.runs.size());
+  s.mean_failures /= n;
+  s.mean_steps_rerun /= n;
+  s.mean_local_level_ranks /= n;
+  s.mean_partner_level_ranks /= n;
+  s.mean_io_level_ranks /= n;
+  return s;
+}
+
+NdpClusterReplicateSummary run_ndp_cluster_replicates(
+    const NdpClusterConfig& base, int replicates, exec::TaskPool* pool) {
+  NdpClusterReplicateSummary s;
+  s.runs = run_replicated<NdpClusterResult>(replicates, pool,
+                                            [&](std::size_t r) {
+                                              NdpClusterConfig cfg = base;
+                                              cfg.seed =
+                                                  exec::sub_seed(base.seed, r);
+                                              return NdpClusterSim(cfg).run();
+                                            });
+  if (s.runs.empty()) return s;
+  s.all_verified = true;
+  for (const auto& r : s.runs) {
+    s.total_failures += r.failures;
+    s.mean_failures += static_cast<double>(r.failures);
+    s.mean_progress_rate += r.progress_rate();
+    s.mean_io_checkpoints += static_cast<double>(r.io_checkpoints);
+    s.all_verified = s.all_verified && r.state_verified;
+  }
+  const auto n = static_cast<double>(s.runs.size());
+  s.mean_failures /= n;
+  s.mean_progress_rate /= n;
+  s.mean_io_checkpoints /= n;
+  return s;
+}
+
+}  // namespace ndpcr::cluster

@@ -1,0 +1,56 @@
+#pragma once
+
+// Parallel multi-replicate drivers for the cluster simulations: run N
+// independent replicates of a ClusterSim / NdpClusterSim configuration on
+// the execution engine (exec::TaskPool) and aggregate. Replicate r runs
+// with seed exec::sub_seed(base_seed, r), so the replicate set is a pure
+// function of the base seed - the same for any thread count - and
+// replicates never share RNG streams even for adjacent base seeds.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/ndp_cluster_sim.hpp"
+
+namespace ndpcr::exec {
+class TaskPool;
+}  // namespace ndpcr::exec
+
+namespace ndpcr::cluster {
+
+struct ClusterReplicateSummary {
+  std::vector<ClusterSimResult> runs;  // index = replicate, deterministic
+
+  std::uint64_t total_failures = 0;
+  std::uint64_t total_unrecoverable = 0;
+  double mean_failures = 0.0;
+  double mean_steps_rerun = 0.0;
+  double mean_local_level_ranks = 0.0;
+  double mean_partner_level_ranks = 0.0;
+  double mean_io_level_ranks = 0.0;
+  bool all_verified = false;  // every replicate ended state-consistent
+};
+
+struct NdpClusterReplicateSummary {
+  std::vector<NdpClusterResult> runs;
+
+  std::uint64_t total_failures = 0;
+  double mean_failures = 0.0;
+  double mean_progress_rate = 0.0;  // mean of per-replicate progress rates
+  double mean_io_checkpoints = 0.0;
+  bool all_verified = false;
+};
+
+// Run `replicates` independent ClusterSim / NdpClusterSim instances of
+// `base` (seed = sub_seed(base.seed, r)) across `pool`; nullptr = the
+// global engine pool, or serial when called from inside a pool task.
+ClusterReplicateSummary run_cluster_replicates(
+    const ClusterSimConfig& base, int replicates,
+    exec::TaskPool* pool = nullptr);
+
+NdpClusterReplicateSummary run_ndp_cluster_replicates(
+    const NdpClusterConfig& base, int replicates,
+    exec::TaskPool* pool = nullptr);
+
+}  // namespace ndpcr::cluster

@@ -1,0 +1,61 @@
+#pragma once
+
+// Table rows for the 7-component C/R overhead breakdown (Figure 4/7
+// style). Shared by the bench harnesses, the CLI and the tests; formerly
+// duplicated in bench/bench_util.hpp. Lives next to common/table because
+// it is pure formatting; sim/breakdown.hpp is a header-only value type,
+// so including it adds no library dependency.
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/breakdown.hpp"
+
+namespace ndpcr::table {
+
+inline std::vector<std::string> breakdown_header(const char* first_col) {
+  return {first_col,      "Progress", "Compute",  "CkptLocal", "CkptIO",
+          "RestoreLocal", "RestoreIO", "RerunLocal", "RerunIO"};
+}
+
+// One row of a Figure 4/7-style table: every component as a percentage of
+// total execution time.
+inline std::vector<std::string> breakdown_row(const std::string& label,
+                                              const sim::Breakdown& b) {
+  const double t = b.total();
+  auto pct = [&](double x) { return fmt_percent(t > 0 ? x / t : 0.0, 1); };
+  return {label,
+          fmt_percent(b.progress_rate(), 1),
+          pct(b.compute),
+          pct(b.ckpt_local),
+          pct(b.ckpt_io),
+          pct(b.restore_local),
+          pct(b.restore_io),
+          pct(b.rerun_local),
+          pct(b.rerun_io)};
+}
+
+// Normalized-to-compute variant (Figure 4a / Figure 7 left).
+inline std::vector<std::string> normalized_row(const std::string& label,
+                                               const sim::Breakdown& b) {
+  const double c = b.compute > 0 ? b.compute : 1.0;
+  auto norm = [&](double x) { return fmt_fixed(x / c, 3); };
+  return {label,
+          fmt_fixed(b.total() / c, 3),
+          norm(b.compute),
+          norm(b.ckpt_local),
+          norm(b.ckpt_io),
+          norm(b.restore_local),
+          norm(b.restore_io),
+          norm(b.rerun_local),
+          norm(b.rerun_io)};
+}
+
+inline std::vector<std::string> normalized_header(const char* first_col) {
+  return {first_col,      "Total/Compute", "Compute",  "CkptLocal",
+          "CkptIO",       "RestoreLocal",  "RestoreIO", "RerunLocal",
+          "RerunIO"};
+}
+
+}  // namespace ndpcr::table

@@ -1,0 +1,95 @@
+#pragma once
+
+// TaskPool: the shared parallel execution engine (docs/ENGINE.md).
+//
+// A deliberately work-stealing-free fork-join pool: `parallel_for(n, body)`
+// hands out indices 0..n-1 from a single atomic counter and blocks until
+// all of them ran. Scheduling order is nondeterministic, but results are
+// not allowed to depend on it - the engine's contract is that every task
+// owns its index (its own RNG sub-seed, its own output slot) and callers
+// reduce the per-index results in index order. Under that contract the
+// aggregate is bit-identical for any thread count, including the serial
+// fallback, which is what the `engine` test label asserts.
+//
+// Exceptions thrown by a task are captured; the first one (by completion
+// order) is rethrown from parallel_for after the batch drains. Nested use
+// - calling parallel_for from inside a task of any TaskPool - is rejected
+// with std::logic_error: nesting would deadlock a bounded pool, and every
+// layer that may run under the pool (e.g. TimelineSimulator::run_trials
+// inside the Evaluator's ratio search) must choose serial execution
+// explicitly via the in_worker() query instead.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace ndpcr::exec {
+
+// Thread count used when a TaskPool is built with `threads == 0`: the
+// NDPCR_THREADS environment variable if set (>= 1), otherwise
+// std::thread::hardware_concurrency(). Always >= 1.
+unsigned default_thread_count();
+
+class TaskPool {
+ public:
+  // A pool of `threads` executors (0 = default_thread_count()). The
+  // calling thread participates in every batch, so `threads == 1` spawns
+  // no workers at all and parallel_for degenerates to a plain loop.
+  explicit TaskPool(unsigned threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const;
+
+  // Run body(i) for every i in [0, n). Blocks until every index ran (or
+  // the batch was cut short by an exception, which is rethrown here).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  // parallel_for that collects fn(i) into a vector, index-ordered. The
+  // result type must be default-constructible; reduce the vector in index
+  // order to keep aggregates thread-count-invariant.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{}))> {
+    std::vector<decltype(fn(std::size_t{}))> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  // True when the calling thread is a worker of any TaskPool. Layers that
+  // both offer parallelism and run under someone else's parallel_for use
+  // this to fall back to their serial path.
+  static bool in_worker();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// The process-wide pool used by default-parallel entry points
+// (TimelineSimulator::run_trials, the Evaluator optimizers, the study and
+// cluster drivers). Built lazily with default_thread_count() threads.
+TaskPool& global_pool();
+
+// Rebuild the global pool with an explicit thread count (0 = default).
+// Must not be called while a parallel batch is in flight; the bench
+// harnesses call it once while parsing --threads.
+void set_global_threads(unsigned threads);
+
+// Thread count the global pool currently has (without forcing its
+// construction parameters to change): convenience for run metadata.
+unsigned global_thread_count();
+
+// SplitMix64-derived sub-seed: statistically independent streams for
+// (base, 0), (base, 1), ... even when base seeds are small consecutive
+// integers. Used for per-replicate seeding where no serial-compatibility
+// constraint pins the scheme (run_trials keeps its historical `seed + t`
+// per-trial seeds so parallel results stay bit-identical to the serial
+// path that predates the engine).
+std::uint64_t sub_seed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace ndpcr::exec

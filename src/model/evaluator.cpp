@@ -6,9 +6,20 @@
 
 #include "analytic/daly.hpp"
 #include "common/table.hpp"
+#include "exec/task_pool.hpp"
 #include "ndp/ndp.hpp"
 
 namespace ndpcr::model {
+namespace {
+
+// The engine pool for a candidate batch: the global pool at top level,
+// serial when this evaluation is itself a task of some pool (the engine
+// rejects nested parallel_for).
+exec::TaskPool* batch_pool() {
+  return exec::TaskPool::in_worker() ? nullptr : &exec::global_pool();
+}
+
+}  // namespace
 
 std::string CrConfig::label() const {
   std::string s;
@@ -83,14 +94,6 @@ sim::TimelineConfig Evaluator::timeline_config(
   return tc;
 }
 
-double Evaluator::rate_at(const CrConfig& config,
-                          std::uint32_t io_every) const {
-  const auto tc = timeline_config(config, io_every);
-  return sim::TimelineSimulator::run_trials(tc, options_.trials,
-                                            options_.seed)
-      .progress_rate();
-}
-
 double Evaluator::rate_at_interval(const CrConfig& config,
                                    std::uint32_t io_every,
                                    double interval) const {
@@ -101,35 +104,75 @@ double Evaluator::rate_at_interval(const CrConfig& config,
       .progress_rate();
 }
 
+std::vector<double> Evaluator::rates_at_ratios(
+    const CrConfig& config, const std::vector<std::uint32_t>& ratios) const {
+  exec::TaskPool* pool = batch_pool();
+  auto one = [&](std::size_t i) {
+    const auto tc = timeline_config(config, ratios[i]);
+    return sim::TimelineSimulator::run_trials(tc, options_.trials,
+                                              options_.seed, nullptr)
+        .progress_rate();
+  };
+  if (pool == nullptr) {
+    std::vector<double> rates(ratios.size());
+    for (std::size_t i = 0; i < ratios.size(); ++i) rates[i] = one(i);
+    return rates;
+  }
+  return pool->parallel_map(ratios.size(), one);
+}
+
+std::vector<double> Evaluator::rates_at_intervals(
+    const CrConfig& config, std::uint32_t io_every,
+    const std::vector<double>& intervals) const {
+  exec::TaskPool* pool = batch_pool();
+  auto one = [&](std::size_t i) {
+    auto tc = timeline_config(config, io_every);
+    tc.local_interval = intervals[i];
+    return sim::TimelineSimulator::run_trials(tc, options_.trials,
+                                              options_.seed, nullptr)
+        .progress_rate();
+  };
+  if (pool == nullptr) {
+    std::vector<double> rates(intervals.size());
+    for (std::size_t i = 0; i < intervals.size(); ++i) rates[i] = one(i);
+    return rates;
+  }
+  return pool->parallel_map(intervals.size(), one);
+}
+
 double Evaluator::optimal_local_interval(const CrConfig& config,
                                          std::uint32_t io_every) const {
-  // Seed with Daly's optimum for the local commit time, then golden-
-  // section over a generous bracket. Common random numbers make the
-  // objective smooth enough to search.
+  // Seed with Daly's optimum for the local commit time, then shrink a
+  // generous bracket around the best of a fixed grid of interior points,
+  // batch by batch. Each batch evaluates concurrently on the engine;
+  // because the candidate grid depends only on the bracket (never on the
+  // schedule) and ties break toward the lower interval, the result is
+  // identical for any thread count. Common random numbers (fixed seeds in
+  // the rate evaluations) keep the objective smooth enough to search.
   const double local_commit = scenario_.checkpoint_bytes / scenario_.local_bw;
   const double seed_tau =
       analytic::daly_optimal_interval(local_commit, scenario_.mtti);
   double lo = seed_tau / 8.0;
   double hi = seed_tau * 8.0;
-  const double phi = 0.6180339887498949;
-  double a = hi - phi * (hi - lo);
-  double b = lo + phi * (hi - lo);
-  double fa = rate_at_interval(config, io_every, a);
-  double fb = rate_at_interval(config, io_every, b);
-  for (int iter = 0; iter < 40 && (hi - lo) > 1.0; ++iter) {
-    if (fa > fb) {  // maximizing
-      hi = b;
-      b = a;
-      fb = fa;
-      a = hi - phi * (hi - lo);
-      fa = rate_at_interval(config, io_every, a);
-    } else {
-      lo = a;
-      a = b;
-      fa = fb;
-      b = lo + phi * (hi - lo);
-      fb = rate_at_interval(config, io_every, b);
+  constexpr int kPointsPerRound = 5;
+  for (int round = 0; round < 12 && (hi - lo) > 1.0; ++round) {
+    std::vector<double> points(kPointsPerRound);
+    for (int i = 0; i < kPointsPerRound; ++i) {
+      points[i] = lo + (hi - lo) * (i + 1) / (kPointsPerRound + 1);
     }
+    const std::vector<double> rates =
+        rates_at_intervals(config, io_every, points);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < rates.size(); ++i) {
+      if (rates[i] > rates[best]) best = i;
+    }
+    // Narrow to the neighbours of the winner (the bracket endpoints stand
+    // in at the edges), keeping the maximizer inside the new bracket.
+    const double new_lo = best == 0 ? lo : points[best - 1];
+    const double new_hi =
+        best + 1 == rates.size() ? hi : points[best + 1];
+    lo = new_lo;
+    hi = new_hi;
   }
   return 0.5 * (lo + hi);
 }
@@ -148,8 +191,11 @@ std::uint32_t Evaluator::optimal_io_every(const CrConfig& config) const {
     throw std::logic_error(
         "ratio optimization only applies to Local + I/O-Host");
   }
-  // Coarse geometric sweep followed by a local refinement. Common random
-  // numbers (fixed seed in rate_at) keep the comparison low-noise.
+  // Coarse geometric sweep followed by a local refinement, each stage a
+  // concurrent candidate batch on the engine. Common random numbers
+  // (fixed seeds in the rate evaluations) keep the comparison low-noise,
+  // and the index-ordered strict-> fold reproduces the serial sweep's
+  // first-winner tie-breaking exactly.
   std::uint32_t best_k = 1;
   double best_rate = -1.0;
   std::uint32_t k = 1;
@@ -159,11 +205,11 @@ std::uint32_t Evaluator::optimal_io_every(const CrConfig& config) const {
     k = std::max(k + 1, static_cast<std::uint32_t>(
                             std::lround(static_cast<double>(k) * 1.5)));
   }
-  for (std::uint32_t candidate : grid) {
-    const double rate = rate_at(config, candidate);
-    if (rate > best_rate) {
-      best_rate = rate;
-      best_k = candidate;
+  const std::vector<double> coarse = rates_at_ratios(config, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (coarse[i] > best_rate) {
+      best_rate = coarse[i];
+      best_k = grid[i];
     }
   }
   // Refine around the coarse winner.
@@ -171,11 +217,15 @@ std::uint32_t Evaluator::optimal_io_every(const CrConfig& config) const {
       std::max<std::int64_t>(1, static_cast<std::int64_t>(best_k * 2) / 3));
   const std::uint32_t hi = best_k + std::max<std::uint32_t>(2, best_k / 2);
   const std::uint32_t stride = std::max<std::uint32_t>(1, (hi - lo) / 16);
+  std::vector<std::uint32_t> fine;
   for (std::uint32_t candidate = lo; candidate <= hi; candidate += stride) {
-    const double rate = rate_at(config, candidate);
-    if (rate > best_rate) {
-      best_rate = rate;
-      best_k = candidate;
+    fine.push_back(candidate);
+  }
+  const std::vector<double> refined = rates_at_ratios(config, fine);
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    if (refined[i] > best_rate) {
+      best_rate = refined[i];
+      best_k = fine[i];
     }
   }
   return best_k;

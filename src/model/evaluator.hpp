@@ -12,6 +12,7 @@
 // the IO commit time.
 
 #include <cstdint>
+#include <vector>
 
 #include "model/scenario.hpp"
 #include "sim/timeline.hpp"
@@ -55,9 +56,10 @@ class Evaluator {
                                         double interval) const;
 
   // The empirically optimal local checkpoint interval for a configuration
-  // (golden-section on the simulated progress rate, seeded at the Daly
-  // optimum for the local commit time). The paper's Table 4 fixes 150 s;
-  // this quantifies how close that is.
+  // (deterministic batched bracket search on the simulated progress rate,
+  // seeded at the Daly optimum for the local commit time; the batch of
+  // candidate intervals per round evaluates concurrently on the engine).
+  // The paper's Table 4 fixes 150 s; this quantifies how close that is.
   [[nodiscard]] double optimal_local_interval(const CrConfig& config,
                                               std::uint32_t io_every) const;
 
@@ -70,8 +72,15 @@ class Evaluator {
   [[nodiscard]] const SimOptions& options() const { return options_; }
 
  private:
-  [[nodiscard]] double rate_at(const CrConfig& config,
-                               std::uint32_t io_every) const;
+  // Progress rates for a batch of candidate ratios / intervals, evaluated
+  // concurrently on the engine (serial when already inside a pool task).
+  // Each candidate runs its trials serially with the same fixed seeds the
+  // serial path uses, so the returned rates are thread-count-invariant.
+  [[nodiscard]] std::vector<double> rates_at_ratios(
+      const CrConfig& config, const std::vector<std::uint32_t>& ratios) const;
+  [[nodiscard]] std::vector<double> rates_at_intervals(
+      const CrConfig& config, std::uint32_t io_every,
+      const std::vector<double>& intervals) const;
 
   CrScenario scenario_;
   SimOptions options_;

@@ -30,6 +30,10 @@
 
 #include "sim/breakdown.hpp"
 
+namespace ndpcr::exec {
+class TaskPool;
+}  // namespace ndpcr::exec
+
 namespace ndpcr::sim {
 
 enum class Strategy { kIoOnly, kLocalIoHost, kLocalIoNdp };
@@ -82,8 +86,36 @@ struct TimelineResult {
   std::uint64_t local_checkpoints = 0;  // completed local commits
   std::uint64_t io_checkpoints = 0;     // checkpoints that reached IO
 
+  // Trials aggregated into this result: 1 for a single run(); run_trials
+  // sets the trial count. The breakdown is a per-trial mean; the integer
+  // counters above stay exact totals (dividing them would truncate), with
+  // the mean_*() accessors providing the exact per-trial means as doubles.
+  int trials = 1;
+
+  [[nodiscard]] double mean_failures() const { return mean(failures); }
+  [[nodiscard]] double mean_local_recoveries() const {
+    return mean(local_recoveries);
+  }
+  [[nodiscard]] double mean_io_recoveries() const {
+    return mean(io_recoveries);
+  }
+  [[nodiscard]] double mean_scratch_restarts() const {
+    return mean(scratch_restarts);
+  }
+  [[nodiscard]] double mean_local_checkpoints() const {
+    return mean(local_checkpoints);
+  }
+  [[nodiscard]] double mean_io_checkpoints() const {
+    return mean(io_checkpoints);
+  }
+
   [[nodiscard]] double progress_rate() const {
     return breakdown.progress_rate();
+  }
+
+ private:
+  [[nodiscard]] double mean(std::uint64_t total) const {
+    return trials > 0 ? static_cast<double>(total) / trials : 0.0;
   }
 };
 
@@ -94,7 +126,16 @@ class TimelineSimulator {
   // Run the timeline to completion of config.total_work.
   TimelineResult run();
 
-  // Average of `trials` independent runs (seeds seed, seed+1, ...).
+  // Average of `trials` independent runs (seeds seed, seed+1, ...), fanned
+  // out over `pool` (nullptr = serial). Per-trial seeds are fixed by trial
+  // index and the reduction folds results in trial order, so the aggregate
+  // is bit-identical for any thread count, including the serial path.
+  static TimelineResult run_trials(const TimelineConfig& config, int trials,
+                                   std::uint64_t seed, exec::TaskPool* pool);
+
+  // Convenience overload: uses exec::global_pool(), or the serial path
+  // when already running inside a TaskPool task (nested parallelism is
+  // rejected by the engine; see docs/ENGINE.md).
   static TimelineResult run_trials(const TimelineConfig& config, int trials,
                                    std::uint64_t seed);
 

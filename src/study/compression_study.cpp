@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "exec/task_pool.hpp"
 #include "workloads/miniapp.hpp"
 
 namespace ndpcr::study {
@@ -50,15 +51,59 @@ double StudyResults::average_compress_bw(const std::string& codec) const {
   return sum / n;
 }
 
+namespace {
+
+// One (app, codec) cell of the study grid: compress and round-trip every
+// image of the app through the codec, timing both directions.
+Measurement measure_cell(const std::string& app_name,
+                         const compress::CodecSpec& spec,
+                         const std::vector<Bytes>& images) {
+  const auto codec = compress::make_codec(spec.id, spec.level);
+  Measurement m;
+  m.app = app_name;
+  m.codec = spec.display_name;
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+  for (const auto& image : images) {
+    m.input_bytes += image.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    const Bytes packed = codec->compress(image);
+    compress_seconds += seconds_since(t0);
+    m.compressed_bytes += packed.size();
+    const auto t1 = std::chrono::steady_clock::now();
+    const Bytes restored = codec->decompress(packed);
+    decompress_seconds += seconds_since(t1);
+    if (restored != image) {
+      throw std::runtime_error("codec round-trip failure in study");
+    }
+  }
+  m.factor = compress::Codec::compression_factor(m.input_bytes,
+                                                 m.compressed_bytes);
+  m.compress_bw =
+      compress_seconds > 0.0
+          ? static_cast<double>(m.input_bytes) / compress_seconds
+          : 0.0;
+  m.decompress_bw =
+      decompress_seconds > 0.0
+          ? static_cast<double>(m.input_bytes) / decompress_seconds
+          : 0.0;
+  return m;
+}
+
+}  // namespace
+
 StudyResults run_compression_study(const StudyConfig& config) {
-  StudyResults results;
   const auto& apps =
       config.apps.empty() ? workloads::miniapp_names() : config.apps;
+  exec::TaskPool* pool =
+      exec::TaskPool::in_worker() ? nullptr : &exec::global_pool();
 
-  for (const auto& app_name : apps) {
-    // Collect checkpoints at several points of a short run (the paper
-    // takes three, at 25/50/75% of execution).
-    auto app = workloads::make_miniapp(app_name, config.bytes_per_app,
+  // Stage 1: capture each app's checkpoints at several points of a short
+  // run (the paper takes three, at 25/50/75% of execution). Each app is
+  // seeded independently, so apps generate concurrently; image content is
+  // a function of (app, bytes, seed) alone.
+  auto generate = [&](std::size_t a) {
+    auto app = workloads::make_miniapp(apps[a], config.bytes_per_app,
                                        config.seed);
     std::vector<Bytes> images;
     for (int c = 0; c < config.checkpoints_per_app; ++c) {
@@ -67,39 +112,35 @@ StudyResults run_compression_study(const StudyConfig& config) {
       }
       images.push_back(app->checkpoint());
     }
-
-    for (const auto& spec : config.codecs) {
-      const auto codec = compress::make_codec(spec.id, spec.level);
-      Measurement m;
-      m.app = app_name;
-      m.codec = spec.display_name;
-      double compress_seconds = 0.0;
-      double decompress_seconds = 0.0;
-      for (const auto& image : images) {
-        m.input_bytes += image.size();
-        const auto t0 = std::chrono::steady_clock::now();
-        const Bytes packed = codec->compress(image);
-        compress_seconds += seconds_since(t0);
-        m.compressed_bytes += packed.size();
-        const auto t1 = std::chrono::steady_clock::now();
-        const Bytes restored = codec->decompress(packed);
-        decompress_seconds += seconds_since(t1);
-        if (restored != image) {
-          throw std::runtime_error("codec round-trip failure in study");
-        }
-      }
-      m.factor = compress::Codec::compression_factor(m.input_bytes,
-                                                     m.compressed_bytes);
-      m.compress_bw = compress_seconds > 0.0
-                          ? static_cast<double>(m.input_bytes) /
-                                compress_seconds
-                          : 0.0;
-      m.decompress_bw = decompress_seconds > 0.0
-                            ? static_cast<double>(m.input_bytes) /
-                                  decompress_seconds
-                            : 0.0;
-      results.rows.push_back(std::move(m));
+    return images;
+  };
+  std::vector<std::vector<Bytes>> per_app_images;
+  if (pool == nullptr) {
+    per_app_images.reserve(apps.size());
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      per_app_images.push_back(generate(a));
     }
+  } else {
+    per_app_images = pool->parallel_map(apps.size(), generate);
+  }
+
+  // Stage 2: the app x codec grid, one cell per task. Rows land at
+  // app-major / codec-minor indices regardless of schedule; compression
+  // factors are deterministic, while the measured bandwidths reflect
+  // wall time and (like any timing) vary with machine load.
+  const std::size_t n_codecs = config.codecs.size();
+  StudyResults results;
+  results.rows.resize(apps.size() * n_codecs);
+  auto fill_cell = [&](std::size_t i) {
+    const std::size_t a = i / n_codecs;
+    const std::size_t c = i % n_codecs;
+    results.rows[i] =
+        measure_cell(apps[a], config.codecs[c], per_app_images[a]);
+  };
+  if (pool == nullptr || n_codecs == 0) {
+    for (std::size_t i = 0; i < results.rows.size(); ++i) fill_cell(i);
+  } else {
+    pool->parallel_for(results.rows.size(), fill_cell);
   }
   return results;
 }

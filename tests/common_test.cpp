@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "common/breakdown_table.hpp"
 #include "common/bytes.hpp"
 #include "common/crc32.hpp"
 #include "common/rng.hpp"
@@ -170,6 +171,28 @@ TEST(TextTable, Formatters) {
   EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_percent(0.51, 0), "51%");
   EXPECT_EQ(fmt_si_bytes(112e9), "112 GB");
+}
+
+TEST(BreakdownTable, RowsMatchHeadersAndSumSanely) {
+  sim::Breakdown b;
+  b.compute = 90.0;
+  b.ckpt_local = 4.0;
+  b.ckpt_io = 2.0;
+  b.rerun_io = 4.0;
+
+  const auto ph = table::breakdown_header("Config");
+  const auto pr = table::breakdown_row("x", b);
+  ASSERT_EQ(pr.size(), ph.size());
+  EXPECT_EQ(pr[0], "x");
+  EXPECT_EQ(pr[1], fmt_percent(0.90, 1));  // progress = 90/100
+  EXPECT_EQ(pr[2], fmt_percent(0.90, 1));  // compute share
+  EXPECT_EQ(pr[4], fmt_percent(0.02, 1));  // CkptIO share
+
+  const auto nh = table::normalized_header("Config");
+  const auto nr = table::normalized_row("x", b);
+  ASSERT_EQ(nr.size(), nh.size());
+  EXPECT_EQ(nr[1], fmt_fixed(100.0 / 90.0, 3));  // total normalized to compute
+  EXPECT_EQ(nr[2], fmt_fixed(1.0, 3));
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// Tests for the execution engine: TaskPool scheduling/contract behavior
+// and the Reporter serialization formats.
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/reporter.hpp"
+#include "exec/task_pool.hpp"
+
+namespace {
+
+using ndpcr::exec::Reporter;
+using ndpcr::exec::RunMeta;
+using ndpcr::exec::TaskPool;
+
+TEST(TaskPool, RunsEveryIndexExactlyOnce) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPool, EmptyAndSingletonRanges) {
+  TaskPool pool(3);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskPool, SerialPoolIsAPlainLoop) {
+  TaskPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expect(16);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(order, expect);  // single-thread scheduling is index order
+}
+
+TEST(TaskPool, ParallelMapPreservesIndexOrder) {
+  TaskPool pool(4);
+  const auto out = pool.parallel_map(257, [](std::size_t i) { return 3 * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i);
+}
+
+TEST(TaskPool, ExceptionsPropagateToSubmitter) {
+  TaskPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("task 37");
+                        }),
+      std::runtime_error);
+
+  // The pool survives a failed batch and runs the next one normally.
+  std::atomic<int> ran{0};
+  pool.parallel_for(50, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(TaskPool, ExceptionOnSerialPathPropagatesToo) {
+  TaskPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+TEST(TaskPool, NestedParallelForIsRejected) {
+  TaskPool outer(2);
+  TaskPool inner(2);
+  std::atomic<int> rejected{0};
+  outer.parallel_for(8, [&](std::size_t) {
+    EXPECT_TRUE(TaskPool::in_worker());
+    try {
+      inner.parallel_for(2, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      rejected.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 8);
+  EXPECT_FALSE(TaskPool::in_worker());
+}
+
+TEST(TaskPool, InWorkerFalseOutsideBatches) {
+  EXPECT_FALSE(TaskPool::in_worker());
+}
+
+TEST(SubSeed, DistinctAcrossIndicesAndAdjacentBases) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 1ull, 2ull, 42ull, ~0ull}) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      seen.insert(ndpcr::exec::sub_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 5u * 64u);  // no collisions across the grid
+  // Deterministic: same inputs, same stream.
+  EXPECT_EQ(ndpcr::exec::sub_seed(7, 3), ndpcr::exec::sub_seed(7, 3));
+}
+
+Reporter make_reporter() {
+  RunMeta meta;
+  meta.bench = "unit_bench";
+  meta.seed = 42;
+  meta.trials = 8;
+  meta.threads = 2;
+  meta.config = "alpha=1,beta=2";
+  Reporter rep(meta);
+  rep.add_section("First", {"k", "v"});
+  rep.add_row({"a", "1"});
+  rep.add_row({"b, with comma", "2"});
+  rep.add_section("Second", {"only"});
+  rep.add_row({"quote \" inside"});
+  rep.set_wall_seconds(0.25);
+  return rep;
+}
+
+TEST(Reporter, AddRowWithoutSectionThrows) {
+  Reporter rep(RunMeta{});
+  EXPECT_THROW(rep.add_row({"x"}), std::logic_error);
+}
+
+TEST(Reporter, ConfigHashIsStableAndConfigSensitive) {
+  RunMeta a;
+  a.config = "alpha=1";
+  RunMeta b;
+  b.config = "alpha=2";
+  const auto ha = Reporter(a).config_hash();
+  EXPECT_EQ(ha.size(), 8u);
+  EXPECT_EQ(ha, Reporter(a).config_hash());
+  EXPECT_NE(ha, Reporter(b).config_hash());
+}
+
+TEST(Reporter, AsciiContainsSectionsAndCells) {
+  const auto text = make_reporter().ascii();
+  EXPECT_NE(text.find("First"), std::string::npos);
+  EXPECT_NE(text.find("Second"), std::string::npos);
+  EXPECT_NE(text.find("b, with comma"), std::string::npos);
+}
+
+TEST(Reporter, CsvHasMetadataSectionsAndQuoting) {
+  const auto csv = make_reporter().csv();
+  EXPECT_NE(csv.find("# bench=unit_bench"), std::string::npos);
+  EXPECT_NE(csv.find("seed=42"), std::string::npos);
+  EXPECT_NE(csv.find("trials=8"), std::string::npos);
+  EXPECT_NE(csv.find("threads=2"), std::string::npos);
+  EXPECT_NE(csv.find("# section: First"), std::string::npos);
+  EXPECT_NE(csv.find("# section: Second"), std::string::npos);
+  EXPECT_NE(csv.find("k,v"), std::string::npos);
+  // RFC 4180: the comma-bearing cell must be quoted, the quote doubled.
+  EXPECT_NE(csv.find("\"b, with comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote \"\" inside\""), std::string::npos);
+}
+
+TEST(Reporter, JsonEscapesAndRoundTripsStructure) {
+  const auto json = make_reporter().json();
+  EXPECT_NE(json.find("\"bench\":\"unit_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"quote \\\" inside\""), std::string::npos);
+  EXPECT_NE(json.find("\"sections\""), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Reporter, WriteJsonSelectsBySuffix) {
+  const auto rep = make_reporter();
+  const std::string dir = ::testing::TempDir();
+  const std::string jpath = dir + "/rep_test.json";
+  const std::string cpath = dir + "/rep_test.csv";
+  rep.write(jpath);
+  rep.write(cpath);
+  auto slurp = [](const std::string& p) {
+    FILE* f = std::fopen(p.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string s;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) s.append(buf, got);
+    std::fclose(f);
+    return s;
+  };
+  EXPECT_EQ(slurp(jpath), rep.json());
+  EXPECT_EQ(slurp(cpath), rep.csv());
+}
+
+}  // namespace

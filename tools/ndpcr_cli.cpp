@@ -12,6 +12,7 @@
 //   --io-mbps <MB/s>      --cf <0..1>          --plocal <0..1>
 //   --strategy {ndp|host|io-only}              --ratio <k>
 //   --app <name>          --mb <megabytes>     --trials <n>
+//   --threads <n>         execution-engine thread count (0 = auto)
 //
 // Examples:
 //   ndpcr evaluate --strategy ndp --cf 0.73 --plocal 0.85
@@ -24,8 +25,10 @@
 #include <map>
 #include <string>
 
+#include "common/breakdown_table.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "exec/task_pool.hpp"
 #include "model/evaluator.hpp"
 #include "proj/projection.hpp"
 #include "study/compression_study.hpp"
@@ -135,21 +138,14 @@ int cmd_evaluate(const Options& opts) {
   const auto e = evaluate_config(ev, cfg, opts);
 
   std::printf("%s\n\n", cfg.label().c_str());
-  const auto& b = e.result.breakdown;
-  const double total = b.total();
-  TextTable table({"Component", "% of execution"});
-  table.add_row({"compute (progress rate)", fmt_percent(b.compute / total, 1)});
-  table.add_row({"checkpoint local", fmt_percent(b.ckpt_local / total, 1)});
-  table.add_row({"checkpoint IO", fmt_percent(b.ckpt_io / total, 1)});
-  table.add_row({"restore local", fmt_percent(b.restore_local / total, 1)});
-  table.add_row({"restore IO", fmt_percent(b.restore_io / total, 1)});
-  table.add_row({"rerun local", fmt_percent(b.rerun_local / total, 1)});
-  table.add_row({"rerun IO", fmt_percent(b.rerun_io / total, 1)});
-  std::fputs(table.str().c_str(), stdout);
+  TextTable tbl(table::breakdown_header("Configuration"));
+  tbl.add_row(table::breakdown_row(cfg.label(), e.result.breakdown));
+  std::fputs(tbl.str().c_str(), stdout);
   std::printf("\nlocal:IO checkpoint ratio %u, interval %.0f s, "
-              "%llu failures simulated\n",
+              "%llu failures over %d trials (%.2f per trial)\n",
               e.io_every, e.interval,
-              static_cast<unsigned long long>(e.result.failures));
+              static_cast<unsigned long long>(e.result.failures),
+              e.result.trials, e.result.mean_failures());
   return 0;
 }
 
@@ -227,6 +223,8 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Options opts = parse_options(argc, argv, 2);
+  const auto threads = static_cast<unsigned>(opts.number("threads", 0));
+  if (threads > 0) ndpcr::exec::set_global_threads(threads);
   if (command == "project") return cmd_project();
   if (command == "evaluate") return cmd_evaluate(opts);
   if (command == "study") return cmd_study(opts);
