@@ -1,0 +1,143 @@
+// Chaos soak: hundreds of seeded fault schedules through the multilevel
+// C/R data path, spanning both partner schemes, several IO codecs and
+// IO-outage windows, parallelised across the engine pool. The harness
+// fails (exit 1) if any schedule violates a recovery invariant (see
+// docs/FAULTS.md) or if the suite fingerprint differs between a 1-thread
+// and an N-thread execution of the same schedules.
+//
+//   --schedules N   seeded schedules to run (default 240)
+//   --seed S        base seed (schedule k uses sub_seed(S, k))
+//   --commits N     commits per schedule (default 24)
+//   --csv PATH      per-schedule structured rows
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exec/task_pool.hpp"
+#include "faults/chaos.hpp"
+
+using namespace ndpcr;
+
+namespace {
+
+std::vector<faults::ChaosConfig> build_schedules(std::uint64_t base_seed,
+                                                 std::size_t count,
+                                                 std::uint32_t commits) {
+  // Rotate the grid dimensions by index so every (scheme, codec, outage)
+  // combination appears throughout the seed range.
+  const compress::CodecId codecs[] = {
+      compress::CodecId::kNull, compress::CodecId::kRle,
+      compress::CodecId::kLz4Style, compress::CodecId::kDeflateStyle};
+  std::vector<faults::ChaosConfig> configs;
+  configs.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    faults::ChaosConfig cfg;
+    cfg.seed = exec::sub_seed(base_seed, k);
+    cfg.commits = commits;
+    cfg.scheme = (k % 2 == 0) ? ckpt::PartnerScheme::kCopy
+                              : ckpt::PartnerScheme::kXorGroup;
+    cfg.io_codec = codecs[(k / 2) % 4];
+    cfg.io_outage = (k % 5) == 4;
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+const char* scheme_name(ckpt::PartnerScheme scheme) {
+  return scheme == ckpt::PartnerScheme::kCopy ? "copy" : "xor";
+}
+
+const char* codec_name(compress::CodecId id) {
+  switch (id) {
+    case compress::CodecId::kNull:
+      return "null";
+    case compress::CodecId::kRle:
+      return "rle";
+    case compress::CodecId::kLz4Style:
+      return "nlz4";
+    case compress::CodecId::kDeflateStyle:
+      return "ngzip";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
+  const std::uint64_t seed = args.seed_or(20170101);
+  const auto schedules =
+      static_cast<std::size_t>(args.number("schedules", 240));
+  const auto commits =
+      static_cast<std::uint32_t>(args.number("commits", 24));
+
+  const auto configs = build_schedules(seed, schedules, commits);
+  auto& pool = exec::global_pool();
+  const auto reports = faults::run_chaos_suite(configs, pool);
+  const std::uint32_t fingerprint = faults::suite_fingerprint(reports);
+
+  // Thread-count invariance: the same schedules on a single thread must
+  // produce the identical suite fingerprint.
+  exec::TaskPool serial(1);
+  const auto serial_reports = faults::run_chaos_suite(configs, serial);
+  const std::uint32_t serial_fingerprint =
+      faults::suite_fingerprint(serial_reports);
+
+  bench::BenchReport out(
+      "chaos_soak", args, seed, static_cast<int>(schedules),
+      "commits=" + std::to_string(commits));
+  out.add_section("schedules",
+                  {"seed", "scheme", "codec", "outage", "recoveries",
+                   "unrecoverable", "quarantined", "repairs", "injected",
+                   "violations"});
+  std::uint64_t total_violations = 0;
+  std::uint64_t total_injected = 0;
+  std::uint64_t total_recoveries = 0;
+  std::uint64_t total_unrecoverable = 0;
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    const auto& r = reports[k];
+    total_violations += r.violations;
+    total_injected += r.faults.injected();
+    total_recoveries += r.recoveries;
+    total_unrecoverable += r.unrecoverable;
+    out.add_row({std::to_string(r.seed), scheme_name(configs[k].scheme),
+                 codec_name(configs[k].io_codec),
+                 configs[k].io_outage ? "yes" : "no",
+                 std::to_string(r.recoveries),
+                 std::to_string(r.unrecoverable),
+                 std::to_string(r.health.local.quarantined +
+                                r.health.partner.quarantined +
+                                r.health.io.quarantined),
+                 std::to_string(r.health.partner.repairs +
+                                r.health.io.repairs),
+                 std::to_string(r.faults.injected()),
+                 std::to_string(r.violations)});
+    for (const auto& note : r.violation_notes) {
+      std::fprintf(stderr, "violation: %s\n", note.c_str());
+    }
+  }
+  out.finish();
+
+  std::printf("\n%zu schedules, %" PRIu64 " faults injected, %" PRIu64
+              " recoveries, %" PRIu64 " unrecoverable, %" PRIu64
+              " violations\n",
+              reports.size(), total_injected, total_recoveries,
+              total_unrecoverable, total_violations);
+  std::printf("suite fingerprint %08x (%u threads) vs %08x (1 thread)\n",
+              fingerprint, pool.thread_count(), serial_fingerprint);
+
+  if (total_violations > 0) {
+    std::fprintf(stderr, "FAIL: recovery invariants violated\n");
+    return 1;
+  }
+  if (fingerprint != serial_fingerprint) {
+    std::fprintf(stderr, "FAIL: fingerprint differs across thread counts\n");
+    return 1;
+  }
+  std::puts("all invariants held");
+  return 0;
+}

@@ -1,14 +1,52 @@
 #include "ckpt/file_store.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
 #include <fstream>
 #include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define NDPCR_HAVE_FSYNC 1
+#endif
 
 namespace ndpcr::ckpt {
 namespace {
 
 constexpr const char* kPrefix = "ckpt-";
 constexpr const char* kSuffix = ".ndcr";
+
+StoreErrorKind classify_errno(int err) {
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+    case EIO:
+      return StoreErrorKind::kTransient;
+    default:
+      return StoreErrorKind::kPermanent;
+  }
+}
+
+StoreStatus errno_failure(const char* what, int err) {
+  return StoreStatus::failure(
+      classify_errno(err),
+      std::string(what) + ": " + std::strerror(err));
+}
+
+#ifdef NDPCR_HAVE_FSYNC
+// fsync a path opened read-only (used for directories after rename).
+bool fsync_path(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+#endif
 
 }  // namespace
 
@@ -26,42 +64,93 @@ std::filesystem::path FileStore::file_path(
          (kPrefix + std::to_string(checkpoint_id) + kSuffix);
 }
 
-void FileStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
-                    ByteSpan data) {
+StoreStatus FileStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
+                           ByteSpan data) {
   const auto dir = rank_dir(rank);
-  std::filesystem::create_directories(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return StoreStatus::failure(StoreErrorKind::kPermanent,
+                                "create_directories: " + ec.message());
+  }
   const auto target = file_path(rank, checkpoint_id);
   const auto tmp = target.string() + ".tmp";
+#ifdef NDPCR_HAVE_FSYNC
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_failure("open", errno);
+  const char* cursor = reinterpret_cast<const char*>(data.data());
+  std::size_t remaining = data.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, cursor, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return errno_failure("write", err);
+    }
+    cursor += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  // The data must be on the device before the rename publishes the name;
+  // otherwise a crash could leave a complete-looking but empty file.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return errno_failure("fsync", err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return errno_failure("close", err);
+  }
+#else
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      throw std::filesystem::filesystem_error(
-          "cannot open checkpoint file for writing", tmp,
-          std::make_error_code(std::errc::io_error));
+      return StoreStatus::failure(StoreErrorKind::kPermanent,
+                                  "cannot open " + tmp);
     }
     out.write(reinterpret_cast<const char*>(data.data()),
               static_cast<std::streamsize>(data.size()));
     if (!out) {
-      throw std::filesystem::filesystem_error(
-          "short write to checkpoint file", tmp,
-          std::make_error_code(std::errc::io_error));
+      return StoreStatus::failure(StoreErrorKind::kTransient,
+                                  "short write to " + tmp);
     }
   }
-  std::filesystem::rename(tmp, target);
+#endif
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return StoreStatus::failure(StoreErrorKind::kPermanent,
+                                "rename: " + ec.message());
+  }
+#ifdef NDPCR_HAVE_FSYNC
+  // Make the rename itself durable: sync the directory entry.
+  fsync_path(dir);
+#endif
+  return StoreStatus::success();
 }
 
-std::optional<Bytes> FileStore::get(std::uint32_t rank,
-                                    std::uint64_t checkpoint_id) const {
+StoreResult<Bytes> FileStore::get(std::uint32_t rank,
+                                  std::uint64_t checkpoint_id) const {
   const auto path = file_path(rank, checkpoint_id);
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
-  if (ec) return std::nullopt;
+  if (ec) return StoreResult<Bytes>::not_found();
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    return StoreError(StoreErrorKind::kTransient,
+                      "cannot open " + path.string());
+  }
   Bytes data(size);
   in.read(reinterpret_cast<char*>(data.data()),
           static_cast<std::streamsize>(size));
-  if (static_cast<std::uint64_t>(in.gcount()) != size) return std::nullopt;
+  if (static_cast<std::uint64_t>(in.gcount()) != size) {
+    return StoreError(StoreErrorKind::kTransient,
+                      "short read from " + path.string());
+  }
   return data;
 }
 
@@ -76,18 +165,29 @@ std::vector<std::uint64_t> FileStore::list(std::uint32_t rank) const {
   std::error_code ec;
   std::filesystem::directory_iterator it(rank_dir(rank), ec);
   if (ec) return ids;
+  const std::size_t prefix_len = std::string(kPrefix).size();
+  const std::size_t suffix_len = std::string(kSuffix).size();
   for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
     const auto name = entry.path().filename().string();
-    if (name.rfind(kPrefix, 0) != 0 || !name.ends_with(kSuffix)) continue;
-    const auto digits = name.substr(
-        std::string(kPrefix).size(),
-        name.size() - std::string(kPrefix).size() -
-            std::string(kSuffix).size());
-    try {
-      ids.push_back(std::stoull(digits));
-    } catch (const std::exception&) {
-      // Foreign file in the directory: ignore.
+    if (name.size() <= prefix_len + suffix_len ||
+        name.rfind(kPrefix, 0) != 0 || !name.ends_with(kSuffix)) {
+      continue;
     }
+    const auto digits =
+        name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+    // Strict all-digits parse: "ckpt-12abc.ndcr" is a foreign file, not
+    // checkpoint 12.
+    if (!std::all_of(digits.begin(), digits.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        })) {
+      continue;
+    }
+    std::uint64_t id = 0;
+    const auto [ptr, err] = std::from_chars(
+        digits.data(), digits.data() + digits.size(), id);
+    if (err != std::errc{} || ptr != digits.data() + digits.size()) continue;
+    ids.push_back(id);
   }
   std::sort(ids.begin(), ids.end());
   return ids;

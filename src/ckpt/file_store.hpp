@@ -6,14 +6,20 @@
 //
 //   <root>/rank-<r>/ckpt-<id>.ndcr
 //
-// Files are written through a temporary name and renamed into place, so a
-// crash mid-write never leaves a truncated file under a valid name.
+// Durability: data is written to a temporary name, fsync'd, renamed into
+// place, and the parent directory is fsync'd - so a crash at any point
+// leaves either the old state or the complete new file under the valid
+// name, never a torn one.
+//
+// Methods are virtual so the fault-injection layer (faults::FaultyFileStore)
+// can decorate the same interface with seeded IO errors.
 
 #include <cstdint>
 #include <filesystem>
 #include <optional>
 #include <vector>
 
+#include "ckpt/store_error.hpp"
 #include "common/bytes.hpp"
 
 namespace ndpcr::ckpt {
@@ -23,17 +29,26 @@ class FileStore {
   // Creates the root directory (and parents) if missing. Throws
   // std::filesystem::filesystem_error on IO failure.
   explicit FileStore(std::filesystem::path root);
+  virtual ~FileStore() = default;
 
-  void put(std::uint32_t rank, std::uint64_t checkpoint_id, ByteSpan data);
-  [[nodiscard]] std::optional<Bytes> get(std::uint32_t rank,
-                                         std::uint64_t checkpoint_id) const;
-  [[nodiscard]] bool contains(std::uint32_t rank,
-                              std::uint64_t checkpoint_id) const;
-  [[nodiscard]] std::optional<std::uint64_t> newest_id(
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+
+  // Atomically replace the checkpoint file. IO failures are reported (not
+  // thrown), classified transient (EINTR/EAGAIN/EIO) or permanent.
+  virtual StoreStatus put(std::uint32_t rank, std::uint64_t checkpoint_id,
+                          ByteSpan data);
+  [[nodiscard]] virtual StoreResult<Bytes> get(
+      std::uint32_t rank, std::uint64_t checkpoint_id) const;
+  [[nodiscard]] virtual bool contains(std::uint32_t rank,
+                                      std::uint64_t checkpoint_id) const;
+  [[nodiscard]] virtual std::optional<std::uint64_t> newest_id(
       std::uint32_t rank) const;
-  // Checkpoint ids present for a rank, ascending.
-  [[nodiscard]] std::vector<std::uint64_t> list(std::uint32_t rank) const;
-  void erase(std::uint32_t rank, std::uint64_t checkpoint_id);
+  // Checkpoint ids present for a rank, ascending. Stray files that do not
+  // match ckpt-<digits>.ndcr exactly are skipped, never an error.
+  [[nodiscard]] virtual std::vector<std::uint64_t> list(
+      std::uint32_t rank) const;
+  virtual void erase(std::uint32_t rank, std::uint64_t checkpoint_id);
 
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
 

@@ -8,6 +8,16 @@ namespace {
 constexpr std::uint32_t kMagic = 0x4E444349;  // "NDCI"
 // magic(4) app_id(8) rank(4) ckpt_id(8) step(8) payload_size(8) crc(4)
 constexpr std::size_t kHeaderSize = 4 + 8 + 4 + 8 + 8 + 8 + 4;
+// The CRC covers everything before the CRC field plus the payload, so a
+// flip anywhere in the image - metadata included - fails validation.
+constexpr std::size_t kCrcOffset = kHeaderSize - 4;
+
+std::uint32_t image_crc(ByteSpan header_prefix, ByteSpan payload) {
+  Crc32 crc;
+  crc.update(header_prefix);
+  crc.update(payload);
+  return crc.value();
+}
 
 }  // namespace
 
@@ -20,7 +30,7 @@ Bytes CheckpointImage::build(const CheckpointMeta& meta, ByteSpan payload) {
   append_le<std::uint64_t>(out, meta.checkpoint_id);
   append_le<std::uint64_t>(out, meta.step);
   append_le<std::uint64_t>(out, payload.size());
-  append_le<std::uint32_t>(out, Crc32::compute(payload));
+  append_le<std::uint32_t>(out, image_crc(ByteSpan(out), payload));
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
@@ -54,7 +64,7 @@ CheckpointImage CheckpointImage::parse(ByteSpan raw) {
     throw ImageError("checkpoint image size mismatch");
   }
   const ByteSpan payload = raw.subspan(kHeaderSize);
-  if (Crc32::compute(payload) != expected_crc) {
+  if (image_crc(raw.subspan(0, kCrcOffset), payload) != expected_crc) {
     throw ImageError("checkpoint image CRC mismatch");
   }
   image.payload_.assign(payload.begin(), payload.end());

@@ -1,9 +1,35 @@
 #include "ckpt/multilevel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace ndpcr::ckpt {
+namespace {
+
+double backoff_for(const RetryPolicy& policy, std::uint32_t attempt) {
+  // Virtual delay charged before retry `attempt` (1-based).
+  return policy.backoff_seconds *
+         std::pow(policy.backoff_multiplier,
+                  static_cast<double>(attempt - 1));
+}
+
+// Close out one level's share of a commit: a fully verified level heals a
+// degraded state (counted as a repair); any abandoned write degrades it.
+void settle_level(LevelHealth& health, bool level_ok) {
+  const bool was_degraded = health.degraded();
+  if (level_ok) {
+    if (was_degraded) {
+      health.state = LevelState::kHealthy;
+      ++health.repairs;
+    }
+  } else {
+    health.state = LevelState::kDegraded;
+  }
+  if (health.degraded()) ++health.degraded_commits;
+}
+
+}  // namespace
 
 const char* to_string(RecoveryLevel level) {
   switch (level) {
@@ -17,10 +43,23 @@ const char* to_string(RecoveryLevel level) {
   return "?";
 }
 
+const char* to_string(LevelState state) {
+  switch (state) {
+    case LevelState::kHealthy:
+      return "healthy";
+    case LevelState::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
 MultilevelManager::MultilevelManager(const MultilevelConfig& config)
     : config_(config) {
   if (config.node_count == 0) {
     throw std::invalid_argument("node_count must be positive");
+  }
+  if (config.retry.max_attempts == 0) {
+    throw std::invalid_argument("retry.max_attempts must be positive");
   }
   if (config.partner_scheme == PartnerScheme::kXorGroup) {
     if (config.xor_group_size == 0 ||
@@ -39,7 +78,16 @@ MultilevelManager::MultilevelManager(const MultilevelConfig& config)
   for (std::uint32_t n = 0; n < config.node_count; ++n) {
     local_.emplace_back(config.nvm_capacity_bytes);
   }
-  partner_space_.resize(config.node_count);
+  auto make_store = [&](StoreLevel level,
+                        std::uint32_t host) -> std::unique_ptr<KvStore> {
+    if (config_.store_factory) return config_.store_factory(level, host);
+    return std::make_unique<KvStore>();
+  };
+  partner_space_.reserve(config.node_count);
+  for (std::uint32_t n = 0; n < config.node_count; ++n) {
+    partner_space_.push_back(make_store(StoreLevel::kPartner, n));
+  }
+  io_ = make_store(StoreLevel::kIo, 0);
 }
 
 std::uint32_t MultilevelManager::group_first(std::uint32_t rank) const {
@@ -51,6 +99,148 @@ std::uint32_t MultilevelManager::parity_host(std::uint32_t rank) const {
       group_first(rank) + config_.xor_group_size - 1,
       config_.node_count - 1);
   return (last + 1) % config_.node_count;
+}
+
+bool MultilevelManager::checked_put(KvStore& store, LevelHealth& health,
+                                    std::uint32_t rank, std::uint64_t id,
+                                    const Bytes& data, bool probe) {
+  const RetryPolicy& policy = config_.retry;
+  const std::uint32_t attempts = probe ? 1 : policy.max_attempts;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    ++health.puts;
+    if (attempt > 0) {
+      ++health.put_retries;
+      health.backoff_seconds += backoff_for(policy, attempt);
+    }
+    const StoreStatus status = store.put(rank, id, Bytes(data));
+    if (!status.ok()) {
+      if (status.error().permanent()) break;  // outage: retries are futile
+      continue;                               // transient: back off, retry
+    }
+    if (!config_.verify_writes) return true;
+    StoreResult<Bytes> readback = store.get(rank, id);
+    if (readback.ok() && *readback == data) return true;
+    ++health.verify_failures;
+    if (readback.ok()) {
+      // Torn or bit-flipped write landed under a valid key: quarantine it
+      // so no reader can mistake it for the real entry, then rewrite.
+      store.erase(rank, id);
+      ++health.quarantined;
+    }
+    // A transient readback *error* leaves the entry in place - it may be
+    // intact - but unverified counts as failed, so the loop rewrites it.
+  }
+  ++health.put_failures;
+  return false;
+}
+
+std::optional<Bytes> MultilevelManager::checked_get(const KvStore& store,
+                                                    LevelHealth& health,
+                                                    std::uint32_t rank,
+                                                    std::uint64_t id) const {
+  const RetryPolicy& policy = config_.retry;
+  for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    StoreResult<Bytes> got = store.get(rank, id);
+    if (got.ok()) return std::move(*got);
+    if (!got.error().transient()) return std::nullopt;
+    if (attempt + 1 < policy.max_attempts) {
+      ++health.read_retries;
+      health.backoff_seconds += backoff_for(policy, attempt + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+void MultilevelManager::commit_local(std::uint32_t rank, std::uint64_t id,
+                                     const Bytes& image) {
+  LevelHealth& health = health_.local;
+  const RetryPolicy& policy = config_.retry;
+  for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    ++health.puts;
+    if (attempt > 0) {
+      ++health.put_retries;
+      health.backoff_seconds += backoff_for(policy, attempt);
+    }
+    Bytes staged = image;
+    if (config_.local_write_hook) {
+      config_.local_write_hook(rank, local_write_ops_++, staged);
+    }
+    if (!local_[rank].put(id, std::move(staged))) {
+      // Capacity exhaustion is a configuration error, not a device fault.
+      throw std::logic_error("local NVM cannot accept checkpoint " +
+                             std::to_string(id));
+    }
+    if (!config_.verify_writes) return;
+    const auto readback = local_[rank].get(id);
+    if (readback && readback->size() == image.size() &&
+        std::equal(readback->begin(), readback->end(), image.begin())) {
+      return;
+    }
+    ++health.verify_failures;
+    local_[rank].erase(id);
+    ++health.quarantined;
+  }
+  // Local write never verified: the rank simply has no local copy of this
+  // id; partner/io still cover it.
+  ++health.put_failures;
+  health.state = LevelState::kDegraded;
+}
+
+void MultilevelManager::commit_partner(std::uint64_t id,
+                                       const std::vector<Bytes>& images) {
+  LevelHealth& health = health_.partner;
+  const bool probe = health.degraded();
+  bool level_ok = true;
+  if (config_.partner_scheme == PartnerScheme::kCopy) {
+    for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+      if (!checked_put(*partner_space_[partner_of(rank)], health, rank, id,
+                       images[rank], probe)) {
+        level_ok = false;
+        if (probe) break;  // still down: one failed probe is proof enough
+      }
+    }
+  } else {
+    // XOR groups: one parity buffer per group, padded to the group's
+    // longest image, hosted off-group.
+    for (std::uint32_t first = 0; first < config_.node_count;
+         first += config_.xor_group_size) {
+      const std::uint32_t last = std::min(
+          first + config_.xor_group_size, config_.node_count);
+      std::size_t width = 0;
+      for (std::uint32_t r = first; r < last; ++r) {
+        width = std::max(width, images[r].size());
+      }
+      std::vector<Bytes> padded;
+      padded.reserve(last - first);
+      for (std::uint32_t r = first; r < last; ++r) {
+        Bytes p = images[r];
+        p.resize(width, std::byte{0});
+        padded.push_back(std::move(p));
+      }
+      if (!checked_put(*partner_space_[parity_host(first)], health, first,
+                       id, xor_parity(padded), probe)) {
+        level_ok = false;
+        if (probe) break;
+      }
+    }
+  }
+  settle_level(health, level_ok);
+}
+
+void MultilevelManager::commit_io(std::uint64_t id,
+                                  const std::vector<Bytes>& images) {
+  LevelHealth& health = health_.io;
+  const bool probe = health.degraded();
+  bool level_ok = true;
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    const Bytes packed =
+        io_codec_ ? io_codec_->compress(images[rank]) : images[rank];
+    if (!checked_put(*io_, health, rank, id, packed, probe)) {
+      level_ok = false;
+      if (probe) break;
+    }
+  }
+  settle_level(health, level_ok);
 }
 
 std::uint64_t MultilevelManager::commit(
@@ -72,48 +262,13 @@ std::uint64_t MultilevelManager::commit(
     images[rank] = CheckpointImage::build(meta, payloads[rank]);
   }
 
-  if (to_partner && config_.node_count > 1) {
-    if (config_.partner_scheme == PartnerScheme::kCopy) {
-      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-        partner_space_[partner_of(rank)].put(rank, id, images[rank]);
-      }
-    } else {
-      // XOR groups: one parity buffer per group, padded to the group's
-      // longest image, hosted off-group.
-      for (std::uint32_t first = 0; first < config_.node_count;
-           first += config_.xor_group_size) {
-        const std::uint32_t last = std::min(
-            first + config_.xor_group_size, config_.node_count);
-        std::size_t width = 0;
-        for (std::uint32_t r = first; r < last; ++r) {
-          width = std::max(width, images[r].size());
-        }
-        std::vector<Bytes> padded;
-        padded.reserve(last - first);
-        for (std::uint32_t r = first; r < last; ++r) {
-          Bytes p = images[r];
-          p.resize(width, std::byte{0});
-          padded.push_back(std::move(p));
-        }
-        partner_space_[parity_host(first)].put(first, id,
-                                               xor_parity(padded));
-      }
-    }
-  }
-
+  ++health_.commits;
+  if (to_partner && config_.node_count > 1) commit_partner(id, images);
+  if (to_io) commit_io(id, images);
   for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-    if (to_io) {
-      if (io_codec_) {
-        io_.put(rank, id, io_codec_->compress(images[rank]));
-      } else {
-        io_.put(rank, id, images[rank]);
-      }
-    }
-    if (!local_[rank].put(id, std::move(images[rank]))) {
-      throw std::logic_error("local NVM cannot accept checkpoint " +
-                             std::to_string(id));
-    }
+    commit_local(rank, id, images[rank]);
   }
+  if (health_.any_degraded()) ++health_.degraded_commits;
   return id;
 }
 
@@ -122,8 +277,8 @@ std::optional<Bytes> MultilevelManager::try_xor_rebuild(
   const std::uint32_t first = group_first(rank);
   const std::uint32_t last =
       std::min(first + config_.xor_group_size, config_.node_count);
-  const auto parity =
-      partner_space_[parity_host(rank)].get(first, id);
+  const auto parity = checked_get(*partner_space_[parity_host(rank)],
+                                  health_.partner, first, id);
   if (!parity) return std::nullopt;
 
   // Survivors' local images, padded to the parity width.
@@ -136,8 +291,7 @@ std::optional<Bytes> MultilevelManager::try_xor_rebuild(
     padded.resize(parity->size(), std::byte{0});
     survivors.push_back(std::move(padded));
   }
-  Bytes rebuilt = xor_rebuild(Bytes(parity->begin(), parity->end()),
-                              survivors);
+  Bytes rebuilt = xor_rebuild(*parity, survivors);
   // Trim the padding back to the image's true framed size.
   try {
     const std::size_t size = CheckpointImage::framed_size(rebuilt);
@@ -151,18 +305,38 @@ std::optional<Bytes> MultilevelManager::try_xor_rebuild(
 
 void MultilevelManager::fail_node(std::uint32_t rank) {
   local_.at(rank).clear();
-  partner_space_.at(rank).clear();
+  partner_space_.at(rank)->clear();
 }
 
-void MultilevelManager::corrupt_local(std::uint32_t rank) {
+bool MultilevelManager::corrupt_local(std::uint32_t rank) {
   auto& store = local_.at(rank);
   const auto id = store.newest_id();
-  if (!id) return;
-  const auto span = store.get(*id);
-  // Flip a payload byte in place (const_cast is confined to this fault
-  // injector; NvmStore hands out read-only views by design).
-  auto* data = const_cast<std::byte*>(span->data());
-  data[span->size() - 1] ^= std::byte{0x01};
+  if (!id) return false;
+  return store.corrupt_entry(*id, *id * 131 + rank);
+}
+
+bool MultilevelManager::corrupt_partner(std::uint32_t rank) {
+  if (config_.node_count < 2) return false;
+  // Copy scheme: the rank's full copy on its partner node. XOR scheme:
+  // the group parity on the parity host (keyed by the group's first
+  // rank).
+  KvStore* store = nullptr;
+  std::uint32_t key = rank;
+  if (config_.partner_scheme == PartnerScheme::kCopy) {
+    store = partner_space_.at(partner_of(rank)).get();
+  } else {
+    store = partner_space_.at(parity_host(rank)).get();
+    key = group_first(rank);
+  }
+  const auto id = store->newest_id(key);
+  if (!id) return false;
+  return store->corrupt_entry(key, *id, *id * 137 + rank);
+}
+
+bool MultilevelManager::corrupt_io(std::uint32_t rank) {
+  const auto id = io_->newest_id(rank);
+  if (!id) return false;
+  return io_->corrupt_entry(rank, *id, *id * 139 + rank);
 }
 
 std::optional<Bytes> MultilevelManager::try_recover_rank(
@@ -187,8 +361,9 @@ std::optional<Bytes> MultilevelManager::try_recover_rank(
   }
   if (config_.node_count > 1) {
     if (config_.partner_scheme == PartnerScheme::kCopy) {
-      if (const auto span = partner_space_[partner_of(rank)].get(rank, id)) {
-        if (auto payload = validate(*span)) {
+      if (const auto copy = checked_get(*partner_space_[partner_of(rank)],
+                                        health_.partner, rank, id)) {
+        if (auto payload = validate(*copy)) {
           level_out = RecoveryLevel::kPartner;
           return payload;
         }
@@ -200,16 +375,16 @@ std::optional<Bytes> MultilevelManager::try_recover_rank(
       }
     }
   }
-  if (const auto span = io_.get(rank, id)) {
+  if (const auto stored = checked_get(*io_, health_.io, rank, id)) {
     std::optional<Bytes> raw;
     if (io_codec_) {
       try {
-        raw = io_codec_->decompress(*span);
+        raw = io_codec_->decompress(*stored);
       } catch (const compress::CodecError&) {
         raw = std::nullopt;
       }
     } else {
-      raw = Bytes(span->begin(), span->end());
+      raw = *stored;
     }
     if (raw) {
       if (auto payload = validate(*raw)) {

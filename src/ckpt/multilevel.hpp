@@ -15,8 +15,17 @@
 // This is a functional model - it moves real bytes and validates CRCs - so
 // the examples and the cluster simulator can exercise true data-path
 // behaviour (corruption detection, partner rebuild, level fallback).
+//
+// The data path is self-healing (docs/FAULTS.md): store writes go through
+// bounded retry with exponential backoff (virtual - counted, never slept),
+// every write is verified by readback, corrupted entries are quarantined,
+// and a level whose device stays down is marked degraded while commits
+// keep succeeding on the surviving levels. A degraded level is re-probed
+// on every commit and heals without a restart once its store recovers.
+// All of it is observable through the HealthReport.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -38,6 +47,57 @@ const char* to_string(RecoveryLevel level);
 // members' local copies plus the parity).
 enum class PartnerScheme { kCopy, kXorGroup };
 
+// Which remote store a MultilevelConfig::store_factory call is building.
+enum class StoreLevel { kPartner, kIo };
+
+// Bounded-retry policy for store operations. Backoff is virtual time:
+// accounted in the HealthReport, never slept, so fault schedules replay
+// bit-identically at any speed.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;   // total tries per store operation
+  double backoff_seconds = 0.01;    // virtual delay before the 1st retry
+  double backoff_multiplier = 2.0;  // exponential growth per retry
+};
+
+enum class LevelState { kHealthy, kDegraded };
+
+const char* to_string(LevelState state);
+
+// Per-level health counters. All counters are monotone; `state` moves
+// healthy -> degraded when a store operation exhausts its retries (or
+// hits a permanent error) and back only when a later commit's probe
+// succeeds (counted in `repairs`).
+struct LevelHealth {
+  LevelState state = LevelState::kHealthy;
+  std::uint64_t puts = 0;             // put attempts issued
+  std::uint64_t put_retries = 0;      // attempts after the first
+  std::uint64_t put_failures = 0;     // operations abandoned
+  std::uint64_t verify_failures = 0;  // readback mismatched what we wrote
+  std::uint64_t quarantined = 0;      // corrupt entries erased
+  std::uint64_t read_retries = 0;     // transient read errors retried
+  std::uint64_t degraded_commits = 0; // commits made while degraded
+  std::uint64_t repairs = 0;          // degraded -> healthy transitions
+  double backoff_seconds = 0.0;       // virtual backoff accumulated
+
+  [[nodiscard]] bool degraded() const {
+    return state == LevelState::kDegraded;
+  }
+};
+
+// Health of the whole multilevel data path; consumed by the cluster
+// simulator, the chaos harness and `ndpcr --faults`.
+struct HealthReport {
+  LevelHealth local;
+  LevelHealth partner;
+  LevelHealth io;
+  std::uint64_t commits = 0;
+  std::uint64_t degraded_commits = 0;  // commits with any level degraded
+
+  [[nodiscard]] bool any_degraded() const {
+    return local.degraded() || partner.degraded() || io.degraded();
+  }
+};
+
 struct MultilevelConfig {
   std::uint64_t app_id = 1;
   std::uint32_t node_count = 1;
@@ -49,6 +109,25 @@ struct MultilevelConfig {
   // Codec for IO-level checkpoints; null means store uncompressed.
   compress::CodecId io_codec = compress::CodecId::kNull;
   int io_codec_level = 0;
+
+  // Factory for the remote stores (one partner space per hosting node,
+  // one IO store; `host` is the hosting rank for partner spaces, 0 for
+  // IO). Null builds plain KvStores; the fault layer installs
+  // FaultyKvStore decorators here.
+  std::function<std::unique_ptr<KvStore>(StoreLevel level,
+                                         std::uint32_t host)>
+      store_factory;
+
+  // Invoked on the image bytes just before each local NVM write (op_index
+  // counts local writes, monotonically). The fault layer uses it to model
+  // torn or bit-flipped NVM writes; commit's verify readback catches and
+  // retries them.
+  std::function<void(std::uint32_t rank, std::uint64_t op_index,
+                     Bytes& image)>
+      local_write_hook;
+
+  RetryPolicy retry;
+  bool verify_writes = true;  // readback + compare after every put
 };
 
 class MultilevelManager {
@@ -56,18 +135,22 @@ class MultilevelManager {
   explicit MultilevelManager(const MultilevelConfig& config);
 
   // Coordinated commit of one checkpoint across all ranks. `payloads[r]`
-  // is rank r's state. Returns the checkpoint id. Throws std::logic_error
-  // if a local NVM cannot accept the checkpoint (capacity exhausted by
-  // locked entries).
+  // is rank r's state. Returns the checkpoint id. Store failures never
+  // throw: they are retried, then degrade the level (see HealthReport).
+  // Throws std::logic_error only if a local NVM cannot accept the
+  // checkpoint (capacity exhausted by locked entries).
   std::uint64_t commit(const std::vector<ByteSpan>& payloads);
 
   // Simulate loss of a node: its NVM contents and the partner copies it
   // was holding for its neighbor are gone.
   void fail_node(std::uint32_t rank);
 
-  // Simulate silent corruption of a rank's newest local checkpoint (tests
-  // use this to verify CRC-driven fallback to the next level).
-  void corrupt_local(std::uint32_t rank);
+  // Silent-corruption test hooks, all routed through the same primitive
+  // the fault injector uses (corrupt_in_place): flip a byte of the rank's
+  // newest entry at that level. Return false if no entry exists.
+  bool corrupt_local(std::uint32_t rank);
+  bool corrupt_partner(std::uint32_t rank);
+  bool corrupt_io(std::uint32_t rank);
 
   struct Recovery {
     std::uint64_t checkpoint_id = 0;
@@ -77,13 +160,16 @@ class MultilevelManager {
 
   // Recover the application: the newest checkpoint id restorable by every
   // rank, walking local -> partner -> io per rank. Returns nullopt if no
-  // common checkpoint survives.
+  // common checkpoint survives. Transient store read errors are retried
+  // (counted in the HealthReport); anything unreadable or corrupt is
+  // treated as missing, never returned.
   [[nodiscard]] std::optional<Recovery> recover() const;
 
   // Introspection used by tests and the cluster simulator.
   [[nodiscard]] const NvmStore& local_store(std::uint32_t rank) const;
   [[nodiscard]] NvmStore& local_store(std::uint32_t rank);
-  [[nodiscard]] const KvStore& io_store() const { return io_; }
+  [[nodiscard]] const KvStore& io_store() const { return *io_; }
+  [[nodiscard]] const HealthReport& health() const { return health_; }
   [[nodiscard]] std::uint64_t last_checkpoint_id() const { return next_id_ - 1; }
   [[nodiscard]] std::uint32_t partner_of(std::uint32_t rank) const {
     return (rank + 1) % config_.node_count;
@@ -99,14 +185,31 @@ class MultilevelManager {
       std::uint32_t rank, std::uint64_t id, RecoveryLevel& level_out) const;
   [[nodiscard]] std::optional<Bytes> try_xor_rebuild(std::uint32_t rank,
                                                      std::uint64_t id) const;
+  // Read through a remote store with bounded retry on transient errors.
+  [[nodiscard]] std::optional<Bytes> checked_get(const KvStore& store,
+                                                 LevelHealth& health,
+                                                 std::uint32_t rank,
+                                                 std::uint64_t id) const;
+  // Write + verify readback + retry/backoff. Returns true once the entry
+  // is durably in place and matches `data`. `probe` limits the operation
+  // to a single attempt (used while the level is already degraded).
+  bool checked_put(KvStore& store, LevelHealth& health, std::uint32_t rank,
+                   std::uint64_t id, const Bytes& data, bool probe);
+  void commit_local(std::uint32_t rank, std::uint64_t id,
+                    const Bytes& image);
+  void commit_partner(std::uint64_t id, const std::vector<Bytes>& images);
+  void commit_io(std::uint64_t id, const std::vector<Bytes>& images);
 
   MultilevelConfig config_;
   std::unique_ptr<compress::Codec> io_codec_;  // null when uncompressed
   std::vector<NvmStore> local_;
-  std::vector<KvStore> partner_space_;  // partner_space_[n] holds copies
-                                        // for rank (n + N - 1) % N
-  KvStore io_;
+  // partner_space_[n] holds copies for rank (n + N - 1) % N.
+  std::vector<std::unique_ptr<KvStore>> partner_space_;
+  std::unique_ptr<KvStore> io_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t local_write_ops_ = 0;
+  // Mutable: recover() is logically const but counts its read retries.
+  mutable HealthReport health_;
 };
 
 }  // namespace ndpcr::ckpt

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ckpt/stores.hpp"
+
 namespace ndpcr::ckpt {
 
 NvmStore::NvmStore(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
@@ -91,6 +93,18 @@ void NvmStore::erase(std::uint64_t checkpoint_id) {
 void NvmStore::clear() {
   entries_.clear();
   used_ = 0;
+}
+
+bool NvmStore::corrupt_entry(std::uint64_t checkpoint_id,
+                             std::uint64_t salt) {
+  for (auto& e : entries_) {
+    if (e.id == checkpoint_id) {
+      if (e.data.empty()) return false;
+      corrupt_in_place(MutableByteSpan(e.data), salt);
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace ndpcr::ckpt

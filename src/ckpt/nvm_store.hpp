@@ -50,6 +50,11 @@ class NvmStore {
   // Simulated whole-device loss (node failure): clears everything.
   void clear();
 
+  // Flip one byte of a stored checkpoint in place (deterministic position
+  // from `salt`; same primitive as KvStore::corrupt_entry). Returns false
+  // for an unknown id or an empty entry. Fault-injection hook only.
+  bool corrupt_entry(std::uint64_t checkpoint_id, std::uint64_t salt);
+
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
   [[nodiscard]] std::size_t used_bytes() const { return used_; }
   [[nodiscard]] std::size_t count() const { return entries_.size(); }

@@ -1,0 +1,89 @@
+#pragma once
+
+// Typed store errors for the checkpoint data path. Stores used to throw
+// on any problem; the fault-injection layer (src/faults) needs consumers
+// to distinguish a transient PFS hiccup (retry with backoff) from a
+// permanent device outage (degrade the level and move on), so put/get
+// return these result types instead.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ndpcr::ckpt {
+
+enum class StoreErrorKind {
+  kNotFound,   // no entry under that key (not a device fault)
+  kTransient,  // retryable I/O error (timeout, dropped request)
+  kPermanent,  // device outage / unrecoverable I/O error
+};
+
+struct StoreError {
+  StoreErrorKind kind = StoreErrorKind::kNotFound;
+  std::string detail;
+
+  [[nodiscard]] bool transient() const {
+    return kind == StoreErrorKind::kTransient;
+  }
+  [[nodiscard]] bool permanent() const {
+    return kind == StoreErrorKind::kPermanent;
+  }
+  [[nodiscard]] bool not_found() const {
+    return kind == StoreErrorKind::kNotFound;
+  }
+};
+
+// Outcome of a mutating store operation (put/erase).
+class StoreStatus {
+ public:
+  StoreStatus() = default;  // success
+  StoreStatus(StoreError error) : error_(std::move(error)) {}
+
+  static StoreStatus success() { return {}; }
+  static StoreStatus failure(StoreErrorKind kind, std::string detail) {
+    return StoreStatus(StoreError{kind, std::move(detail)});
+  }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  // Precondition: !ok().
+  [[nodiscard]] const StoreError& error() const { return *error_; }
+
+ private:
+  std::optional<StoreError> error_;
+};
+
+// Outcome of a value-returning store operation (get). Deliberately
+// optional-like (has_value / * / -> / value) so healthy-path call sites
+// read the same as before the error typing.
+template <typename T>
+class StoreResult {
+ public:
+  StoreResult(T value) : value_(std::move(value)) {}
+  StoreResult(StoreError error) : error_(std::move(error)) {}
+
+  static StoreResult not_found() {
+    return StoreResult(StoreError{StoreErrorKind::kNotFound, ""});
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool has_value() const { return ok(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+  [[nodiscard]] T& value() & { return value_.value(); }
+  [[nodiscard]] const T& value() const& { return value_.value(); }
+  [[nodiscard]] T&& value() && { return std::move(value_).value(); }
+
+  // Precondition: !ok().
+  [[nodiscard]] const StoreError& error() const { return *error_; }
+
+ private:
+  std::optional<T> value_;
+  std::optional<StoreError> error_;
+};
+
+}  // namespace ndpcr::ckpt

@@ -4,8 +4,8 @@
 
 namespace ndpcr::ckpt {
 
-void KvStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
-                  Bytes data) {
+StoreStatus KvStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
+                         Bytes data) {
   const auto key = std::make_pair(rank, checkpoint_id);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -16,13 +16,14 @@ void KvStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
     used_ += data.size();
     entries_.emplace(key, std::move(data));
   }
+  return StoreStatus::success();
 }
 
-std::optional<ByteSpan> KvStore::get(std::uint32_t rank,
-                                     std::uint64_t checkpoint_id) const {
+StoreResult<Bytes> KvStore::get(std::uint32_t rank,
+                                std::uint64_t checkpoint_id) const {
   auto it = entries_.find(std::make_pair(rank, checkpoint_id));
-  if (it == entries_.end()) return std::nullopt;
-  return ByteSpan(it->second);
+  if (it == entries_.end()) return StoreResult<Bytes>::not_found();
+  return Bytes(it->second);
 }
 
 bool KvStore::contains(std::uint32_t rank,
@@ -50,6 +51,29 @@ void KvStore::erase(std::uint32_t rank, std::uint64_t checkpoint_id) {
 void KvStore::clear() {
   entries_.clear();
   used_ = 0;
+}
+
+bool KvStore::corrupt_entry(std::uint32_t rank, std::uint64_t checkpoint_id,
+                            std::uint64_t salt) {
+  auto it = entries_.find(std::make_pair(rank, checkpoint_id));
+  if (it == entries_.end() || it->second.empty()) return false;
+  corrupt_in_place(MutableByteSpan(it->second), salt);
+  return true;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void corrupt_in_place(MutableByteSpan data, std::uint64_t salt) {
+  if (data.empty()) return;
+  const std::uint64_t h = splitmix64(salt);
+  const std::size_t index = h % data.size();
+  const auto mask = static_cast<std::byte>(1u << ((h >> 32) % 8));
+  data[index] ^= mask;
 }
 
 Bytes xor_parity(const std::vector<Bytes>& buffers) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "faults/faulty_stores.hpp"
 
 namespace ndpcr::cluster {
 
@@ -36,6 +37,24 @@ ClusterSimResult ClusterSim::run() {
   mc.io_every = cfg_.io_every;
   mc.io_codec = cfg_.io_codec;
   mc.io_codec_level = cfg_.io_codec_level;
+  if (cfg_.partner_faults.any() || cfg_.io_faults.any()) {
+    // Decorate the remote stores with a seeded fault plan; the manager's
+    // retry/verify/degrade machinery absorbs what it can and reports the
+    // rest through `result.health`.
+    const std::uint64_t fault_seed =
+        cfg_.fault_seed != 0 ? cfg_.fault_seed : cfg_.seed * 0x9E37 + 1;
+    auto plan = std::make_shared<faults::FaultPlan>(fault_seed);
+    for (std::uint32_t host = 0; host < cfg_.node_count; ++host) {
+      plan->set_rates(faults::partner_target(host), cfg_.partner_faults);
+    }
+    plan->set_rates(faults::io_target(), cfg_.io_faults);
+    mc.store_factory = [plan](ckpt::StoreLevel level, std::uint32_t host) {
+      const faults::Target target = level == ckpt::StoreLevel::kIo
+                                        ? faults::io_target()
+                                        : faults::partner_target(host);
+      return std::make_unique<faults::FaultyKvStore>(plan, target);
+    };
+  }
   ckpt::MultilevelManager manager(mc);
 
   // Virtual-time failure schedule: next failure instant for the whole
@@ -132,6 +151,7 @@ ClusterSimResult ClusterSim::run() {
     rank->restore(image);
     if (rank->state_digest() != digest_before) result.state_verified = false;
   }
+  result.health = manager.health();
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ckpt/multilevel.hpp"
+#include "faults/fault_plan.hpp"
 #include "workloads/miniapp.hpp"
 
 namespace ndpcr::cluster {
@@ -31,6 +32,11 @@ struct ClusterSimConfig {
   std::size_t nvm_capacity_bytes = 8ull << 20;
   std::uint64_t total_steps = 2000;  // virtual application steps to finish
   std::uint64_t seed = 7;
+  // Seeded store-fault injection (zero rates leave the data path
+  // fault-free and the results bit-identical to the pre-fault build).
+  faults::FaultRates partner_faults;
+  faults::FaultRates io_faults;
+  std::uint64_t fault_seed = 0;  // 0 derives from `seed`
 };
 
 struct ClusterSimResult {
@@ -44,6 +50,7 @@ struct ClusterSimResult {
   std::uint64_t steps_rerun = 0;
   std::uint64_t checkpoints = 0;
   bool state_verified = false;  // all ranks' digests consistent at the end
+  ckpt::HealthReport health;    // multilevel data-path health at run end
 };
 
 class ClusterSim {

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "ckpt/stores.hpp"
 #include "common/rng.hpp"
+#include "faults/faulty_stores.hpp"
 #include "ndp/agent.hpp"
 #include "workloads/miniapp.hpp"
 
@@ -33,9 +35,21 @@ NdpClusterResult NdpClusterSim::run() {
   std::vector<std::unique_ptr<workloads::MiniApp>> ranks;
   for (std::uint32_t r = 0; r < n; ++r) ranks.push_back(make_rank(r));
 
-  // One shared IO store (the PFS); each agent gets the paper's static
-  // per-node share of the aggregate IO bandwidth.
-  ckpt::KvStore io;
+  // One shared IO store (the PFS), optionally decorated with a seeded
+  // fault plan; each agent gets the paper's static per-node share of the
+  // aggregate IO bandwidth.
+  std::unique_ptr<ckpt::KvStore> io_store;
+  if (cfg_.io_fault_rates.any()) {
+    const std::uint64_t fault_seed =
+        cfg_.fault_seed != 0 ? cfg_.fault_seed : cfg_.seed * 0x9E37 + 5;
+    auto plan = std::make_shared<faults::FaultPlan>(fault_seed);
+    plan->set_rates(faults::io_target(), cfg_.io_fault_rates);
+    io_store = std::make_unique<faults::FaultyKvStore>(std::move(plan),
+                                                       faults::io_target());
+  } else {
+    io_store = std::make_unique<ckpt::KvStore>();
+  }
+  ckpt::KvStore& io = *io_store;
   std::vector<std::unique_ptr<ndp::NdpAgent>> agents;
   for (std::uint32_t r = 0; r < n; ++r) {
     ndp::AgentConfig ac;
@@ -83,6 +97,39 @@ NdpClusterResult NdpClusterSim::run() {
     for (auto& agent : agents) agent->pump(seconds);
   };
 
+  // Drains the agents abandoned (IO permanently down or retries
+  // exhausted) fall back to a synchronous host write - verified, with its
+  // own small retry budget - so a flaky PFS costs host time instead of
+  // losing the generation.
+  auto collect_fallbacks = [&] {
+    for (std::uint32_t r = 0; r < n; ++r) {
+      auto fallback = agents[r]->take_host_fallback();
+      if (!fallback) continue;
+      bool landed = false;
+      for (int attempt = 0; attempt < 3 && !landed; ++attempt) {
+        const auto status =
+            io.put(r, fallback->checkpoint_id, Bytes(fallback->compressed));
+        if (!status.ok()) {
+          if (status.error().permanent()) break;
+          continue;
+        }
+        const auto readback = io.get(r, fallback->checkpoint_id);
+        if (readback.ok() && *readback == fallback->compressed) {
+          landed = true;
+        } else if (readback.ok()) {
+          io.erase(r, fallback->checkpoint_id);
+        }
+      }
+      if (landed) {
+        now += static_cast<double>(fallback->compressed.size()) /
+               (cfg_.aggregate_io_bw / n);
+        ++result.host_fallback_writes;
+      } else {
+        ++result.host_fallback_drops;
+      }
+    }
+  };
+
   auto handle_failure = [&] {
     ++result.failures;
     next_failure = now + rng.exponential(system_mttf);
@@ -109,7 +156,11 @@ NdpClusterResult NdpClusterSim::run() {
           if (!packed) {
             image.reset();
           } else {
-            image = codec->decompress(*packed);
+            try {
+              image = codec->decompress(*packed);
+            } catch (const compress::CodecError&) {
+              image.reset();  // corrupt IO copy: treat as missing
+            }
           }
         }
         if (!image) {
@@ -133,7 +184,44 @@ NdpClusterResult NdpClusterSim::run() {
     // everyone rolls back to the newest generation fully on IO.
     const auto victim = static_cast<std::uint32_t>(rng.next_below(n));
     agents[victim]->reset();
-    const std::uint64_t target = newest_common_on_io();
+
+    // Fetch a complete generation *before* restoring any rank: with a
+    // faulty store, restoring ranks one by one could leave the app half
+    // rolled back when a later rank's read fails. Reads retry transient
+    // errors; a corrupt or unreadable copy walks the target down.
+    struct Generation {
+      std::vector<Bytes> images;
+      std::size_t victim_packed = 0;  // compressed bytes read for victim
+    };
+    auto fetch_generation =
+        [&](std::uint64_t target) -> std::optional<Generation> {
+      Generation gen;
+      gen.images.resize(n);
+      for (std::uint32_t r = 0; r < n; ++r) {
+        if (auto local = agents[r]->restore_local(target)) {
+          gen.images[r] = std::move(*local);
+          continue;
+        }
+        auto packed = io.get(r, target);
+        for (int attempt = 1;
+             attempt < 4 && !packed.ok() && packed.error().transient();
+             ++attempt) {
+          packed = io.get(r, target);
+        }
+        if (!packed.ok()) return std::nullopt;
+        try {
+          gen.images[r] = codec->decompress(*packed);
+        } catch (const compress::CodecError&) {
+          return std::nullopt;
+        }
+        if (r == victim) gen.victim_packed = packed->size();
+      }
+      return gen;
+    };
+
+    std::uint64_t target = newest_common_on_io();
+    std::optional<Generation> gen;
+    while (target > 0 && !(gen = fetch_generation(target))) --target;
     if (target == 0) {
       ++result.scratch_restarts;
       for (std::uint32_t r = 0; r < n; ++r) ranks[r] = make_rank(r);
@@ -143,19 +231,12 @@ NdpClusterResult NdpClusterSim::run() {
     }
     // Coordinated restore time: the compressed read through the victim's
     // IO share dominates.
-    const auto packed = io.get(victim, target);
     now += std::max(cfg_.local_restore_time,
-                    static_cast<double>(packed->size()) /
+                    static_cast<double>(gen->victim_packed) /
                         (cfg_.aggregate_io_bw / n));
     std::uint64_t restored_step = 0;
     for (std::uint32_t r = 0; r < n; ++r) {
-      Bytes image;
-      if (auto local = agents[r]->restore_local(target)) {
-        image = std::move(*local);
-      } else {
-        image = codec->decompress(*io.get(r, target));
-      }
-      ranks[r]->restore(image);
+      ranks[r]->restore(gen->images[r]);
       restored_step = ranks[r]->step_count();
     }
     ++result.io_recoveries;
@@ -171,6 +252,7 @@ NdpClusterResult NdpClusterSim::run() {
     for (std::uint64_t s = 0; s < burst; ++s) {
       now += cfg_.step_time;
       pump_all(cfg_.step_time);
+      collect_fallbacks();
       if (now >= next_failure) {
         failed = true;
         break;
@@ -200,10 +282,15 @@ NdpClusterResult NdpClusterSim::run() {
       }
     }
     ++result.checkpoints;
+    collect_fallbacks();
   }
 
   result.io_checkpoints = newest_common_on_io();
   result.virtual_seconds = now;
+  for (const auto& agent : agents) {
+    result.drain_put_retries += agent->stats().drain_put_retries;
+    result.drain_put_failures += agent->stats().drain_put_failures;
+  }
 
   result.state_verified = true;
   for (auto& rank : ranks) {

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "compress/codec.hpp"
+#include "faults/fault_plan.hpp"
 
 namespace ndpcr::cluster {
 
@@ -44,6 +45,11 @@ struct NdpClusterConfig {
   double p_local_recovery = 0.85;  // failures that keep the NVM usable
   std::uint64_t total_steps = 1500;
   std::uint64_t seed = 13;
+  // Seeded fault injection on the shared IO store (zero rates keep the
+  // run bit-identical to the fault-free build). Drains that cannot land
+  // retry with backoff, then fall back to the host write path.
+  faults::FaultRates io_fault_rates;
+  std::uint64_t fault_seed = 0;  // 0 derives from `seed`
 };
 
 struct NdpClusterResult {
@@ -57,6 +63,10 @@ struct NdpClusterResult {
   double virtual_seconds = 0.0;
   double compute_seconds = 0.0;  // first-time work
   bool state_verified = false;
+  std::uint64_t drain_put_retries = 0;   // agent IO writes retried
+  std::uint64_t drain_put_failures = 0;  // drains handed to the host path
+  std::uint64_t host_fallback_writes = 0;  // fallbacks landed by the host
+  std::uint64_t host_fallback_drops = 0;   // fallbacks lost (IO down)
 
   [[nodiscard]] double progress_rate() const {
     return virtual_seconds > 0 ? compute_seconds / virtual_seconds : 0.0;

@@ -1,0 +1,77 @@
+#pragma once
+
+// Chaos soak harness: drive a MultilevelManager through a seeded fault
+// schedule plus random node failures and silent corruption, and check the
+// recovery invariants after every probe:
+//
+//   1. Every recovered payload is byte-identical to what was committed
+//      under that checkpoint id (implies CRC-valid).
+//   2. recover() never returns a checkpoint newer than the last commit.
+//   3. Health counters are monotone; a level leaves the degraded state
+//      only through a counted repair.
+//
+// A run is a pure function of its ChaosConfig (fingerprint included), so
+// soaks parallelised across seeds with exec::TaskPool reproduce
+// bit-identically at any thread count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/multilevel.hpp"
+#include "compress/codec.hpp"
+#include "exec/task_pool.hpp"
+#include "faults/faulty_stores.hpp"
+
+namespace ndpcr::faults {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t node_count = 6;
+  ckpt::PartnerScheme scheme = ckpt::PartnerScheme::kCopy;
+  std::uint32_t xor_group_size = 3;
+  compress::CodecId io_codec = compress::CodecId::kNull;
+  std::uint32_t partner_every = 1;
+  std::uint32_t io_every = 2;
+  std::uint32_t commits = 24;
+  std::size_t payload_bytes = 2048;
+  // Fault rates applied to every device (local NVM sees torn/bitflip only).
+  FaultRates rates{0.02, 0.01, 0.01, 0.01};
+  double p_fail_node = 0.05;  // per-commit chance of losing a node
+  double p_corrupt = 0.10;    // per-commit chance of one silent corruption
+  double p_recover = 0.25;    // per-commit chance of a recovery probe
+  // Schedule a permanent IO outage over the middle third of the run's
+  // expected IO operations (cleared afterwards, so repair is observable).
+  bool io_outage = false;
+};
+
+struct ChaosReport {
+  std::uint64_t seed = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t recover_calls = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t unrecoverable = 0;
+  std::uint64_t node_failures = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t violations = 0;
+  std::vector<std::string> violation_notes;  // first few, for diagnostics
+  ckpt::HealthReport health;                 // manager health at run end
+  FaultStats faults;                         // aggregated injections
+  std::uint32_t fingerprint = 0;             // CRC32 of the run's outcomes
+};
+
+// Execute one seeded chaos schedule. Deterministic: same config, same
+// report (fingerprint included), on any machine and at any thread count.
+ChaosReport run_chaos(const ChaosConfig& config);
+
+// Run many schedules across the pool (one task per config; each run is
+// self-contained, so the engine's index-ownership contract makes the
+// result vector thread-count-invariant).
+std::vector<ChaosReport> run_chaos_suite(
+    const std::vector<ChaosConfig>& configs, exec::TaskPool& pool);
+
+// Order-sensitive combination of the suite's fingerprints: one word that
+// must match across reruns and thread counts.
+std::uint32_t suite_fingerprint(const std::vector<ChaosReport>& reports);
+
+}  // namespace ndpcr::faults

@@ -1,0 +1,109 @@
+#include "faults/fault_plan.hpp"
+
+#include "ckpt/stores.hpp"
+
+namespace ndpcr::faults {
+namespace {
+
+// Distinct target-id spaces so a rank's NVM and a host's partner space
+// never alias.
+constexpr std::uint32_t kLocalBase = 0x1000'0000u;
+constexpr std::uint32_t kPartnerBase = 0x2000'0000u;
+constexpr std::uint32_t kIoBase = 0x3000'0000u;
+
+// Pure hash of one operation's coordinates into [0, 1).
+double unit_hash(std::uint64_t seed, Target target, StoreOp op,
+                 std::uint64_t op_index) {
+  using ckpt::splitmix64;
+  std::uint64_t h = splitmix64(seed ^ (std::uint64_t{target.id} << 32));
+  h = splitmix64(h ^ op_index);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(op));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kTorn:
+      return "torn";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kOutage:
+      return "outage";
+  }
+  return "?";
+}
+
+Target local_target(std::uint32_t rank) { return Target{kLocalBase + rank}; }
+
+Target partner_target(std::uint32_t host) {
+  return Target{kPartnerBase + host};
+}
+
+Target io_target() { return Target{kIoBase}; }
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultRates default_rates)
+    : seed_(seed), default_rates_(default_rates) {}
+
+void FaultPlan::set_rates(Target target, FaultRates rates) {
+  per_target_rates_[target] = rates;
+}
+
+void FaultPlan::add_outage(Target target, std::uint64_t first_op,
+                           std::uint64_t last_op) {
+  outages_[target].push_back(Outage{first_op, last_op});
+}
+
+void FaultPlan::force(Target target, std::uint64_t op_index,
+                      FaultKind kind) {
+  forced_[{target.id, op_index}] = kind;
+}
+
+const FaultRates& FaultPlan::rates_for(Target target) const {
+  const auto it = per_target_rates_.find(target);
+  return it != per_target_rates_.end() ? it->second : default_rates_;
+}
+
+FaultKind FaultPlan::decide(Target target, StoreOp op,
+                            std::uint64_t op_index) const {
+  if (const auto it = forced_.find({target.id, op_index});
+      it != forced_.end()) {
+    return it->second;
+  }
+  if (const auto it = outages_.find(target); it != outages_.end()) {
+    for (const Outage& o : it->second) {
+      if (op_index >= o.first_op && op_index <= o.last_op) {
+        return FaultKind::kOutage;
+      }
+    }
+  }
+  const FaultRates& rates = rates_for(target);
+  if (!rates.any()) return FaultKind::kNone;
+  const double u = unit_hash(seed_, target, op, op_index);
+  double edge = rates.transient;
+  if (u < edge) return FaultKind::kTransient;
+  if (op == StoreOp::kPut) {
+    edge += rates.torn;
+    if (u < edge) return FaultKind::kTorn;
+  }
+  edge += rates.bitflip;
+  if (u < edge) return FaultKind::kBitFlip;
+  edge += rates.stall;
+  if (u < edge) return FaultKind::kStall;
+  return FaultKind::kNone;
+}
+
+std::uint64_t FaultPlan::salt(Target target, std::uint64_t op_index) const {
+  using ckpt::splitmix64;
+  return splitmix64(seed_ ^ splitmix64((std::uint64_t{target.id} << 24) ^
+                                       (op_index * 0x9E3779B97F4A7C15ull)));
+}
+
+}  // namespace ndpcr::faults

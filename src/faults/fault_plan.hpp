@@ -1,0 +1,112 @@
+#pragma once
+
+// Deterministic fault schedules for the checkpoint data path.
+//
+// A FaultPlan is a pure function of (seed, target, operation, op index):
+// nothing is sampled at injection time, so a schedule replays
+// bit-identically across runs, thread counts and machines. Faults model
+// the failure classes the paper's multilevel design defends against:
+//
+//   kTransient - retryable I/O error (dropped request, timeout)
+//   kTorn      - a write that lands truncated but reports success
+//   kBitFlip   - silent corruption of the stored/returned bytes
+//   kStall     - the operation succeeds but costs extra (virtual) latency
+//   kOutage    - permanent device loss for a window of operations
+//
+// Targets identify a device: each rank's local NVM, each node's partner
+// space, and the shared IO (PFS) store. The decorator stores in
+// faulty_stores.hpp consult the plan on every operation; consumers never
+// see the plan, only the typed StoreErrors it produces.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ndpcr::faults {
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kTransient,
+  kTorn,
+  kBitFlip,
+  kStall,
+  kOutage,
+};
+
+const char* to_string(FaultKind kind);
+
+enum class StoreOp : std::uint8_t { kPut, kGet };
+
+// A fault-injection target (one simulated device).
+struct Target {
+  std::uint32_t id = 0;
+
+  friend bool operator<(Target a, Target b) { return a.id < b.id; }
+  friend bool operator==(Target a, Target b) { return a.id == b.id; }
+};
+
+// Rank r's local NVM device.
+Target local_target(std::uint32_t rank);
+// The partner space hosted by node `host`.
+Target partner_target(std::uint32_t host);
+// The shared IO (PFS) store.
+Target io_target();
+
+// Per-operation fault probabilities. Torn writes apply to puts only
+// (reads of a torn entry see the truncation, they do not cause it).
+struct FaultRates {
+  double transient = 0.0;
+  double torn = 0.0;
+  double bitflip = 0.0;
+  double stall = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return transient > 0 || torn > 0 || bitflip > 0 || stall > 0;
+  }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed, FaultRates default_rates = {});
+
+  // Override the rates for one target (e.g. make only the IO store flaky).
+  void set_rates(Target target, FaultRates rates);
+
+  // Permanent outage: every operation on `target` with op index in
+  // [first_op, last_op] fails kOutage. Models a device that is down for a
+  // while and then comes back (bounded window) or forever (last_op =
+  // UINT64_MAX).
+  void add_outage(Target target, std::uint64_t first_op,
+                  std::uint64_t last_op);
+
+  // Force a specific fault at one (target, op index); overrides rates and
+  // outages. Test hook for exact scenarios.
+  void force(Target target, std::uint64_t op_index, FaultKind kind);
+
+  // The scheduled fault for this operation. Pure: same arguments, same
+  // answer, forever.
+  [[nodiscard]] FaultKind decide(Target target, StoreOp op,
+                                 std::uint64_t op_index) const;
+
+  // Deterministic per-operation salt for corruption/truncation positions.
+  [[nodiscard]] std::uint64_t salt(Target target,
+                                   std::uint64_t op_index) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Outage {
+    std::uint64_t first_op;
+    std::uint64_t last_op;
+  };
+
+  [[nodiscard]] const FaultRates& rates_for(Target target) const;
+
+  std::uint64_t seed_;
+  FaultRates default_rates_;
+  std::map<Target, FaultRates> per_target_rates_;
+  std::map<Target, std::vector<Outage>> outages_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, FaultKind> forced_;
+};
+
+}  // namespace ndpcr::faults

@@ -1,0 +1,206 @@
+#include "faults/faulty_stores.hpp"
+
+#include <utility>
+
+namespace ndpcr::faults {
+namespace {
+
+ckpt::StoreError transient_error(Target target, std::uint64_t op) {
+  return ckpt::StoreError{
+      ckpt::StoreErrorKind::kTransient,
+      "injected transient fault (target " + std::to_string(target.id) +
+          ", op " + std::to_string(op) + ")"};
+}
+
+ckpt::StoreError outage_error(Target target, std::uint64_t op) {
+  return ckpt::StoreError{
+      ckpt::StoreErrorKind::kPermanent,
+      "injected outage (target " + std::to_string(target.id) + ", op " +
+          std::to_string(op) + ")"};
+}
+
+// Length of the prefix that survives a torn write: deterministic from the
+// salt, always strictly shorter than the full payload.
+std::size_t torn_length(std::size_t full, std::uint64_t salt) {
+  if (full <= 1) return 0;
+  return ckpt::splitmix64(salt) % full;
+}
+
+}  // namespace
+
+FaultStats& FaultStats::operator+=(const FaultStats& other) {
+  ops += other.ops;
+  transient_errors += other.transient_errors;
+  torn_writes += other.torn_writes;
+  bit_flips += other.bit_flips;
+  stalls += other.stalls;
+  outage_errors += other.outage_errors;
+  stall_seconds += other.stall_seconds;
+  return *this;
+}
+
+FaultyKvStore::FaultyKvStore(std::shared_ptr<const FaultPlan> plan,
+                             Target target)
+    : plan_(std::move(plan)), target_(target) {}
+
+ckpt::StoreStatus FaultyKvStore::put(std::uint32_t rank,
+                                     std::uint64_t checkpoint_id,
+                                     Bytes data) {
+  const std::uint64_t op = op_counter_++;
+  ++stats_.ops;
+  switch (plan_->decide(target_, StoreOp::kPut, op)) {
+    case FaultKind::kTransient:
+      ++stats_.transient_errors;
+      return transient_error(target_, op);
+    case FaultKind::kOutage:
+      ++stats_.outage_errors;
+      return outage_error(target_, op);
+    case FaultKind::kTorn: {
+      ++stats_.torn_writes;
+      data.resize(torn_length(data.size(), plan_->salt(target_, op)));
+      return KvStore::put(rank, checkpoint_id, std::move(data));
+    }
+    case FaultKind::kBitFlip:
+      ++stats_.bit_flips;
+      ckpt::corrupt_in_place(MutableByteSpan(data),
+                             plan_->salt(target_, op));
+      return KvStore::put(rank, checkpoint_id, std::move(data));
+    case FaultKind::kStall:
+      ++stats_.stalls;
+      stats_.stall_seconds += kStallSeconds;
+      [[fallthrough]];
+    case FaultKind::kNone:
+      break;
+  }
+  return KvStore::put(rank, checkpoint_id, std::move(data));
+}
+
+ckpt::StoreResult<Bytes> FaultyKvStore::get(
+    std::uint32_t rank, std::uint64_t checkpoint_id) const {
+  const std::uint64_t op = op_counter_++;
+  ++stats_.ops;
+  switch (plan_->decide(target_, StoreOp::kGet, op)) {
+    case FaultKind::kTransient:
+      ++stats_.transient_errors;
+      return transient_error(target_, op);
+    case FaultKind::kOutage:
+      ++stats_.outage_errors;
+      return outage_error(target_, op);
+    case FaultKind::kBitFlip: {
+      ++stats_.bit_flips;
+      auto got = KvStore::get(rank, checkpoint_id);
+      if (got.ok()) {
+        // Corrupt the returned copy; the stored entry stays intact.
+        ckpt::corrupt_in_place(MutableByteSpan(*got),
+                               plan_->salt(target_, op));
+      }
+      return got;
+    }
+    case FaultKind::kStall:
+      ++stats_.stalls;
+      stats_.stall_seconds += kStallSeconds;
+      break;
+    case FaultKind::kTorn:  // puts only; decide() never returns it for gets
+    case FaultKind::kNone:
+      break;
+  }
+  return KvStore::get(rank, checkpoint_id);
+}
+
+FaultyFileStore::FaultyFileStore(std::filesystem::path root,
+                                 std::shared_ptr<const FaultPlan> plan,
+                                 Target target)
+    : ckpt::FileStore(std::move(root)),
+      plan_(std::move(plan)),
+      target_(target) {}
+
+ckpt::StoreStatus FaultyFileStore::put(std::uint32_t rank,
+                                       std::uint64_t checkpoint_id,
+                                       ByteSpan data) {
+  const std::uint64_t op = op_counter_++;
+  ++stats_.ops;
+  switch (plan_->decide(target_, StoreOp::kPut, op)) {
+    case FaultKind::kTransient:
+      ++stats_.transient_errors;
+      return transient_error(target_, op);
+    case FaultKind::kOutage:
+      ++stats_.outage_errors;
+      return outage_error(target_, op);
+    case FaultKind::kTorn: {
+      ++stats_.torn_writes;
+      const std::size_t n =
+          torn_length(data.size(), plan_->salt(target_, op));
+      return FileStore::put(rank, checkpoint_id, data.subspan(0, n));
+    }
+    case FaultKind::kBitFlip: {
+      ++stats_.bit_flips;
+      Bytes flipped(data.begin(), data.end());
+      ckpt::corrupt_in_place(MutableByteSpan(flipped),
+                             plan_->salt(target_, op));
+      return FileStore::put(rank, checkpoint_id, ByteSpan(flipped));
+    }
+    case FaultKind::kStall:
+      ++stats_.stalls;
+      stats_.stall_seconds += kStallSeconds;
+      [[fallthrough]];
+    case FaultKind::kNone:
+      break;
+  }
+  return FileStore::put(rank, checkpoint_id, data);
+}
+
+ckpt::StoreResult<Bytes> FaultyFileStore::get(
+    std::uint32_t rank, std::uint64_t checkpoint_id) const {
+  const std::uint64_t op = op_counter_++;
+  ++stats_.ops;
+  switch (plan_->decide(target_, StoreOp::kGet, op)) {
+    case FaultKind::kTransient:
+      ++stats_.transient_errors;
+      return transient_error(target_, op);
+    case FaultKind::kOutage:
+      ++stats_.outage_errors;
+      return outage_error(target_, op);
+    case FaultKind::kBitFlip: {
+      ++stats_.bit_flips;
+      auto got = FileStore::get(rank, checkpoint_id);
+      if (got.ok()) {
+        ckpt::corrupt_in_place(MutableByteSpan(*got),
+                               plan_->salt(target_, op));
+      }
+      return got;
+    }
+    case FaultKind::kStall:
+      ++stats_.stalls;
+      stats_.stall_seconds += kStallSeconds;
+      break;
+    case FaultKind::kTorn:
+    case FaultKind::kNone:
+      break;
+  }
+  return FileStore::get(rank, checkpoint_id);
+}
+
+std::function<void(std::uint32_t, std::uint64_t, Bytes&)>
+make_local_write_hook(std::shared_ptr<const FaultPlan> plan,
+                      std::shared_ptr<FaultStats> stats) {
+  return [plan = std::move(plan), stats = std::move(stats)](
+             std::uint32_t rank, std::uint64_t op_index, Bytes& image) {
+    const Target target = local_target(rank);
+    if (stats) ++stats->ops;
+    switch (plan->decide(target, StoreOp::kPut, op_index)) {
+      case FaultKind::kTorn:
+        if (stats) ++stats->torn_writes;
+        image.resize(torn_length(image.size(), plan->salt(target, op_index)));
+        break;
+      case FaultKind::kBitFlip:
+        if (stats) ++stats->bit_flips;
+        ckpt::corrupt_in_place(MutableByteSpan(image),
+                               plan->salt(target, op_index));
+        break;
+      default:
+        break;  // transient/outage/stall: meaningless for a local memcpy
+    }
+  };
+}
+
+}  // namespace ndpcr::faults

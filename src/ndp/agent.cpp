@@ -1,7 +1,9 @@
 #include "ndp/agent.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace ndpcr::ndp {
 
@@ -68,17 +70,57 @@ void NdpAgent::start_drain_if_ready() {
 
 void NdpAgent::finish_drain() {
   auto& d = *drain_;
+  const std::uint64_t id = d.checkpoint_id;
   // Stage the compressed image in the compressed partition (section 4.3's
-  // second circular buffer) - best effort: the IO copy is already durable,
-  // so a full partition only costs the fast-restore staging.
-  if (codec_ && !compressed_.contains(d.checkpoint_id)) {
-    compressed_.put(d.checkpoint_id, d.compressed);
+  // second circular buffer) - best effort: a full partition only costs the
+  // fast-restore staging. Done once, before the IO write can fail.
+  if (d.put_attempts == 0 && codec_ && !compressed_.contains(id)) {
+    compressed_.put(id, d.compressed);
   }
-  io_.put(cfg_.rank, d.checkpoint_id, std::move(d.compressed));
-  stats_.bytes_to_io += io_.get(cfg_.rank, d.checkpoint_id)->size();
-  newest_on_io_ = d.checkpoint_id;
-  ++stats_.drains_completed;
-  if (d.locked) uncompressed_.unlock(d.checkpoint_id);
+  ++d.put_attempts;
+  const auto status = io_.put(cfg_.rank, id, Bytes(d.compressed));
+  bool ok = false;
+  bool permanent = false;
+  if (status.ok()) {
+    // Verify the write actually landed intact (torn writes report
+    // success); quarantine anything that reads back wrong.
+    const auto readback = io_.get(cfg_.rank, id);
+    if (readback.ok() && *readback == d.compressed) {
+      ok = true;
+    } else if (readback.ok()) {
+      io_.erase(cfg_.rank, id);
+    } else {
+      permanent = readback.error().permanent();
+    }
+  } else {
+    permanent = status.error().permanent();
+  }
+
+  if (ok) {
+    stats_.bytes_to_io += d.compressed.size();
+    newest_on_io_ = id;
+    ++stats_.drains_completed;
+    if (d.locked) uncompressed_.unlock(id);
+    drain_.reset();
+    start_drain_if_ready();
+    return;
+  }
+  if (!permanent && d.put_attempts < cfg_.drain_put_attempts) {
+    // Transient failure: back off (virtual time - the pump re-drives the
+    // retry once it has elapsed) and keep the drain alive.
+    ++stats_.drain_put_retries;
+    const double backoff =
+        cfg_.drain_retry_backoff *
+        std::pow(2.0, static_cast<double>(d.put_attempts - 1));
+    stats_.retry_backoff_seconds += backoff;
+    d.remaining_seconds = backoff;
+    return;
+  }
+  // Permanent outage or retries exhausted: hand the compressed image back
+  // to the host write path and move on to the next checkpoint.
+  ++stats_.drain_put_failures;
+  fallback_ = HostFallback{id, std::move(d.compressed)};
+  if (d.locked) uncompressed_.unlock(id);
   drain_.reset();
   start_drain_if_ready();
 }
@@ -104,8 +146,13 @@ void NdpAgent::reset() {
     drain_.reset();  // locks die with the store contents
   }
   pending_.reset();
+  fallback_.reset();
   uncompressed_.clear();
   compressed_.clear();
+}
+
+std::optional<NdpAgent::HostFallback> NdpAgent::take_host_fallback() {
+  return std::exchange(fallback_, std::nullopt);
 }
 
 std::optional<std::uint64_t> NdpAgent::newest_on_io() const {

@@ -17,6 +17,9 @@
 //     (virtual time is charged as the pipelined max),
 //   * pauses while the host owns the NVM (the host_write_pause() window
 //     of section 4.2.1) and during recovery (section 4.2.3),
+//   * retries failed IO writes with virtual exponential backoff and, when
+//     the store is permanently down, hands the compressed image back to
+//     the host write path (take_host_fallback()),
 //   * on node loss (reset()) drops all NVM contents and transfer state.
 //
 // Real bytes move through the real codec; only *durations* are modeled,
@@ -45,6 +48,11 @@ struct AgentConfig {
   double io_bw = 100e6;          // bytes/s onto the IO store
   bool overlap = true;           // section 4.2.2 pipelining
   std::uint32_t rank = 0;        // key for the IO store
+  // IO-store write failures: total put attempts per drain before the
+  // agent gives up and hands the bytes back to the host path, and the
+  // virtual backoff before the first retry (doubles per retry).
+  std::uint32_t drain_put_attempts = 4;
+  double drain_retry_backoff = 0.05;
 };
 
 struct AgentStats {
@@ -55,6 +63,9 @@ struct AgentStats {
   double busy_seconds = 0.0;         // pipeline time actually consumed
   std::uint64_t bytes_compressed = 0;
   std::uint64_t bytes_to_io = 0;
+  std::uint64_t drain_put_retries = 0;   // IO writes retried after failure
+  std::uint64_t drain_put_failures = 0;  // drains handed back to the host
+  double retry_backoff_seconds = 0.0;    // virtual backoff accumulated
 };
 
 class NdpAgent {
@@ -85,6 +96,16 @@ class NdpAgent {
   [[nodiscard]] std::optional<Bytes> restore_local(
       std::uint64_t checkpoint_id) const;
 
+  // A drain whose IO writes failed permanently (or exhausted their
+  // retries): the compressed image the host should write through its own
+  // path. The host collects it with take_host_fallback(); a newer
+  // fallback replaces an uncollected older one.
+  struct HostFallback {
+    std::uint64_t checkpoint_id = 0;
+    Bytes compressed;
+  };
+  [[nodiscard]] std::optional<HostFallback> take_host_fallback();
+
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
   [[nodiscard]] const ckpt::NvmStore& uncompressed_partition() const {
     return uncompressed_;
@@ -100,6 +121,7 @@ class NdpAgent {
     Bytes compressed;          // produced up front; time charged as it flows
     double remaining_seconds = 0.0;
     bool locked = false;
+    std::uint32_t put_attempts = 0;  // IO writes tried for this drain
   };
 
   void start_drain_if_ready();
@@ -113,6 +135,7 @@ class NdpAgent {
   std::optional<Drain> drain_;
   std::optional<std::uint64_t> pending_;  // newest committed, not drained
   std::optional<std::uint64_t> newest_on_io_;
+  std::optional<HostFallback> fallback_;
   AgentStats stats_;
 };
 

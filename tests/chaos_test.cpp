@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ckpt/multilevel.hpp"
+#include "common/rng.hpp"
+#include "exec/task_pool.hpp"
+#include "faults/chaos.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/faulty_stores.hpp"
+#include "ndp/agent.hpp"
+
+namespace ndpcr::faults {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan: the schedule itself must be pure and overridable.
+
+TEST(FaultPlan, DecideIsPure) {
+  const FaultRates rates{0.2, 0.2, 0.2, 0.2};
+  FaultPlan a(42, rates);
+  FaultPlan b(42, rates);
+  for (std::uint64_t op = 0; op < 200; ++op) {
+    EXPECT_EQ(a.decide(io_target(), StoreOp::kPut, op),
+              b.decide(io_target(), StoreOp::kPut, op));
+    EXPECT_EQ(a.salt(io_target(), op), b.salt(io_target(), op));
+  }
+}
+
+TEST(FaultPlan, ZeroRatesInjectNothing) {
+  FaultPlan plan(7);
+  for (std::uint64_t op = 0; op < 100; ++op) {
+    EXPECT_EQ(plan.decide(local_target(0), StoreOp::kPut, op),
+              FaultKind::kNone);
+    EXPECT_EQ(plan.decide(io_target(), StoreOp::kGet, op),
+              FaultKind::kNone);
+  }
+}
+
+TEST(FaultPlan, ForcedFaultsOverrideOutages) {
+  FaultPlan plan(7);
+  plan.add_outage(io_target(), 0, 10);
+  plan.force(io_target(), 5, FaultKind::kTorn);
+  EXPECT_EQ(plan.decide(io_target(), StoreOp::kPut, 0), FaultKind::kOutage);
+  EXPECT_EQ(plan.decide(io_target(), StoreOp::kPut, 5), FaultKind::kTorn);
+  EXPECT_EQ(plan.decide(io_target(), StoreOp::kPut, 10), FaultKind::kOutage);
+  EXPECT_EQ(plan.decide(io_target(), StoreOp::kPut, 11), FaultKind::kNone);
+  // The outage is scoped to one target.
+  EXPECT_EQ(plan.decide(partner_target(0), StoreOp::kPut, 0),
+            FaultKind::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing multilevel data path under exact forced schedules.
+
+ckpt::MultilevelConfig faulty_config(std::shared_ptr<const FaultPlan> plan,
+                                     std::uint32_t nodes,
+                                     std::uint32_t partner_every,
+                                     std::uint32_t io_every) {
+  ckpt::MultilevelConfig cfg;
+  cfg.node_count = nodes;
+  cfg.nvm_capacity_bytes = 1 << 20;
+  cfg.partner_every = partner_every;
+  cfg.io_every = io_every;
+  cfg.store_factory = [plan](ckpt::StoreLevel level, std::uint32_t host)
+      -> std::unique_ptr<ckpt::KvStore> {
+    const Target target = level == ckpt::StoreLevel::kIo
+                              ? io_target()
+                              : partner_target(host);
+    return std::make_unique<FaultyKvStore>(plan, target);
+  };
+  return cfg;
+}
+
+std::vector<Bytes> two_payloads(std::byte tag) {
+  std::vector<Bytes> payloads;
+  payloads.push_back(Bytes(512, tag));
+  payloads.push_back(Bytes(640, tag));
+  return payloads;
+}
+
+std::vector<ByteSpan> views(const std::vector<Bytes>& payloads) {
+  return {payloads.begin(), payloads.end()};
+}
+
+TEST(SelfHealing, TransientErrorsRetryWithBackoff) {
+  auto plan = std::make_shared<FaultPlan>(7);
+  // The first two IO operations (both put attempts of rank 0's first
+  // write) fail transiently; the third attempt succeeds.
+  plan->force(io_target(), 0, FaultKind::kTransient);
+  plan->force(io_target(), 1, FaultKind::kTransient);
+  ckpt::MultilevelManager mgr(faulty_config(plan, 2, 0, 1));
+
+  const auto payloads = two_payloads(std::byte{0x5A});
+  mgr.commit(views(payloads));
+
+  const ckpt::LevelHealth& io = mgr.health().io;
+  EXPECT_EQ(io.put_retries, 2u);
+  EXPECT_EQ(io.put_failures, 0u);
+  EXPECT_FALSE(io.degraded());
+  // Two virtual backoffs: 0.01 then 0.01 * 2.
+  EXPECT_NEAR(io.backoff_seconds, 0.03, 1e-12);
+  EXPECT_TRUE(mgr.io_store().contains(0, 1));
+  EXPECT_TRUE(mgr.io_store().contains(1, 1));
+}
+
+TEST(SelfHealing, TornWriteQuarantinedAndRewritten) {
+  auto plan = std::make_shared<FaultPlan>(11);
+  // Rank 0's first IO put lands truncated but reports success; only the
+  // verify readback can catch it.
+  plan->force(io_target(), 0, FaultKind::kTorn);
+  ckpt::MultilevelManager mgr(faulty_config(plan, 2, 0, 1));
+
+  const auto payloads = two_payloads(std::byte{0x33});
+  mgr.commit(views(payloads));
+
+  const ckpt::LevelHealth& io = mgr.health().io;
+  EXPECT_EQ(io.verify_failures, 1u);
+  EXPECT_EQ(io.quarantined, 1u);
+  EXPECT_EQ(io.put_retries, 1u);
+  EXPECT_EQ(io.put_failures, 0u);
+  EXPECT_FALSE(io.degraded());
+
+  // The rewritten entry is intact: lose both nodes and restore from IO.
+  mgr.fail_node(0);
+  mgr.fail_node(1);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->checkpoint_id, 1u);
+  EXPECT_EQ(rec->levels[0], ckpt::RecoveryLevel::kIo);
+  EXPECT_EQ(rec->payloads[0], payloads[0]);
+  EXPECT_EQ(rec->payloads[1], payloads[1]);
+}
+
+TEST(SelfHealing, IoOutageDegradesThenRepairs) {
+  auto plan = std::make_shared<FaultPlan>(3);
+  // IO device down for ops 0..3: commit 1 burns two put attempts (one per
+  // rank), commits 2 and 3 burn one probe each. Commit 4 probes op 4,
+  // which succeeds, and the level heals.
+  plan->add_outage(io_target(), 0, 3);
+  ckpt::MultilevelManager mgr(faulty_config(plan, 2, 1, 1));
+
+  const auto payloads = two_payloads(std::byte{0x77});
+  mgr.commit(views(payloads));  // id 1: IO down, level degrades
+  EXPECT_TRUE(mgr.health().io.degraded());
+  EXPECT_GE(mgr.health().io.put_failures, 2u);
+  EXPECT_EQ(mgr.health().io.repairs, 0u);
+
+  mgr.commit(views(payloads));  // id 2: probe fails, commit still succeeds
+  mgr.commit(views(payloads));  // id 3: probe fails
+  EXPECT_TRUE(mgr.health().io.degraded());
+  EXPECT_EQ(mgr.health().degraded_commits, 3u);
+  EXPECT_EQ(mgr.health().commits, 3u);
+
+  // Mid-outage the application is still fully recoverable from the
+  // surviving levels.
+  const auto mid = mgr.recover();
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(mid->checkpoint_id, 3u);
+  EXPECT_EQ(mid->payloads[0], payloads[0]);
+
+  mgr.commit(views(payloads));  // id 4: outage cleared, probe repairs
+  EXPECT_FALSE(mgr.health().io.degraded());
+  EXPECT_EQ(mgr.health().io.repairs, 1u);
+  EXPECT_TRUE(mgr.io_store().contains(0, 4));
+  EXPECT_TRUE(mgr.io_store().contains(1, 4));
+  EXPECT_EQ(mgr.health().degraded_commits, 3u);  // no new degraded commits
+}
+
+TEST(SelfHealing, LocalTornWriteCaughtByVerify) {
+  auto plan = std::make_shared<FaultPlan>(19);
+  plan->force(local_target(0), 0, FaultKind::kTorn);
+  auto stats = std::make_shared<FaultStats>();
+
+  ckpt::MultilevelConfig cfg;
+  cfg.node_count = 2;
+  cfg.nvm_capacity_bytes = 1 << 20;
+  cfg.partner_every = 1;
+  cfg.io_every = 0;
+  cfg.local_write_hook = make_local_write_hook(plan, stats);
+  ckpt::MultilevelManager mgr(cfg);
+
+  const auto payloads = two_payloads(std::byte{0x21});
+  mgr.commit(views(payloads));
+
+  EXPECT_EQ(stats->torn_writes, 1u);
+  EXPECT_EQ(mgr.health().local.verify_failures, 1u);
+  EXPECT_EQ(mgr.health().local.quarantined, 1u);
+  // The rewrite verified: recovery still comes from local NVM.
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->levels[0], ckpt::RecoveryLevel::kLocal);
+  EXPECT_EQ(rec->payloads[0], payloads[0]);
+}
+
+// ---------------------------------------------------------------------------
+// NDP agent: drain retries and host fallback.
+
+Bytes compressible_image(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_below(4));
+  return data;
+}
+
+ndp::AgentConfig agent_config() {
+  ndp::AgentConfig cfg;
+  cfg.uncompressed_capacity = 1 << 20;
+  cfg.compressed_capacity = 1 << 20;
+  cfg.compress_bw = 1e6;
+  cfg.io_bw = 0.5e6;
+  return cfg;
+}
+
+TEST(NdpAgentFaults, TransientIoErrorRetriedWithBackoff) {
+  auto plan = std::make_shared<FaultPlan>(23);
+  plan->force(io_target(), 0, FaultKind::kTransient);
+  FaultyKvStore io(plan, io_target());
+  ndp::NdpAgent agent(agent_config(), io);
+
+  const Bytes image = compressible_image(100 * 1024, 1);
+  ASSERT_TRUE(agent.host_commit(1, image));
+  agent.pump(1e9);
+
+  EXPECT_EQ(agent.stats().drain_put_retries, 1u);
+  EXPECT_EQ(agent.stats().drain_put_failures, 0u);
+  EXPECT_NEAR(agent.stats().retry_backoff_seconds, 0.05, 1e-12);
+  ASSERT_TRUE(agent.newest_on_io().has_value());
+  EXPECT_EQ(agent.newest_on_io().value(), 1u);
+  EXPECT_TRUE(io.contains(0, 1));
+  EXPECT_EQ(io.stats().transient_errors, 1u);
+}
+
+TEST(NdpAgentFaults, TornIoWriteQuarantinedAndRetried) {
+  auto plan = std::make_shared<FaultPlan>(29);
+  plan->force(io_target(), 0, FaultKind::kTorn);
+  FaultyKvStore io(plan, io_target());
+  ndp::NdpAgent agent(agent_config(), io);
+
+  const Bytes image = compressible_image(100 * 1024, 2);
+  ASSERT_TRUE(agent.host_commit(1, image));
+  agent.pump(1e9);
+
+  EXPECT_EQ(agent.stats().drain_put_retries, 1u);
+  EXPECT_EQ(agent.stats().drains_completed, 1u);
+  // The landed copy is the intact compressed image.
+  const auto packed = io.get(0, 1);
+  ASSERT_TRUE(packed.ok());
+  const auto codec = compress::make_codec(compress::CodecId::kDeflateStyle, 1);
+  EXPECT_EQ(codec->decompress(*packed), image);
+}
+
+TEST(NdpAgentFaults, PermanentOutageFallsBackToHostPath) {
+  auto plan = std::make_shared<FaultPlan>(31);
+  plan->add_outage(io_target(), 0, std::uint64_t{0} - 1);
+  FaultyKvStore io(plan, io_target());
+  ndp::NdpAgent agent(agent_config(), io);
+
+  const Bytes image = compressible_image(100 * 1024, 3);
+  ASSERT_TRUE(agent.host_commit(1, image));
+  agent.pump(1e9);
+
+  // No retries against a permanent outage: the drain hands the compressed
+  // image back to the host immediately.
+  EXPECT_EQ(agent.stats().drain_put_retries, 0u);
+  EXPECT_EQ(agent.stats().drain_put_failures, 1u);
+  EXPECT_FALSE(agent.newest_on_io().has_value());
+  EXPECT_FALSE(agent.busy());
+
+  auto fallback = agent.take_host_fallback();
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->checkpoint_id, 1u);
+  const auto codec = compress::make_codec(compress::CodecId::kDeflateStyle, 1);
+  EXPECT_EQ(codec->decompress(fallback->compressed), image);
+  // Collected once.
+  EXPECT_FALSE(agent.take_host_fallback().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: seeded schedules across schemes/codecs/outages, run through
+// the engine pool, must hold every recovery invariant and reproduce
+// bit-identically at any thread count.
+
+std::vector<ChaosConfig> small_suite(std::size_t count) {
+  const compress::CodecId codecs[] = {
+      compress::CodecId::kNull, compress::CodecId::kRle,
+      compress::CodecId::kLz4Style, compress::CodecId::kDeflateStyle};
+  std::vector<ChaosConfig> configs;
+  configs.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    ChaosConfig cfg;
+    cfg.seed = exec::sub_seed(20170101, k);
+    cfg.commits = 16;
+    cfg.scheme = (k % 2 == 0) ? ckpt::PartnerScheme::kCopy
+                              : ckpt::PartnerScheme::kXorGroup;
+    cfg.io_codec = codecs[(k / 2) % 4];
+    cfg.io_outage = (k % 5) == 4;
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+TEST(Chaos, SoakHoldsRecoveryInvariants) {
+  exec::TaskPool pool(4);
+  const auto configs = small_suite(48);
+  const auto reports = run_chaos_suite(configs, pool);
+  ASSERT_EQ(reports.size(), configs.size());
+
+  std::uint64_t injected = 0;
+  std::uint64_t recoveries = 0;
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.violations, 0u)
+        << (r.violation_notes.empty() ? "(no note)"
+                                      : r.violation_notes.front());
+    injected += r.faults.injected();
+    recoveries += r.recoveries;
+  }
+  // The soak genuinely exercised the fault and recovery paths.
+  EXPECT_GT(injected, 0u);
+  EXPECT_GT(recoveries, 0u);
+}
+
+TEST(Chaos, FingerprintIsThreadCountInvariant) {
+  const auto configs = small_suite(24);
+  exec::TaskPool one(1);
+  exec::TaskPool four(4);
+  const auto a = run_chaos_suite(configs, one);
+  const auto b = run_chaos_suite(configs, four);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fingerprint, b[i].fingerprint) << "schedule " << i;
+  }
+  EXPECT_EQ(suite_fingerprint(a), suite_fingerprint(b));
+}
+
+TEST(Chaos, RerunReproducesBitIdentically) {
+  ChaosConfig cfg;
+  cfg.seed = 99;
+  cfg.commits = 20;
+  cfg.io_outage = true;
+  const ChaosReport a = run_chaos(cfg);
+  const ChaosReport b = run_chaos(cfg);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.violations, 0u);
+  EXPECT_EQ(b.recoveries, a.recoveries);
+  EXPECT_EQ(b.faults.injected(), a.faults.injected());
+}
+
+}  // namespace
+}  // namespace ndpcr::faults

@@ -326,6 +326,84 @@ TEST(Multilevel, CorruptionDetectedAndLevelSkipped) {
   EXPECT_EQ(rec->payloads[1], p1[1]);
 }
 
+TEST(Multilevel, CorruptPartnerCopyDetectedAndSkipped) {
+  auto cfg = small_config(3);
+  cfg.io_every = 1;  // IO backs up everything
+  MultilevelManager mgr(cfg);
+  const auto p1 = make_payloads(3, 1);
+  mgr.commit(views(p1));
+
+  // Rank 1's local copy is gone and its partner copy is silently
+  // corrupted: the CRC rejects the copy and recovery falls through to IO.
+  ASSERT_TRUE(mgr.corrupt_partner(1));
+  mgr.fail_node(1);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->levels[1], RecoveryLevel::kIo);
+  EXPECT_EQ(rec->payloads[1], p1[1]);
+}
+
+TEST(Multilevel, CorruptIoEntryRollsBackToOlderCheckpoint) {
+  auto cfg = small_config(2);
+  cfg.partner_every = 0;
+  cfg.io_every = 1;
+  MultilevelManager mgr(cfg);
+  const auto p1 = make_payloads(2, 1);
+  const auto p2 = make_payloads(2, 2);
+  const auto id1 = mgr.commit(views(p1));
+  mgr.commit(views(p2));
+
+  // Rank 0's newest IO entry (id 2) is silently corrupted and its node is
+  // lost: id 2 is unrestorable for rank 0, so recovery rolls back to the
+  // intact id 1.
+  ASSERT_TRUE(mgr.corrupt_io(0));
+  mgr.fail_node(0);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->checkpoint_id, id1);
+  EXPECT_EQ(rec->levels[0], RecoveryLevel::kIo);
+  EXPECT_EQ(rec->payloads[0], p1[0]);
+}
+
+TEST(Multilevel, XorTwoLossesWithoutIoIsCleanlyUnrecoverable) {
+  auto cfg = small_config(8);
+  cfg.partner_scheme = PartnerScheme::kXorGroup;
+  cfg.xor_group_size = 4;
+  cfg.io_every = 0;  // no third level to fall back on
+  MultilevelManager mgr(cfg);
+  const auto p1 = make_payloads(8, 1);
+  mgr.commit(views(p1));
+
+  // Two members of group 0 die: each rebuild needs the other's local
+  // copy, so the group is lost and recover() reports it cleanly.
+  mgr.fail_node(1);
+  mgr.fail_node(2);
+  EXPECT_FALSE(mgr.recover().has_value());
+}
+
+TEST(Multilevel, NoCommonCheckpointReturnsNulloptAcrossSchemes) {
+  for (const auto scheme :
+       {PartnerScheme::kCopy, PartnerScheme::kXorGroup}) {
+    auto cfg = small_config(8);
+    cfg.partner_scheme = scheme;
+    cfg.xor_group_size = 4;
+    cfg.io_every = 0;
+    MultilevelManager mgr(cfg);
+    const auto p1 = make_payloads(8, 1);
+    mgr.commit(views(p1));
+
+    // Rank 1 loses its local copy and every node that could reconstruct
+    // it: node 2 (copy-scheme partner) and nodes 2..4 (the rest of its
+    // XOR group plus the parity host).
+    mgr.fail_node(1);
+    mgr.fail_node(2);
+    mgr.fail_node(3);
+    mgr.fail_node(4);
+    EXPECT_FALSE(mgr.recover().has_value())
+        << "scheme " << (scheme == PartnerScheme::kCopy ? "copy" : "xor");
+  }
+}
+
 TEST(Multilevel, NoCheckpointAnywhereReturnsNullopt) {
   MultilevelManager mgr(small_config(2));
   EXPECT_FALSE(mgr.recover().has_value());

@@ -145,7 +145,7 @@ TEST(NdpAgent, UncompressedModeStreamsRawImage) {
   ASSERT_TRUE(agent.host_commit(1, image));
   const double consumed = agent.pump(1e9);
   EXPECT_NEAR(consumed, static_cast<double>(image.size()) / cfg.io_bw, 1e-9);
-  EXPECT_EQ(Bytes(io.get(0, 1)->begin(), io.get(0, 1)->end()), image);
+  EXPECT_EQ(io.get(0, 1).value(), image);
 }
 
 TEST(NdpAgent, PumpIdleConsumesNothing) {

@@ -6,6 +6,12 @@
 //   ndpcr study [options]                compression study on one app
 //   ndpcr sweep --param {mtti|size|plocal} [options]
 //                                        sensitivity sweep for one config
+//   ndpcr --faults <seed> [options]      run one seeded chaos fault
+//                                        schedule through the multilevel
+//                                        data path and print the health
+//                                        report (also: ndpcr chaos ...)
+//       --nodes <n> --commits <n> --scheme {copy|xor} --outage {0|1}
+//       --transient/--torn/--bitflip/--stall <rate>  per-op fault rates
 //
 // Common options (defaults = the paper's Table 4 scenario):
 //   --mtti <minutes>      --ckpt-gb <GB>       --local-gbps <GB/s>
@@ -29,6 +35,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "exec/task_pool.hpp"
+#include "faults/chaos.hpp"
 #include "model/evaluator.hpp"
 #include "proj/projection.hpp"
 #include "study/compression_study.hpp"
@@ -209,8 +216,78 @@ int cmd_sweep(const Options& opts) {
   return 0;
 }
 
+int cmd_faults(const Options& opts) {
+  faults::ChaosConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(opts.number("faults", 1));
+  cfg.node_count = static_cast<std::uint32_t>(opts.number("nodes", 6));
+  cfg.commits = static_cast<std::uint32_t>(opts.number("commits", 24));
+  cfg.io_outage = opts.number("outage", 0) != 0;
+  const std::string scheme = opts.text("scheme", "copy");
+  if (scheme == "xor") {
+    cfg.scheme = ckpt::PartnerScheme::kXorGroup;
+  } else if (scheme != "copy") {
+    std::fprintf(stderr, "unknown scheme: %s\n", scheme.c_str());
+    return 2;
+  }
+  cfg.rates.transient = opts.number("transient", cfg.rates.transient);
+  cfg.rates.torn = opts.number("torn", cfg.rates.torn);
+  cfg.rates.bitflip = opts.number("bitflip", cfg.rates.bitflip);
+  cfg.rates.stall = opts.number("stall", cfg.rates.stall);
+
+  const auto report = faults::run_chaos(cfg);
+  std::printf("chaos schedule seed %llu: %llu commits, %u nodes, "
+              "scheme %s%s\n\n",
+              static_cast<unsigned long long>(report.seed),
+              static_cast<unsigned long long>(report.commits),
+              cfg.node_count, scheme.c_str(),
+              cfg.io_outage ? ", IO outage window" : "");
+
+  TextTable table({"Level", "State", "Puts", "Retries", "Failures",
+                   "VerifyFail", "Quarantined", "Repairs", "Backoff"});
+  auto level_row = [&](const char* name, const ckpt::LevelHealth& h) {
+    table.add_row({name, ckpt::to_string(h.state),
+                   std::to_string(h.puts), std::to_string(h.put_retries),
+                   std::to_string(h.put_failures),
+                   std::to_string(h.verify_failures),
+                   std::to_string(h.quarantined),
+                   std::to_string(h.repairs),
+                   fmt_fixed(h.backoff_seconds, 2) + " s"});
+  };
+  level_row("local", report.health.local);
+  level_row("partner", report.health.partner);
+  level_row("io", report.health.io);
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf("\ncommits %llu (degraded %llu), recoveries %llu of %llu "
+              "probes, unrecoverable %llu\n",
+              static_cast<unsigned long long>(report.health.commits),
+              static_cast<unsigned long long>(
+                  report.health.degraded_commits),
+              static_cast<unsigned long long>(report.recoveries),
+              static_cast<unsigned long long>(report.recover_calls),
+              static_cast<unsigned long long>(report.unrecoverable));
+  std::printf("faults injected: %llu transient, %llu torn, %llu bitflip, "
+              "%llu stall (%.2f s), %llu outage\n",
+              static_cast<unsigned long long>(
+                  report.faults.transient_errors),
+              static_cast<unsigned long long>(report.faults.torn_writes),
+              static_cast<unsigned long long>(report.faults.bit_flips),
+              static_cast<unsigned long long>(report.faults.stalls),
+              report.faults.stall_seconds,
+              static_cast<unsigned long long>(report.faults.outage_errors));
+  std::printf("fingerprint %08x, violations %llu\n", report.fingerprint,
+              static_cast<unsigned long long>(report.violations));
+  for (const auto& note : report.violation_notes) {
+    std::printf("  violation: %s\n", note.c_str());
+  }
+  return report.violations == 0 ? 0 : 1;
+}
+
 void usage() {
-  std::puts("usage: ndpcr {project|evaluate|study|sweep} [--key value ...]");
+  std::puts("usage: ndpcr {project|evaluate|study|sweep|chaos} "
+            "[--key value ...]");
+  std::puts("       ndpcr --faults <seed> [--nodes n --commits n "
+            "--scheme copy|xor --outage 0|1]");
   std::puts("see the comment block in tools/ndpcr_cli.cpp for options");
 }
 
@@ -222,13 +299,21 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
-  const Options opts = parse_options(argc, argv, 2);
+  // `ndpcr --faults <seed> ...` is flag-led: everything is options.
+  const bool flag_led = command.rfind("--", 0) == 0;
+  const Options opts = parse_options(argc, argv, flag_led ? 1 : 2);
   const auto threads = static_cast<unsigned>(opts.number("threads", 0));
   if (threads > 0) ndpcr::exec::set_global_threads(threads);
+  if (flag_led) {
+    if (opts.values.count("faults") > 0) return cmd_faults(opts);
+    usage();
+    return 2;
+  }
   if (command == "project") return cmd_project();
   if (command == "evaluate") return cmd_evaluate(opts);
   if (command == "study") return cmd_study(opts);
   if (command == "sweep") return cmd_sweep(opts);
+  if (command == "chaos") return cmd_faults(opts);
   usage();
   return 2;
 }
