@@ -1,0 +1,256 @@
+// Microbenchmark for the parallel checkpoint data path (docs/PERF.md):
+//
+//   crc32             slicing-by-8 vs a byte-at-a-time reference
+//   chunked_compress  ChunkedCodec worker sweep on one payload
+//   commit / recover  MultilevelManager wall throughput across pool sizes
+//   drain             NdpAgent chunk pipeline: wall throughput at
+//                     unbounded virtual bandwidth, plus the virtual-time
+//                     overlap win at paper-like bandwidths
+//
+// Every configuration produces the same bytes (thread-invariance is
+// pinned by the test suite); this harness measures only wall time. On a
+// single-core host the pool sweeps show ~1x - the speedup column is
+// honest, not modelled.
+//
+//   --smoke 1     tiny sizes (CI); also the `perf` ctest label
+//   --csv PATH    structured output (default BENCH_datapath.json)
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ckpt/multilevel.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "compress/chunked.hpp"
+#include "exec/task_pool.hpp"
+#include "ndp/agent.hpp"
+
+using namespace ndpcr;
+
+namespace {
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+std::string fmt(double v, int digits = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+Bytes mixed_payload(std::size_t size, std::uint64_t seed) {
+  // Half-compressible: small-alphabet runs with random breaks, so the
+  // codecs do real match-finding work.
+  Rng rng(seed);
+  Bytes data(size);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(rng.next_below(2) ? rng.next_below(8)
+                                                 : rng.next_below(256));
+  }
+  return data;
+}
+
+// Reference CRC-32: the classic one-table, one-byte-per-iteration loop
+// the sliced kernel replaced.
+std::uint32_t crc32_bytewise(const Bytes& data) {
+  static const auto table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t c = b;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[b] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args;
+  if (!args.parse(argc, argv)) return 2;
+  const bool smoke = args.number("smoke", 0) != 0;
+  if (args.csv.empty()) args.csv = "BENCH_datapath.json";
+  const std::uint64_t seed = args.seed_or(20260806);
+
+  bench::BenchReport out("micro_datapath", args, seed, smoke ? 1 : 3,
+                         smoke ? "smoke" : "full");
+
+  const std::vector<unsigned> pool_sizes = {1, 2, 4, 8};
+
+  // --- crc32: sliced kernel vs byte-wise reference --------------------
+  {
+    const std::size_t bytes = smoke ? (4ull << 20) : (32ull << 20);
+    const int reps = smoke ? 1 : 3;
+    const Bytes data = mixed_payload(bytes, seed);
+    std::uint32_t sliced_value = 0;
+    std::uint32_t ref_value = 0;
+    const double sliced_s = seconds_of([&] {
+      for (int r = 0; r < reps; ++r) sliced_value = Crc32::compute(data);
+    });
+    const double ref_s = seconds_of([&] {
+      for (int r = 0; r < reps; ++r) ref_value = crc32_bytewise(data);
+    });
+    if (sliced_value != ref_value) {
+      std::fprintf(stderr, "FAIL: crc mismatch %08x vs %08x\n",
+                   sliced_value, ref_value);
+      return 1;
+    }
+    const double total_mb =
+        static_cast<double>(bytes) * reps / (1024.0 * 1024.0);
+    out.add_section("crc32", {"impl", "mib_per_s", "speedup"});
+    out.add_row({"bytewise", fmt(total_mb / ref_s, 1), "1.00"});
+    out.add_row(
+        {"sliced8", fmt(total_mb / sliced_s, 1), fmt(ref_s / sliced_s)});
+  }
+
+  // --- chunked compression worker sweep -------------------------------
+  {
+    const std::size_t bytes = smoke ? (512ull << 10) : (8ull << 20);
+    const Bytes data = mixed_payload(bytes, seed + 1);
+    out.add_section("chunked_compress",
+                    {"codec", "threads", "mib_per_s", "speedup"});
+    double base_s = 0.0;
+    for (const unsigned threads : pool_sizes) {
+      const compress::ChunkedCodec codec(compress::CodecId::kLz4Style, 1,
+                                         64ull << 10, threads);
+      Bytes packed;
+      const double s = seconds_of([&] { packed = codec.compress(data); });
+      if (threads == 1) base_s = s;
+      if (codec.decompress(packed) != data) {
+        std::fprintf(stderr, "FAIL: chunked round-trip\n");
+        return 1;
+      }
+      out.add_row({"nlz4", std::to_string(threads),
+                   fmt(static_cast<double>(bytes) / (1024.0 * 1024.0) / s,
+                       1),
+                   fmt(base_s / s)});
+    }
+  }
+
+  // --- multilevel commit / recover across pool sizes ------------------
+  {
+    const std::uint32_t ranks = 8;
+    const std::size_t per_rank = smoke ? (64ull << 10) : (512ull << 10);
+    const int commits = smoke ? 2 : 4;
+    std::vector<std::vector<std::string>> commit_rows;
+    std::vector<std::vector<std::string>> recover_rows;
+    struct IoCodec {
+      const char* name;
+      compress::CodecId id;
+    };
+    for (const IoCodec io_codec :
+         {IoCodec{"null", compress::CodecId::kNull},
+          IoCodec{"nlz4", compress::CodecId::kLz4Style}}) {
+      double base_s = 0.0;
+      for (const unsigned threads : pool_sizes) {
+        exec::TaskPool pool(threads);
+        ckpt::MultilevelConfig mc;
+        mc.node_count = ranks;
+        mc.nvm_capacity_bytes = (per_rank + 4096) * (commits + 1);
+        mc.partner_every = 1;
+        mc.io_every = 1;
+        mc.io_codec = io_codec.id;
+        mc.io_codec_level =
+            io_codec.id == compress::CodecId::kNull ? 0 : 1;
+        mc.io_chunk_bytes = 64ull << 10;
+        mc.pool = &pool;
+        ckpt::MultilevelManager manager(mc);
+
+        std::vector<Bytes> payloads;
+        for (std::uint32_t r = 0; r < ranks; ++r) {
+          payloads.push_back(mixed_payload(per_rank, seed + 2 + r));
+        }
+        const std::vector<ByteSpan> views(payloads.begin(),
+                                          payloads.end());
+        const double commit_s = seconds_of([&] {
+          for (int c = 0; c < commits; ++c) (void)manager.commit(views);
+        });
+        if (threads == 1) base_s = commit_s;
+        const double total_gib = static_cast<double>(per_rank) * ranks *
+                                 commits / (1024.0 * 1024.0 * 1024.0);
+        commit_rows.push_back({io_codec.name, std::to_string(threads),
+                               fmt(total_gib / commit_s, 3),
+                               fmt(base_s / commit_s)});
+
+        std::optional<ckpt::MultilevelManager::Recovery> recovery;
+        const double recover_s =
+            seconds_of([&] { recovery = manager.recover(); });
+        if (!recovery || recovery->payloads != payloads) {
+          std::fprintf(stderr, "FAIL: recover mismatch\n");
+          return 1;
+        }
+        recover_rows.push_back(
+            {io_codec.name, std::to_string(threads),
+             fmt(static_cast<double>(per_rank) * ranks /
+                     (1024.0 * 1024.0 * 1024.0) / recover_s,
+                 3)});
+      }
+    }
+    out.add_section("commit",
+                    {"codec", "pool_threads", "gib_per_s", "speedup"});
+    for (auto& row : commit_rows) out.add_row(std::move(row));
+    out.add_section("recover", {"codec", "pool_threads", "gib_per_s"});
+    for (auto& row : recover_rows) out.add_row(std::move(row));
+  }
+
+  // --- NDP drain pipeline ---------------------------------------------
+  {
+    const std::size_t bytes = smoke ? (1ull << 20) : (8ull << 20);
+    const Bytes image = mixed_payload(bytes, seed + 99);
+    out.add_section("drain", {"mode", "wall_mib_per_s", "virtual_s"});
+    for (const bool overlap : {true, false}) {
+      // Wall throughput: virtual bandwidths far above real speed, so the
+      // pump's cost is the pipeline's actual compression work.
+      ckpt::KvStore io;
+      ndp::AgentConfig cfg;
+      cfg.uncompressed_capacity = bytes * 2;
+      cfg.compressed_capacity = bytes * 2;
+      cfg.codec = compress::CodecId::kLz4Style;
+      cfg.chunk_bytes = 256ull << 10;
+      cfg.compress_bw = 1e15;
+      cfg.io_bw = 1e15;
+      cfg.overlap = overlap;
+      ndp::NdpAgent agent(cfg, io);
+      if (!agent.host_commit(1, image)) {
+        std::fprintf(stderr, "FAIL: host_commit\n");
+        return 1;
+      }
+      const double wall_s = seconds_of([&] { agent.pump(1e9); });
+
+      // Virtual overlap win at paper-like rates (compress 2x the wire).
+      ckpt::KvStore io2;
+      cfg.compress_bw = 1e6;
+      cfg.io_bw = 0.5e6;
+      ndp::NdpAgent timed(cfg, io2);
+      (void)timed.host_commit(1, image);
+      const double virtual_s = timed.pump(1e9);
+
+      out.add_row({overlap ? "overlap" : "serial",
+                   fmt(static_cast<double>(bytes) / (1024.0 * 1024.0) /
+                           wall_s,
+                       1),
+                   fmt(virtual_s, 3)});
+    }
+  }
+
+  out.finish();
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/task_pool.hpp"
+
 namespace ndpcr::ckpt {
 namespace {
 
@@ -27,6 +29,35 @@ void settle_level(LevelHealth& health, bool level_ok) {
     health.state = LevelState::kDegraded;
   }
   if (health.degraded()) ++health.degraded_commits;
+}
+
+// Fold one task's private health delta into the level's counters. Always
+// called in index order after the batch barrier, so every counter - the
+// floating-point backoff sum included - is reduced in one fixed order and
+// the totals are bit-identical at any thread count.
+void merge_level(LevelHealth& into, const LevelHealth& delta) {
+  into.puts += delta.puts;
+  into.put_retries += delta.put_retries;
+  into.put_failures += delta.put_failures;
+  into.verify_failures += delta.verify_failures;
+  into.quarantined += delta.quarantined;
+  into.read_retries += delta.read_retries;
+  into.backoff_seconds += delta.backoff_seconds;
+}
+
+// Parse + CRC-check raw image bytes; payload iff they are rank/id's
+// checkpoint. Pure - safe from any task.
+std::optional<Bytes> validate_image(std::uint32_t rank, std::uint64_t id,
+                                    ByteSpan raw) {
+  try {
+    CheckpointImage image = CheckpointImage::parse(raw);
+    if (image.meta().rank != rank || image.meta().checkpoint_id != id) {
+      return std::nullopt;
+    }
+    return Bytes(image.payload().begin(), image.payload().end());
+  } catch (const ImageError&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -72,12 +103,19 @@ MultilevelManager::MultilevelManager(const MultilevelConfig& config)
     }
   }
   if (config.io_codec != compress::CodecId::kNull) {
-    io_codec_ = compress::make_codec(config.io_codec, config.io_codec_level);
+    unsigned threads = config.io_threads;
+    if (threads == 0) {
+      threads = config.pool ? config.pool->thread_count()
+                            : exec::default_thread_count();
+    }
+    io_codec_.emplace(config.io_codec, config.io_codec_level,
+                      config.io_chunk_bytes, threads);
   }
   local_.reserve(config.node_count);
   for (std::uint32_t n = 0; n < config.node_count; ++n) {
     local_.emplace_back(config.nvm_capacity_bytes);
   }
+  local_write_ops_.assign(config.node_count, 0);
   auto make_store = [&](StoreLevel level,
                         std::uint32_t host) -> std::unique_ptr<KvStore> {
     if (config_.store_factory) return config_.store_factory(level, host);
@@ -99,6 +137,20 @@ std::uint32_t MultilevelManager::parity_host(std::uint32_t rank) const {
       group_first(rank) + config_.xor_group_size - 1,
       config_.node_count - 1);
   return (last + 1) % config_.node_count;
+}
+
+void MultilevelManager::for_tasks(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  if (exec::TaskPool::in_worker()) {
+    // Already running as someone's task (the chaos suite executes whole
+    // replicates on the pool): nested parallel_for is rejected, and the
+    // per-index-slot structure makes inline execution bit-identical.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  exec::TaskPool& pool =
+      config_.pool ? *config_.pool : exec::global_pool();
+  pool.parallel_for(n, body);
 }
 
 bool MultilevelManager::checked_put(KvStore& store, LevelHealth& health,
@@ -151,9 +203,10 @@ std::optional<Bytes> MultilevelManager::checked_get(const KvStore& store,
   return std::nullopt;
 }
 
-void MultilevelManager::commit_local(std::uint32_t rank, std::uint64_t id,
-                                     const Bytes& image) {
-  LevelHealth& health = health_.local;
+bool MultilevelManager::commit_local_rank(std::uint32_t rank,
+                                          std::uint64_t id,
+                                          const Bytes& image,
+                                          LevelHealth& health) {
   const RetryPolicy& policy = config_.retry;
   for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
     ++health.puts;
@@ -163,18 +216,18 @@ void MultilevelManager::commit_local(std::uint32_t rank, std::uint64_t id,
     }
     Bytes staged = image;
     if (config_.local_write_hook) {
-      config_.local_write_hook(rank, local_write_ops_++, staged);
+      config_.local_write_hook(rank, local_write_ops_[rank]++, staged);
     }
     if (!local_[rank].put(id, std::move(staged))) {
       // Capacity exhaustion is a configuration error, not a device fault.
       throw std::logic_error("local NVM cannot accept checkpoint " +
                              std::to_string(id));
     }
-    if (!config_.verify_writes) return;
+    if (!config_.verify_writes) return true;
     const auto readback = local_[rank].get(id);
     if (readback && readback->size() == image.size() &&
         std::equal(readback->begin(), readback->end(), image.begin())) {
-      return;
+      return true;
     }
     ++health.verify_failures;
     local_[rank].erase(id);
@@ -183,27 +236,96 @@ void MultilevelManager::commit_local(std::uint32_t rank, std::uint64_t id,
   // Local write never verified: the rank simply has no local copy of this
   // id; partner/io still cover it.
   ++health.put_failures;
-  health.state = LevelState::kDegraded;
+  return false;
+}
+
+void MultilevelManager::commit_local(std::uint64_t id,
+                                     const std::vector<Bytes>& images) {
+  // Each rank owns its NVM device, its write-op counter and a private
+  // health delta, so the write + verify fan-out is embarrassingly
+  // parallel; deltas merge in rank order after the barrier.
+  std::vector<LevelHealth> deltas(config_.node_count);
+  std::vector<char> ok(config_.node_count, 1);
+  for_tasks(config_.node_count, [&](std::size_t rank) {
+    ok[rank] = commit_local_rank(static_cast<std::uint32_t>(rank), id,
+                                 images[rank], deltas[rank])
+                   ? 1
+                   : 0;
+  });
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    merge_level(health_.local, deltas[rank]);
+    if (!ok[rank]) health_.local.state = LevelState::kDegraded;
+  }
 }
 
 void MultilevelManager::commit_partner(std::uint64_t id,
                                        const std::vector<Bytes>& images) {
   LevelHealth& health = health_.partner;
-  const bool probe = health.degraded();
   bool level_ok = true;
-  if (config_.partner_scheme == PartnerScheme::kCopy) {
-    for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-      if (!checked_put(*partner_space_[partner_of(rank)], health, rank, id,
-                       images[rank], probe)) {
-        level_ok = false;
-        if (probe) break;  // still down: one failed probe is proof enough
+  if (health.degraded()) {
+    // Probe mode: single-attempt writes that stop at the first failure.
+    // Stays serial - the early break has no parallel equivalent, and a
+    // down level is not worth fanning out for.
+    if (config_.partner_scheme == PartnerScheme::kCopy) {
+      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+        if (!checked_put(*partner_space_[partner_of(rank)], health, rank,
+                         id, images[rank], true)) {
+          level_ok = false;
+          break;  // still down: one failed probe is proof enough
+        }
       }
+    } else {
+      for (std::uint32_t first = 0; first < config_.node_count;
+           first += config_.xor_group_size) {
+        const std::uint32_t last = std::min(
+            first + config_.xor_group_size, config_.node_count);
+        std::size_t width = 0;
+        for (std::uint32_t r = first; r < last; ++r) {
+          width = std::max(width, images[r].size());
+        }
+        std::vector<Bytes> padded;
+        padded.reserve(last - first);
+        for (std::uint32_t r = first; r < last; ++r) {
+          Bytes p = images[r];
+          p.resize(width, std::byte{0});
+          padded.push_back(std::move(p));
+        }
+        if (!checked_put(*partner_space_[parity_host(first)], health, first,
+                         id, xor_parity(padded), true)) {
+          level_ok = false;
+          break;
+        }
+      }
+    }
+  } else if (config_.partner_scheme == PartnerScheme::kCopy) {
+    // partner_of is a bijection, so every task writes a distinct store:
+    // the whole exchange fans out, health deltas merged after the barrier.
+    std::vector<LevelHealth> deltas(config_.node_count);
+    std::vector<char> ok(config_.node_count, 1);
+    for_tasks(config_.node_count, [&](std::size_t rank) {
+      ok[rank] = checked_put(*partner_space_[partner_of(
+                                 static_cast<std::uint32_t>(rank))],
+                             deltas[rank], static_cast<std::uint32_t>(rank),
+                             id, images[rank], false)
+                     ? 1
+                     : 0;
+    });
+    for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+      merge_level(health, deltas[rank]);
+      if (!ok[rank]) level_ok = false;
     }
   } else {
     // XOR groups: one parity buffer per group, padded to the group's
-    // longest image, hosted off-group.
-    for (std::uint32_t first = 0; first < config_.node_count;
-         first += config_.xor_group_size) {
+    // longest image, hosted off-group. Parity hosts are distinct across
+    // groups, so groups encode and write concurrently.
+    const std::size_t groups =
+        (config_.node_count + config_.xor_group_size - 1) /
+        config_.xor_group_size;
+    std::vector<LevelHealth> deltas(groups);
+    std::vector<char> ok(groups, 1);
+    for_tasks(groups, [&](std::size_t g) {
+      const auto first =
+          static_cast<std::uint32_t>(g * config_.xor_group_size);
       const std::uint32_t last = std::min(
           first + config_.xor_group_size, config_.node_count);
       std::size_t width = 0;
@@ -217,11 +339,14 @@ void MultilevelManager::commit_partner(std::uint64_t id,
         p.resize(width, std::byte{0});
         padded.push_back(std::move(p));
       }
-      if (!checked_put(*partner_space_[parity_host(first)], health, first,
-                       id, xor_parity(padded), probe)) {
-        level_ok = false;
-        if (probe) break;
-      }
+      ok[g] = checked_put(*partner_space_[parity_host(first)], deltas[g],
+                          first, id, xor_parity(padded), false)
+                  ? 1
+                  : 0;
+    });
+    for (std::size_t g = 0; g < groups; ++g) {
+      merge_level(health, deltas[g]);
+      if (!ok[g]) level_ok = false;
     }
   }
   settle_level(health, level_ok);
@@ -230,14 +355,55 @@ void MultilevelManager::commit_partner(std::uint64_t id,
 void MultilevelManager::commit_io(std::uint64_t id,
                                   const std::vector<Bytes>& images) {
   LevelHealth& health = health_.io;
-  const bool probe = health.degraded();
   bool level_ok = true;
-  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-    const Bytes packed =
-        io_codec_ ? io_codec_->compress(images[rank]) : images[rank];
-    if (!checked_put(*io_, health, rank, id, packed, probe)) {
-      level_ok = false;
-      if (probe) break;
+  if (health.degraded()) {
+    // Probe mode: serial, compress-as-you-go, stop at the first failure.
+    for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+      const Bytes packed =
+          io_codec_ ? io_codec_->compress(images[rank]) : images[rank];
+      if (!checked_put(*io_, health, rank, id, packed, true)) {
+        level_ok = false;
+        break;
+      }
+    }
+  } else {
+    // The CPU-heavy half - chunk compression - fans out first: every
+    // (rank, chunk) pair becomes one task in a single flat batch (nested
+    // parallel_for is rejected, so chunks are hoisted rather than letting
+    // each rank's ChunkedCodec spin its own workers). The puts then walk
+    // ranks in order: the IO store is one shared device whose fault
+    // schedule is op-ordered, so its operations must stay serial.
+    std::vector<Bytes> packed(config_.node_count);
+    if (io_codec_) {
+      struct ChunkRef {
+        std::uint32_t rank;
+        std::uint32_t chunk;
+      };
+      std::vector<ChunkRef> refs;
+      std::vector<std::size_t> first_slot(config_.node_count);
+      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+        first_slot[rank] = refs.size();
+        const std::size_t n = io_codec_->chunk_count(images[rank].size());
+        for (std::size_t c = 0; c < n; ++c) {
+          refs.push_back({rank, static_cast<std::uint32_t>(c)});
+        }
+      }
+      std::vector<Bytes> chunks(refs.size());
+      for_tasks(refs.size(), [&](std::size_t i) {
+        chunks[i] =
+            io_codec_->compress_chunk(images[refs[i].rank], refs[i].chunk);
+      });
+      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+        packed[rank] = io_codec_->assemble(
+            images[rank].size(), chunks, first_slot[rank],
+            io_codec_->chunk_count(images[rank].size()));
+      }
+    }
+    for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+      const Bytes& data = io_codec_ ? packed[rank] : images[rank];
+      if (!checked_put(*io_, health, rank, id, data, false)) {
+        level_ok = false;
+      }
     }
   }
   settle_level(health, level_ok);
@@ -253,21 +419,20 @@ std::uint64_t MultilevelManager::commit(
       config_.partner_every > 0 && id % config_.partner_every == 0;
   const bool to_io = config_.io_every > 0 && id % config_.io_every == 0;
 
+  // Serialize + CRC every rank's image in parallel (pure per-rank work).
   std::vector<Bytes> images(config_.node_count);
-  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+  for_tasks(config_.node_count, [&](std::size_t rank) {
     CheckpointMeta meta;
     meta.app_id = config_.app_id;
-    meta.rank = rank;
+    meta.rank = static_cast<std::uint32_t>(rank);
     meta.checkpoint_id = id;
     images[rank] = CheckpointImage::build(meta, payloads[rank]);
-  }
+  });
 
   ++health_.commits;
   if (to_partner && config_.node_count > 1) commit_partner(id, images);
   if (to_io) commit_io(id, images);
-  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-    commit_local(rank, id, images[rank]);
-  }
+  commit_local(id, images);
   if (health_.any_degraded()) ++health_.degraded_commits;
   return id;
 }
@@ -339,37 +504,19 @@ bool MultilevelManager::corrupt_io(std::uint32_t rank) {
   return io_->corrupt_entry(rank, *id, *id * 139 + rank);
 }
 
-std::optional<Bytes> MultilevelManager::try_recover_rank(
+std::optional<Bytes> MultilevelManager::try_remote_rank(
     std::uint32_t rank, std::uint64_t id, RecoveryLevel& level_out) const {
-  auto validate = [&](ByteSpan raw) -> std::optional<Bytes> {
-    try {
-      CheckpointImage image = CheckpointImage::parse(raw);
-      if (image.meta().rank != rank || image.meta().checkpoint_id != id) {
-        return std::nullopt;
-      }
-      return Bytes(image.payload().begin(), image.payload().end());
-    } catch (const ImageError&) {
-      return std::nullopt;
-    }
-  };
-
-  if (const auto span = local_[rank].get(id)) {
-    if (auto payload = validate(*span)) {
-      level_out = RecoveryLevel::kLocal;
-      return payload;
-    }
-  }
   if (config_.node_count > 1) {
     if (config_.partner_scheme == PartnerScheme::kCopy) {
       if (const auto copy = checked_get(*partner_space_[partner_of(rank)],
                                         health_.partner, rank, id)) {
-        if (auto payload = validate(*copy)) {
+        if (auto payload = validate_image(rank, id, *copy)) {
           level_out = RecoveryLevel::kPartner;
           return payload;
         }
       }
     } else if (auto rebuilt = try_xor_rebuild(rank, id)) {
-      if (auto payload = validate(*rebuilt)) {
+      if (auto payload = validate_image(rank, id, *rebuilt)) {
         level_out = RecoveryLevel::kPartner;
         return payload;
       }
@@ -387,7 +534,7 @@ std::optional<Bytes> MultilevelManager::try_recover_rank(
       raw = *stored;
     }
     if (raw) {
-      if (auto payload = validate(*raw)) {
+      if (auto payload = validate_image(rank, id, *raw)) {
         level_out = RecoveryLevel::kIo;
         return payload;
       }
@@ -403,10 +550,31 @@ std::optional<MultilevelManager::Recovery> MultilevelManager::recover()
     result.checkpoint_id = id;
     result.payloads.resize(config_.node_count);
     result.levels.resize(config_.node_count, RecoveryLevel::kLocal);
+
+    // Phase 1: every rank fetches and CRC-validates its own NVM copy in
+    // parallel - pure local reads, no fault-scheduled store operations,
+    // so the fan-out cannot perturb a replay.
+    std::vector<std::optional<Bytes>> local_hit(config_.node_count);
+    for_tasks(config_.node_count, [&](std::size_t rank) {
+      if (const auto span =
+              local_[rank].get(id)) {
+        local_hit[rank] =
+            validate_image(static_cast<std::uint32_t>(rank), id, *span);
+      }
+    });
+
+    // Phase 2: ranks that missed walk partner -> io in rank order. These
+    // touch shared fault-scheduled stores, so their op sequence is part
+    // of the deterministic replay and stays serial.
     bool ok = true;
-    for (std::uint32_t rank = 0; rank < config_.node_count && ok; ++rank) {
+    for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+      if (local_hit[rank]) {
+        result.payloads[rank] = std::move(*local_hit[rank]);
+        result.levels[rank] = RecoveryLevel::kLocal;
+        continue;
+      }
       RecoveryLevel level = RecoveryLevel::kLocal;
-      auto payload = try_recover_rank(rank, id, level);
+      auto payload = try_remote_rank(rank, id, level);
       if (!payload) {
         ok = false;
         break;

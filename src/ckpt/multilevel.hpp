@@ -23,6 +23,17 @@
 // keep succeeding on the surviving levels. A degraded level is re-probed
 // on every commit and heals without a restart once its store recovers.
 // All of it is observable through the HealthReport.
+//
+// The data path is parallel (docs/PERF.md): commit fans per-rank work
+// (serialize + CRC, partner exchange, XOR encode, chunked IO compression,
+// local NVM write + verify) across an exec::TaskPool, and recover
+// validates every rank's local copy in parallel before falling back.
+// Results are bit-identical at any thread count: each task owns its index
+// and its own health-counter delta, deltas are merged in index order after
+// the barrier, and operations against shared fault-scheduled stores (the
+// IO device) stay serial so fault replays are schedule-independent. When
+// commit/recover are themselves called from inside a pool worker (the
+// chaos suite runs whole replicates as tasks) everything runs inline.
 
 #include <cstdint>
 #include <functional>
@@ -33,7 +44,12 @@
 #include "ckpt/image.hpp"
 #include "ckpt/nvm_store.hpp"
 #include "ckpt/stores.hpp"
+#include "compress/chunked.hpp"
 #include "compress/codec.hpp"
+
+namespace ndpcr::exec {
+class TaskPool;
+}  // namespace ndpcr::exec
 
 namespace ndpcr::ckpt {
 
@@ -106,9 +122,22 @@ struct MultilevelConfig {
   std::uint32_t io_every = 0;       // 0 disables the IO level
   PartnerScheme partner_scheme = PartnerScheme::kCopy;
   std::uint32_t xor_group_size = 4; // ranks per parity group
-  // Codec for IO-level checkpoints; null means store uncompressed.
+  // Codec for IO-level checkpoints; null means store uncompressed. The
+  // stream is a ChunkedCodec container so chunk compression parallelizes;
+  // `io_chunk_bytes` fixes the format (and therefore the stored bytes),
+  // `io_threads` only the execution (0 = the pool's thread count, <= 1
+  // compresses inline when used outside commit()).
   compress::CodecId io_codec = compress::CodecId::kNull;
   int io_codec_level = 0;
+  std::size_t io_chunk_bytes = 1ull << 20;
+  unsigned io_threads = 0;
+
+  // Execution engine for the parallel data path (null = the process-wide
+  // exec::global_pool()). Thread count is an execution detail: committed
+  // bytes, checkpoint ids and HealthReport counters are bit-identical at
+  // any size, and commit/recover fall back to inline execution when
+  // called from inside a pool worker.
+  exec::TaskPool* pool = nullptr;
 
   // Factory for the remote stores (one partner space per hosting node,
   // one IO store; `host` is the hosting rank for partner spaces, 0 for
@@ -119,9 +148,10 @@ struct MultilevelConfig {
       store_factory;
 
   // Invoked on the image bytes just before each local NVM write (op_index
-  // counts local writes, monotonically). The fault layer uses it to model
-  // torn or bit-flipped NVM writes; commit's verify readback catches and
-  // retries them.
+  // counts the rank's local writes, monotonically). The fault layer uses
+  // it to model torn or bit-flipped NVM writes; commit's verify readback
+  // catches and retries them. May be called from pool workers - one rank
+  // per task - so implementations that share state must synchronize.
   std::function<void(std::uint32_t rank, std::uint64_t op_index,
                      Bytes& image)>
       local_write_hook;
@@ -181,7 +211,11 @@ class MultilevelManager {
   [[nodiscard]] std::uint32_t parity_host(std::uint32_t rank) const;
 
  private:
-  [[nodiscard]] std::optional<Bytes> try_recover_rank(
+  // Run body(i) for i in [0, n) on the configured pool, or inline when
+  // already inside a pool worker (nested parallel_for is rejected).
+  void for_tasks(std::size_t n,
+                 const std::function<void(std::size_t)>& body) const;
+  [[nodiscard]] std::optional<Bytes> try_remote_rank(
       std::uint32_t rank, std::uint64_t id, RecoveryLevel& level_out) const;
   [[nodiscard]] std::optional<Bytes> try_xor_rebuild(std::uint32_t rank,
                                                      std::uint64_t id) const;
@@ -193,21 +227,27 @@ class MultilevelManager {
   // Write + verify readback + retry/backoff. Returns true once the entry
   // is durably in place and matches `data`. `probe` limits the operation
   // to a single attempt (used while the level is already degraded).
+  // Accounting goes to `health`, which in the parallel batches is the
+  // task's private delta, not the shared report.
   bool checked_put(KvStore& store, LevelHealth& health, std::uint32_t rank,
                    std::uint64_t id, const Bytes& data, bool probe);
-  void commit_local(std::uint32_t rank, std::uint64_t id,
-                    const Bytes& image);
+  bool commit_local_rank(std::uint32_t rank, std::uint64_t id,
+                         const Bytes& image, LevelHealth& health);
+  void commit_local(std::uint64_t id, const std::vector<Bytes>& images);
   void commit_partner(std::uint64_t id, const std::vector<Bytes>& images);
   void commit_io(std::uint64_t id, const std::vector<Bytes>& images);
 
   MultilevelConfig config_;
-  std::unique_ptr<compress::Codec> io_codec_;  // null when uncompressed
+  // Chunked container codec for the IO level; empty when uncompressed.
+  std::optional<compress::ChunkedCodec> io_codec_;
   std::vector<NvmStore> local_;
   // partner_space_[n] holds copies for rank (n + N - 1) % N.
   std::vector<std::unique_ptr<KvStore>> partner_space_;
   std::unique_ptr<KvStore> io_;
   std::uint64_t next_id_ = 1;
-  std::uint64_t local_write_ops_ = 0;
+  // Per-rank local write-op counters (fault-hook op indices must not
+  // depend on the order ranks drain from the pool).
+  std::vector<std::uint64_t> local_write_ops_;
   // Mutable: recover() is logically const but counts its read retries.
   mutable HealthReport health_;
 };

@@ -8,6 +8,7 @@
 
 #include "ckpt/stores.hpp"
 #include "common/rng.hpp"
+#include "compress/chunked.hpp"
 #include "faults/faulty_stores.hpp"
 #include "ndp/agent.hpp"
 #include "workloads/miniapp.hpp"
@@ -57,12 +58,27 @@ NdpClusterResult NdpClusterSim::run() {
     ac.compressed_capacity = cfg_.nvm_capacity_bytes / 4;
     ac.codec = cfg_.codec;
     ac.codec_level = cfg_.codec_level;
+    ac.chunk_bytes = cfg_.ndp_chunk_bytes;
     ac.compress_bw = cfg_.ndp_compress_bw;
     ac.io_bw = cfg_.aggregate_io_bw / n;
     ac.rank = r;
     agents.push_back(std::make_unique<ndp::NdpAgent>(ac, io));
   }
-  const auto codec = compress::make_codec(cfg_.codec, cfg_.codec_level);
+  // Agents ship ChunkedCodec containers to IO (the raw image when the
+  // codec is null); unpack accordingly, treating anything corrupt as
+  // missing.
+  std::optional<compress::ChunkedCodec> codec;
+  if (cfg_.codec != compress::CodecId::kNull) {
+    codec.emplace(cfg_.codec, cfg_.codec_level);
+  }
+  auto unpack = [&](const Bytes& packed) -> std::optional<Bytes> {
+    if (!codec) return packed;
+    try {
+      return codec->decompress(packed);
+    } catch (const compress::CodecError&) {
+      return std::nullopt;
+    }
+  };
 
   const double system_mttf = cfg_.node_mttf / static_cast<double>(n);
   double now = 0.0;
@@ -156,11 +172,7 @@ NdpClusterResult NdpClusterSim::run() {
           if (!packed) {
             image.reset();
           } else {
-            try {
-              image = codec->decompress(*packed);
-            } catch (const compress::CodecError&) {
-              image.reset();  // corrupt IO copy: treat as missing
-            }
+            image = unpack(*packed);
           }
         }
         if (!image) {
@@ -209,11 +221,9 @@ NdpClusterResult NdpClusterSim::run() {
           packed = io.get(r, target);
         }
         if (!packed.ok()) return std::nullopt;
-        try {
-          gen.images[r] = codec->decompress(*packed);
-        } catch (const compress::CodecError&) {
-          return std::nullopt;
-        }
+        auto image = unpack(*packed);
+        if (!image) return std::nullopt;
+        gen.images[r] = std::move(*image);
         if (r == victim) gen.victim_packed = packed->size();
       }
       return gen;

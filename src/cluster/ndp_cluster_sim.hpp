@@ -39,6 +39,10 @@ struct NdpClusterConfig {
   double aggregate_io_bw = 256e3;
   compress::CodecId codec = compress::CodecId::kLz4Style;
   int codec_level = 1;
+  // Drain pipeline chunk size (input bytes): chunk j+1 compresses while
+  // chunk j is on the IO wire, and the IO copy is a ChunkedCodec
+  // container keyed by this size.
+  std::size_t ndp_chunk_bytes = 32ull << 10;
   std::size_t nvm_capacity_bytes = 4ull << 20;
 
   double node_mttf = 3000.0;   // per-node, virtual seconds

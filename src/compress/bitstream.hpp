@@ -1,7 +1,9 @@
 #pragma once
 
 // LSB-first bit-level I/O over byte buffers (the DEFLATE bit order). Shared
-// by the Huffman-based codecs.
+// by the Huffman-based codecs. Both sides buffer whole 32-bit words in a
+// 64-bit accumulator instead of shuffling single bytes through it; the byte
+// streams produced/consumed are identical to the byte-at-a-time versions.
 
 #include <cstdint>
 
@@ -18,20 +20,31 @@ class BitWriter {
   void write(std::uint32_t bits, int count) {
     acc_ |= static_cast<std::uint64_t>(bits & mask(count)) << filled_;
     filled_ += count;
-    while (filled_ >= 8) {
+    // filled_ was <= 31 on entry and count <= 32, so at most one whole
+    // word is ready; flush it in one resize instead of a push_back loop.
+    if (filled_ >= 32) {
+      const auto word = static_cast<std::uint32_t>(acc_);
+      const std::size_t n = out_.size();
+      out_.resize(n + 4);
+      out_[n] = static_cast<std::byte>(word & 0xFF);
+      out_[n + 1] = static_cast<std::byte>((word >> 8) & 0xFF);
+      out_[n + 2] = static_cast<std::byte>((word >> 16) & 0xFF);
+      out_[n + 3] = static_cast<std::byte>((word >> 24) & 0xFF);
+      acc_ >>= 32;
+      filled_ -= 32;
+    }
+  }
+
+  // Flush remaining whole and partial bytes (zero padded). Call exactly
+  // once at the end.
+  void finish() {
+    while (filled_ > 0) {
       out_.push_back(static_cast<std::byte>(acc_ & 0xFF));
       acc_ >>= 8;
       filled_ -= 8;
     }
-  }
-
-  // Flush any partial byte (zero padded). Call exactly once at the end.
-  void finish() {
-    if (filled_ > 0) {
-      out_.push_back(static_cast<std::byte>(acc_ & 0xFF));
-      acc_ = 0;
-      filled_ = 0;
-    }
+    acc_ = 0;
+    filled_ = 0;
   }
 
  private:
@@ -49,14 +62,11 @@ class BitReader {
 
   // Read `count` bits, LSB first. Throws CodecError past end of stream.
   std::uint32_t read(int count) {
-    while (filled_ < count) {
-      if (pos_ >= data_.size()) {
+    if (filled_ < count) {
+      refill(count);
+      if (filled_ < count) {
         throw CodecError("bit stream truncated");
       }
-      acc_ |= static_cast<std::uint64_t>(
-                  static_cast<std::uint8_t>(data_[pos_++]))
-              << filled_;
-      filled_ += 8;
     }
     const auto bits = static_cast<std::uint32_t>(
         acc_ & (count >= 32 ? ~0ull : ((1ull << count) - 1)));
@@ -70,12 +80,7 @@ class BitReader {
   // Peek up to `count` bits without consuming; missing tail bits read as 0
   // (needed by table-based Huffman decoding near end of stream).
   std::uint32_t peek(int count) {
-    while (filled_ < count && pos_ < data_.size()) {
-      acc_ |= static_cast<std::uint64_t>(
-                  static_cast<std::uint8_t>(data_[pos_++]))
-              << filled_;
-      filled_ += 8;
-    }
+    if (filled_ < count) refill(count);
     return static_cast<std::uint32_t>(
         acc_ & (count >= 32 ? ~0ull : ((1ull << count) - 1)));
   }
@@ -90,6 +95,35 @@ class BitReader {
   }
 
  private:
+  // Top the accumulator up to at least `count` bits, a word at a time while
+  // 4+ input bytes remain, byte-wise at the tail. count <= 32 and filled_ <
+  // count on entry keep filled_ + 32 within the 64-bit accumulator.
+  void refill(int count) {
+    while (filled_ < count && pos_ < data_.size()) {
+      if (data_.size() - pos_ >= 4) {
+        const std::uint32_t word =
+            static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_])) |
+            (static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + 1]))
+             << 8) |
+            (static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + 2]))
+             << 16) |
+            (static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + 3]))
+             << 24);
+        acc_ |= static_cast<std::uint64_t>(word) << filled_;
+        pos_ += 4;
+        filled_ += 32;
+      } else {
+        acc_ |= static_cast<std::uint64_t>(
+                    static_cast<std::uint8_t>(data_[pos_++]))
+                << filled_;
+        filled_ += 8;
+      }
+    }
+  }
+
   ByteSpan data_;
   std::size_t pos_ = 0;
   std::uint64_t acc_ = 0;

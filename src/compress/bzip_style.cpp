@@ -78,6 +78,7 @@ BzipStyleCodec::BzipStyleCodec(int level) : level_(level) {
 }
 
 void BzipStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+  out.reserve(out.size() + input.size() / 2 + 64);
   BitWriter bw(out);
   std::size_t pos = 0;
   do {

@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/task_pool.hpp"
+
 namespace ndpcr::compress {
 namespace {
 
@@ -60,36 +62,69 @@ ChunkedCodec::ChunkedCodec(CodecId id, int level, std::size_t chunk_size,
   (void)make_codec(id, level);  // validate id/level eagerly
 }
 
-Bytes ChunkedCodec::compress(ByteSpan input) const {
-  const std::size_t chunks =
-      input.empty() ? 0 : (input.size() + chunk_size_ - 1) / chunk_size_;
-  std::vector<Bytes> compressed(chunks);
+std::size_t ChunkedCodec::chunk_count(std::size_t input_size) const {
+  return input_size == 0 ? 0 : (input_size + chunk_size_ - 1) / chunk_size_;
+}
 
-  parallel_for(chunks, threads_, [&](std::size_t i) {
-    // One codec instance per chunk: codecs are stateless across calls but
-    // this keeps each worker fully independent.
-    const auto codec = make_codec(id_, level_);
-    const std::size_t offset = i * chunk_size_;
-    const std::size_t len = std::min(chunk_size_, input.size() - offset);
-    compressed[i] = codec->compress(input.subspan(offset, len));
-  });
+std::pair<std::size_t, std::size_t> ChunkedCodec::chunk_extent(
+    std::size_t input_size, std::size_t index) const {
+  const std::size_t offset = index * chunk_size_;
+  if (offset >= input_size) {
+    throw CodecError("chunk index out of range");
+  }
+  return {offset, std::min(chunk_size_, input_size - offset)};
+}
 
+Bytes ChunkedCodec::compress_chunk(ByteSpan input, std::size_t index) const {
+  // One codec instance per chunk: codecs are stateless across calls but
+  // this keeps each caller/worker fully independent.
+  const auto codec = make_codec(id_, level_);
+  const auto [offset, len] = chunk_extent(input.size(), index);
+  return codec->compress(input.subspan(offset, len));
+}
+
+Bytes ChunkedCodec::assemble(std::size_t original_size,
+                             const std::vector<Bytes>& chunks,
+                             std::size_t first, std::size_t count) const {
+  if (count == SIZE_MAX) count = chunks.size() - first;
+  if (count != chunk_count(original_size)) {
+    throw CodecError("chunk count does not match original size");
+  }
   Bytes out;
-  std::size_t total = kHeaderSize + chunks * 8;
-  for (const auto& c : compressed) total += c.size();
+  std::size_t total = header_bytes(count);
+  for (std::size_t i = 0; i < count; ++i) total += chunks[first + i].size();
   out.reserve(total);
   append_le<std::uint32_t>(out, kMagic);
   out.push_back(static_cast<std::byte>(id_));
   out.push_back(static_cast<std::byte>(level_));
-  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(chunks));
-  append_le<std::uint64_t>(out, input.size());
-  for (const auto& c : compressed) {
-    append_le<std::uint64_t>(out, c.size());
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(count));
+  append_le<std::uint64_t>(out, original_size);
+  for (std::size_t i = 0; i < count; ++i) {
+    append_le<std::uint64_t>(out, chunks[first + i].size());
   }
-  for (const auto& c : compressed) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const Bytes& c = chunks[first + i];
     out.insert(out.end(), c.begin(), c.end());
   }
   return out;
+}
+
+std::size_t ChunkedCodec::header_bytes(std::size_t chunk_count) {
+  return kHeaderSize + chunk_count * 8;
+}
+
+Bytes ChunkedCodec::compress(ByteSpan input) const {
+  const std::size_t chunks = chunk_count(input.size());
+  std::vector<Bytes> compressed(chunks);
+
+  // Inside an exec::TaskPool worker nested parallelism is rejected, so the
+  // internal pool degrades to inline execution (same bytes either way).
+  const unsigned threads = exec::TaskPool::in_worker() ? 1 : threads_;
+  parallel_for(chunks, threads, [&](std::size_t i) {
+    compressed[i] = compress_chunk(input, i);
+  });
+
+  return assemble(input.size(), compressed);
 }
 
 Bytes ChunkedCodec::decompress(ByteSpan framed) const {
@@ -123,7 +158,8 @@ Bytes ChunkedCodec::decompress(ByteSpan framed) const {
   }
 
   std::vector<Bytes> decompressed(chunks);
-  parallel_for(chunks, threads_, [&](std::size_t i) {
+  const unsigned threads = exec::TaskPool::in_worker() ? 1 : threads_;
+  parallel_for(chunks, threads, [&](std::size_t i) {
     const auto codec = make_codec(id_, level_);
     decompressed[i] = codec->decompress(
         framed.subspan(extents[i].first, extents[i].second));

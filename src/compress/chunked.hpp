@@ -13,9 +13,20 @@
 // Chunk boundaries are fixed by `chunk_size` over the *input*, so the
 // compressed output is bit-identical regardless of the thread count -
 // parallelism is an execution detail, not a format detail.
+//
+// Two ways to parallelize:
+//   - compress()/decompress() spin up to `threads` internal workers. When
+//     the caller is already an exec::TaskPool worker (which rejects nested
+//     parallelism) they silently run inline instead.
+//   - Callers that own an executor schedule chunk tasks themselves through
+//     the chunk-level interface: chunk_count() + compress_chunk() per
+//     index, then assemble() in index order. MultilevelManager::commit
+//     hoists every rank's chunks into one flat TaskPool batch this way.
 
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "compress/codec.hpp"
 
@@ -30,6 +41,27 @@ class ChunkedCodec {
   [[nodiscard]] Bytes compress(ByteSpan input) const;
   [[nodiscard]] Bytes decompress(ByteSpan framed) const;
 
+  // --- chunk-level interface (caller-scheduled parallelism) ---
+
+  // Number of chunks an input of `input_size` bytes splits into.
+  [[nodiscard]] std::size_t chunk_count(std::size_t input_size) const;
+  // Input byte range {offset, length} of chunk `index`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> chunk_extent(
+      std::size_t input_size, std::size_t index) const;
+  // Compress chunk `index` of the full payload `input`. Pure: safe to call
+  // concurrently for distinct indices.
+  [[nodiscard]] Bytes compress_chunk(ByteSpan input, std::size_t index) const;
+  // Build the container from per-chunk streams produced by compress_chunk,
+  // in index order. Bit-identical to compress(input).
+  [[nodiscard]] Bytes assemble(std::size_t original_size,
+                               const std::vector<Bytes>& chunks,
+                               std::size_t first = 0,
+                               std::size_t count = SIZE_MAX) const;
+  // Container bytes that are not chunk payload (header + size table).
+  [[nodiscard]] static std::size_t header_bytes(std::size_t chunk_count);
+
+  [[nodiscard]] CodecId id() const { return id_; }
+  [[nodiscard]] int level() const { return level_; }
   [[nodiscard]] std::size_t chunk_size() const { return chunk_size_; }
   [[nodiscard]] unsigned threads() const { return threads_; }
 

@@ -71,6 +71,9 @@ Lz4StyleCodec::Lz4StyleCodec(int level) : level_(level) {
 }
 
 void Lz4StyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+  // Byte-oriented format: incompressible input expands slightly (token +
+  // length bytes per sequence), so reserve a whisker over the input size.
+  out.reserve(out.size() + input.size() + input.size() / 16 + 16);
   MatchFinder finder(input, kWindow, kMinMatch, /*max_match=*/65535,
                      chain_depth_for_level(level_));
   std::size_t pos = 0;

@@ -117,6 +117,9 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   mc.xor_group_size = config.xor_group_size;
   mc.io_codec = config.io_codec;
   mc.io_codec_level = config.io_codec == compress::CodecId::kNull ? 0 : 1;
+  mc.io_chunk_bytes = config.io_chunk_bytes;
+  mc.io_threads = config.io_threads;
+  mc.pool = config.pool;
   mc.store_factory = [&](ckpt::StoreLevel level, std::uint32_t host) {
     const Target target = level == ckpt::StoreLevel::kIo
                               ? io_target()
@@ -229,6 +232,16 @@ std::vector<ChaosReport> run_chaos_suite(
   return pool.parallel_map(configs.size(), [&](std::size_t i) {
     return run_chaos(configs[i]);
   });
+}
+
+std::uint32_t health_fingerprint(const ckpt::HealthReport& health) {
+  Crc32 crc;
+  feed_level(crc, health.local);
+  feed_level(crc, health.partner);
+  feed_level(crc, health.io);
+  feed_u64(crc, health.commits);
+  feed_u64(crc, health.degraded_commits);
+  return crc.value();
 }
 
 std::uint32_t suite_fingerprint(const std::vector<ChaosReport>& reports) {

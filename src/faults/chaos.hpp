@@ -43,6 +43,14 @@ struct ChaosConfig {
   // Schedule a permanent IO outage over the middle third of the run's
   // expected IO operations (cleared afterwards, so repair is observable).
   bool io_outage = false;
+  // IO-level ChunkedCodec parameters forwarded to the manager (chunk size
+  // is format-visible; threads are an execution detail).
+  std::size_t io_chunk_bytes = 1ull << 20;
+  unsigned io_threads = 1;
+  // Pool for the manager's parallel data path (null = global_pool()).
+  // Thread count must not change the report - that is the invariant the
+  // thread-invariance tests pin.
+  exec::TaskPool* pool = nullptr;
 };
 
 struct ChaosReport {
@@ -73,5 +81,10 @@ std::vector<ChaosReport> run_chaos_suite(
 // Order-sensitive combination of the suite's fingerprints: one word that
 // must match across reruns and thread counts.
 std::uint32_t suite_fingerprint(const std::vector<ChaosReport>& reports);
+
+// CRC32 over every HealthReport counter (floating-point backoff included,
+// bit-for-bit): the thread-invariance tests compare these across pool
+// sizes instead of spelling out each field.
+std::uint32_t health_fingerprint(const ckpt::HealthReport& health);
 
 }  // namespace ndpcr::faults

@@ -1,5 +1,6 @@
 #include "faults/faulty_stores.hpp"
 
+#include <mutex>
 #include <utility>
 
 namespace ndpcr::faults {
@@ -183,9 +184,17 @@ ckpt::StoreResult<Bytes> FaultyFileStore::get(
 std::function<void(std::uint32_t, std::uint64_t, Bytes&)>
 make_local_write_hook(std::shared_ptr<const FaultPlan> plan,
                       std::shared_ptr<FaultStats> stats) {
-  return [plan = std::move(plan), stats = std::move(stats)](
-             std::uint32_t rank, std::uint64_t op_index, Bytes& image) {
+  // The parallel commit path invokes the hook from pool workers (one rank
+  // per task); the shared FaultStats needs a lock. The counters are plain
+  // order-independent sums, so totals stay thread-count-invariant. Fault
+  // decisions derive from (per-rank target, per-rank op_index) alone -
+  // scheduling cannot perturb them.
+  auto mutex = std::make_shared<std::mutex>();
+  return [plan = std::move(plan), stats = std::move(stats),
+          mutex = std::move(mutex)](std::uint32_t rank,
+                                    std::uint64_t op_index, Bytes& image) {
     const Target target = local_target(rank);
+    const std::lock_guard<std::mutex> lock(*mutex);
     if (stats) ++stats->ops;
     switch (plan->decide(target, StoreOp::kPut, op_index)) {
       case FaultKind::kTorn:

@@ -15,8 +15,12 @@ NdpAgent::NdpAgent(const AgentConfig& config, ckpt::KvStore& io_store)
   if (cfg_.compress_bw <= 0 || cfg_.io_bw <= 0) {
     throw std::invalid_argument("agent bandwidths must be positive");
   }
+  if (cfg_.chunk_bytes == 0) {
+    throw std::invalid_argument("agent chunk_bytes must be positive");
+  }
   if (cfg_.codec != compress::CodecId::kNull) {
-    codec_ = compress::make_codec(cfg_.codec, cfg_.codec_level);
+    codec_.emplace(cfg_.codec, cfg_.codec_level, cfg_.chunk_bytes,
+                   std::max(1u, cfg_.codec_threads));
   }
 }
 
@@ -44,28 +48,98 @@ void NdpAgent::start_drain_if_ready() {
 
   Drain drain;
   drain.checkpoint_id = id;
+  drain.image_size = image->size();
   // Lock the source so the circular buffer cannot reclaim it while the
-  // compressor reads it (section 4.2.2).
+  // chunk pipeline reads it (section 4.2.2).
   uncompressed_.lock(id);
   drain.locked = true;
 
-  double out_bytes = 0.0;
   if (codec_) {
-    drain.compressed = codec_->compress(*image);
-    stats_.bytes_compressed += image->size();
-    out_bytes = static_cast<double>(drain.compressed.size());
-    const double compress_time =
-        static_cast<double>(image->size()) / cfg_.compress_bw;
-    const double write_time = out_bytes / cfg_.io_bw;
-    drain.remaining_seconds = cfg_.overlap
-                                  ? std::max(compress_time, write_time)
-                                  : compress_time + write_time;
+    drain.chunk_count = codec_->chunk_count(image->size());
+    drain.chunks.resize(drain.chunk_count);
+    if (drain.chunk_count == 0) {
+      // Empty image: nothing to pipeline, just the container header on
+      // the wire.
+      drain.compressed = codec_->compress(*image);
+      drain.assembled = true;
+      drain.remaining_seconds =
+          static_cast<double>(drain.compressed.size()) / cfg_.io_bw;
+    }
   } else {
-    drain.compressed.assign(image->begin(), image->end());
-    out_bytes = static_cast<double>(drain.compressed.size());
-    drain.remaining_seconds = out_bytes / cfg_.io_bw;
+    // Uncompressed mode: a single raw "chunk", write stage only.
+    drain.chunk_count = 1;
+    drain.chunks.assign(1, Bytes(image->begin(), image->end()));
+    drain.compressed_done = 1;
   }
   drain_ = std::move(drain);
+}
+
+double NdpAgent::step_pipeline(double budget) {
+  auto& d = *drain_;
+  double used = 0.0;
+  while (budget > 0.0 && !d.assembled) {
+    // Arm the compress stage: the next chunk's bytes are produced now,
+    // when its stage begins - the drain's lock keeps the source span
+    // valid - and its virtual duration is the chunk's input size over
+    // the compression bandwidth.
+    if (!d.compress_active && codec_ && d.compressed_done < d.chunk_count) {
+      const auto image = uncompressed_.get(d.checkpoint_id);
+      d.chunks[d.compressed_done] =
+          codec_->compress_chunk(*image, d.compressed_done);
+      const auto extent =
+          codec_->chunk_extent(d.image_size, d.compressed_done);
+      stats_.bytes_compressed += extent.second;
+      d.compress_remaining =
+          static_cast<double>(extent.second) / cfg_.compress_bw;
+      d.compress_active = true;
+    }
+    // Arm the write stage: overlap mode ships chunk j as soon as it left
+    // the compressor; serial mode waits for the whole image. The
+    // container's header + size table ride on the first write, so the
+    // bytes charged to the wire equal the container's size.
+    const std::size_t writable =
+        cfg_.overlap || d.compressed_done == d.chunk_count
+            ? d.compressed_done
+            : 0;
+    if (!d.write_active && d.write_front < writable) {
+      double bytes = static_cast<double>(d.chunks[d.write_front].size());
+      if (d.write_front == 0 && codec_) {
+        bytes += static_cast<double>(
+            compress::ChunkedCodec::header_bytes(d.chunk_count));
+      }
+      d.write_remaining = bytes / cfg_.io_bw;
+      d.write_active = true;
+    }
+    if (!d.compress_active && !d.write_active) {
+      // Every chunk compressed and written: the pipeline is dry.
+      d.compressed = codec_ ? codec_->assemble(d.image_size, d.chunks)
+                            : std::move(d.chunks[0]);
+      d.assembled = true;
+      break;
+    }
+    // Advance both active stages together to the nearest completion (or
+    // the budget's edge).
+    double step = budget;
+    if (d.compress_active) step = std::min(step, d.compress_remaining);
+    if (d.write_active) step = std::min(step, d.write_remaining);
+    if (d.compress_active) {
+      d.compress_remaining -= step;
+      if (d.compress_remaining <= 0.0) {
+        d.compress_active = false;
+        ++d.compressed_done;
+      }
+    }
+    if (d.write_active) {
+      d.write_remaining -= step;
+      if (d.write_remaining <= 0.0) {
+        d.write_active = false;
+        ++d.write_front;
+      }
+    }
+    budget -= step;
+    used += step;
+  }
+  return used;
 }
 
 void NdpAgent::finish_drain() {
@@ -127,13 +201,25 @@ void NdpAgent::finish_drain() {
 
 double NdpAgent::pump(double seconds) {
   double consumed = 0.0;
-  while (seconds > 0.0 && drain_) {
-    const double step = std::min(seconds, drain_->remaining_seconds);
-    drain_->remaining_seconds -= step;
-    seconds -= step;
-    consumed += step;
-    if (drain_->remaining_seconds <= 0.0) {
-      finish_drain();
+  while (drain_) {
+    if (!drain_->assembled) {
+      if (seconds <= 0.0) break;
+      const double used = step_pipeline(seconds);
+      seconds -= used;
+      consumed += used;
+      if (!drain_->assembled) break;  // budget ran out mid-pipeline
+      if (drain_->remaining_seconds <= 0.0) {
+        // The last chunk landed exactly now: issue the IO put (retries,
+        // if any, consume further virtual time below).
+        finish_drain();
+      }
+    } else {
+      if (seconds <= 0.0) break;
+      const double step = std::min(seconds, drain_->remaining_seconds);
+      drain_->remaining_seconds -= step;
+      seconds -= step;
+      consumed += step;
+      if (drain_->remaining_seconds <= 0.0) finish_drain();
     }
   }
   stats_.busy_seconds += consumed;

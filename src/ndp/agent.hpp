@@ -13,8 +13,14 @@
 //     evict it under the compressor),
 //   * always drains the newest committed checkpoint, skipping
 //     intermediates it cannot keep up with,
-//   * overlaps compression with the IO write in block-sized chunks
-//     (virtual time is charged as the pipelined max),
+//   * runs a true two-stage chunk pipeline: the image is compressed
+//     chunk-at-a-time (lazily, as each compress stage begins) while the
+//     previously compressed chunk is on the IO wire, so virtual time
+//     follows the per-chunk recurrence C_j = C_{j-1} + c_j,
+//     W_j = max(C_j, W_{j-1}) + w_j instead of a single max(C, W)
+//     (overlap = false serializes the stages: total = sum c + sum w),
+//   * ships the IO copy as a ChunkedCodec container (the same
+//     thread-count-invariant format the multilevel IO path uses),
 //   * pauses while the host owns the NVM (the host_write_pause() window
 //     of section 4.2.1) and during recovery (section 4.2.3),
 //   * retries failed IO writes with virtual exponential backoff and, when
@@ -30,9 +36,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "ckpt/nvm_store.hpp"
 #include "ckpt/stores.hpp"
+#include "compress/chunked.hpp"
 #include "compress/codec.hpp"
 
 namespace ndpcr::ndp {
@@ -48,6 +56,13 @@ struct AgentConfig {
   double io_bw = 100e6;          // bytes/s onto the IO store
   bool overlap = true;           // section 4.2.2 pipelining
   std::uint32_t rank = 0;        // key for the IO store
+  // Drain pipeline granularity (section 4.2.2): input bytes per chunk.
+  // The IO copy is a ChunkedCodec container, so the chunk size fixes the
+  // stored bytes - it is a format knob, not just a timing knob.
+  std::size_t chunk_bytes = 256ull << 10;
+  // Worker threads for ChunkedCodec work outside the drain pipeline
+  // (restore-path decompression); <= 1 runs inline.
+  unsigned codec_threads = 1;
   // IO-store write failures: total put attempts per drain before the
   // agent gives up and hands the bytes back to the host path, and the
   // virtual backoff before the first retry (doubles per retry).
@@ -118,18 +133,35 @@ class NdpAgent {
  private:
   struct Drain {
     std::uint64_t checkpoint_id = 0;
-    Bytes compressed;          // produced up front; time charged as it flows
-    double remaining_seconds = 0.0;
+    std::size_t image_size = 0;
+    // Two-stage chunk pipeline. chunks[j] is produced lazily when chunk
+    // j's compress stage begins (the source NVM entry is locked for the
+    // whole drain, so the span stays valid).
+    std::size_t chunk_count = 0;
+    std::vector<Bytes> chunks;
+    std::size_t compressed_done = 0;  // chunks out of the compress stage
+    std::size_t write_front = 0;      // chunks off the IO wire
+    double compress_remaining = 0.0;
+    double write_remaining = 0.0;
+    bool compress_active = false;
+    bool write_active = false;
+    bool assembled = false;  // pipeline drained; `compressed` is final
+    Bytes compressed;        // the container the IO store receives
+    double remaining_seconds = 0.0;  // put retry backoff countdown
     bool locked = false;
     std::uint32_t put_attempts = 0;  // IO writes tried for this drain
   };
 
   void start_drain_if_ready();
+  // Advance the chunk pipeline by up to `budget` seconds; returns the
+  // time consumed. Sets drain_->assembled when the last write lands.
+  double step_pipeline(double budget);
   void finish_drain();
 
   AgentConfig cfg_;
   ckpt::KvStore& io_;
-  std::unique_ptr<compress::Codec> codec_;  // null when kNull
+  // Chunked container codec; empty when cfg_.codec == kNull.
+  std::optional<compress::ChunkedCodec> codec_;
   ckpt::NvmStore uncompressed_;
   ckpt::NvmStore compressed_;
   std::optional<Drain> drain_;

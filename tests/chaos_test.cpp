@@ -6,6 +6,7 @@
 
 #include "ckpt/multilevel.hpp"
 #include "common/rng.hpp"
+#include "compress/chunked.hpp"
 #include "exec/task_pool.hpp"
 #include "faults/chaos.hpp"
 #include "faults/fault_plan.hpp"
@@ -248,8 +249,8 @@ TEST(NdpAgentFaults, TornIoWriteQuarantinedAndRetried) {
   // The landed copy is the intact compressed image.
   const auto packed = io.get(0, 1);
   ASSERT_TRUE(packed.ok());
-  const auto codec = compress::make_codec(compress::CodecId::kDeflateStyle, 1);
-  EXPECT_EQ(codec->decompress(*packed), image);
+  const compress::ChunkedCodec codec(compress::CodecId::kDeflateStyle, 1);
+  EXPECT_EQ(codec.decompress(*packed), image);
 }
 
 TEST(NdpAgentFaults, PermanentOutageFallsBackToHostPath) {
@@ -272,8 +273,8 @@ TEST(NdpAgentFaults, PermanentOutageFallsBackToHostPath) {
   auto fallback = agent.take_host_fallback();
   ASSERT_TRUE(fallback.has_value());
   EXPECT_EQ(fallback->checkpoint_id, 1u);
-  const auto codec = compress::make_codec(compress::CodecId::kDeflateStyle, 1);
-  EXPECT_EQ(codec->decompress(fallback->compressed), image);
+  const compress::ChunkedCodec codec(compress::CodecId::kDeflateStyle, 1);
+  EXPECT_EQ(codec.decompress(fallback->compressed), image);
   // Collected once.
   EXPECT_FALSE(agent.take_host_fallback().has_value());
 }
@@ -333,6 +334,132 @@ TEST(Chaos, FingerprintIsThreadCountInvariant) {
     EXPECT_EQ(a[i].fingerprint, b[i].fingerprint) << "schedule " << i;
   }
   EXPECT_EQ(suite_fingerprint(a), suite_fingerprint(b));
+}
+
+// ---------------------------------------------------------------------------
+// Thread invariance: the parallel commit/recover data path must be an
+// execution detail. Payload bytes, checkpoint ids, stored IO containers,
+// recovery results and every health counter (fingerprinted bit-for-bit,
+// backoff doubles included) must match across pool sizes, with and
+// without a seeded fault schedule.
+
+struct DataPathTrace {
+  std::vector<std::uint64_t> ids;
+  std::vector<Bytes> io_bytes;  // newest id's per-rank IO containers
+  std::uint64_t recovered_id = 0;
+  std::vector<Bytes> recovered;
+  std::vector<ckpt::RecoveryLevel> levels;
+  std::uint64_t put_retries = 0;
+  std::uint32_t health_fp = 0;
+};
+
+DataPathTrace run_data_path(unsigned pool_threads, bool with_faults) {
+  exec::TaskPool pool(pool_threads);
+  ckpt::MultilevelConfig mc;
+  mc.node_count = 6;
+  mc.nvm_capacity_bytes = 1 << 20;
+  mc.partner_every = 1;
+  mc.io_every = 1;
+  mc.partner_scheme = ckpt::PartnerScheme::kXorGroup;
+  mc.xor_group_size = 3;
+  mc.io_codec = compress::CodecId::kDeflateStyle;
+  mc.io_codec_level = 1;
+  mc.io_chunk_bytes = 2048;  // several chunks per rank
+  mc.io_threads = 0;         // resolve to the pool's size
+  mc.pool = &pool;
+  if (with_faults) {
+    auto plan = std::make_shared<FaultPlan>(
+        777, FaultRates{0.05, 0.03, 0.02, 0.02});
+    mc.store_factory = [plan](ckpt::StoreLevel level, std::uint32_t host) {
+      const Target target = level == ckpt::StoreLevel::kIo
+                                ? io_target()
+                                : partner_target(host);
+      return std::make_unique<FaultyKvStore>(plan, target);
+    };
+    mc.local_write_hook = make_local_write_hook(plan, nullptr);
+  }
+  ckpt::MultilevelManager manager(mc);
+
+  DataPathTrace trace;
+  Rng rng(31337);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<Bytes> payloads;
+    for (std::uint32_t r = 0; r < mc.node_count; ++r) {
+      Bytes p(6000 + rng.next_below(500));
+      for (auto& b : p) b = static_cast<std::byte>(rng.next_below(7));
+      payloads.push_back(std::move(p));
+    }
+    const std::vector<ByteSpan> views(payloads.begin(), payloads.end());
+    trace.ids.push_back(manager.commit(views));
+  }
+  for (std::uint32_t r = 0; r < mc.node_count; ++r) {
+    const auto got = manager.io_store().get(r, trace.ids.back());
+    trace.io_bytes.push_back(got.ok() ? *got : Bytes{});
+  }
+  if (const auto recovery = manager.recover()) {
+    trace.recovered_id = recovery->checkpoint_id;
+    trace.recovered = recovery->payloads;
+    trace.levels = recovery->levels;
+  }
+  const auto& health = manager.health();
+  trace.put_retries = health.local.put_retries +
+                      health.partner.put_retries + health.io.put_retries;
+  trace.health_fp = health_fingerprint(health);
+  return trace;
+}
+
+TEST(ThreadInvariance, CleanDataPathBitIdenticalAcrossPoolSizes) {
+  const auto base = run_data_path(1, /*with_faults=*/false);
+  ASSERT_EQ(base.recovered_id, base.ids.back());
+  for (unsigned threads : {2u, 8u}) {
+    const auto other = run_data_path(threads, false);
+    EXPECT_EQ(other.ids, base.ids) << threads << " threads";
+    EXPECT_EQ(other.io_bytes, base.io_bytes) << threads << " threads";
+    EXPECT_EQ(other.recovered_id, base.recovered_id);
+    EXPECT_EQ(other.recovered, base.recovered) << threads << " threads";
+    EXPECT_EQ(other.levels, base.levels) << threads << " threads";
+    EXPECT_EQ(other.health_fp, base.health_fp) << threads << " threads";
+  }
+}
+
+TEST(ThreadInvariance, FaultReplayBitIdenticalAcrossPoolSizes) {
+  const auto base = run_data_path(1, /*with_faults=*/true);
+  // The schedule genuinely fired (otherwise this test proves nothing).
+  EXPECT_GT(base.put_retries, 0u);
+  for (unsigned threads : {2u, 8u}) {
+    const auto other = run_data_path(threads, true);
+    EXPECT_EQ(other.ids, base.ids) << threads << " threads";
+    EXPECT_EQ(other.io_bytes, base.io_bytes) << threads << " threads";
+    EXPECT_EQ(other.recovered_id, base.recovered_id);
+    EXPECT_EQ(other.recovered, base.recovered) << threads << " threads";
+    EXPECT_EQ(other.levels, base.levels) << threads << " threads";
+    EXPECT_EQ(other.put_retries, base.put_retries);
+    EXPECT_EQ(other.health_fp, base.health_fp) << threads << " threads";
+  }
+}
+
+TEST(ThreadInvariance, ChaosFingerprintInvariantAcrossManagerPools) {
+  // Whole chaos schedules driven through differently-sized manager pools
+  // (not suite pools: the manager's own data path is what varies here).
+  ChaosConfig cfg;
+  cfg.seed = 555;
+  cfg.commits = 16;
+  cfg.io_codec = compress::CodecId::kDeflateStyle;
+  cfg.io_chunk_bytes = 1024;
+  cfg.io_threads = 0;
+  exec::TaskPool one(1);
+  exec::TaskPool two(2);
+  exec::TaskPool eight(8);
+  cfg.pool = &one;
+  const auto a = run_chaos(cfg);
+  cfg.pool = &two;
+  const auto b = run_chaos(cfg);
+  cfg.pool = &eight;
+  const auto c = run_chaos(cfg);
+  EXPECT_GT(a.faults.injected(), 0u);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.fingerprint, c.fingerprint);
+  EXPECT_EQ(a.violations, 0u);
 }
 
 TEST(Chaos, RerunReproducesBitIdentically) {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/rng.hpp"
 #include "compress/chunked.hpp"
+#include "exec/task_pool.hpp"
 
 namespace ndpcr::compress {
 namespace {
@@ -87,6 +90,52 @@ TEST(Chunked, ExceptionFromWorkerPropagates) {
 TEST(Chunked, InvalidConfigThrows) {
   EXPECT_THROW(ChunkedCodec(CodecId::kDeflateStyle, 1, 0), CodecError);
   EXPECT_THROW(ChunkedCodec(CodecId::kDeflateStyle, 0, 4096), CodecError);
+}
+
+TEST(Chunked, ChunkLevelInterfaceMatchesCompressBitExact) {
+  // Caller-scheduled parallelism: per-chunk streams assembled in index
+  // order must be the same bytes compress() produces.
+  const ChunkedCodec codec(CodecId::kDeflateStyle, 1, 10000);
+  for (std::size_t size : {0u, 1u, 10000u, 35000u}) {
+    const Bytes data = test_data(size, size + 21);
+    const std::size_t k = codec.chunk_count(size);
+    EXPECT_EQ(k, (size + 9999) / 10000);
+    std::vector<Bytes> chunks(k);
+    std::size_t covered = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto [offset, length] = codec.chunk_extent(size, j);
+      EXPECT_EQ(offset, covered);
+      covered += length;
+      chunks[j] = codec.compress_chunk(data, j);
+    }
+    EXPECT_EQ(covered, size);
+    const Bytes assembled = codec.assemble(size, chunks);
+    EXPECT_EQ(assembled, codec.compress(data)) << "size=" << size;
+    EXPECT_EQ(ChunkedCodec::header_bytes(k) +
+                  [&] {
+                    std::size_t payload = 0;
+                    for (const auto& c : chunks) payload += c.size();
+                    return payload;
+                  }(),
+              assembled.size());
+  }
+  EXPECT_THROW((void)codec.chunk_extent(10000, 1), CodecError);
+}
+
+TEST(Chunked, CompressInsidePoolWorkerRunsInlineAndMatches) {
+  // A TaskPool worker may not nest parallel_for; compress() must detect
+  // that, run inline, and still produce identical bytes.
+  const ChunkedCodec codec(CodecId::kLz4Style, 1, 8192, 8);
+  const Bytes data = test_data(100000, 17);
+  const Bytes outside = codec.compress(data);
+  exec::TaskPool pool(4);
+  std::vector<Bytes> inside(3);
+  pool.parallel_for(inside.size(), [&](std::size_t i) {
+    inside[i] = codec.compress(data);
+    // Round-trip inside the worker too (decompress also degrades inline).
+    if (codec.decompress(inside[i]) != data) inside[i].clear();
+  });
+  for (const Bytes& b : inside) EXPECT_EQ(b, outside);
 }
 
 }  // namespace

@@ -82,9 +82,9 @@ TEST(Integration, NdpAgentFeedsMultilevelRecovery) {
 
   const auto packed = io.get(0, 1);
   ASSERT_TRUE(packed.has_value());
-  const auto codec = compress::make_codec(cfg.codec, cfg.codec_level);
+  const compress::ChunkedCodec codec(cfg.codec, cfg.codec_level);
   auto replacement = workloads::make_miniapp("hpccg", 128 * 1024, 5);
-  replacement->restore(codec->decompress(*packed));
+  replacement->restore(codec.decompress(*packed));
   EXPECT_EQ(replacement->state_digest(), digest);
 }
 

@@ -12,6 +12,9 @@
 //                                        report (also: ndpcr chaos ...)
 //       --nodes <n> --commits <n> --scheme {copy|xor} --outage {0|1}
 //       --transient/--torn/--bitflip/--stall <rate>  per-op fault rates
+//       --io-codec {null|rle|lz4|deflate|bzip|xz}  IO-level codec
+//       --io-threads <n>      chunk-compression workers (0 = pool size,
+//                             1 = inline) --io-chunk <bytes>
 //
 // Common options (defaults = the paper's Table 4 scenario):
 //   --mtti <minutes>      --ckpt-gb <GB>       --local-gbps <GB/s>
@@ -233,6 +236,32 @@ int cmd_faults(const Options& opts) {
   cfg.rates.torn = opts.number("torn", cfg.rates.torn);
   cfg.rates.bitflip = opts.number("bitflip", cfg.rates.bitflip);
   cfg.rates.stall = opts.number("stall", cfg.rates.stall);
+  const std::string io_codec = opts.text("io-codec", "null");
+  if (io_codec == "null") {
+    cfg.io_codec = compress::CodecId::kNull;
+  } else if (io_codec == "rle") {
+    cfg.io_codec = compress::CodecId::kRle;
+  } else if (io_codec == "lz4") {
+    cfg.io_codec = compress::CodecId::kLz4Style;
+  } else if (io_codec == "deflate") {
+    cfg.io_codec = compress::CodecId::kDeflateStyle;
+  } else if (io_codec == "bzip") {
+    cfg.io_codec = compress::CodecId::kBzipStyle;
+  } else if (io_codec == "xz") {
+    cfg.io_codec = compress::CodecId::kXzStyle;
+  } else {
+    std::fprintf(stderr, "unknown io codec: %s\n", io_codec.c_str());
+    return 2;
+  }
+  // 0 resolves to the engine pool's size inside the manager; the result
+  // is thread-count-invariant either way.
+  cfg.io_threads = static_cast<unsigned>(opts.number("io-threads", 0));
+  cfg.io_chunk_bytes = static_cast<std::size_t>(
+      opts.number("io-chunk", static_cast<double>(cfg.io_chunk_bytes)));
+  if (cfg.io_chunk_bytes == 0) {
+    std::fputs("io-chunk must be positive\n", stderr);
+    return 2;
+  }
 
   const auto report = faults::run_chaos(cfg);
   std::printf("chaos schedule seed %llu: %llu commits, %u nodes, "
