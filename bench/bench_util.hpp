@@ -32,6 +32,9 @@ using table::normalized_row;
 //   --threads T   engine threads (0/absent = NDPCR_THREADS or hardware)
 //   --csv PATH    write the Reporter's structured output ("-" = stdout;
 //                 a .json suffix selects JSON, anything else CSV)
+//   --trace PATH  harnesses that support tracing write a Chrome-trace
+//                 JSON here (docs/OBSERVABILITY.md); ignored elsewhere
+//   --metrics PATH  likewise for a metrics snapshot (Reporter semantics)
 // Unknown "--key value" pairs are collected for harness-specific options
 // (e.g. table2's --bytes-per-app).
 struct BenchArgs {
@@ -40,6 +43,8 @@ struct BenchArgs {
   bool has_seed = false;
   unsigned threads = 0;
   std::string csv;
+  std::string trace;
+  std::string metrics;
   std::map<std::string, std::string> extra;
 
   // Parses argv; on --help (or a stray non-flag token) prints usage and
@@ -51,7 +56,8 @@ struct BenchArgs {
           i + 1 >= argc) {
         std::fprintf(stderr,
                      "usage: %s [--trials N] [--seed S] [--threads T] "
-                     "[--csv PATH] [--<harness-option> VALUE ...]\n",
+                     "[--csv PATH] [--trace PATH] [--metrics PATH] "
+                     "[--<harness-option> VALUE ...]\n",
                      argv[0]);
         return false;
       }
@@ -66,6 +72,10 @@ struct BenchArgs {
                                                      nullptr, 10));
       } else if (key == "--csv") {
         csv = value;
+      } else if (key == "--trace") {
+        trace = value;
+      } else if (key == "--metrics") {
+        metrics = value;
       } else {
         extra[key.substr(2)] = value;
       }

@@ -5,18 +5,26 @@
 // docs/FAULTS.md) or if the suite fingerprint differs between a 1-thread
 // and an N-thread execution of the same schedules.
 //
+// A trace-validation pass reruns a handful of schedules with a Tracer
+// attached and fails the harness if any produced trace is not parseable
+// JSON (the exporter's output is part of the contract, docs/OBSERVABILITY.md).
+//
 //   --schedules N   seeded schedules to run (default 240)
 //   --seed S        base seed (schedule k uses sub_seed(S, k))
 //   --commits N     commits per schedule (default 24)
 //   --csv PATH      per-schedule structured rows
+//   --trace PATH    write the first validation schedule's Chrome trace
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/json.hpp"
 #include "exec/task_pool.hpp"
 #include "faults/chaos.hpp"
+#include "obs/trace.hpp"
 
 using namespace ndpcr;
 
@@ -138,6 +146,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: fingerprint differs across thread counts\n");
     return 1;
   }
+
+  // Trace-validation pass: a few schedules rerun serially (run_chaos_suite
+  // stays untraced) with a Tracer attached; every export must be valid
+  // JSON, and the traced rerun must not perturb the schedule's report.
+  const std::size_t traced = std::min<std::size_t>(configs.size(), 6);
+  for (std::size_t k = 0; k < traced; ++k) {
+    obs::Tracer tracer;
+    faults::ChaosConfig cfg = configs[k];
+    cfg.trace = &tracer;
+    const auto report = faults::run_chaos(cfg);
+    if (report.fingerprint != reports[k].fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL: tracing perturbed schedule seed %" PRIu64
+                   " (%08x vs %08x)\n",
+                   report.seed, report.fingerprint, reports[k].fingerprint);
+      return 1;
+    }
+    const std::string json = tracer.chrome_json();
+    if (!json_valid(json)) {
+      std::fprintf(stderr,
+                   "FAIL: schedule seed %" PRIu64
+                   " produced an unparseable trace (%zu bytes)\n",
+                   report.seed, json.size());
+      return 1;
+    }
+    if (k == 0 && !args.trace.empty()) tracer.write(args.trace);
+  }
+  std::printf("trace validation: %zu schedules exported valid JSON\n",
+              traced);
+
   std::puts("all invariants held");
   return 0;
 }

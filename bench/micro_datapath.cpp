@@ -12,8 +12,13 @@
 // single-core host the pool sweeps show ~1x - the speedup column is
 // honest, not modelled.
 //
+//   obs_overhead      the same commit loop with tracing off vs on: the
+//                     off row is the <1% disabled-cost budget of
+//                     docs/OBSERVABILITY.md, the on row the real price
+//
 //   --smoke 1     tiny sizes (CI); also the `perf` ctest label
 //   --csv PATH    structured output (default BENCH_datapath.json)
+//   --trace PATH  write the traced commit loop's Chrome trace JSON
 
 #include <chrono>
 #include <cstdio>
@@ -29,6 +34,7 @@
 #include "compress/chunked.hpp"
 #include "exec/task_pool.hpp"
 #include "ndp/agent.hpp"
+#include "obs/trace.hpp"
 
 using namespace ndpcr;
 
@@ -249,6 +255,42 @@ int main(int argc, char** argv) {
                        1),
                    fmt(virtual_s, 3)});
     }
+  }
+
+  // --- observability overhead -----------------------------------------
+  {
+    const std::uint32_t ranks = 4;
+    const std::size_t per_rank = smoke ? (64ull << 10) : (256ull << 10);
+    const int commits = smoke ? 4 : 8;
+    obs::Tracer tracer;
+    auto run_commits = [&](obs::Tracer* trace) {
+      exec::TaskPool pool(2);
+      ckpt::MultilevelConfig mc;
+      mc.node_count = ranks;
+      mc.nvm_capacity_bytes = (per_rank + 4096) * (commits + 1);
+      mc.partner_every = 1;
+      mc.io_every = 1;
+      mc.io_codec = compress::CodecId::kLz4Style;
+      mc.io_codec_level = 1;
+      mc.io_chunk_bytes = 64ull << 10;
+      mc.pool = &pool;
+      mc.trace = trace;
+      ckpt::MultilevelManager manager(mc);
+      std::vector<Bytes> payloads;
+      for (std::uint32_t r = 0; r < ranks; ++r) {
+        payloads.push_back(mixed_payload(per_rank, seed + 200 + r));
+      }
+      const std::vector<ByteSpan> views(payloads.begin(), payloads.end());
+      return seconds_of([&] {
+        for (int c = 0; c < commits; ++c) (void)manager.commit(views);
+      });
+    };
+    const double off_s = run_commits(nullptr);
+    const double on_s = run_commits(&tracer);
+    out.add_section("obs_overhead", {"tracing", "commit_s", "ratio"});
+    out.add_row({"off", fmt(off_s, 4), "1.00"});
+    out.add_row({"on", fmt(on_s, 4), fmt(on_s / off_s)});
+    if (!args.trace.empty()) tracer.write(args.trace);
   }
 
   out.finish();

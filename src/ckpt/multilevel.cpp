@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "exec/task_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ndpcr::ckpt {
 namespace {
@@ -84,8 +87,32 @@ const char* to_string(LevelState state) {
   return "?";
 }
 
+void record_health(obs::MetricsRegistry& metrics, const HealthReport& report,
+                   std::string_view prefix) {
+  const auto level = [&](const char* name, const LevelHealth& h) {
+    const std::string base = std::string(prefix) + "." + name + ".";
+    metrics.counter(base + "puts").add(h.puts);
+    metrics.counter(base + "put_retries").add(h.put_retries);
+    metrics.counter(base + "put_failures").add(h.put_failures);
+    metrics.counter(base + "verify_failures").add(h.verify_failures);
+    metrics.counter(base + "quarantined").add(h.quarantined);
+    metrics.counter(base + "read_retries").add(h.read_retries);
+    metrics.counter(base + "degraded_commits").add(h.degraded_commits);
+    metrics.counter(base + "repairs").add(h.repairs);
+    metrics.gauge(base + "backoff_seconds").set(h.backoff_seconds);
+    metrics.gauge(base + "degraded").set(h.degraded() ? 1.0 : 0.0);
+  };
+  level("local", report.local);
+  level("partner", report.partner);
+  level("io", report.io);
+  const std::string base = std::string(prefix) + ".";
+  metrics.counter(base + "commits").add(report.commits);
+  metrics.counter(base + "degraded_commits").add(report.degraded_commits);
+}
+
 MultilevelManager::MultilevelManager(const MultilevelConfig& config)
-    : config_(config) {
+    : config_(config),
+      trace_(config.trace ? config.trace : &obs::Tracer::null()) {
   if (config.node_count == 0) {
     throw std::invalid_argument("node_count must be positive");
   }
@@ -126,6 +153,12 @@ MultilevelManager::MultilevelManager(const MultilevelConfig& config)
     partner_space_.push_back(make_store(StoreLevel::kPartner, n));
   }
   io_ = make_store(StoreLevel::kIo, 0);
+  if (trace_->enabled()) {
+    trace_->set_track_name(0, "ckpt.manager");
+    for (std::uint32_t n = 0; n < config.node_count; ++n) {
+      trace_->set_track_name(1 + n, "rank " + std::to_string(n));
+    }
+  }
 }
 
 std::uint32_t MultilevelManager::group_first(std::uint32_t rank) const {
@@ -155,7 +188,8 @@ void MultilevelManager::for_tasks(
 
 bool MultilevelManager::checked_put(KvStore& store, LevelHealth& health,
                                     std::uint32_t rank, std::uint64_t id,
-                                    const Bytes& data, bool probe) {
+                                    const Bytes& data, bool probe,
+                                    TraceCtx tc) {
   const RetryPolicy& policy = config_.retry;
   const std::uint32_t attempts = probe ? 1 : policy.max_attempts;
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
@@ -163,6 +197,11 @@ bool MultilevelManager::checked_put(KvStore& store, LevelHealth& health,
     if (attempt > 0) {
       ++health.put_retries;
       health.backoff_seconds += backoff_for(policy, attempt);
+      if (tc.buf) {
+        tc.buf->instant("put_retry", tc.level, tc.track,
+                        {obs::u64("rank", rank), obs::u64("id", id),
+                         obs::u64("attempt", attempt)});
+      }
     }
     const StoreStatus status = store.put(rank, id, Bytes(data));
     if (!status.ok()) {
@@ -173,23 +212,36 @@ bool MultilevelManager::checked_put(KvStore& store, LevelHealth& health,
     StoreResult<Bytes> readback = store.get(rank, id);
     if (readback.ok() && *readback == data) return true;
     ++health.verify_failures;
+    if (tc.buf) {
+      tc.buf->instant("verify_fail", tc.level, tc.track,
+                      {obs::u64("rank", rank), obs::u64("id", id)});
+    }
     if (readback.ok()) {
       // Torn or bit-flipped write landed under a valid key: quarantine it
       // so no reader can mistake it for the real entry, then rewrite.
       store.erase(rank, id);
       ++health.quarantined;
+      if (tc.buf) {
+        tc.buf->instant("quarantine", tc.level, tc.track,
+                        {obs::u64("rank", rank), obs::u64("id", id)});
+      }
     }
     // A transient readback *error* leaves the entry in place - it may be
     // intact - but unverified counts as failed, so the loop rewrites it.
   }
   ++health.put_failures;
+  if (tc.buf) {
+    tc.buf->instant("put_failed", tc.level, tc.track,
+                    {obs::u64("rank", rank), obs::u64("id", id)});
+  }
   return false;
 }
 
 std::optional<Bytes> MultilevelManager::checked_get(const KvStore& store,
                                                     LevelHealth& health,
                                                     std::uint32_t rank,
-                                                    std::uint64_t id) const {
+                                                    std::uint64_t id,
+                                                    TraceCtx tc) const {
   const RetryPolicy& policy = config_.retry;
   for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
     StoreResult<Bytes> got = store.get(rank, id);
@@ -198,6 +250,11 @@ std::optional<Bytes> MultilevelManager::checked_get(const KvStore& store,
     if (attempt + 1 < policy.max_attempts) {
       ++health.read_retries;
       health.backoff_seconds += backoff_for(policy, attempt + 1);
+      if (tc.buf) {
+        tc.buf->instant("read_retry", tc.level, tc.track,
+                        {obs::u64("rank", rank), obs::u64("id", id),
+                         obs::u64("attempt", attempt + 1)});
+      }
     }
   }
   return std::nullopt;
@@ -206,13 +263,19 @@ std::optional<Bytes> MultilevelManager::checked_get(const KvStore& store,
 bool MultilevelManager::commit_local_rank(std::uint32_t rank,
                                           std::uint64_t id,
                                           const Bytes& image,
-                                          LevelHealth& health) {
+                                          LevelHealth& health,
+                                          TraceCtx tc) {
   const RetryPolicy& policy = config_.retry;
   for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
     ++health.puts;
     if (attempt > 0) {
       ++health.put_retries;
       health.backoff_seconds += backoff_for(policy, attempt);
+      if (tc.buf) {
+        tc.buf->instant("put_retry", tc.level, tc.track,
+                        {obs::u64("rank", rank), obs::u64("id", id),
+                         obs::u64("attempt", attempt)});
+      }
     }
     Bytes staged = image;
     if (config_.local_write_hook) {
@@ -232,44 +295,86 @@ bool MultilevelManager::commit_local_rank(std::uint32_t rank,
     ++health.verify_failures;
     local_[rank].erase(id);
     ++health.quarantined;
+    if (tc.buf) {
+      tc.buf->instant("verify_fail", tc.level, tc.track,
+                      {obs::u64("rank", rank), obs::u64("id", id)});
+      tc.buf->instant("quarantine", tc.level, tc.track,
+                      {obs::u64("rank", rank), obs::u64("id", id)});
+    }
   }
   // Local write never verified: the rank simply has no local copy of this
   // id; partner/io still cover it.
   ++health.put_failures;
+  if (tc.buf) {
+    tc.buf->instant("put_failed", tc.level, tc.track,
+                    {obs::u64("rank", rank), obs::u64("id", id)});
+  }
   return false;
 }
 
 void MultilevelManager::commit_local(std::uint64_t id,
                                      const std::vector<Bytes>& images) {
+  obs::TraceBuffer* rb = trace_->root();
+  obs::TraceBuffer::Span phase;
+  if (rb) phase = rb->span("local", "ckpt.local", 0, {obs::u64("id", id)});
+  const bool was_degraded = health_.local.degraded();
   // Each rank owns its NVM device, its write-op counter and a private
   // health delta, so the write + verify fan-out is embarrassingly
   // parallel; deltas merge in rank order after the barrier.
   std::vector<LevelHealth> deltas(config_.node_count);
   std::vector<char> ok(config_.node_count, 1);
+  std::vector<obs::TraceBuffer> tbs = trace_->task_buffers(config_.node_count);
   for_tasks(config_.node_count, [&](std::size_t rank) {
+    TraceCtx tc;
+    if (!tbs.empty()) {
+      tc = {&tbs[rank], 1 + static_cast<std::uint32_t>(rank), "ckpt.local"};
+    }
+    obs::TraceBuffer::Span write;
+    if (tc.buf) {
+      write = tc.buf->span("nvm_write", "ckpt.local", tc.track,
+                           {obs::u64("rank", rank),
+                            obs::u64("bytes", images[rank].size())});
+    }
     ok[rank] = commit_local_rank(static_cast<std::uint32_t>(rank), id,
-                                 images[rank], deltas[rank])
+                                 images[rank], deltas[rank], tc)
                    ? 1
                    : 0;
   });
+  trace_->splice(tbs);
   for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
     merge_level(health_.local, deltas[rank]);
     if (!ok[rank]) health_.local.state = LevelState::kDegraded;
+  }
+  if (rb && !was_degraded && health_.local.degraded()) {
+    rb->instant("level_degraded", "ckpt.local", 0, {obs::u64("id", id)});
   }
 }
 
 void MultilevelManager::commit_partner(std::uint64_t id,
                                        const std::vector<Bytes>& images) {
   LevelHealth& health = health_.partner;
+  obs::TraceBuffer* rb = trace_->root();
+  obs::TraceBuffer::Span phase;
+  if (rb) {
+    phase = rb->span("partner", "ckpt.partner", 0,
+                     {obs::u64("id", id),
+                      obs::str("scheme",
+                               config_.partner_scheme == PartnerScheme::kCopy
+                                   ? "copy"
+                                   : "xor")});
+  }
+  const bool was_degraded = health.degraded();
   bool level_ok = true;
   if (health.degraded()) {
+    if (rb) rb->instant("probe", "ckpt.partner", 0, {obs::u64("id", id)});
     // Probe mode: single-attempt writes that stop at the first failure.
     // Stays serial - the early break has no parallel equivalent, and a
     // down level is not worth fanning out for.
     if (config_.partner_scheme == PartnerScheme::kCopy) {
       for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
         if (!checked_put(*partner_space_[partner_of(rank)], health, rank,
-                         id, images[rank], true)) {
+                         id, images[rank], true,
+                         {rb, 0, "ckpt.partner"})) {
           level_ok = false;
           break;  // still down: one failed probe is proof enough
         }
@@ -291,7 +396,8 @@ void MultilevelManager::commit_partner(std::uint64_t id,
           padded.push_back(std::move(p));
         }
         if (!checked_put(*partner_space_[parity_host(first)], health, first,
-                         id, xor_parity(padded), true)) {
+                         id, xor_parity(padded), true,
+                         {rb, 0, "ckpt.partner"})) {
           level_ok = false;
           break;
         }
@@ -302,14 +408,28 @@ void MultilevelManager::commit_partner(std::uint64_t id,
     // the whole exchange fans out, health deltas merged after the barrier.
     std::vector<LevelHealth> deltas(config_.node_count);
     std::vector<char> ok(config_.node_count, 1);
+    std::vector<obs::TraceBuffer> tbs =
+        trace_->task_buffers(config_.node_count);
     for_tasks(config_.node_count, [&](std::size_t rank) {
+      TraceCtx tc;
+      if (!tbs.empty()) {
+        tc = {&tbs[rank], 1 + static_cast<std::uint32_t>(rank),
+              "ckpt.partner"};
+      }
+      obs::TraceBuffer::Span put;
+      if (tc.buf) {
+        put = tc.buf->span("partner_put", "ckpt.partner", tc.track,
+                           {obs::u64("rank", rank),
+                            obs::u64("bytes", images[rank].size())});
+      }
       ok[rank] = checked_put(*partner_space_[partner_of(
                                  static_cast<std::uint32_t>(rank))],
                              deltas[rank], static_cast<std::uint32_t>(rank),
-                             id, images[rank], false)
+                             id, images[rank], false, tc)
                      ? 1
                      : 0;
     });
+    trace_->splice(tbs);
     for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
       merge_level(health, deltas[rank]);
       if (!ok[rank]) level_ok = false;
@@ -323,14 +443,23 @@ void MultilevelManager::commit_partner(std::uint64_t id,
         config_.xor_group_size;
     std::vector<LevelHealth> deltas(groups);
     std::vector<char> ok(groups, 1);
+    std::vector<obs::TraceBuffer> tbs = trace_->task_buffers(groups);
     for_tasks(groups, [&](std::size_t g) {
       const auto first =
           static_cast<std::uint32_t>(g * config_.xor_group_size);
       const std::uint32_t last = std::min(
           first + config_.xor_group_size, config_.node_count);
+      TraceCtx tc;
+      if (!tbs.empty()) tc = {&tbs[g], 1 + first, "ckpt.partner"};
       std::size_t width = 0;
       for (std::uint32_t r = first; r < last; ++r) {
         width = std::max(width, images[r].size());
+      }
+      obs::TraceBuffer::Span encode;
+      if (tc.buf) {
+        encode = tc.buf->span("xor_encode", "ckpt.partner", tc.track,
+                              {obs::u64("group", g),
+                               obs::u64("width", width)});
       }
       std::vector<Bytes> padded;
       padded.reserve(last - first);
@@ -339,29 +468,51 @@ void MultilevelManager::commit_partner(std::uint64_t id,
         p.resize(width, std::byte{0});
         padded.push_back(std::move(p));
       }
+      Bytes parity = xor_parity(padded);
+      encode.close();
+      obs::TraceBuffer::Span put;
+      if (tc.buf) {
+        put = tc.buf->span("parity_put", "ckpt.partner", tc.track,
+                           {obs::u64("group", g),
+                            obs::u64("bytes", parity.size())});
+      }
       ok[g] = checked_put(*partner_space_[parity_host(first)], deltas[g],
-                          first, id, xor_parity(padded), false)
+                          first, id, parity, false, tc)
                   ? 1
                   : 0;
     });
+    trace_->splice(tbs);
     for (std::size_t g = 0; g < groups; ++g) {
       merge_level(health, deltas[g]);
       if (!ok[g]) level_ok = false;
     }
   }
   settle_level(health, level_ok);
+  if (rb) {
+    if (!was_degraded && health.degraded()) {
+      rb->instant("level_degraded", "ckpt.partner", 0, {obs::u64("id", id)});
+    } else if (was_degraded && !health.degraded()) {
+      rb->instant("level_healed", "ckpt.partner", 0, {obs::u64("id", id)});
+    }
+  }
 }
 
 void MultilevelManager::commit_io(std::uint64_t id,
                                   const std::vector<Bytes>& images) {
   LevelHealth& health = health_.io;
+  obs::TraceBuffer* rb = trace_->root();
+  obs::TraceBuffer::Span phase;
+  if (rb) phase = rb->span("io", "ckpt.io", 0, {obs::u64("id", id)});
+  const bool was_degraded = health.degraded();
   bool level_ok = true;
   if (health.degraded()) {
     // Probe mode: serial, compress-as-you-go, stop at the first failure.
+    if (rb) rb->instant("probe", "ckpt.io", 0, {obs::u64("id", id)});
     for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
       const Bytes packed =
           io_codec_ ? io_codec_->compress(images[rank]) : images[rank];
-      if (!checked_put(*io_, health, rank, id, packed, true)) {
+      if (!checked_put(*io_, health, rank, id, packed, true,
+                       {rb, 0, "ckpt.io"})) {
         level_ok = false;
         break;
       }
@@ -389,24 +540,54 @@ void MultilevelManager::commit_io(std::uint64_t id,
         }
       }
       std::vector<Bytes> chunks(refs.size());
-      for_tasks(refs.size(), [&](std::size_t i) {
-        chunks[i] =
-            io_codec_->compress_chunk(images[refs[i].rank], refs[i].chunk);
-      });
+      {
+        obs::TraceBuffer::Span compress;
+        if (rb) {
+          compress = rb->span("io_compress", "ckpt.io", 0,
+                              {obs::u64("id", id),
+                               obs::u64("chunks", refs.size())});
+        }
+        std::vector<obs::TraceBuffer> tbs = trace_->task_buffers(refs.size());
+        for_tasks(refs.size(), [&](std::size_t i) {
+          chunks[i] =
+              io_codec_->compress_chunk(images[refs[i].rank], refs[i].chunk);
+          if (!tbs.empty()) {
+            tbs[i].instant("compress_chunk", "ckpt.io", 1 + refs[i].rank,
+                           {obs::u64("rank", refs[i].rank),
+                            obs::u64("chunk", refs[i].chunk),
+                            obs::u64("out_bytes", chunks[i].size())});
+          }
+        });
+        trace_->splice(tbs);
+      }
       for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
         packed[rank] = io_codec_->assemble(
             images[rank].size(), chunks, first_slot[rank],
             io_codec_->chunk_count(images[rank].size()));
       }
     }
+    obs::TraceBuffer::Span write;
+    if (rb) write = rb->span("io_write", "ckpt.io", 0, {obs::u64("id", id)});
     for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
       const Bytes& data = io_codec_ ? packed[rank] : images[rank];
-      if (!checked_put(*io_, health, rank, id, data, false)) {
+      if (rb) {
+        rb->instant("io_put", "ckpt.io", 0,
+                    {obs::u64("rank", rank), obs::u64("bytes", data.size())});
+      }
+      if (!checked_put(*io_, health, rank, id, data, false,
+                       {rb, 0, "ckpt.io"})) {
         level_ok = false;
       }
     }
   }
   settle_level(health, level_ok);
+  if (rb) {
+    if (!was_degraded && health.degraded()) {
+      rb->instant("level_degraded", "ckpt.io", 0, {obs::u64("id", id)});
+    } else if (was_degraded && !health.degraded()) {
+      rb->instant("level_healed", "ckpt.io", 0, {obs::u64("id", id)});
+    }
+  }
 }
 
 std::uint64_t MultilevelManager::commit(
@@ -419,21 +600,46 @@ std::uint64_t MultilevelManager::commit(
       config_.partner_every > 0 && id % config_.partner_every == 0;
   const bool to_io = config_.io_every > 0 && id % config_.io_every == 0;
 
+  obs::TraceBuffer* rb = trace_->root();
+  obs::TraceBuffer::Span commit_span;
+  if (rb) {
+    commit_span = rb->span("commit", "ckpt", 0,
+                           {obs::u64("id", id),
+                            obs::u64("partner", to_partner ? 1 : 0),
+                            obs::u64("io", to_io ? 1 : 0)});
+  }
+
   // Serialize + CRC every rank's image in parallel (pure per-rank work).
   std::vector<Bytes> images(config_.node_count);
-  for_tasks(config_.node_count, [&](std::size_t rank) {
-    CheckpointMeta meta;
-    meta.app_id = config_.app_id;
-    meta.rank = static_cast<std::uint32_t>(rank);
-    meta.checkpoint_id = id;
-    images[rank] = CheckpointImage::build(meta, payloads[rank]);
-  });
+  {
+    obs::TraceBuffer::Span build;
+    if (rb) build = rb->span("image_build", "ckpt", 0, {obs::u64("id", id)});
+    std::vector<obs::TraceBuffer> tbs =
+        trace_->task_buffers(config_.node_count);
+    for_tasks(config_.node_count, [&](std::size_t rank) {
+      CheckpointMeta meta;
+      meta.app_id = config_.app_id;
+      meta.rank = static_cast<std::uint32_t>(rank);
+      meta.checkpoint_id = id;
+      images[rank] = CheckpointImage::build(meta, payloads[rank]);
+      if (!tbs.empty()) {
+        tbs[rank].instant("image", "ckpt",
+                          1 + static_cast<std::uint32_t>(rank),
+                          {obs::u64("rank", rank),
+                           obs::u64("bytes", images[rank].size())});
+      }
+    });
+    trace_->splice(tbs);
+  }
 
   ++health_.commits;
   if (to_partner && config_.node_count > 1) commit_partner(id, images);
   if (to_io) commit_io(id, images);
   commit_local(id, images);
-  if (health_.any_degraded()) ++health_.degraded_commits;
+  if (health_.any_degraded()) {
+    ++health_.degraded_commits;
+    if (rb) rb->instant("commit_degraded", "ckpt", 0, {obs::u64("id", id)});
+  }
   return id;
 }
 
@@ -443,7 +649,8 @@ std::optional<Bytes> MultilevelManager::try_xor_rebuild(
   const std::uint32_t last =
       std::min(first + config_.xor_group_size, config_.node_count);
   const auto parity = checked_get(*partner_space_[parity_host(rank)],
-                                  health_.partner, first, id);
+                                  health_.partner, first, id,
+                                  {trace_->root(), 0, "ckpt.partner"});
   if (!parity) return std::nullopt;
 
   // Survivors' local images, padded to the parity width.
@@ -506,10 +713,12 @@ bool MultilevelManager::corrupt_io(std::uint32_t rank) {
 
 std::optional<Bytes> MultilevelManager::try_remote_rank(
     std::uint32_t rank, std::uint64_t id, RecoveryLevel& level_out) const {
+  obs::TraceBuffer* rb = trace_->root();
   if (config_.node_count > 1) {
     if (config_.partner_scheme == PartnerScheme::kCopy) {
       if (const auto copy = checked_get(*partner_space_[partner_of(rank)],
-                                        health_.partner, rank, id)) {
+                                        health_.partner, rank, id,
+                                        {rb, 0, "ckpt.partner"})) {
         if (auto payload = validate_image(rank, id, *copy)) {
           level_out = RecoveryLevel::kPartner;
           return payload;
@@ -522,7 +731,8 @@ std::optional<Bytes> MultilevelManager::try_remote_rank(
       }
     }
   }
-  if (const auto stored = checked_get(*io_, health_.io, rank, id)) {
+  if (const auto stored =
+          checked_get(*io_, health_.io, rank, id, {rb, 0, "ckpt.io"})) {
     std::optional<Bytes> raw;
     if (io_codec_) {
       try {
@@ -545,23 +755,42 @@ std::optional<Bytes> MultilevelManager::try_remote_rank(
 
 std::optional<MultilevelManager::Recovery> MultilevelManager::recover()
     const {
+  obs::TraceBuffer* rb = trace_->root();
+  obs::TraceBuffer::Span recover_span;
+  if (rb) recover_span = rb->span("recover", "ckpt", 0);
   for (std::uint64_t id = next_id_; id-- > 1;) {
     Recovery result;
     result.checkpoint_id = id;
     result.payloads.resize(config_.node_count);
     result.levels.resize(config_.node_count, RecoveryLevel::kLocal);
 
+    obs::TraceBuffer::Span try_span;
+    if (rb) {
+      try_span = rb->span("try_checkpoint", "ckpt", 0, {obs::u64("id", id)});
+    }
+
     // Phase 1: every rank fetches and CRC-validates its own NVM copy in
     // parallel - pure local reads, no fault-scheduled store operations,
     // so the fan-out cannot perturb a replay.
     std::vector<std::optional<Bytes>> local_hit(config_.node_count);
-    for_tasks(config_.node_count, [&](std::size_t rank) {
-      if (const auto span =
-              local_[rank].get(id)) {
-        local_hit[rank] =
-            validate_image(static_cast<std::uint32_t>(rank), id, *span);
-      }
-    });
+    {
+      std::vector<obs::TraceBuffer> tbs =
+          trace_->task_buffers(config_.node_count);
+      for_tasks(config_.node_count, [&](std::size_t rank) {
+        if (const auto span =
+                local_[rank].get(id)) {
+          local_hit[rank] =
+              validate_image(static_cast<std::uint32_t>(rank), id, *span);
+        }
+        if (!tbs.empty()) {
+          tbs[rank].instant("local_probe", "ckpt.local",
+                            1 + static_cast<std::uint32_t>(rank),
+                            {obs::u64("rank", rank),
+                             obs::u64("hit", local_hit[rank] ? 1 : 0)});
+        }
+      });
+      trace_->splice(tbs);
+    }
 
     // Phase 2: ranks that missed walk partner -> io in rank order. These
     // touch shared fault-scheduled stores, so their op sequence is part
@@ -576,14 +805,29 @@ std::optional<MultilevelManager::Recovery> MultilevelManager::recover()
       RecoveryLevel level = RecoveryLevel::kLocal;
       auto payload = try_remote_rank(rank, id, level);
       if (!payload) {
+        if (rb) {
+          rb->instant("rank_unrecoverable", "ckpt", 0,
+                      {obs::u64("rank", rank), obs::u64("id", id)});
+        }
         ok = false;
         break;
+      }
+      if (rb) {
+        rb->instant("rank_recovered", "ckpt", 0,
+                    {obs::u64("rank", rank), obs::u64("id", id),
+                     obs::str("level", to_string(level))});
       }
       result.payloads[rank] = std::move(*payload);
       result.levels[rank] = level;
     }
-    if (ok) return result;
+    if (ok) {
+      if (rb) {
+        rb->instant("recovered", "ckpt", 0, {obs::u64("id", id)});
+      }
+      return result;
+    }
   }
+  if (rb) rb->instant("recovery_exhausted", "ckpt", 0);
   return std::nullopt;
 }
 

@@ -39,6 +39,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "ckpt/image.hpp"
@@ -50,6 +51,12 @@
 namespace ndpcr::exec {
 class TaskPool;
 }  // namespace ndpcr::exec
+
+namespace ndpcr::obs {
+class MetricsRegistry;
+class TraceBuffer;
+class Tracer;
+}  // namespace ndpcr::obs
 
 namespace ndpcr::ckpt {
 
@@ -158,6 +165,30 @@ struct MultilevelConfig {
 
   RetryPolicy retry;
   bool verify_writes = true;  // readback + compare after every put
+
+  // Optional tracer (docs/OBSERVABILITY.md). Null disables tracing; the
+  // manager then binds obs::Tracer::null() and every emission site costs
+  // one branch. Commit/recover emit a span tree on the logical clock:
+  // commit > image_build / partner / io / local, with retry, quarantine,
+  // degrade and heal instants. Parallel phases record into per-task
+  // buffers merged in task-index order, so the trace fingerprint is as
+  // thread-invariant as the HealthReport.
+  obs::Tracer* trace = nullptr;
+};
+
+// Fold a HealthReport into metric counters/gauges under `prefix` (e.g.
+// "ckpt"), one entry per LevelHealth field per level - the bridge from
+// the self-healing path to a --metrics snapshot.
+void record_health(obs::MetricsRegistry& metrics, const HealthReport& report,
+                   std::string_view prefix);
+
+// Where a store operation's trace events land: the buffer is either the
+// tracer's root (serial phases) or the task's private buffer (parallel
+// phases), null when tracing is off. `level` becomes the event category.
+struct TraceCtx {
+  obs::TraceBuffer* buf = nullptr;
+  std::uint32_t track = 0;
+  const char* level = "";
 };
 
 class MultilevelManager {
@@ -223,16 +254,19 @@ class MultilevelManager {
   [[nodiscard]] std::optional<Bytes> checked_get(const KvStore& store,
                                                  LevelHealth& health,
                                                  std::uint32_t rank,
-                                                 std::uint64_t id) const;
+                                                 std::uint64_t id,
+                                                 TraceCtx tc = TraceCtx()) const;
   // Write + verify readback + retry/backoff. Returns true once the entry
   // is durably in place and matches `data`. `probe` limits the operation
   // to a single attempt (used while the level is already degraded).
   // Accounting goes to `health`, which in the parallel batches is the
   // task's private delta, not the shared report.
   bool checked_put(KvStore& store, LevelHealth& health, std::uint32_t rank,
-                   std::uint64_t id, const Bytes& data, bool probe);
+                   std::uint64_t id, const Bytes& data, bool probe,
+                   TraceCtx tc = TraceCtx());
   bool commit_local_rank(std::uint32_t rank, std::uint64_t id,
-                         const Bytes& image, LevelHealth& health);
+                         const Bytes& image, LevelHealth& health,
+                         TraceCtx tc = TraceCtx());
   void commit_local(std::uint64_t id, const std::vector<Bytes>& images);
   void commit_partner(std::uint64_t id, const std::vector<Bytes>& images);
   void commit_io(std::uint64_t id, const std::vector<Bytes>& images);
@@ -250,6 +284,8 @@ class MultilevelManager {
   std::vector<std::uint64_t> local_write_ops_;
   // Mutable: recover() is logically const but counts its read retries.
   mutable HealthReport health_;
+  // Never null: config.trace or the shared disabled Tracer::null().
+  obs::Tracer* trace_;
 };
 
 }  // namespace ndpcr::ckpt

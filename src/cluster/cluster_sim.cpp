@@ -5,8 +5,16 @@
 
 #include "common/rng.hpp"
 #include "faults/faulty_stores.hpp"
+#include "obs/trace.hpp"
 
 namespace ndpcr::cluster {
+namespace {
+
+// Virtual-clock trace row for the simulation's own events (the manager
+// keeps tracks 0..node_count for the data path).
+constexpr std::uint32_t kSimTrack = 30;
+
+}  // namespace
 
 ClusterSim::ClusterSim(const ClusterSimConfig& config) : cfg_(config) {
   if (cfg_.node_count == 0 || cfg_.total_steps == 0) {
@@ -17,6 +25,9 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config) : cfg_(config) {
 ClusterSimResult ClusterSim::run() {
   ClusterSimResult result;
   Rng rng(cfg_.seed);
+  obs::Tracer& tracer =
+      cfg_.trace != nullptr ? *cfg_.trace : obs::Tracer::null();
+  if (tracer.enabled()) tracer.set_track_name(kSimTrack, "cluster");
 
   // One mini-app instance per rank (distinct seeds: ranks hold different
   // subdomains).
@@ -29,6 +40,7 @@ ClusterSimResult ClusterSim::run() {
   }
 
   ckpt::MultilevelConfig mc;
+  mc.trace = cfg_.trace;
   mc.node_count = cfg_.node_count;
   mc.nvm_capacity_bytes = cfg_.nvm_capacity_bytes;
   mc.partner_every = cfg_.partner_every;
@@ -88,11 +100,15 @@ ClusterSimResult ClusterSim::run() {
       const auto victim =
           static_cast<std::uint32_t>(rng.next_below(cfg_.node_count));
       manager.fail_node(victim);
+      tracer.instant_at(now, "node_failure", "cluster", kSimTrack,
+                        {obs::u64("rank", victim), obs::u64("step", step)});
 
       const auto recovery = manager.recover();
       if (!recovery) {
         // Nothing recoverable anywhere: restart the run from step 0.
         ++result.unrecoverable;
+        tracer.instant_at(now, "scratch_restart", "cluster", kSimTrack,
+                          {obs::u64("steps_lost", step)});
         for (std::uint32_t r = 0; r < cfg_.node_count; ++r) {
           ranks[r] = workloads::make_miniapp(cfg_.app,
                                              cfg_.state_bytes_per_rank,
@@ -119,6 +135,9 @@ ClusterSimResult ClusterSim::run() {
       }
       const auto restored_step = ranks[0]->step_count();
       result.steps_rerun += step - restored_step;
+      tracer.instant_at(now, "rollback", "cluster", kSimTrack,
+                        {obs::u64("from_step", step),
+                         obs::u64("to_step", restored_step)});
       step = restored_step;
       continue;
     }
@@ -133,8 +152,10 @@ ClusterSimResult ClusterSim::run() {
     std::vector<ByteSpan> views;
     views.reserve(images.size());
     for (const auto& img : images) views.emplace_back(img);
-    manager.commit(views);
+    const std::uint64_t ckpt_id = manager.commit(views);
     ++result.checkpoints;
+    tracer.instant_at(now, "checkpoint", "cluster", kSimTrack,
+                      {obs::u64("id", ckpt_id), obs::u64("step", step)});
     // Checkpoint commit also takes virtual time.
     now += 0.1 * cfg_.step_time;
   }

@@ -14,6 +14,10 @@
 #include "faults/fault_plan.hpp"
 #include "workloads/miniapp.hpp"
 
+namespace ndpcr::obs {
+class Tracer;
+}  // namespace ndpcr::obs
+
 namespace ndpcr::cluster {
 
 struct ClusterSimConfig {
@@ -37,6 +41,10 @@ struct ClusterSimConfig {
   faults::FaultRates partner_faults;
   faults::FaultRates io_faults;
   std::uint64_t fault_seed = 0;  // 0 derives from `seed`
+  // Optional tracer (docs/OBSERVABILITY.md): failure / recovery /
+  // checkpoint instants on the virtual clock (track 30), plus the
+  // manager's commit and recover spans.
+  obs::Tracer* trace = nullptr;
 };
 
 struct ClusterSimResult {

@@ -11,6 +11,7 @@
 #include "compress/chunked.hpp"
 #include "faults/faulty_stores.hpp"
 #include "ndp/agent.hpp"
+#include "obs/trace.hpp"
 #include "workloads/miniapp.hpp"
 
 namespace ndpcr::cluster {
@@ -28,6 +29,9 @@ NdpClusterResult NdpClusterSim::run() {
   NdpClusterResult result;
   Rng rng(cfg_.seed);
   const auto n = cfg_.node_count;
+  obs::Tracer& tracer =
+      cfg_.trace != nullptr ? *cfg_.trace : obs::Tracer::null();
+  if (tracer.enabled()) tracer.set_track_name(0, "cluster");
 
   auto make_rank = [&](std::uint32_t r) {
     return workloads::make_miniapp(cfg_.app, cfg_.state_bytes_per_rank,
@@ -62,6 +66,8 @@ NdpClusterResult NdpClusterSim::run() {
     ac.compress_bw = cfg_.ndp_compress_bw;
     ac.io_bw = cfg_.aggregate_io_bw / n;
     ac.rank = r;
+    ac.trace = cfg_.trace;
+    ac.trace_track = 1 + 3 * r;  // track 0 is the simulation's own row
     agents.push_back(std::make_unique<ndp::NdpAgent>(ac, io));
   }
   // Agents ship ChunkedCodec containers to IO (the raw image when the
@@ -110,7 +116,13 @@ NdpClusterResult NdpClusterSim::run() {
   };
 
   auto pump_all = [&](double seconds) {
-    for (auto& agent : agents) agent->pump(seconds);
+    for (auto& agent : agents) {
+      // `now` was already advanced past this pump window; align each
+      // agent's virtual clock with the window start so drain spans land
+      // on the simulation timeline.
+      agent->sync_clock(now - seconds);
+      agent->pump(seconds);
+    }
   };
 
   // Drains the agents abandoned (IO permanently down or retries
@@ -140,8 +152,14 @@ NdpClusterResult NdpClusterSim::run() {
         now += static_cast<double>(fallback->compressed.size()) /
                (cfg_.aggregate_io_bw / n);
         ++result.host_fallback_writes;
+        tracer.instant_at(now, "host_fallback_write", "cluster", 0,
+                          {obs::u64("rank", r),
+                           obs::u64("id", fallback->checkpoint_id)});
       } else {
         ++result.host_fallback_drops;
+        tracer.instant_at(now, "host_fallback_drop", "cluster", 0,
+                          {obs::u64("rank", r),
+                           obs::u64("id", fallback->checkpoint_id)});
       }
     }
   };
@@ -150,12 +168,17 @@ NdpClusterResult NdpClusterSim::run() {
     ++result.failures;
     next_failure = now + rng.exponential(system_mttf);
     const bool transient = rng.next_double() < cfg_.p_local_recovery;
+    tracer.instant_at(now, "failure", "cluster", 0,
+                      {obs::u64("step", step),
+                       obs::u64("transient", transient ? 1 : 0)});
 
     if (transient) {
       // NVM (and pipelines) survive; roll back to the newest committed
       // generation, which every rank still holds locally.
       if (ckpt_id == 0) {
         ++result.scratch_restarts;
+        tracer.instant_at(now, "scratch_restart", "cluster", 0,
+                          {obs::u64("steps_lost", step)});
         for (std::uint32_t r = 0; r < n; ++r) ranks[r] = make_rank(r);
         result.steps_rerun += step;
         step = 0;
@@ -185,6 +208,9 @@ NdpClusterResult NdpClusterSim::run() {
         if (r == n - 1) {
           ++result.local_recoveries;
           result.steps_rerun += step - restored_step;
+          tracer.instant_at(now, "local_recovery", "cluster", 0,
+                            {obs::u64("id", ckpt_id),
+                             obs::u64("to_step", restored_step)});
           step = restored_step;
           return;
         }
@@ -234,6 +260,8 @@ NdpClusterResult NdpClusterSim::run() {
     while (target > 0 && !(gen = fetch_generation(target))) --target;
     if (target == 0) {
       ++result.scratch_restarts;
+      tracer.instant_at(now, "scratch_restart", "cluster", 0,
+                        {obs::u64("steps_lost", step)});
       for (std::uint32_t r = 0; r < n; ++r) ranks[r] = make_rank(r);
       result.steps_rerun += step;
       step = 0;
@@ -251,6 +279,9 @@ NdpClusterResult NdpClusterSim::run() {
     }
     ++result.io_recoveries;
     result.steps_rerun += step - restored_step;
+    tracer.instant_at(now, "io_recovery", "cluster", 0,
+                      {obs::u64("id", target), obs::u64("victim", victim),
+                       obs::u64("to_step", restored_step)});
     step = restored_step;
   };
 
@@ -283,10 +314,13 @@ NdpClusterResult NdpClusterSim::run() {
     // Coordinated local commit: the host owns the NVM (no pumping).
     now += cfg_.local_commit_time;
     ++ckpt_id;
+    tracer.instant_at(now, "local_commit", "cluster", 0,
+                      {obs::u64("id", ckpt_id), obs::u64("step", step)});
     for (std::uint32_t r = 0; r < n; ++r) {
       // If the agent's buffer is wedged behind a locked drain, let the
       // drain finish first (the host stall the paper describes).
       while (!agents[r]->host_commit(ckpt_id, ranks[r]->checkpoint())) {
+        agents[r]->sync_clock(now);
         const double drained = agents[r]->pump(cfg_.step_time);
         now += drained > 0 ? drained : cfg_.step_time;
       }
@@ -300,6 +334,10 @@ NdpClusterResult NdpClusterSim::run() {
   for (const auto& agent : agents) {
     result.drain_put_retries += agent->stats().drain_put_retries;
     result.drain_put_failures += agent->stats().drain_put_failures;
+    result.io_put_attempts += agent->stats().io_put_attempts;
+    result.io_verify_failures += agent->stats().io_verify_failures;
+    result.io_quarantined += agent->stats().io_quarantined;
+    result.host_fallbacks += agent->stats().host_fallbacks;
   }
 
   result.state_verified = true;

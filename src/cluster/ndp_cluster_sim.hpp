@@ -21,6 +21,10 @@
 #include "compress/codec.hpp"
 #include "faults/fault_plan.hpp"
 
+namespace ndpcr::obs {
+class Tracer;
+}  // namespace ndpcr::obs
+
 namespace ndpcr::cluster {
 
 struct NdpClusterConfig {
@@ -54,6 +58,10 @@ struct NdpClusterConfig {
   // retry with backoff, then fall back to the host write path.
   faults::FaultRates io_fault_rates;
   std::uint64_t fault_seed = 0;  // 0 derives from `seed`
+  // Optional tracer (docs/OBSERVABILITY.md): simulation events (commits,
+  // failures, recoveries, fallbacks) as virtual-clock instants on track 0,
+  // and each agent's drain pipeline on tracks 1+3r (drain/compress/wire).
+  obs::Tracer* trace = nullptr;
 };
 
 struct NdpClusterResult {
@@ -71,6 +79,11 @@ struct NdpClusterResult {
   std::uint64_t drain_put_failures = 0;  // drains handed to the host path
   std::uint64_t host_fallback_writes = 0;  // fallbacks landed by the host
   std::uint64_t host_fallback_drops = 0;   // fallbacks lost (IO down)
+  // Aggregated agent drain-health counters (AgentStats / drain_health()).
+  std::uint64_t io_put_attempts = 0;     // agent IO puts incl. retries
+  std::uint64_t io_verify_failures = 0;  // drain readback mismatches
+  std::uint64_t io_quarantined = 0;      // torn IO entries erased by agents
+  std::uint64_t host_fallbacks = 0;      // fallback handoffs staged
 
   [[nodiscard]] double progress_rate() const {
     return virtual_seconds > 0 ? compute_seconds / virtual_seconds : 0.0;

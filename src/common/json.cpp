@@ -1,0 +1,167 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace ndpcr {
+namespace {
+
+// Recursive-descent structural validator. `pos` always points at the
+// next unread byte; every helper returns false on the first violation.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return false;
+    ++pos;
+    while (!eof()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            break;
+          case 'u':
+            for (int i = 0; i < 4; ++i) {
+              if (eof() || !std::isxdigit(
+                               static_cast<unsigned char>(text[pos]))) {
+                return false;
+              }
+              ++pos;
+            }
+            break;
+          default:
+            return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && peek() == '-') ++pos;
+    if (!digits()) return false;
+    if (!eof() && peek() == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    ++pos;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return false;
+      ++pos;
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Parser p{text};
+  if (!p.value()) return false;
+  p.skip_ws();
+  return p.eof();
+}
+
+}  // namespace ndpcr

@@ -1,0 +1,51 @@
+#pragma once
+
+// Minimal JSON output helpers shared by every serializer in the tree
+// (exec::Reporter, the obs trace/metrics exporters). One escaping
+// implementation, so a quote or control character in a bench name, a
+// span label or a config string can never produce an unparseable file.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ndpcr {
+
+// RFC 8259 string escaping: quotes, backslashes and every control
+// character (U+0000..U+001F) are escaped; everything else passes through
+// byte-for-byte (the tree emits UTF-8 or ASCII only).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Validating parser (structure only, nothing is materialized): true iff
+// `text` is one complete JSON value. Used by the trace tooling - and by
+// chaos_soak - to reject an unparseable export before anyone ships it to
+// Perfetto.
+bool json_valid(std::string_view text);
+
+}  // namespace ndpcr

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/crc32.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 
 namespace ndpcr::exec {
@@ -25,27 +26,10 @@ std::string csv_cell(const std::string& cell) {
   return out;
 }
 
-std::string json_string(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+// One escaping implementation for the whole tree (common/json.hpp): the
+// local copy used to pass a possibly-negative char to %x and skipped the
+// \b/\f/\r shorthands.
+std::string json_string(const std::string& s) { return json_escape(s); }
 
 void append_csv_row(std::ostringstream& out,
                     const std::vector<std::string>& cells) {

@@ -1,11 +1,15 @@
 #include "faults/chaos.hpp"
 
 #include <cstring>
+#include <deque>
 #include <map>
+#include <string>
 #include <utility>
 
 #include "common/crc32.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ndpcr::faults {
 namespace {
@@ -108,6 +112,13 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   auto local_stats = std::make_shared<FaultStats>();
   std::vector<const FaultyKvStore*> tracked;
 
+  // Per-store injection buffers: a deque for stable addresses (stores
+  // keep raw pointers), spliced into the tracer in creation order after
+  // the run. Tracks 32+ keep fault rows clear of the manager's ranks.
+  obs::Tracer* tracer = config.trace;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  std::deque<obs::TraceBuffer> fault_bufs;
+
   ckpt::MultilevelConfig mc;
   mc.node_count = config.node_count;
   mc.nvm_capacity_bytes = (config.payload_bytes + 4096) * 4;
@@ -120,11 +131,21 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   mc.io_chunk_bytes = config.io_chunk_bytes;
   mc.io_threads = config.io_threads;
   mc.pool = config.pool;
+  mc.trace = config.trace;
   mc.store_factory = [&](ckpt::StoreLevel level, std::uint32_t host) {
     const Target target = level == ckpt::StoreLevel::kIo
                               ? io_target()
                               : partner_target(host);
     auto store = std::make_unique<FaultyKvStore>(plan, target);
+    if (tracing) {
+      const auto track = static_cast<std::uint32_t>(32 + fault_bufs.size());
+      tracer->set_track_name(
+          track, std::string(level == ckpt::StoreLevel::kIo ? "fault io h"
+                                                            : "fault partner h") +
+                     std::to_string(host));
+      fault_bufs.emplace_back();
+      store->set_trace(&fault_bufs.back(), track);
+    }
     tracked.push_back(store.get());
     return store;
   };
@@ -185,9 +206,14 @@ ChaosReport run_chaos(const ChaosConfig& config) {
     prev_health = manager.health();
 
     if (rng.next_double() < config.p_fail_node) {
-      manager.fail_node(
-          static_cast<std::uint32_t>(rng.next_below(config.node_count)));
+      const auto victim =
+          static_cast<std::uint32_t>(rng.next_below(config.node_count));
+      manager.fail_node(victim);
       ++report.node_failures;
+      if (tracing) {
+        tracer->instant("node_failure", "chaos", 0,
+                        {obs::u64("rank", victim), obs::u64("commit", i)});
+      }
     }
     if (rng.next_double() < config.p_corrupt) {
       const auto level = rng.next_below(3);
@@ -197,6 +223,14 @@ ChaosReport run_chaos(const ChaosConfig& config) {
                        : level == 1 ? manager.corrupt_partner(rank)
                                     : manager.corrupt_io(rank);
       if (did) ++report.corruptions;
+      if (tracing) {
+        tracer->instant(
+            "silent_corruption", "chaos", 0,
+            {obs::str("level", level == 0   ? "local"
+                               : level == 1 ? "partner"
+                                            : "io"),
+             obs::u64("rank", rank), obs::u64("hit", did ? 1 : 0)});
+      }
     }
     if (rng.next_double() < config.p_recover) probe_recovery();
   }
@@ -206,6 +240,28 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   report.faults = *local_stats;
   for (const FaultyKvStore* store : tracked) {
     report.faults += store->stats();
+  }
+
+  if (tracing) {
+    // Fault rows land after the commit/recover spans; within a row the
+    // events keep the store's deterministic op order.
+    if (obs::TraceBuffer* rb = tracer->root()) {
+      for (obs::TraceBuffer& buf : fault_bufs) rb->append(std::move(buf));
+    }
+  }
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.metrics;
+    ckpt::record_health(m, report.health, "chaos");
+    m.counter("chaos.run.commits").add(report.commits);
+    m.counter("chaos.run.recover_calls").add(report.recover_calls);
+    m.counter("chaos.run.recoveries").add(report.recoveries);
+    m.counter("chaos.run.unrecoverable").add(report.unrecoverable);
+    m.counter("chaos.run.node_failures").add(report.node_failures);
+    m.counter("chaos.run.corruptions").add(report.corruptions);
+    m.counter("chaos.run.violations").add(report.violations);
+    m.counter("chaos.faults.ops").add(report.faults.ops);
+    m.counter("chaos.faults.injected").add(report.faults.injected());
+    m.gauge("chaos.faults.stall_seconds").set(report.faults.stall_seconds);
   }
 
   feed_u64(crc, report.commits);

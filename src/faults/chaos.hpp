@@ -23,6 +23,11 @@
 #include "exec/task_pool.hpp"
 #include "faults/faulty_stores.hpp"
 
+namespace ndpcr::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace ndpcr::obs
+
 namespace ndpcr::faults {
 
 struct ChaosConfig {
@@ -51,6 +56,15 @@ struct ChaosConfig {
   // Thread count must not change the report - that is the invariant the
   // thread-invariance tests pin.
   exec::TaskPool* pool = nullptr;
+  // Optional observability (docs/OBSERVABILITY.md). `trace` threads
+  // through to the manager and gives every faulty store its own event
+  // buffer (spliced in store-creation order at run end), so injections
+  // line up with the commit/recover spans they perturb. Only single runs
+  // take a tracer; run_chaos_suite shares one pool across schedules and
+  // stays untraced. `metrics` receives the end-of-run HealthReport and
+  // chaos counters under the "chaos." prefix.
+  obs::Tracer* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ChaosReport {

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace ndpcr::faults {
 namespace {
 
@@ -27,6 +29,28 @@ std::size_t torn_length(std::size_t full, std::uint64_t salt) {
   return ckpt::splitmix64(salt) % full;
 }
 
+const char* fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient: return "fault_transient";
+    case FaultKind::kOutage: return "fault_outage";
+    case FaultKind::kTorn: return "fault_torn";
+    case FaultKind::kBitFlip: return "fault_bitflip";
+    case FaultKind::kStall: return "fault_stall";
+    case FaultKind::kNone: break;
+  }
+  return "";
+}
+
+// Instant event per injected fault; rides the store's serialization rule
+// (op numbering already requires one operation at a time per store).
+void note_fault(obs::TraceBuffer* buf, std::uint32_t track, FaultKind kind,
+                Target target, StoreOp op_kind, std::uint64_t op) {
+  if (buf == nullptr || kind == FaultKind::kNone) return;
+  buf->instant(fault_name(kind), "fault", track,
+               {obs::u64("target", target.id), obs::u64("op", op),
+                obs::str("dir", op_kind == StoreOp::kPut ? "put" : "get")});
+}
+
 }  // namespace
 
 FaultStats& FaultStats::operator+=(const FaultStats& other) {
@@ -49,7 +73,9 @@ ckpt::StoreStatus FaultyKvStore::put(std::uint32_t rank,
                                      Bytes data) {
   const std::uint64_t op = op_counter_++;
   ++stats_.ops;
-  switch (plan_->decide(target_, StoreOp::kPut, op)) {
+  const FaultKind kind = plan_->decide(target_, StoreOp::kPut, op);
+  note_fault(trace_buf_, trace_track_, kind, target_, StoreOp::kPut, op);
+  switch (kind) {
     case FaultKind::kTransient:
       ++stats_.transient_errors;
       return transient_error(target_, op);
@@ -80,7 +106,9 @@ ckpt::StoreResult<Bytes> FaultyKvStore::get(
     std::uint32_t rank, std::uint64_t checkpoint_id) const {
   const std::uint64_t op = op_counter_++;
   ++stats_.ops;
-  switch (plan_->decide(target_, StoreOp::kGet, op)) {
+  const FaultKind kind = plan_->decide(target_, StoreOp::kGet, op);
+  note_fault(trace_buf_, trace_track_, kind, target_, StoreOp::kGet, op);
+  switch (kind) {
     case FaultKind::kTransient:
       ++stats_.transient_errors;
       return transient_error(target_, op);
@@ -120,7 +148,9 @@ ckpt::StoreStatus FaultyFileStore::put(std::uint32_t rank,
                                        ByteSpan data) {
   const std::uint64_t op = op_counter_++;
   ++stats_.ops;
-  switch (plan_->decide(target_, StoreOp::kPut, op)) {
+  const FaultKind kind = plan_->decide(target_, StoreOp::kPut, op);
+  note_fault(trace_buf_, trace_track_, kind, target_, StoreOp::kPut, op);
+  switch (kind) {
     case FaultKind::kTransient:
       ++stats_.transient_errors;
       return transient_error(target_, op);
@@ -154,7 +184,9 @@ ckpt::StoreResult<Bytes> FaultyFileStore::get(
     std::uint32_t rank, std::uint64_t checkpoint_id) const {
   const std::uint64_t op = op_counter_++;
   ++stats_.ops;
-  switch (plan_->decide(target_, StoreOp::kGet, op)) {
+  const FaultKind kind = plan_->decide(target_, StoreOp::kGet, op);
+  note_fault(trace_buf_, trace_track_, kind, target_, StoreOp::kGet, op);
+  switch (kind) {
     case FaultKind::kTransient:
       ++stats_.transient_errors;
       return transient_error(target_, op);

@@ -26,6 +26,10 @@
 #include "ckpt/stores.hpp"
 #include "faults/fault_plan.hpp"
 
+namespace ndpcr::obs {
+class TraceBuffer;
+}  // namespace ndpcr::obs
+
 namespace ndpcr::faults {
 
 // Virtual seconds charged per kStall fault.
@@ -62,9 +66,20 @@ class FaultyKvStore final : public ckpt::KvStore {
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   [[nodiscard]] Target target() const { return target_; }
 
+  // Optional trace attachment (docs/OBSERVABILITY.md): every injected
+  // fault becomes an instant event on `track`, stamped with the store's
+  // op index. The op counter is already unsynchronized, so callers must
+  // serialize operations per store; the buffer rides the same rule.
+  void set_trace(obs::TraceBuffer* buf, std::uint32_t track) {
+    trace_buf_ = buf;
+    trace_track_ = track;
+  }
+
  private:
   std::shared_ptr<const FaultPlan> plan_;
   Target target_;
+  obs::TraceBuffer* trace_buf_ = nullptr;
+  std::uint32_t trace_track_ = 0;
   // get() is logically const; operation numbering and stats are not.
   mutable std::uint64_t op_counter_ = 0;
   mutable FaultStats stats_;
@@ -84,9 +99,17 @@ class FaultyFileStore final : public ckpt::FileStore {
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
+  // Same contract as FaultyKvStore::set_trace.
+  void set_trace(obs::TraceBuffer* buf, std::uint32_t track) {
+    trace_buf_ = buf;
+    trace_track_ = track;
+  }
+
  private:
   std::shared_ptr<const FaultPlan> plan_;
   Target target_;
+  obs::TraceBuffer* trace_buf_ = nullptr;
+  std::uint32_t trace_track_ = 0;
   mutable std::uint64_t op_counter_ = 0;
   mutable FaultStats stats_;
 };

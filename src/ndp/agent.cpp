@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/trace.hpp"
 
 namespace ndpcr::ndp {
 
@@ -11,7 +14,8 @@ NdpAgent::NdpAgent(const AgentConfig& config, ckpt::KvStore& io_store)
     : cfg_(config),
       io_(io_store),
       uncompressed_(config.uncompressed_capacity),
-      compressed_(config.compressed_capacity) {
+      compressed_(config.compressed_capacity),
+      trace_(config.trace ? config.trace : &obs::Tracer::null()) {
   if (cfg_.compress_bw <= 0 || cfg_.io_bw <= 0) {
     throw std::invalid_argument("agent bandwidths must be positive");
   }
@@ -22,17 +26,33 @@ NdpAgent::NdpAgent(const AgentConfig& config, ckpt::KvStore& io_store)
     codec_.emplace(cfg_.codec, cfg_.codec_level, cfg_.chunk_bytes,
                    std::max(1u, cfg_.codec_threads));
   }
+  if (trace_->enabled()) {
+    const std::string base = "ndp r" + std::to_string(cfg_.rank);
+    trace_->set_track_name(cfg_.trace_track, base);
+    trace_->set_track_name(cfg_.trace_track + 1, base + " compress");
+    trace_->set_track_name(cfg_.trace_track + 2, base + " wire");
+  }
 }
 
 bool NdpAgent::host_commit(std::uint64_t checkpoint_id, Bytes image) {
+  const std::size_t bytes = image.size();
   if (!uncompressed_.put(checkpoint_id, std::move(image))) {
     return false;
   }
   ++stats_.commits_seen;
+  if (obs::TraceBuffer* rb = trace_->root()) {
+    rb->instant_at(vclock_, "host_commit", "ndp", cfg_.trace_track,
+                   {obs::u64("id", checkpoint_id),
+                    obs::u64("bytes", bytes)});
+  }
   if (pending_) {
     // The previously queued checkpoint is superseded before its drain
     // ever started: the NDP always ships the newest.
     ++stats_.drains_skipped;
+    if (obs::TraceBuffer* rb = trace_->root()) {
+      rb->instant_at(vclock_, "drain_skipped", "ndp", cfg_.trace_track,
+                     {obs::u64("id", *pending_)});
+    }
   }
   pending_ = checkpoint_id;
   start_drain_if_ready();
@@ -49,10 +69,16 @@ void NdpAgent::start_drain_if_ready() {
   Drain drain;
   drain.checkpoint_id = id;
   drain.image_size = image->size();
+  drain.start_v = vclock_;
   // Lock the source so the circular buffer cannot reclaim it while the
   // chunk pipeline reads it (section 4.2.2).
   uncompressed_.lock(id);
   drain.locked = true;
+  if (obs::TraceBuffer* rb = trace_->root()) {
+    rb->instant_at(vclock_, "drain_start", "ndp", cfg_.trace_track,
+                   {obs::u64("id", id),
+                    obs::u64("bytes", drain.image_size)});
+  }
 
   if (codec_) {
     drain.chunk_count = codec_->chunk_count(image->size());
@@ -92,6 +118,7 @@ double NdpAgent::step_pipeline(double budget) {
       d.compress_remaining =
           static_cast<double>(extent.second) / cfg_.compress_bw;
       d.compress_active = true;
+      d.compress_start_v = vclock_;
     }
     // Arm the write stage: overlap mode ships chunk j as soon as it left
     // the compressor; serial mode waits for the whole image. The
@@ -109,6 +136,7 @@ double NdpAgent::step_pipeline(double budget) {
       }
       d.write_remaining = bytes / cfg_.io_bw;
       d.write_active = true;
+      d.write_start_v = vclock_;
     }
     if (!d.compress_active && !d.write_active) {
       // Every chunk compressed and written: the pipeline is dry.
@@ -122,10 +150,19 @@ double NdpAgent::step_pipeline(double budget) {
     double step = budget;
     if (d.compress_active) step = std::min(step, d.compress_remaining);
     if (d.write_active) step = std::min(step, d.write_remaining);
+    vclock_ += step;
+    obs::TraceBuffer* rb = trace_->root();
     if (d.compress_active) {
       d.compress_remaining -= step;
       if (d.compress_remaining <= 0.0) {
         d.compress_active = false;
+        if (rb) {
+          rb->span_at(d.compress_start_v, vclock_, "compress_chunk",
+                      "ndp.compress", cfg_.trace_track + 1,
+                      {obs::u64("chunk", d.compressed_done),
+                       obs::u64("out_bytes",
+                                d.chunks[d.compressed_done].size())});
+        }
         ++d.compressed_done;
       }
     }
@@ -133,6 +170,12 @@ double NdpAgent::step_pipeline(double budget) {
       d.write_remaining -= step;
       if (d.write_remaining <= 0.0) {
         d.write_active = false;
+        if (rb) {
+          rb->span_at(d.write_start_v, vclock_, "write_chunk", "ndp.wire",
+                      cfg_.trace_track + 2,
+                      {obs::u64("chunk", d.write_front),
+                       obs::u64("bytes", d.chunks[d.write_front].size())});
+        }
         ++d.write_front;
       }
     }
@@ -152,6 +195,8 @@ void NdpAgent::finish_drain() {
     compressed_.put(id, d.compressed);
   }
   ++d.put_attempts;
+  ++stats_.io_put_attempts;
+  obs::TraceBuffer* rb = trace_->root();
   const auto status = io_.put(cfg_.rank, id, Bytes(d.compressed));
   bool ok = false;
   bool permanent = false;
@@ -163,8 +208,19 @@ void NdpAgent::finish_drain() {
       ok = true;
     } else if (readback.ok()) {
       io_.erase(cfg_.rank, id);
+      ++stats_.io_verify_failures;
+      ++stats_.io_quarantined;
+      if (rb) {
+        rb->instant_at(vclock_, "io_quarantine", "ndp", cfg_.trace_track,
+                       {obs::u64("id", id)});
+      }
     } else {
+      ++stats_.io_verify_failures;
       permanent = readback.error().permanent();
+      if (rb) {
+        rb->instant_at(vclock_, "io_verify_fail", "ndp", cfg_.trace_track,
+                       {obs::u64("id", id)});
+      }
     }
   } else {
     permanent = status.error().permanent();
@@ -174,6 +230,22 @@ void NdpAgent::finish_drain() {
     stats_.bytes_to_io += d.compressed.size();
     newest_on_io_ = id;
     ++stats_.drains_completed;
+    if (io_degraded_) {
+      // The IO path works again: the drain "level" heals, exactly like a
+      // multilevel level's probe succeeding.
+      io_degraded_ = false;
+      ++stats_.io_repairs;
+      if (rb) {
+        rb->instant_at(vclock_, "io_healed", "ndp", cfg_.trace_track,
+                       {obs::u64("id", id)});
+      }
+    }
+    if (rb) {
+      rb->span_at(d.start_v, vclock_, "drain", "ndp", cfg_.trace_track,
+                  {obs::u64("id", id), obs::u64("chunks", d.chunk_count),
+                   obs::u64("in_bytes", d.image_size),
+                   obs::u64("out_bytes", d.compressed.size())});
+    }
     if (d.locked) uncompressed_.unlock(id);
     drain_.reset();
     start_drain_if_ready();
@@ -188,11 +260,27 @@ void NdpAgent::finish_drain() {
         std::pow(2.0, static_cast<double>(d.put_attempts - 1));
     stats_.retry_backoff_seconds += backoff;
     d.remaining_seconds = backoff;
+    if (rb) {
+      rb->instant_at(vclock_, "io_put_retry", "ndp", cfg_.trace_track,
+                     {obs::u64("id", id),
+                      obs::u64("attempt", d.put_attempts),
+                      obs::f64("backoff_s", backoff)});
+    }
     return;
   }
   // Permanent outage or retries exhausted: hand the compressed image back
   // to the host write path and move on to the next checkpoint.
   ++stats_.drain_put_failures;
+  ++stats_.host_fallbacks;
+  io_degraded_ = true;
+  if (rb) {
+    rb->span_at(d.start_v, vclock_, "drain_failed", "ndp", cfg_.trace_track,
+                {obs::u64("id", id),
+                 obs::u64("attempts", d.put_attempts)});
+    rb->instant_at(vclock_, "host_fallback", "ndp", cfg_.trace_track,
+                   {obs::u64("id", id),
+                    obs::u64("bytes", d.compressed.size())});
+  }
   fallback_ = HostFallback{id, std::move(d.compressed)};
   if (d.locked) uncompressed_.unlock(id);
   drain_.reset();
@@ -219,6 +307,7 @@ double NdpAgent::pump(double seconds) {
       drain_->remaining_seconds -= step;
       seconds -= step;
       consumed += step;
+      vclock_ += step;
       if (drain_->remaining_seconds <= 0.0) finish_drain();
     }
   }
@@ -227,10 +316,17 @@ double NdpAgent::pump(double seconds) {
 }
 
 void NdpAgent::reset() {
+  obs::TraceBuffer* rb = trace_->root();
   if (drain_) {
     ++stats_.drains_aborted;
+    if (rb) {
+      rb->span_at(drain_->start_v, vclock_, "drain_aborted", "ndp",
+                  cfg_.trace_track,
+                  {obs::u64("id", drain_->checkpoint_id)});
+    }
     drain_.reset();  // locks die with the store contents
   }
+  if (rb) rb->instant_at(vclock_, "agent_reset", "ndp", cfg_.trace_track);
   pending_.reset();
   fallback_.reset();
   uncompressed_.clear();
@@ -239,6 +335,24 @@ void NdpAgent::reset() {
 
 std::optional<NdpAgent::HostFallback> NdpAgent::take_host_fallback() {
   return std::exchange(fallback_, std::nullopt);
+}
+
+void NdpAgent::sync_clock(double now_seconds) {
+  vclock_ = std::max(vclock_, now_seconds);
+}
+
+ckpt::LevelHealth NdpAgent::drain_health() const {
+  ckpt::LevelHealth health;
+  health.state = io_degraded_ ? ckpt::LevelState::kDegraded
+                              : ckpt::LevelState::kHealthy;
+  health.puts = stats_.io_put_attempts;
+  health.put_retries = stats_.drain_put_retries;
+  health.put_failures = stats_.drain_put_failures;
+  health.verify_failures = stats_.io_verify_failures;
+  health.quarantined = stats_.io_quarantined;
+  health.repairs = stats_.io_repairs;
+  health.backoff_seconds = stats_.retry_backoff_seconds;
+  return health;
 }
 
 std::optional<std::uint64_t> NdpAgent::newest_on_io() const {

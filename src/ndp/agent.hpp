@@ -38,10 +38,15 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/multilevel.hpp"
 #include "ckpt/nvm_store.hpp"
 #include "ckpt/stores.hpp"
 #include "compress/chunked.hpp"
 #include "compress/codec.hpp"
+
+namespace ndpcr::obs {
+class Tracer;
+}  // namespace ndpcr::obs
 
 namespace ndpcr::ndp {
 
@@ -68,6 +73,16 @@ struct AgentConfig {
   // virtual backoff before the first retry (doubles per retry).
   std::uint32_t drain_put_attempts = 4;
   double drain_retry_backoff = 0.05;
+
+  // Optional tracer (docs/OBSERVABILITY.md). The agent emits on the
+  // virtual clock: a span per drain and per pipeline stage (compress vs
+  // wire, so the overlap is visible in Perfetto), plus retry/fallback
+  // instants. Three tracks are used starting at `trace_track`: +0 drain,
+  // +1 compress stage, +2 wire stage. The agent's virtual clock advances
+  // only while the pipeline consumes time; a simulator that knows the
+  // global virtual time should call sync_clock() before each pump.
+  obs::Tracer* trace = nullptr;
+  std::uint32_t trace_track = 0;
 };
 
 struct AgentStats {
@@ -81,6 +96,14 @@ struct AgentStats {
   std::uint64_t drain_put_retries = 0;   // IO writes retried after failure
   std::uint64_t drain_put_failures = 0;  // drains handed back to the host
   double retry_backoff_seconds = 0.0;    // virtual backoff accumulated
+  // Health-style counters for the drain's IO write path, so chaos runs
+  // can assert on fallback/retry behaviour the way they do on the
+  // multilevel HealthReport (see drain_health()).
+  std::uint64_t io_put_attempts = 0;     // IO puts issued (incl. retries)
+  std::uint64_t io_verify_failures = 0;  // readback mismatched the drain
+  std::uint64_t io_quarantined = 0;      // torn IO entries erased
+  std::uint64_t host_fallbacks = 0;      // HostFallback handoffs staged
+  std::uint64_t io_repairs = 0;          // degraded -> healthy transitions
 };
 
 class NdpAgent {
@@ -121,6 +144,15 @@ class NdpAgent {
   };
   [[nodiscard]] std::optional<HostFallback> take_host_fallback();
 
+  // Align the agent's virtual clock with the caller's simulation time
+  // (monotone: never moves backwards). Only affects trace timestamps.
+  void sync_clock(double now_seconds);
+
+  // The drain's IO write path viewed as a ckpt::LevelHealth, so chaos
+  // harnesses can fold it into the same reporting as the multilevel
+  // levels: degraded while the last drain fell back to the host.
+  [[nodiscard]] ckpt::LevelHealth drain_health() const;
+
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
   [[nodiscard]] const ckpt::NvmStore& uncompressed_partition() const {
     return uncompressed_;
@@ -150,6 +182,10 @@ class NdpAgent {
     double remaining_seconds = 0.0;  // put retry backoff countdown
     bool locked = false;
     std::uint32_t put_attempts = 0;  // IO writes tried for this drain
+    // Virtual-clock stamps for the trace spans.
+    double start_v = 0.0;
+    double compress_start_v = 0.0;
+    double write_start_v = 0.0;
   };
 
   void start_drain_if_ready();
@@ -169,6 +205,10 @@ class NdpAgent {
   std::optional<std::uint64_t> newest_on_io_;
   std::optional<HostFallback> fallback_;
   AgentStats stats_;
+  // Never null: cfg.trace or the shared disabled Tracer::null().
+  obs::Tracer* trace_;
+  double vclock_ = 0.0;       // virtual time consumed by this agent
+  bool io_degraded_ = false;  // last drain fell back to the host path
 };
 
 }  // namespace ndpcr::ndp

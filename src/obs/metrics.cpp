@@ -1,0 +1,190 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.hpp"
+#include "common/stats.hpp"
+#include "exec/reporter.hpp"
+
+namespace ndpcr::obs {
+namespace {
+
+std::string fmt(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::size_t bucket_of(double value) {
+  if (!(value > Histogram::kFloor)) return 0;
+  // ilogb of the ratio: pure exponent arithmetic, no boundary rounding.
+  const int exp = std::ilogb(value / Histogram::kFloor);
+  const std::size_t idx = static_cast<std::size_t>(exp < 0 ? 0 : exp) + 1;
+  return std::min(idx, Histogram::kBuckets - 1);
+}
+
+double bucket_lo(std::size_t idx) {
+  if (idx == 0) return 0.0;
+  return Histogram::kFloor * std::ldexp(1.0, static_cast<int>(idx) - 1);
+}
+
+double bucket_hi(std::size_t idx) {
+  return Histogram::kFloor * std::ldexp(1.0, static_cast<int>(idx));
+}
+
+}  // namespace
+
+void Histogram::record(double value) {
+  if (!std::isfinite(value)) return;
+  if (value < 0.0) value = 0.0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_of(value)];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t idx = 0; idx < kBuckets; ++idx) {
+    if (buckets_[idx] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[idx];
+    if (static_cast<double>(seen) < rank) continue;
+    // Geometric interpolation inside the landing bucket matches the
+    // logarithmic bucket widths.
+    const double frac =
+        std::clamp((rank - before) / static_cast<double>(buckets_[idx]),
+                   0.0, 1.0);
+    const double lo = std::max(bucket_lo(idx), min_);
+    const double hi = std::min(bucket_hi(idx), std::max(max_, kFloor));
+    double value;
+    if (idx == 0 || lo <= 0.0) {
+      value = lo + (hi - lo) * frac;
+    } else {
+      value = lo * std::pow(hi / lo, frac);
+    }
+    return std::clamp(value, min_, max_);
+  }
+  return max_;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  s.min = s.max = samples.front();
+  for (const double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = percentile(samples, 50.0);
+  s.p95 = percentile(samples, 95.0);
+  s.p99 = percentile(std::move(samples), 99.0);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+void MetricsRegistry::add_to(exec::Reporter& reporter) const {
+  if (!counters_.empty()) {
+    reporter.add_section("metrics.counters", {"name", "value"});
+    for (const auto& [name, counter] : counters_) {
+      reporter.add_row({name, std::to_string(counter.value())});
+    }
+  }
+  if (!gauges_.empty()) {
+    reporter.add_section("metrics.gauges", {"name", "value"});
+    for (const auto& [name, gauge] : gauges_) {
+      reporter.add_row({name, fmt(gauge.value())});
+    }
+  }
+  if (!histograms_.empty()) {
+    reporter.add_section("metrics.histograms",
+                         {"name", "count", "mean", "min", "max", "p50",
+                          "p95", "p99", "sum"});
+    for (const auto& [name, h] : histograms_) {
+      reporter.add_row({name, std::to_string(h.count()), fmt(h.mean()),
+                        fmt(h.min()), fmt(h.max()), fmt(h.p50()),
+                        fmt(h.p95()), fmt(h.p99()), fmt(h.sum())});
+    }
+  }
+}
+
+void MetricsRegistry::write(const std::string& path,
+                            const exec::RunMeta& meta) const {
+  exec::Reporter reporter(meta);
+  add_to(reporter);
+  reporter.write(path);
+}
+
+std::uint32_t MetricsRegistry::fingerprint() const {
+  Crc32 crc;
+  const auto feed_u64 = [&](std::uint64_t v) {
+    std::uint8_t raw[8];
+    for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    crc.update(raw, sizeof raw);
+  };
+  const auto feed_f64 = [&](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    feed_u64(bits);
+  };
+  const auto feed_str = [&](std::string_view s) {
+    feed_u64(s.size());
+    crc.update(s.data(), s.size());
+  };
+  feed_u64(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    feed_str(name);
+    feed_u64(counter.value());
+  }
+  feed_u64(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    feed_str(name);
+    feed_f64(gauge.value());
+  }
+  feed_u64(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    feed_str(name);
+    feed_u64(h.count());
+    feed_f64(h.sum());
+    feed_f64(h.min());
+    feed_f64(h.max());
+    for (const std::uint64_t b : h.buckets()) feed_u64(b);
+  }
+  return crc.value();
+}
+
+}  // namespace ndpcr::obs

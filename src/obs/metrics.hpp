@@ -1,0 +1,133 @@
+#pragma once
+
+// Metrics for the C/R stack (docs/OBSERVABILITY.md): counters, gauges
+// and log-bucketed latency histograms with p50/p95/p99, collected in a
+// MetricsRegistry and exported through exec::Reporter so snapshots share
+// the CSV/JSON/ASCII pipeline (and metadata stamping) of every bench
+// table in the tree.
+//
+// Everything here is deterministic: histograms bucket by the binary
+// exponent of the sample (std::ilogb - integer math on the double's
+// exponent, no rounding ambiguity), registries export in name order
+// (std::map), and fingerprint() hashes the exact stored state. Like the
+// tracer, a registry is single-writer: parallel sections record into
+// per-task registries or plain per-task arrays and merge in task-index
+// order.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndpcr::exec {
+class Reporter;
+struct RunMeta;
+}  // namespace ndpcr::exec
+
+namespace ndpcr::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Log-bucketed histogram: bucket 0 holds samples <= kFloor, bucket k
+// holds (kFloor * 2^(k-1), kFloor * 2^k]. With kFloor = 1e-9 and 64
+// buckets the range covers nanoseconds to ~10^10 in units of the caller's
+// choosing. Exact count/sum/min/max are kept alongside the buckets;
+// quantiles interpolate geometrically inside the landing bucket.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr double kFloor = 1e-9;
+
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  // q in [0, 1]; 0 on an empty histogram. Bucket-resolution estimate
+  // (within a factor of 2), clamped to the observed [min, max].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+// Exact-percentile summary of a sample vector - the shared helper the
+// bench harnesses use instead of each keeping a private percentile
+// implementation (built on common/stats.hpp percentile()).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+
+// Named metric store. Lookup creates on first use; export is name-sorted
+// and therefore deterministic.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Append "metrics.counters" / "metrics.gauges" / "metrics.histograms"
+  // sections (only the non-empty ones) to an existing Reporter.
+  void add_to(exec::Reporter& reporter) const;
+
+  // Standalone snapshot through a fresh Reporter: "-" = stdout, ".json"
+  // suffix = JSON, anything else CSV (exec::Reporter::write semantics).
+  void write(const std::string& path, const exec::RunMeta& meta) const;
+
+  // CRC32 over names and stored values; bit-identical across runs and
+  // TaskPool sizes when the recording sites follow the merge rule.
+  [[nodiscard]] std::uint32_t fingerprint() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace ndpcr::obs

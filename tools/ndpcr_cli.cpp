@@ -15,6 +15,10 @@
 //       --io-codec {null|rle|lz4|deflate|bzip|xz}  IO-level codec
 //       --io-threads <n>      chunk-compression workers (0 = pool size,
 //                             1 = inline) --io-chunk <bytes>
+//       --trace <file>        write a Chrome-trace-event JSON of the run
+//                             (open in Perfetto; docs/OBSERVABILITY.md)
+//       --metrics <file>      write a metrics snapshot (.json = JSON,
+//                             else CSV, "-" = stdout)
 //
 // Common options (defaults = the paper's Table 4 scenario):
 //   --mtti <minutes>      --ckpt-gb <GB>       --local-gbps <GB/s>
@@ -32,14 +36,22 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/breakdown_table.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "exec/reporter.hpp"
 #include "exec/task_pool.hpp"
 #include "faults/chaos.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/faulty_stores.hpp"
+#include "ndp/agent.hpp"
 #include "model/evaluator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proj/projection.hpp"
 #include "study/compression_study.hpp"
 
@@ -263,7 +275,47 @@ int cmd_faults(const Options& opts) {
     return 2;
   }
 
+  const std::string trace_path = opts.text("trace", "");
+  const std::string metrics_path = opts.text("metrics", "");
+  obs::Tracer tracer(!trace_path.empty());
+  obs::MetricsRegistry metrics;
+  if (!trace_path.empty()) cfg.trace = &tracer;
+  if (!metrics_path.empty()) cfg.metrics = &metrics;
+
   const auto report = faults::run_chaos(cfg);
+
+  // NDP drain leg: the agent drains one compressible image through a
+  // fault-injecting IO store seeded from the same schedule, so the
+  // trace also covers the drain/compress/wire stages and the health
+  // table gets the drain-side row (docs/OBSERVABILITY.md). Entirely
+  // serial on the virtual clock, so thread-count invariance holds.
+  auto drain_plan = std::make_shared<faults::FaultPlan>(
+      exec::sub_seed(cfg.seed, 0x6472u), cfg.rates);
+  faults::FaultyKvStore drain_io(drain_plan, faults::io_target());
+  ndp::AgentConfig ac;
+  ac.uncompressed_capacity = 4ull << 20;
+  ac.compressed_capacity = 4ull << 20;
+  ac.codec = compress::CodecId::kDeflateStyle;
+  ac.codec_level = 1;
+  ac.compress_bw = 1e6;
+  ac.io_bw = 0.5e6;
+  if (!trace_path.empty()) {
+    ac.trace = &tracer;
+    ac.trace_track = 40;
+    tracer.set_track_name(43, "drain io");
+  }
+  ndp::NdpAgent agent(ac, drain_io);
+  if (obs::TraceBuffer* rb = tracer.root()) drain_io.set_trace(rb, 43);
+  Bytes drain_image(256ull << 10);
+  {
+    Rng rng(exec::sub_seed(cfg.seed, 0x696fu));
+    for (auto& b : drain_image) {
+      b = static_cast<std::byte>(rng.next_below(5));
+    }
+  }
+  (void)agent.host_commit(1, std::move(drain_image));
+  const double drain_s = agent.pump(1e9);
+
   std::printf("chaos schedule seed %llu: %llu commits, %u nodes, "
               "scheme %s%s\n\n",
               static_cast<unsigned long long>(report.seed),
@@ -285,6 +337,7 @@ int cmd_faults(const Options& opts) {
   level_row("local", report.health.local);
   level_row("partner", report.health.partner);
   level_row("io", report.health.io);
+  level_row("ndp-drain", agent.drain_health());
   std::fputs(table.str().c_str(), stdout);
 
   std::printf("\ncommits %llu (degraded %llu), recoveries %llu of %llu "
@@ -304,10 +357,44 @@ int cmd_faults(const Options& opts) {
               static_cast<unsigned long long>(report.faults.stalls),
               report.faults.stall_seconds,
               static_cast<unsigned long long>(report.faults.outage_errors));
+  const auto& as = agent.stats();
+  std::printf("ndp drain: %llu IO puts (%llu retries), %llu host "
+              "fallbacks, %.2f virtual s\n",
+              static_cast<unsigned long long>(as.io_put_attempts),
+              static_cast<unsigned long long>(as.drain_put_retries),
+              static_cast<unsigned long long>(as.host_fallbacks),
+              drain_s);
   std::printf("fingerprint %08x, violations %llu\n", report.fingerprint,
               static_cast<unsigned long long>(report.violations));
   for (const auto& note : report.violation_notes) {
     std::printf("  violation: %s\n", note.c_str());
+  }
+  if (!trace_path.empty()) {
+    tracer.write(trace_path);
+    std::printf("trace: %s (%zu events, fingerprint %08x)\n",
+                trace_path.c_str(), tracer.events().size(),
+                tracer.fingerprint());
+  }
+  if (!metrics_path.empty()) {
+    const ckpt::LevelHealth dh = agent.drain_health();
+    metrics.counter("ndp.drain.puts").add(dh.puts);
+    metrics.counter("ndp.drain.put_retries").add(dh.put_retries);
+    metrics.counter("ndp.drain.put_failures").add(dh.put_failures);
+    metrics.counter("ndp.drain.verify_failures").add(dh.verify_failures);
+    metrics.counter("ndp.drain.quarantined").add(dh.quarantined);
+    metrics.counter("ndp.drain.host_fallbacks").add(as.host_fallbacks);
+    metrics.gauge("ndp.drain.backoff_seconds").set(dh.backoff_seconds);
+    exec::RunMeta meta;
+    meta.bench = "chaos";
+    meta.seed = cfg.seed;
+    meta.trials = 1;
+    meta.threads = exec::global_thread_count();
+    meta.config = "nodes=" + std::to_string(cfg.node_count) +
+                  " commits=" + std::to_string(cfg.commits) +
+                  " scheme=" + scheme;
+    metrics.write(metrics_path, meta);
+    std::printf("metrics: %s (fingerprint %08x)\n", metrics_path.c_str(),
+                metrics.fingerprint());
   }
   return report.violations == 0 ? 0 : 1;
 }
@@ -317,6 +404,8 @@ void usage() {
             "[--key value ...]");
   std::puts("       ndpcr --faults <seed> [--nodes n --commits n "
             "--scheme copy|xor --outage 0|1]");
+  std::puts("       ndpcr --faults <seed> --trace out.json "
+            "--metrics metrics.json   (observability outputs)");
   std::puts("see the comment block in tools/ndpcr_cli.cpp for options");
 }
 
