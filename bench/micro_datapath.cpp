@@ -1,7 +1,11 @@
 // Microbenchmark for the parallel checkpoint data path (docs/PERF.md):
 //
 //   crc32             slicing-by-8 vs a byte-at-a-time reference
-//   chunked_compress  ChunkedCodec worker sweep on one payload
+//   codec_kernels     whole-payload compress/decompress throughput for
+//                     every registered codec, with ratio and vs-baseline
+//                     columns against the pre-overhaul kernels
+//   chunked_compress  ChunkedCodec worker sweep on one payload, plain and
+//                     accelerated, compress and decompress legs
 //   commit / recover  MultilevelManager wall throughput across pool sizes
 //   drain             NdpAgent chunk pipeline: wall throughput at
 //                     unbounded virtual bandwidth, plus the virtual-time
@@ -32,6 +36,8 @@
 #include "common/crc32.hpp"
 #include "common/rng.hpp"
 #include "compress/chunked.hpp"
+#include "compress/lz4_style.hpp"
+#include "compress/scratch.hpp"
 #include "exec/task_pool.hpp"
 #include "ndp/agent.hpp"
 #include "obs/trace.hpp"
@@ -101,8 +107,11 @@ int main(int argc, char** argv) {
 
   const std::vector<unsigned> pool_sizes = {1, 2, 4, 8};
 
-  // --- crc32: sliced kernel vs byte-wise reference --------------------
+  // --- crc32: dispatched kernel vs byte-wise reference ----------------
   {
+    // Crc32::compute picks the best kernel at runtime (sliced8, then the
+    // PCLMUL / VPCLMULQDQ folds when the CPU has them), so this row times
+    // whatever the data path actually runs on this host.
     const std::size_t bytes = smoke ? (4ull << 20) : (32ull << 20);
     const int reps = smoke ? 1 : 3;
     const Bytes data = mixed_payload(bytes, seed);
@@ -124,30 +133,123 @@ int main(int argc, char** argv) {
     out.add_section("crc32", {"impl", "mib_per_s", "speedup"});
     out.add_row({"bytewise", fmt(total_mb / ref_s, 1), "1.00"});
     out.add_row(
-        {"sliced8", fmt(total_mb / sliced_s, 1), fmt(ref_s / sliced_s)});
+        {"dispatched", fmt(total_mb / sliced_s, 1), fmt(ref_s / sliced_s)});
   }
 
-  // --- chunked compression worker sweep -------------------------------
+  // --- per-codec kernel throughput ------------------------------------
+  {
+    // Whole-payload compress/decompress for every registered codec, on the
+    // same half-compressible payload family the rest of the harness uses
+    // (seed pinned so the vs-baseline columns compare identical bytes).
+    // The baseline constants are the pre-overhaul kernels measured on the
+    // reference host (docs/PERF.md); sizes shrink for the slow coders so a
+    // full run stays interactive.
+    struct KernelCfg {
+      const char* name;
+      int level;
+      bool accel;
+      std::size_t full_mib;
+      int reps;
+      double comp_base;    // pre-overhaul MiB/s, reference host
+      double decomp_base;
+    };
+    const std::vector<KernelCfg> cfgs = {
+        {"null", 0, false, 8, 4, 694.0, 1136.1},
+        {"rle", 0, false, 8, 4, 218.7, 560.6},
+        {"nlz4", 1, false, 8, 3, 49.0, 664.4},
+        {"nlz4-accel", 1, true, 8, 3, 49.0, 664.4},
+        {"ngzip", 6, false, 2, 2, 31.8, 120.5},
+        {"nbzip2", 9, false, 1, 1, 6.0, 19.5},
+        {"nxz", 1, false, 1, 1, 3.6, 16.6},
+    };
+    out.add_section("codec_kernels",
+                    {"codec", "level", "comp_mib_s", "comp_vs_base",
+                     "decomp_mib_s", "decomp_vs_base", "ratio"});
+    compress::CodecScratch scratch;
+    for (const auto& cfg : cfgs) {
+      const std::size_t bytes =
+          smoke ? (256ull << 10) : (cfg.full_mib << 20);
+      const int comp_reps = smoke ? 1 : cfg.reps;
+      const int decomp_reps = smoke ? 1 : cfg.reps * 4;
+      const Bytes data = mixed_payload(bytes, 2026);
+      const std::unique_ptr<compress::Codec> codec =
+          cfg.accel ? std::make_unique<compress::Lz4StyleCodec>(
+                          cfg.level, /*accelerate=*/true)
+                    : compress::make_codec(cfg.name, cfg.level);
+      Bytes packed;
+      const double comp_s = seconds_of([&] {
+        for (int r = 0; r < comp_reps; ++r) {
+          packed = codec->compress(data, scratch);
+        }
+      });
+      Bytes back;
+      const double decomp_s = seconds_of([&] {
+        for (int r = 0; r < decomp_reps; ++r) {
+          back = codec->decompress(packed, scratch);
+        }
+      });
+      if (back != data) {
+        std::fprintf(stderr, "FAIL: %s kernel round-trip\n", cfg.name);
+        return 1;
+      }
+      const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+      const double comp = mib * comp_reps / comp_s;
+      const double decomp = mib * decomp_reps / decomp_s;
+      out.add_row({cfg.name, std::to_string(cfg.level), fmt(comp, 1),
+                   fmt(comp / cfg.comp_base), fmt(decomp, 1),
+                   fmt(decomp / cfg.decomp_base),
+                   fmt(static_cast<double>(packed.size()) /
+                           static_cast<double>(bytes),
+                       3)});
+    }
+  }
+
+  // --- chunked compression / decompression worker sweep ---------------
   {
     const std::size_t bytes = smoke ? (512ull << 10) : (8ull << 20);
     const Bytes data = mixed_payload(bytes, seed + 1);
+    // Pre-overhaul single-thread chunked nlz4 on the reference host:
+    // compress 55.3 MiB/s (committed BENCH_datapath.json), decompress
+    // 453.1 MiB/s (same payload through the old whole-stream kernel).
+    constexpr double kCompBase = 55.3;
+    constexpr double kDecompBase = 453.1;
     out.add_section("chunked_compress",
-                    {"codec", "threads", "mib_per_s", "speedup"});
-    double base_s = 0.0;
-    for (const unsigned threads : pool_sizes) {
-      const compress::ChunkedCodec codec(compress::CodecId::kLz4Style, 1,
-                                         64ull << 10, threads);
-      Bytes packed;
-      const double s = seconds_of([&] { packed = codec.compress(data); });
-      if (threads == 1) base_s = s;
-      if (codec.decompress(packed) != data) {
-        std::fprintf(stderr, "FAIL: chunked round-trip\n");
-        return 1;
+                    {"codec", "mode", "threads", "comp_mib_s",
+                     "comp_vs_base", "decomp_mib_s", "decomp_vs_base",
+                     "ratio"});
+    for (const bool accel : {false, true}) {
+      for (const unsigned threads : pool_sizes) {
+        const compress::ChunkedCodec codec(compress::CodecId::kLz4Style, 1,
+                                           64ull << 10, threads, accel);
+        const int comp_reps = accel ? (smoke ? 2 : 8) : 1;
+        const int decomp_reps = smoke ? 2 : 8;
+        Bytes packed;
+        const double comp_s = seconds_of([&] {
+          for (int r = 0; r < comp_reps; ++r) {
+            packed = codec.compress(data);
+          }
+        });
+        Bytes back;
+        const double decomp_s = seconds_of([&] {
+          for (int r = 0; r < decomp_reps; ++r) {
+            back = codec.decompress(packed);
+          }
+        });
+        if (back != data) {
+          std::fprintf(stderr, "FAIL: chunked round-trip\n");
+          return 1;
+        }
+        const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+        out.add_row({"nlz4", accel ? "accel" : "plain",
+                     std::to_string(threads),
+                     fmt(mib * comp_reps / comp_s, 1),
+                     fmt(mib * comp_reps / comp_s / kCompBase),
+                     fmt(mib * decomp_reps / decomp_s, 1),
+                     fmt(mib * decomp_reps / decomp_s / kDecompBase),
+                     fmt(static_cast<double>(packed.size()) /
+                             static_cast<double>(bytes),
+                         3)});
       }
-      out.add_row({"nlz4", std::to_string(threads),
-                   fmt(static_cast<double>(bytes) / (1024.0 * 1024.0) / s,
-                       1),
-                   fmt(base_s / s)});
     }
   }
 

@@ -137,6 +137,7 @@ MultilevelManager::MultilevelManager(const MultilevelConfig& config)
     }
     io_codec_.emplace(config.io_codec, config.io_codec_level,
                       config.io_chunk_bytes, threads);
+    io_codec_->warm(threads);
   }
   local_.reserve(config.node_count);
   for (std::uint32_t n = 0; n < config.node_count; ++n) {

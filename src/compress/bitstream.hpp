@@ -5,7 +5,9 @@
 // 64-bit accumulator instead of shuffling single bytes through it; the byte
 // streams produced/consumed are identical to the byte-at-a-time versions.
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 
 #include "common/bytes.hpp"
 #include "compress/codec.hpp"
@@ -95,32 +97,32 @@ class BitReader {
   }
 
  private:
-  // Top the accumulator up to at least `count` bits, a word at a time while
-  // 4+ input bytes remain, byte-wise at the tail. count <= 32 and filled_ <
-  // count on entry keep filled_ + 32 within the 64-bit accumulator.
+  // Top the accumulator up to at least `count` bits. While 8+ input bytes
+  // remain this is a single branchless 64-bit load: OR the next word in
+  // above the buffered bits, then count only the whole bytes that fit
+  // (pos_ advances by (63 - filled_) / 8 and filled_ jumps to 56..63). The
+  // word's top bytes fall off the shift uncounted, but pos_ still points at
+  // them, so the next refill re-ORs the identical bits - the accumulator
+  // bits above filled_ always mirror the stream bytes at pos_. The tail
+  // (< 8 bytes left) goes byte-wise, preserving peek()'s read-as-zero
+  // semantics past the end. count <= 32 and filled_ < count on entry.
   void refill(int count) {
-    while (filled_ < count && pos_ < data_.size()) {
-      if (data_.size() - pos_ >= 4) {
-        const std::uint32_t word =
-            static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_])) |
-            (static_cast<std::uint32_t>(
-                 static_cast<std::uint8_t>(data_[pos_ + 1]))
-             << 8) |
-            (static_cast<std::uint32_t>(
-                 static_cast<std::uint8_t>(data_[pos_ + 2]))
-             << 16) |
-            (static_cast<std::uint32_t>(
-                 static_cast<std::uint8_t>(data_[pos_ + 3]))
-             << 24);
-        acc_ |= static_cast<std::uint64_t>(word) << filled_;
-        pos_ += 4;
-        filled_ += 32;
-      } else {
-        acc_ |= static_cast<std::uint64_t>(
-                    static_cast<std::uint8_t>(data_[pos_++]))
-                << filled_;
-        filled_ += 8;
+    if (data_.size() - pos_ >= 8) {
+      std::uint64_t word;
+      std::memcpy(&word, data_.data() + pos_, 8);
+      if constexpr (std::endian::native == std::endian::big) {
+        word = __builtin_bswap64(word);
       }
+      acc_ |= word << filled_;
+      pos_ += static_cast<std::size_t>(63 - filled_) >> 3;
+      filled_ |= 56;
+      return;
+    }
+    while (filled_ < count && pos_ < data_.size()) {
+      acc_ |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(data_[pos_++]))
+              << filled_;
+      filled_ += 8;
     }
   }
 

@@ -31,8 +31,17 @@ BwtResult bwt_forward(ByteSpan block) {
 }
 
 Bytes bwt_inverse(ByteSpan l_column, std::uint32_t primary_index) {
+  Bytes out(l_column.size());
+  std::vector<std::uint32_t> occ;
+  bwt_inverse_into(l_column, primary_index, out.data(), occ);
+  return out;
+}
+
+void bwt_inverse_into(ByteSpan l_column, std::uint32_t primary_index,
+                      std::byte* out,
+                      std::vector<std::uint32_t>& occ_scratch) {
   const std::size_t n = l_column.size();
-  if (n == 0) return {};
+  if (n == 0) return;
   if (primary_index > n || primary_index == 0) {
     throw CodecError("BWT primary index out of range");
   }
@@ -49,7 +58,8 @@ Bytes bwt_inverse(ByteSpan l_column, std::uint32_t primary_index) {
 
   // occ[i]: occurrences of L'[i] in L'[0..i); C[c]: rows whose last char is
   // smaller than c (sentinel contributes 1 to every byte's C).
-  std::vector<std::uint32_t> occ(n + 1);
+  std::vector<std::uint32_t>& occ = occ_scratch;
+  occ.resize(n + 1);
   std::array<std::uint32_t, 256> count{};
   for (std::size_t i = 0; i <= n; ++i) {
     const int c = l_at(i);
@@ -66,7 +76,6 @@ Bytes bwt_inverse(ByteSpan l_column, std::uint32_t primary_index) {
     running += count[c];
   }
 
-  Bytes out(n);
   std::size_t row = 0;
   for (std::size_t k = n; k-- > 0;) {
     const int c = l_at(row);
@@ -76,7 +85,6 @@ Bytes bwt_inverse(ByteSpan l_column, std::uint32_t primary_index) {
     out[k] = static_cast<std::byte>(c);
     row = c_below[static_cast<std::size_t>(c)] + occ[row];
   }
-  return out;
 }
 
 }  // namespace ndpcr::compress

@@ -21,4 +21,10 @@ BwtResult bwt_forward(ByteSpan block);
 // Inverse transform. Throws CodecError if primary_index is out of range.
 Bytes bwt_inverse(ByteSpan l_column, std::uint32_t primary_index);
 
+// Inverse transform into a caller-owned buffer of l_column.size() bytes,
+// reusing `occ_scratch` for the rank table so per-block decodes do not
+// reallocate. Same validation as bwt_inverse.
+void bwt_inverse_into(ByteSpan l_column, std::uint32_t primary_index,
+                      std::byte* out, std::vector<std::uint32_t>& occ_scratch);
+
 }  // namespace ndpcr::compress

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <numeric>
 
 #include "compress/bitstream.hpp"
 #include "compress/bwt.hpp"
 #include "compress/huffman.hpp"
+#include "compress/scratch.hpp"
 
 namespace ndpcr::compress {
 namespace {
@@ -14,37 +16,38 @@ namespace {
 constexpr std::uint32_t kEob = 256;
 constexpr std::size_t kAlphabet = 257;
 
-// Move-to-front transform over the byte alphabet.
-Bytes mtf_forward(ByteSpan data) {
+// Move-to-front transform over the byte alphabet. The recency list is a
+// flat 256-byte array: the symbol search is a memchr and the to-front
+// rotation a memmove, both of which stay cheap because MTF output is
+// front-loaded (typical indices are tiny after a BWT).
+void mtf_forward(ByteSpan data, Bytes& out) {
   std::array<std::uint8_t, 256> order;
   std::iota(order.begin(), order.end(), 0);
-  Bytes out;
+  out.clear();
   out.reserve(data.size());
   for (std::byte b : data) {
     const auto value = static_cast<std::uint8_t>(b);
-    std::uint8_t idx = 0;
-    while (order[idx] != value) ++idx;
+    const auto* hit = static_cast<const std::uint8_t*>(
+        std::memchr(order.data(), value, order.size()));
+    const auto idx = static_cast<std::size_t>(hit - order.data());
     out.push_back(static_cast<std::byte>(idx));
-    // Move to front.
-    for (std::uint8_t k = idx; k > 0; --k) order[k] = order[k - 1];
+    std::memmove(order.data() + 1, order.data(), idx);
     order[0] = value;
   }
-  return out;
 }
 
-Bytes mtf_inverse(ByteSpan data) {
+void mtf_inverse(ByteSpan data, Bytes& out) {
   std::array<std::uint8_t, 256> order;
   std::iota(order.begin(), order.end(), 0);
-  Bytes out;
+  out.clear();
   out.reserve(data.size());
   for (std::byte b : data) {
     const auto idx = static_cast<std::uint8_t>(b);
     const std::uint8_t value = order[idx];
     out.push_back(static_cast<std::byte>(value));
-    for (std::uint8_t k = idx; k > 0; --k) order[k] = order[k - 1];
+    std::memmove(order.data() + 1, order.data(), idx);
     order[0] = value;
   }
-  return out;
 }
 
 // 4-bit-chunk varint: 3 data bits + 1 continuation bit per chunk.
@@ -77,7 +80,8 @@ BzipStyleCodec::BzipStyleCodec(int level) : level_(level) {
   }
 }
 
-void BzipStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+void BzipStyleCodec::compress_payload(ByteSpan input, Bytes& out,
+                                      CodecScratch& scratch) const {
   out.reserve(out.size() + input.size() / 2 + 64);
   BitWriter bw(out);
   std::size_t pos = 0;
@@ -91,7 +95,8 @@ void BzipStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
 
     const BwtResult bwt = bwt_forward(block);
     bw.write(bwt.primary_index, 32);
-    const Bytes mtf = mtf_forward(bwt.data);
+    Bytes& mtf = scratch.staging;
+    mtf_forward(bwt.data, mtf);
 
     // Symbol stream: MTF bytes with zero runs collapsed, plus EOB.
     // First pass: frequencies.
@@ -131,11 +136,13 @@ void BzipStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
   bw.finish();
 }
 
-void BzipStyleCodec::decompress_payload(ByteSpan payload,
-                                        std::size_t original_size,
-                                        Bytes& out) const {
-  if (original_size == 0) return;
+std::size_t BzipStyleCodec::decompress_payload(ByteSpan payload,
+                                               std::byte* dst,
+                                               std::size_t original_size,
+                                               CodecScratch& scratch) const {
+  if (original_size == 0) return 0;
   BitReader br(payload);
+  std::size_t written = 0;
   bool final_block = false;
   while (!final_block) {
     final_block = br.read(1) != 0;
@@ -146,18 +153,20 @@ void BzipStyleCodec::decompress_payload(ByteSpan payload,
       // is header corruption and must not drive allocations.
       throw CodecError("nbzip2 block length exceeds format maximum");
     }
-    if (out.size() + block_len > original_size) {
+    if (block_len > original_size - written) {
       throw CodecError("nbzip2 block overflows declared size");
     }
 
-    std::vector<std::uint8_t> lengths(kAlphabet);
+    std::vector<std::uint8_t>& lengths = scratch.code_lengths;
+    lengths.resize(kAlphabet);
     for (auto& l : lengths) l = static_cast<std::uint8_t>(br.read(4));
-    const HuffmanDecoder dec(lengths);
+    scratch.lit_decoder.init(lengths);
 
-    Bytes mtf;
+    Bytes& mtf = scratch.staging;
+    mtf.clear();
     mtf.reserve(std::min<std::size_t>(block_len, 2 * block_size()));
     while (true) {
-      const std::uint32_t sym = dec.decode(br);
+      const std::uint32_t sym = scratch.lit_decoder.decode(br);
       if (sym == kEob) break;
       if (sym == 0) {
         const std::uint64_t run = read_runlen(br);
@@ -175,10 +184,12 @@ void BzipStyleCodec::decompress_payload(ByteSpan payload,
     if (mtf.size() != block_len) {
       throw CodecError("nbzip2 block length mismatch");
     }
-    const Bytes l_column = mtf_inverse(mtf);
-    const Bytes block = bwt_inverse(l_column, primary);
-    out.insert(out.end(), block.begin(), block.end());
+    mtf_inverse(mtf, scratch.staging2);
+    bwt_inverse_into(scratch.staging2, primary, dst + written,
+                     scratch.u32_tmp);
+    written += block_len;
   }
+  return written;
 }
 
 }  // namespace ndpcr::compress

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "compress/lz4_style.hpp"
 #include "exec/task_pool.hpp"
 
 namespace ndpcr::compress {
@@ -54,13 +55,25 @@ void parallel_for(std::size_t count, unsigned threads, Fn&& work) {
 }  // namespace
 
 ChunkedCodec::ChunkedCodec(CodecId id, int level, std::size_t chunk_size,
-                           unsigned threads)
-    : id_(id), level_(level), chunk_size_(chunk_size), threads_(threads) {
+                           unsigned threads, bool accelerate)
+    : id_(id),
+      level_(level),
+      chunk_size_(chunk_size),
+      threads_(threads),
+      codec_(make_codec(id, level)),  // validates id/level eagerly
+      scratch_(std::make_unique<ScratchPool>()) {
   if (chunk_size == 0) {
     throw CodecError("chunk size must be positive");
   }
-  (void)make_codec(id, level);  // validate id/level eagerly
+  if (accelerate) {
+    if (id != CodecId::kLz4Style) {
+      throw CodecError("acceleration is only available for nlz4");
+    }
+    codec_ = std::make_unique<Lz4StyleCodec>(level, /*accelerate=*/true);
+  }
 }
+
+void ChunkedCodec::warm(std::size_t count) const { scratch_->warm(count); }
 
 std::size_t ChunkedCodec::chunk_count(std::size_t input_size) const {
   return input_size == 0 ? 0 : (input_size + chunk_size_ - 1) / chunk_size_;
@@ -76,11 +89,11 @@ std::pair<std::size_t, std::size_t> ChunkedCodec::chunk_extent(
 }
 
 Bytes ChunkedCodec::compress_chunk(ByteSpan input, std::size_t index) const {
-  // One codec instance per chunk: codecs are stateless across calls but
-  // this keeps each caller/worker fully independent.
-  const auto codec = make_codec(id_, level_);
+  // Codecs are stateless across calls; all per-call mutable state lives in
+  // the leased workspace, so concurrent callers stay fully independent.
+  const auto lease = scratch_->acquire();
   const auto [offset, len] = chunk_extent(input.size(), index);
-  return codec->compress(input.subspan(offset, len));
+  return codec_->compress(input.subspan(offset, len), *lease);
 }
 
 Bytes ChunkedCodec::assemble(std::size_t original_size,
@@ -157,22 +170,25 @@ Bytes ChunkedCodec::decompress(ByteSpan framed) const {
     throw CodecError("trailing bytes in chunked stream");
   }
 
-  std::vector<Bytes> decompressed(chunks);
-  const unsigned threads = exec::TaskPool::in_worker() ? 1 : threads_;
-  parallel_for(chunks, threads, [&](std::size_t i) {
-    const auto codec = make_codec(id_, level_);
-    decompressed[i] = codec->decompress(
-        framed.subspan(extents[i].first, extents[i].second));
-  });
-
-  Bytes out;
-  out.reserve(std::min<std::uint64_t>(original_size, 16u << 20));
-  for (const auto& chunk : decompressed) {
-    out.insert(out.end(), chunk.begin(), chunk.end());
-  }
-  if (out.size() != original_size) {
+  // The chunk count doubles as a validator for the declared size: both
+  // must agree before the output buffer is allocated eagerly, which also
+  // bounds the allocation a corrupted header can request (the size table
+  // already had to fit in the stream).
+  if (chunks != chunk_count(original_size)) {
     throw CodecError("chunked stream size mismatch");
   }
+
+  // Workers decode straight into their chunk's window of the final buffer:
+  // no per-chunk output vectors and no serial reassembly copy.
+  Bytes out(original_size);
+  const unsigned threads = exec::TaskPool::in_worker() ? 1 : threads_;
+  parallel_for(chunks, threads, [&](std::size_t i) {
+    const auto [chunk_offset, chunk_len] = chunk_extent(original_size, i);
+    const auto lease = scratch_->acquire();
+    codec_->decompress_into(
+        framed.subspan(extents[i].first, extents[i].second),
+        out.data() + chunk_offset, chunk_len, *lease);
+  });
   return out;
 }
 

@@ -29,17 +29,28 @@
 #include <vector>
 
 #include "compress/codec.hpp"
+#include "compress/scratch.hpp"
 
 namespace ndpcr::compress {
 
 class ChunkedCodec {
  public:
-  // `threads` <= 1 runs inline. Chunk size must be positive.
+  // `threads` <= 1 runs inline. Chunk size must be positive. `accelerate`
+  // opts the nlz4 compressor into its skip-stride fast path: the emitted
+  // bytes differ (worse ratio, much higher throughput) but stay valid
+  // streams for the unchanged decoder, so the container format and
+  // restore path are unaffected. Only meaningful for CodecId::kLz4Style.
   ChunkedCodec(CodecId id, int level, std::size_t chunk_size = 4ull << 20,
-               unsigned threads = 1);
+               unsigned threads = 1, bool accelerate = false);
 
   [[nodiscard]] Bytes compress(ByteSpan input) const;
   [[nodiscard]] Bytes decompress(ByteSpan framed) const;
+
+  // Pre-create `count` codec workspaces so the first parallel batch does
+  // not pay first-touch allocation inside the workers. Long-lived owners
+  // (MultilevelManager's IO leg, NdpAgent's drain) warm to their worker
+  // count at construction.
+  void warm(std::size_t count) const;
 
   // --- chunk-level interface (caller-scheduled parallelism) ---
 
@@ -70,6 +81,11 @@ class ChunkedCodec {
   int level_;
   std::size_t chunk_size_;
   unsigned threads_;
+  // One long-lived codec instance (codecs are stateless and const-callable
+  // from any thread) plus a pool of reusable workspaces, so the per-chunk
+  // cost is a workspace lease instead of a codec + table allocation.
+  std::unique_ptr<Codec> codec_;
+  std::unique_ptr<ScratchPool> scratch_;
 };
 
 }  // namespace ndpcr::compress

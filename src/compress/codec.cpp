@@ -1,10 +1,56 @@
 #include "compress/codec.hpp"
 
 #include "common/crc32.hpp"
+#include "compress/scratch.hpp"
 
 namespace ndpcr::compress {
+namespace {
+
+// Guard for the eager output allocation in decompress(): the declared size
+// comes from a not-yet-validated header, and a corrupted size field must
+// raise CodecError rather than attempt a pathological (possibly TiB-scale)
+// allocation. No codec in this library expands better than ~4096x (RLE run
+// coding tops out near 2^12 output bytes per payload byte), so any stream
+// declaring more than kMaxPlausibleExpansion bytes per payload byte is
+// corrupt. Only applied above kEagerDecodeLimit so small streams never pay
+// the check and legitimate ratios are unaffected.
+constexpr std::uint64_t kEagerDecodeLimit = 64ull << 20;
+constexpr std::uint64_t kMaxPlausibleExpansion = 4096;
+
+struct FrameHeader {
+  std::uint64_t original_size;
+  std::uint32_t expected_crc;
+};
+
+FrameHeader parse_frame_header(ByteSpan framed, CodecId id) {
+  if (framed.size() < kFrameHeaderSize) {
+    throw CodecError("compressed stream truncated: missing frame header");
+  }
+  if (framed[0] != static_cast<std::byte>('N')) {
+    throw CodecError("bad magic byte in compressed stream");
+  }
+  if (framed[1] != static_cast<std::byte>(id)) {
+    throw CodecError("codec id mismatch: stream was produced by a different "
+                     "codec");
+  }
+  FrameHeader header{};
+  header.original_size = read_le<std::uint64_t>(framed, 3);
+  header.expected_crc = read_le<std::uint32_t>(framed, 11);
+  if (header.original_size > kEagerDecodeLimit &&
+      header.original_size / kMaxPlausibleExpansion > framed.size()) {
+    throw CodecError("implausible declared size in compressed stream");
+  }
+  return header;
+}
+
+}  // namespace
 
 Bytes Codec::compress(ByteSpan input) const {
+  CodecScratch scratch;
+  return compress(input, scratch);
+}
+
+Bytes Codec::compress(ByteSpan input, CodecScratch& scratch) const {
   Bytes out;
   out.reserve(kFrameHeaderSize + input.size() / 2);
   out.push_back(static_cast<std::byte>('N'));
@@ -12,37 +58,47 @@ Bytes Codec::compress(ByteSpan input) const {
   out.push_back(static_cast<std::byte>(level()));
   append_le<std::uint64_t>(out, input.size());
   append_le<std::uint32_t>(out, Crc32::compute(input));
-  compress_payload(input, out);
+  compress_payload(input, out, scratch);
   return out;
 }
 
 Bytes Codec::decompress(ByteSpan framed) const {
-  if (framed.size() < kFrameHeaderSize) {
-    throw CodecError("compressed stream truncated: missing frame header");
-  }
-  if (framed[0] != static_cast<std::byte>('N')) {
-    throw CodecError("bad magic byte in compressed stream");
-  }
-  if (framed[1] != static_cast<std::byte>(id())) {
-    throw CodecError("codec id mismatch: stream was produced by a different "
-                     "codec");
-  }
-  const auto original_size = read_le<std::uint64_t>(framed, 3);
-  const auto expected_crc = read_le<std::uint32_t>(framed, 11);
+  CodecScratch scratch;
+  return decompress(framed, scratch);
+}
 
-  Bytes out;
-  // Bound the speculative reservation: original_size comes from the (not
-  // yet validated) stream, and a corrupted header must not trigger a
-  // pathological allocation. The vector grows amortized past this.
-  out.reserve(std::min<std::uint64_t>(original_size, 16u << 20));
-  decompress_payload(framed.subspan(kFrameHeaderSize), original_size, out);
-  if (out.size() != original_size) {
+Bytes Codec::decompress(ByteSpan framed, CodecScratch& scratch) const {
+  const FrameHeader header = parse_frame_header(framed, id());
+  // The plausibility guard above makes this eager allocation safe, and the
+  // pre-sized buffer lets codecs decode with pointer stores and bulk copies
+  // instead of push_back.
+  Bytes out(header.original_size);
+  const std::size_t written = decompress_payload(
+      framed.subspan(kFrameHeaderSize), out.data(), out.size(), scratch);
+  if (written != out.size()) {
     throw CodecError("decompressed size mismatch");
   }
-  if (Crc32::compute(out) != expected_crc) {
+  if (Crc32::compute(out) != header.expected_crc) {
     throw CodecError("CRC mismatch: corrupted compressed stream");
   }
   return out;
+}
+
+void Codec::decompress_into(ByteSpan framed, std::byte* dst,
+                            std::size_t expected_size,
+                            CodecScratch& scratch) const {
+  const FrameHeader header = parse_frame_header(framed, id());
+  if (header.original_size != expected_size) {
+    throw CodecError("decompressed size mismatch");
+  }
+  const std::size_t written = decompress_payload(
+      framed.subspan(kFrameHeaderSize), dst, expected_size, scratch);
+  if (written != expected_size) {
+    throw CodecError("decompressed size mismatch");
+  }
+  if (Crc32::compute(dst, expected_size) != header.expected_crc) {
+    throw CodecError("CRC mismatch: corrupted compressed stream");
+  }
 }
 
 double Codec::compression_factor(std::size_t uncompressed,

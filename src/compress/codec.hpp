@@ -32,6 +32,10 @@ class CodecError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Reusable workspace (see scratch.hpp). Forward-declared here because
+// bitstream.hpp includes this header.
+struct CodecScratch;
+
 enum class CodecId : std::uint8_t {
   kNull = 0,
   kRle = 1,
@@ -50,12 +54,25 @@ class Codec {
   [[nodiscard]] virtual int level() const = 0;
 
   // Compress `input` into a framed stream. Never fails (incompressible data
-  // grows by the frame plus the codec's worst-case expansion).
+  // grows by the frame plus the codec's worst-case expansion). The scratch
+  // overload reuses the workspace's tables and buffers; the plain overload
+  // allocates a transient workspace.
   [[nodiscard]] Bytes compress(ByteSpan input) const;
+  [[nodiscard]] Bytes compress(ByteSpan input, CodecScratch& scratch) const;
 
   // Decompress a framed stream produced by the same codec type. Throws
   // CodecError on malformed input, codec mismatch, or CRC failure.
   [[nodiscard]] Bytes decompress(ByteSpan framed) const;
+  [[nodiscard]] Bytes decompress(ByteSpan framed, CodecScratch& scratch) const;
+
+  // Decompress directly into a caller-owned window of exactly
+  // `expected_size` bytes (the chunked parallel-decode path: each worker
+  // decodes its chunk into its slice of one pre-sized output buffer).
+  // Performs the same validation as decompress(), including the CRC check
+  // over the written window, and additionally rejects streams whose
+  // declared size differs from `expected_size`.
+  void decompress_into(ByteSpan framed, std::byte* dst,
+                       std::size_t expected_size, CodecScratch& scratch) const;
 
   // Compression factor as defined in the paper (section 5.1.2):
   //   1 - compressed_size / uncompressed_size
@@ -64,10 +81,14 @@ class Codec {
                                    std::size_t compressed);
 
  protected:
-  // Codec payload hooks implemented by each codec.
-  virtual void compress_payload(ByteSpan input, Bytes& out) const = 0;
-  virtual void decompress_payload(ByteSpan payload, std::size_t original_size,
-                                  Bytes& out) const = 0;
+  // Codec payload hooks implemented by each codec. decompress_payload
+  // writes at most `original_size` bytes into `dst` and returns the number
+  // written; the caller sized and validated `dst` and verifies the CRC.
+  virtual void compress_payload(ByteSpan input, Bytes& out,
+                                CodecScratch& scratch) const = 0;
+  virtual std::size_t decompress_payload(ByteSpan payload, std::byte* dst,
+                                         std::size_t original_size,
+                                         CodecScratch& scratch) const = 0;
 };
 
 // Frame layout constants (little-endian):

@@ -4,7 +4,9 @@
 #include <array>
 
 #include "compress/huffman.hpp"
+#include "compress/kernels.hpp"
 #include "compress/matcher.hpp"
+#include "compress/scratch.hpp"
 
 namespace ndpcr::compress {
 namespace {
@@ -46,12 +48,24 @@ std::uint32_t distance_symbol(std::uint32_t dist) {
   return static_cast<std::uint32_t>(it - kDistBase.begin()) - 1;
 }
 
-// One parsed LZSS item: a literal (length == 0) or a match.
-struct Item {
-  std::uint8_t literal = 0;
-  std::uint32_t length = 0;
-  std::uint32_t distance = 0;
-};
+// One parsed LZSS item, packed into a u64 so the per-block item vector can
+// live in CodecScratch: literal in bits 0..7, match length (0 = literal,
+// else 3..258) in bits 8..19, distance (<= 32768) in bits 20 and up.
+constexpr std::uint64_t pack_literal(std::uint8_t lit) { return lit; }
+constexpr std::uint64_t pack_match(std::uint32_t length,
+                                   std::uint32_t distance) {
+  return (static_cast<std::uint64_t>(length) << 8) |
+         (static_cast<std::uint64_t>(distance) << 20);
+}
+constexpr std::uint8_t item_literal(std::uint64_t item) {
+  return static_cast<std::uint8_t>(item & 0xFF);
+}
+constexpr std::uint32_t item_length(std::uint64_t item) {
+  return static_cast<std::uint32_t>((item >> 8) & 0xFFF);
+}
+constexpr std::uint32_t item_distance(std::uint64_t item) {
+  return static_cast<std::uint32_t>(item >> 20);
+}
 
 std::uint32_t chain_depth_for_level(int level) {
   static constexpr std::array<std::uint32_t, 10> depth = {
@@ -64,10 +78,10 @@ void write_code_lengths(BitWriter& bw,
   for (auto l : lengths) bw.write(l, 4);
 }
 
-std::vector<std::uint8_t> read_code_lengths(BitReader& br, std::size_t n) {
-  std::vector<std::uint8_t> lengths(n);
+void read_code_lengths(BitReader& br, std::size_t n,
+                       std::vector<std::uint8_t>& lengths) {
+  lengths.resize(n);
   for (auto& l : lengths) l = static_cast<std::uint8_t>(br.read(4));
-  return lengths;
 }
 
 }  // namespace
@@ -78,14 +92,16 @@ DeflateStyleCodec::DeflateStyleCodec(int level) : level_(level) {
   }
 }
 
-void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out,
+                                         CodecScratch& scratch) const {
   // Typical text/state compresses ~2:1 or better; reserving half the input
   // up front keeps the hot BitWriter appends from reallocating mid-block.
   out.reserve(out.size() + input.size() / 2 + 64);
   // One match finder across the whole input so matches can cross block
   // boundaries (the window is what bounds distances).
   MatchFinder finder(input, kWindow, kMinMatch, kMaxMatch,
-                     chain_depth_for_level(level_));
+                     chain_depth_for_level(level_), scratch.match_head,
+                     scratch.match_prev);
   const bool lazy = level_ >= 4;
 
   BitWriter bw(out);
@@ -96,8 +112,11 @@ void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
     const bool final_block = block_end == input.size();
     bw.write(final_block ? 1 : 0, 1);
 
-    // Parse the block into literals and matches.
-    std::vector<Item> items;
+    // Parse the block into literals and matches. The lazy parse probes
+    // find(pos + 1) before committing pos, so find and insert stay split
+    // (find_and_insert would link pos into the chains too early).
+    std::vector<std::uint64_t>& items = scratch.items;
+    items.clear();
     items.reserve(block_end - pos);
     while (pos < block_end) {
       Match m = finder.find(pos);
@@ -108,13 +127,12 @@ void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
         if (next.length > m.length) m.length = 0;
       }
       if (m.length >= kMinMatch) {
-        items.push_back(Item{0, m.length, m.distance});
+        items.push_back(pack_match(m.length, m.distance));
         const std::size_t end = pos + m.length;
         for (std::size_t p = pos; p < end; ++p) finder.insert(p);
         pos = end;
       } else {
-        items.push_back(
-            Item{static_cast<std::uint8_t>(input[pos]), 0, 0});
+        items.push_back(pack_literal(static_cast<std::uint8_t>(input[pos])));
         finder.insert(pos);
         ++pos;
       }
@@ -124,12 +142,12 @@ void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
     std::vector<std::uint64_t> lit_freq(kLitLenSymbols, 0);
     std::vector<std::uint64_t> dist_freq(kDistSymbols, 0);
     lit_freq[kEndOfBlock] = 1;
-    for (const auto& item : items) {
-      if (item.length == 0) {
-        ++lit_freq[item.literal];
+    for (const auto item : items) {
+      if (item_length(item) == 0) {
+        ++lit_freq[item_literal(item)];
       } else {
-        ++lit_freq[257 + length_symbol(item.length)];
-        ++dist_freq[distance_symbol(item.distance)];
+        ++lit_freq[257 + length_symbol(item_length(item))];
+        ++dist_freq[distance_symbol(item_distance(item))];
       }
     }
     const HuffmanEncoder lit_enc(huffman_code_lengths(lit_freq));
@@ -138,16 +156,16 @@ void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
     write_code_lengths(bw, dist_enc.lengths());
 
     // Emit the symbol stream.
-    for (const auto& item : items) {
-      if (item.length == 0) {
-        lit_enc.encode(bw, item.literal);
+    for (const auto item : items) {
+      if (item_length(item) == 0) {
+        lit_enc.encode(bw, item_literal(item));
       } else {
-        const std::uint32_t ls = length_symbol(item.length);
+        const std::uint32_t ls = length_symbol(item_length(item));
         lit_enc.encode(bw, 257 + ls);
-        bw.write(item.length - kLenBase[ls], kLenExtra[ls]);
-        const std::uint32_t ds = distance_symbol(item.distance);
+        bw.write(item_length(item) - kLenBase[ls], kLenExtra[ls]);
+        const std::uint32_t ds = distance_symbol(item_distance(item));
         dist_enc.encode(bw, ds);
-        bw.write(item.distance - kDistBase[ds], kDistExtra[ds]);
+        bw.write(item_distance(item) - kDistBase[ds], kDistExtra[ds]);
       }
     }
     lit_enc.encode(bw, kEndOfBlock);
@@ -155,24 +173,27 @@ void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
   bw.finish();
 }
 
-void DeflateStyleCodec::decompress_payload(ByteSpan payload,
-                                           std::size_t original_size,
-                                           Bytes& out) const {
-  if (original_size == 0) return;
+std::size_t DeflateStyleCodec::decompress_payload(
+    ByteSpan payload, std::byte* dst, std::size_t original_size,
+    CodecScratch& scratch) const {
+  if (original_size == 0) return 0;
   BitReader br(payload);
+  std::size_t written = 0;
   bool final_block = false;
   while (!final_block) {
     final_block = br.read(1) != 0;
-    const HuffmanDecoder lit_dec(read_code_lengths(br, kLitLenSymbols));
-    const HuffmanDecoder dist_dec(read_code_lengths(br, kDistSymbols));
+    read_code_lengths(br, kLitLenSymbols, scratch.code_lengths);
+    scratch.lit_decoder.init(scratch.code_lengths);
+    read_code_lengths(br, kDistSymbols, scratch.code_lengths);
+    scratch.dist_decoder.init(scratch.code_lengths);
     while (true) {
-      const std::uint32_t sym = lit_dec.decode(br);
+      const std::uint32_t sym = scratch.lit_decoder.decode(br);
       if (sym == kEndOfBlock) break;
       if (sym < 256) {
-        if (out.size() >= original_size) {
+        if (written >= original_size) {
           throw CodecError("ngzip output overflows declared size");
         }
-        out.push_back(static_cast<std::byte>(sym));
+        dst[written++] = static_cast<std::byte>(sym);
         continue;
       }
       const std::uint32_t ls = sym - 257;
@@ -180,21 +201,22 @@ void DeflateStyleCodec::decompress_payload(ByteSpan payload,
         throw CodecError("invalid ngzip length symbol");
       }
       const std::uint32_t len = kLenBase[ls] + br.read(kLenExtra[ls]);
-      const std::uint32_t ds = dist_dec.decode(br);
+      const std::uint32_t ds = scratch.dist_decoder.decode(br);
       if (ds >= kDistBase.size()) {
         throw CodecError("invalid ngzip distance symbol");
       }
       const std::uint32_t dist = kDistBase[ds] + br.read(kDistExtra[ds]);
-      if (dist == 0 || dist > out.size()) {
+      if (dist == 0 || dist > written) {
         throw CodecError("invalid ngzip match distance");
       }
-      if (out.size() + len > original_size) {
+      if (len > original_size - written) {
         throw CodecError("ngzip match overflows declared size");
       }
-      std::size_t src = out.size() - dist;
-      for (std::uint32_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+      copy_match(dst + written, dist, len);
+      written += len;
     }
   }
+  return written;
 }
 
 }  // namespace ndpcr::compress

@@ -26,9 +26,11 @@ class DeflateStyleCodec final : public Codec {
   [[nodiscard]] int level() const override { return level_; }
 
  protected:
-  void compress_payload(ByteSpan input, Bytes& out) const override;
-  void decompress_payload(ByteSpan payload, std::size_t original_size,
-                          Bytes& out) const override;
+  void compress_payload(ByteSpan input, Bytes& out,
+                        CodecScratch& scratch) const override;
+  std::size_t decompress_payload(ByteSpan payload, std::byte* dst,
+                                 std::size_t original_size,
+                                 CodecScratch& scratch) const override;
 
  private:
   int level_;

@@ -117,7 +117,8 @@ std::vector<std::uint32_t> canonical_codes(
 HuffmanEncoder::HuffmanEncoder(const std::vector<std::uint8_t>& lengths)
     : lengths_(lengths), codes_(canonical_codes(lengths)) {}
 
-HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
+void HuffmanDecoder::init(const std::vector<std::uint8_t>& lengths) {
+  max_len_ = 1;
   for (auto l : lengths) max_len_ = std::max(max_len_, static_cast<int>(l));
   if (max_len_ > kMaxHuffmanBits) {
     throw CodecError("Huffman code length exceeds limit");
@@ -132,10 +133,16 @@ HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
       ++coded;
     }
   }
+  root_bits_ = std::min(kRootBits, max_len_);
+  root_mask_ = (1u << root_bits_) - 1u;
+  sub_.clear();
   if (coded == 0) {
     // An empty table is legal to build (e.g. the distance table of a block
     // with no matches); decode() will reject any read through it.
-    table_.assign(2, Entry{});
+    max_len_ = 1;
+    root_bits_ = 1;
+    root_mask_ = 1;
+    root_.assign(2, Entry{});
     return;
   }
   if (coded > 1 && kraft != (1ull << max_len_)) {
@@ -143,17 +150,51 @@ HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
   }
 
   const auto codes = canonical_codes(lengths);
-  table_.assign(std::size_t{1} << max_len_, Entry{});
+  root_.assign(std::size_t{1} << root_bits_, Entry{});
+
+  // Codes that fit the root resolve in one lookup: fill every root slot
+  // whose low `len` bits match the (bit-reversed) code.
   for (std::size_t s = 0; s < lengths.size(); ++s) {
     const int len = lengths[s];
-    if (len == 0) continue;
-    // Fill every table slot whose low `len` bits match the (bit-reversed)
-    // code.
-    const std::uint32_t base = codes[s];
+    if (len == 0 || len > root_bits_) continue;
     const std::size_t step = std::size_t{1} << len;
-    for (std::size_t w = base; w < table_.size(); w += step) {
-      table_[w] = Entry{static_cast<std::uint16_t>(s),
-                        static_cast<std::uint8_t>(len)};
+    for (std::size_t w = codes[s]; w < root_.size(); w += step) {
+      root_[w] = Entry{static_cast<std::uint16_t>(s),
+                       static_cast<std::uint8_t>(len), 0};
+    }
+  }
+  if (max_len_ <= root_bits_) return;
+
+  // Longer codes share a root slot per low-root_bits_ prefix; each such
+  // prefix gets a contiguous sub-table indexed by the next
+  // (bucket max length - root_bits_) bits.
+  bucket_bits_.assign(root_.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len <= root_bits_) continue;
+    const std::uint32_t prefix = codes[s] & root_mask_;
+    bucket_bits_[prefix] = std::max<std::uint8_t>(
+        bucket_bits_[prefix], static_cast<std::uint8_t>(len - root_bits_));
+  }
+  for (std::size_t prefix = 0; prefix < bucket_bits_.size(); ++prefix) {
+    if (bucket_bits_[prefix] == 0) continue;
+    // Offsets fit u16: buckets hold at most 2^(15-10) entries and the
+    // alphabets here stay well under 2^10 long codes.
+    const std::size_t offset = sub_.size();
+    sub_.resize(offset + (std::size_t{1} << bucket_bits_[prefix]), Entry{});
+    root_[prefix] = Entry{static_cast<std::uint16_t>(offset), kSubTable,
+                          bucket_bits_[prefix]};
+  }
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len <= root_bits_) continue;
+    const Entry& slot = root_[codes[s] & root_mask_];
+    const std::uint32_t high = codes[s] >> root_bits_;
+    const std::size_t step = std::size_t{1} << (len - root_bits_);
+    const std::size_t size = std::size_t{1} << slot.sub_bits;
+    for (std::size_t w = high; w < size; w += step) {
+      sub_[slot.symbol + w] = Entry{static_cast<std::uint16_t>(s),
+                                    static_cast<std::uint8_t>(len), 0};
     }
   }
 }

@@ -48,18 +48,37 @@ class HuffmanEncoder {
   std::vector<std::uint32_t> codes_;
 };
 
-// Table-based decoder: one lookup of max_len bits resolves any symbol.
+// Two-level table decoder: codes up to kRootBits long resolve with one
+// lookup of the peeked window; longer codes hit a root entry that points
+// at a per-prefix sub-table indexed by the remaining bits. The root table
+// is 1 KiB of entries instead of the 128 KiB a flat 15-bit table would
+// need, so rebuilding it per block is cheap and it stays cache-resident.
 class HuffmanDecoder {
  public:
+  // A default-constructed decoder holds no tables; call init() before
+  // decode(). This is the reusable-workspace path (CodecScratch): init()
+  // rebuilds the tables in place without reallocating in steady state.
+  HuffmanDecoder() = default;
+
   // Throws CodecError if the lengths do not describe a valid prefix code
   // (over- or under-subscribed Kraft sum), except for the degenerate cases
   // of zero or one coded symbol, which are handled like DEFLATE handles
   // them (a single symbol decodes on a 1-bit code).
-  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths);
+  explicit HuffmanDecoder(const std::vector<std::uint8_t>& lengths) {
+    init(lengths);
+  }
+
+  // (Re)build the decode tables for a new length table. Same validation
+  // and error semantics as the constructor.
+  void init(const std::vector<std::uint8_t>& lengths);
 
   std::uint32_t decode(BitReader& in) const {
     const std::uint32_t window = in.peek(max_len_);
-    const Entry e = table_[window];
+    Entry e = root_[window & root_mask_];
+    if (e.length == kSubTable) {
+      e = sub_[e.symbol +
+               ((window >> root_bits_) & ((1u << e.sub_bits) - 1u))];
+    }
     if (e.length == 0) {
       throw CodecError("invalid Huffman code in stream");
     }
@@ -68,12 +87,20 @@ class HuffmanDecoder {
   }
 
  private:
+  static constexpr int kRootBits = 10;
+  static constexpr std::uint8_t kSubTable = 0xFF;  // length marker
+
   struct Entry {
-    std::uint16_t symbol = 0;
-    std::uint8_t length = 0;
+    std::uint16_t symbol = 0;   // symbol, or offset into sub_
+    std::uint8_t length = 0;    // code length; kSubTable marks a pointer
+    std::uint8_t sub_bits = 0;  // index width of the pointed-to sub-table
   };
   int max_len_ = 1;
-  std::vector<Entry> table_;
+  int root_bits_ = 1;
+  std::uint32_t root_mask_ = 1;
+  std::vector<Entry> root_;
+  std::vector<Entry> sub_;
+  std::vector<std::uint8_t> bucket_bits_;
 };
 
 }  // namespace ndpcr::compress

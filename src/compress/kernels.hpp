@@ -1,0 +1,67 @@
+#pragma once
+
+// Word-wide byte kernels shared by the LZ-family codecs: match-length
+// scanning via 64-bit XOR + count-trailing-zeros, and the overlap-aware
+// match copy used by every LZ decoder. Both are exact: they never read or
+// write outside the ranges the caller hands them, which keeps the decode
+// paths provable against the declared output size (and sanitizer-clean).
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ndpcr::compress {
+
+// Length of the common prefix of `a` and `b`, capped at `limit`. Compares
+// 8 bytes per step; the first differing byte falls out of the XOR as a
+// trailing (on little-endian: lowest-addressed) zero count.
+inline std::size_t match_extent(const std::byte* a, const std::byte* b,
+                                std::size_t limit) {
+  std::size_t len = 0;
+  while (len + 8 <= limit) {
+    std::uint64_t va;
+    std::uint64_t vb;
+    std::memcpy(&va, a + len, 8);
+    std::memcpy(&vb, b + len, 8);
+    if (const std::uint64_t diff = va ^ vb; diff != 0) {
+      if constexpr (std::endian::native == std::endian::little) {
+        return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+      } else {
+        return len + (static_cast<std::size_t>(std::countl_zero(diff)) >> 3);
+      }
+    }
+    len += 8;
+  }
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+// Copy `length` bytes from `dst - distance` to `dst`, replicating the
+// pattern when the ranges overlap (distance < length) exactly as the
+// byte-at-a-time loop would. Writes only [dst, dst + length): overlapping
+// copies double the already-present period with exact tails instead of
+// wild-copying past the end, so the caller's declared-size bound is a hard
+// bound.
+inline void copy_match(std::byte* dst, std::size_t distance,
+                       std::size_t length) {
+  std::byte* const base = dst - distance;
+  if (distance >= length) {
+    std::memcpy(dst, base, length);
+    return;
+  }
+  if (distance == 1) {
+    std::memset(dst, std::to_integer<int>(*base), length);
+    return;
+  }
+  std::size_t filled = distance;
+  const std::size_t total = distance + length;
+  while (filled < total) {
+    const std::size_t n = std::min(filled, total - filled);
+    std::memcpy(base + filled, base, n);
+    filled += n;
+  }
+}
+
+}  // namespace ndpcr::compress

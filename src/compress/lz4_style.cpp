@@ -3,13 +3,20 @@
 #include <algorithm>
 #include <cstring>
 
+#include "compress/kernels.hpp"
 #include "compress/matcher.hpp"
+#include "compress/scratch.hpp"
 
 namespace ndpcr::compress {
 namespace {
 
 constexpr std::uint32_t kMinMatch = 4;
 constexpr std::uint32_t kWindow = 0xFFFF;  // 16-bit offsets
+
+// Acceleration ramp: after 2^kSkipTrigger consecutive misses the probe
+// stride becomes 2, after another 2^kSkipTrigger it becomes 3, and so on
+// (the LZ4 fast-path heuristic).
+constexpr int kSkipTrigger = 4;
 
 void write_length(Bytes& out, std::size_t len) {
   // 255-block continuation, as in LZ4.
@@ -18,19 +25,6 @@ void write_length(Bytes& out, std::size_t len) {
     len -= 255;
   }
   out.push_back(static_cast<std::byte>(len));
-}
-
-std::size_t read_length(ByteSpan in, std::size_t& pos, std::size_t base) {
-  std::size_t len = base;
-  if (base == 15) {
-    while (true) {
-      if (pos >= in.size()) throw CodecError("truncated nlz4 length");
-      const auto b = static_cast<std::uint8_t>(in[pos++]);
-      len += b;
-      if (b != 255) break;
-    }
-  }
-  return len;
 }
 
 void emit_sequence(Bytes& out, ByteSpan literals, std::uint32_t match_len,
@@ -64,75 +58,139 @@ std::uint32_t chain_depth_for_level(int level) {
 
 }  // namespace
 
-Lz4StyleCodec::Lz4StyleCodec(int level) : level_(level) {
+Lz4StyleCodec::Lz4StyleCodec(int level, bool accelerate)
+    : level_(level), accelerate_(accelerate) {
   if (level < 1 || level > 9) {
     throw CodecError("nlz4 level must be in [1, 9]");
   }
 }
 
-void Lz4StyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+void Lz4StyleCodec::compress_payload(ByteSpan input, Bytes& out,
+                                     CodecScratch& scratch) const {
   // Byte-oriented format: incompressible input expands slightly (token +
   // length bytes per sequence), so reserve a whisker over the input size.
   out.reserve(out.size() + input.size() + input.size() / 16 + 16);
   MatchFinder finder(input, kWindow, kMinMatch, /*max_match=*/65535,
-                     chain_depth_for_level(level_));
+                     chain_depth_for_level(level_), scratch.match_head,
+                     scratch.match_prev);
   std::size_t pos = 0;
   std::size_t literal_start = 0;
+  std::uint32_t search_tick = 1u << kSkipTrigger;
   while (pos < input.size()) {
-    const Match m = finder.find(pos);
+    // The parse is greedy, so the probed position is always committed
+    // (matched or emitted as a literal) - find_and_insert hashes once.
+    const Match m = finder.find_and_insert(pos);
     if (m.length >= kMinMatch) {
       emit_sequence(out,
                     input.subspan(literal_start, pos - literal_start),
                     m.length, m.distance);
       // Insert the positions the match covers so later data can refer into
-      // it. Cap insertions for speed at low levels (LZ4-style skipping).
+      // it (pos itself was inserted by find_and_insert). Cap insertions for
+      // speed at low levels (LZ4-style skipping).
       const std::size_t end = pos + m.length;
       const std::size_t stride = level_ >= 4 ? 1 : 2;
-      for (std::size_t p = pos; p < end; p += stride) finder.insert(p);
+      for (std::size_t p = pos + stride; p < end; p += stride) {
+        finder.insert(p);
+      }
       pos = end;
       literal_start = pos;
+      search_tick = 1u << kSkipTrigger;
     } else {
-      finder.insert(pos);
-      ++pos;
+      pos += accelerate_ ? (search_tick++ >> kSkipTrigger) : 1;
     }
   }
   // Terminal literals-only sequence (always present, possibly empty).
-  emit_sequence(out, input.subspan(literal_start, pos - literal_start), 0, 0);
+  // Acceleration can step pos past the end, so bound by the input size.
+  emit_sequence(out, input.subspan(literal_start), 0, 0);
 }
 
-void Lz4StyleCodec::decompress_payload(ByteSpan payload,
-                                       std::size_t original_size,
-                                       Bytes& out) const {
-  std::size_t pos = 0;
-  while (pos < payload.size()) {
-    const auto token = static_cast<std::uint8_t>(payload[pos++]);
-    const std::size_t lit_len = read_length(payload, pos, token >> 4);
-    if (pos + lit_len > payload.size()) {
-      throw CodecError("truncated nlz4 literals");
+std::size_t Lz4StyleCodec::decompress_payload(ByteSpan payload, std::byte* dst,
+                                              std::size_t original_size,
+                                              CodecScratch&) const {
+  // Pointer-based hot loop. The interior fast paths replace exact-length
+  // copies (a memcpy call with a runtime size, dominated by call overhead
+  // at typical 4-40 byte sequence sizes) with fixed-size block copies that
+  // may overrun the logical length by up to 31 bytes. The guard conditions
+  // keep every overrun inside the payload (reads) and inside bytes a later
+  // sequence of this same decode overwrites (writes) - a block never
+  // outruns the match distance, so the final buffer contents are
+  // bit-identical to the careful path.
+  const auto* in = reinterpret_cast<const std::uint8_t*>(payload.data());
+  const std::uint8_t* const in_end = in + payload.size();
+  std::byte* out = dst;
+  std::byte* const out_end = dst + original_size;
+  while (in < in_end) {
+    const std::uint8_t token = *in++;
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15) {
+      while (true) {
+        if (in >= in_end) throw CodecError("truncated nlz4 length");
+        const std::uint8_t b = *in++;
+        lit_len += b;
+        if (b != 255) break;
+      }
     }
-    out.insert(out.end(), payload.begin() + pos, payload.begin() + pos + lit_len);
-    pos += lit_len;
-    if (pos >= payload.size()) break;  // terminal sequence has no match
-    if (pos + 2 > payload.size()) throw CodecError("truncated nlz4 offset");
+    if (lit_len <= 64 && lit_len + 32 <= static_cast<std::size_t>(in_end - in) &&
+        lit_len + 64 <= static_cast<std::size_t>(out_end - out)) [[likely]] {
+      // <= 64 literals (the common case): at most two fixed 32-byte copies.
+      std::memcpy(out, in, 32);
+      if (lit_len > 32) std::memcpy(out + 32, in + 32, 32);
+    } else if (lit_len + 32 <= static_cast<std::size_t>(in_end - in) &&
+               lit_len + 32 <= static_cast<std::size_t>(out_end - out)) {
+      for (std::size_t o = 0; o < lit_len; o += 32) {
+        std::memcpy(out + o, in + o, 32);
+      }
+    } else {
+      if (lit_len > static_cast<std::size_t>(in_end - in)) {
+        throw CodecError("truncated nlz4 literals");
+      }
+      if (lit_len > static_cast<std::size_t>(out_end - out)) {
+        throw CodecError("nlz4 literals overflow declared size");
+      }
+      if (lit_len != 0) std::memcpy(out, in, lit_len);
+    }
+    out += lit_len;
+    in += lit_len;
+    if (in >= in_end) break;  // terminal sequence has no match
+    if (in_end - in < 2) throw CodecError("truncated nlz4 offset");
     const std::uint32_t distance =
-        static_cast<std::uint8_t>(payload[pos]) |
-        (static_cast<std::uint32_t>(static_cast<std::uint8_t>(payload[pos + 1]))
-         << 8);
-    pos += 2;
-    if (distance == 0 || distance > out.size()) {
+        in[0] | (static_cast<std::uint32_t>(in[1]) << 8);
+    in += 2;
+    if (distance == 0 ||
+        distance > static_cast<std::size_t>(out - dst)) {
       throw CodecError("invalid nlz4 match distance");
     }
-    const std::size_t match_len =
-        read_length(payload, pos, token & 0xF) + kMinMatch;
-    if (out.size() + match_len > original_size) {
+    std::size_t match_len = (token & 0xF) + kMinMatch;
+    if (match_len == 15 + kMinMatch) {
+      while (true) {
+        if (in >= in_end) throw CodecError("truncated nlz4 length");
+        const std::uint8_t b = *in++;
+        match_len += b;
+        if (b != 255) break;
+      }
+    }
+    if (match_len > static_cast<std::size_t>(out_end - out)) {
       throw CodecError("nlz4 match overflows declared size");
     }
-    // Byte-by-byte copy: overlapping matches (distance < length) replicate.
-    std::size_t src = out.size() - distance;
-    for (std::size_t k = 0; k < match_len; ++k) {
-      out.push_back(out[src + k]);
+    // Interior matches use block copies (a block must not outrun the
+    // overlap distance); short-distance and end-of-buffer matches take the
+    // exact overlap-aware kernel.
+    if (match_len + 32 <= static_cast<std::size_t>(out_end - out) &&
+        distance >= 8) [[likely]] {
+      const std::byte* src = out - distance;
+      if (distance >= 32) {
+        for (std::size_t o = 0; o < match_len; o += 32)
+          std::memcpy(out + o, src + o, 32);
+      } else {
+        for (std::size_t o = 0; o < match_len; o += 8)
+          std::memcpy(out + o, src + o, 8);
+      }
+    } else {
+      copy_match(out, distance, match_len);
     }
+    out += match_len;
   }
+  return static_cast<std::size_t>(out - dst);
 }
 
 }  // namespace ndpcr::compress

@@ -18,19 +18,28 @@ namespace ndpcr::compress {
 
 class Lz4StyleCodec final : public Codec {
  public:
-  explicit Lz4StyleCodec(int level);
+  // `accelerate` enables LZ4-style skip acceleration: after consecutive
+  // match misses the probe stride grows, so incompressible regions are
+  // skipped in large steps. This changes the compressed bytes (still a
+  // valid stream, just a different parse), so it is opt-in and never used
+  // by the registry - the default output stays bit-identical across
+  // releases.
+  explicit Lz4StyleCodec(int level, bool accelerate = false);
 
   [[nodiscard]] std::string name() const override { return "nlz4"; }
   [[nodiscard]] CodecId id() const override { return CodecId::kLz4Style; }
   [[nodiscard]] int level() const override { return level_; }
 
  protected:
-  void compress_payload(ByteSpan input, Bytes& out) const override;
-  void decompress_payload(ByteSpan payload, std::size_t original_size,
-                          Bytes& out) const override;
+  void compress_payload(ByteSpan input, Bytes& out,
+                        CodecScratch& scratch) const override;
+  std::size_t decompress_payload(ByteSpan payload, std::byte* dst,
+                                 std::size_t original_size,
+                                 CodecScratch& scratch) const override;
 
  private:
   int level_;
+  bool accelerate_;
 };
 
 }  // namespace ndpcr::compress

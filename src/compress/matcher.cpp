@@ -1,55 +1,45 @@
 #include "compress/matcher.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 namespace ndpcr::compress {
 
 MatchFinder::MatchFinder(ByteSpan data, std::uint32_t window,
                          std::uint32_t min_match, std::uint32_t max_match,
                          std::uint32_t max_chain)
-    : data_(data),
-      window_(window),
+    : window_(window),
       min_match_(min_match),
       max_match_(max_match),
+      use_prev_(max_chain > 1),
       max_chain_(max_chain),
-      head_(std::size_t{1} << kHashBits, kNoPos),
-      prev_(data.size(), kNoPos) {}
-
-Match MatchFinder::find(std::size_t pos) const {
-  Match best;
-  if (pos + 4 > data_.size()) return best;
-  const std::size_t limit =
-      std::min<std::size_t>(data_.size() - pos, max_match_);
-  if (limit < min_match_) return best;
-
-  const std::byte* cur = data_.data() + pos;
-  std::uint32_t candidate = head_[hash_at(pos)];
-  std::uint32_t chain = max_chain_;
-  while (candidate != kNoPos && chain-- > 0) {
-    const std::size_t cand_pos = candidate;
-    if (cand_pos >= pos || pos - cand_pos > window_) break;
-    const std::byte* prev_data = data_.data() + cand_pos;
-    // Cheap rejection: a longer match must extend past the current best.
-    if (best.length == 0 || prev_data[best.length] == cur[best.length]) {
-      std::size_t len = 0;
-      while (len < limit && prev_data[len] == cur[len]) ++len;
-      if (len >= min_match_ && len > best.length) {
-        best.length = static_cast<std::uint32_t>(len);
-        best.distance = static_cast<std::uint32_t>(pos - cand_pos);
-        if (len == limit) break;
-      }
-    }
-    candidate = prev_[cand_pos];
-  }
-  return best;
+      head_(&owned_head_),
+      prev_(&owned_prev_) {
+  reset(data);
 }
 
-void MatchFinder::insert(std::size_t pos) {
-  if (pos + 4 > data_.size()) return;
-  const std::uint32_t h = hash_at(pos);
-  prev_[pos] = head_[h];
-  head_[h] = static_cast<std::uint32_t>(pos);
+MatchFinder::MatchFinder(ByteSpan data, std::uint32_t window,
+                         std::uint32_t min_match, std::uint32_t max_match,
+                         std::uint32_t max_chain,
+                         std::vector<std::uint32_t>& head_storage,
+                         std::vector<std::uint32_t>& prev_storage)
+    : window_(window),
+      min_match_(min_match),
+      max_match_(max_match),
+      use_prev_(max_chain > 1),
+      max_chain_(max_chain),
+      head_(&head_storage),
+      prev_(&prev_storage) {
+  reset(data);
+}
+
+void MatchFinder::reset(ByteSpan data) {
+  data_ = data;
+  head_->assign(std::size_t{1} << kHashBits, kNoPos);
+  // Stale prev entries are unreachable (see the header comment), so the
+  // chain table only ever needs to grow.
+  if (use_prev_ && prev_->size() < data.size()) {
+    prev_->resize(data.size());
+  }
 }
 
 }  // namespace ndpcr::compress

@@ -4,11 +4,20 @@
 // ngzip, nxz). Finds the longest previous occurrence of the bytes at the
 // current position within a sliding window, with a configurable chain-walk
 // budget (the compression-level knob).
+//
+// The finder can own its hash tables (standalone use, tests) or borrow
+// them from a CodecScratch via the storage-taking constructor, in which
+// case reset() re-arms the tables in place for a new input without
+// reallocating: the 64 K-entry head table is re-filled, and the per-byte
+// prev chain is only grown (stale entries are unreachable once head is
+// cleared, because insert() writes prev[pos] before linking pos into a
+// chain).
 
 #include <cstdint>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "compress/kernels.hpp"
 
 namespace ndpcr::compress {
 
@@ -20,17 +29,51 @@ struct Match {
 class MatchFinder {
  public:
   // `window` and `max_match` bound distances and lengths; `max_chain` is
-  // the number of chain links examined per query.
+  // the number of chain links examined per query. Owns its tables.
   MatchFinder(ByteSpan data, std::uint32_t window, std::uint32_t min_match,
               std::uint32_t max_match, std::uint32_t max_chain);
 
+  // Same, but borrowing table storage (typically from a CodecScratch) so
+  // repeated per-chunk construction reuses one allocation.
+  MatchFinder(ByteSpan data, std::uint32_t window, std::uint32_t min_match,
+              std::uint32_t max_match, std::uint32_t max_chain,
+              std::vector<std::uint32_t>& head_storage,
+              std::vector<std::uint32_t>& prev_storage);
+
+  MatchFinder(const MatchFinder&) = delete;
+  MatchFinder& operator=(const MatchFinder&) = delete;
+
+  // Re-arm the finder for a new input buffer, reusing table storage.
+  void reset(ByteSpan data);
+
   // Longest match at `pos`, at least min_match long, or {0,0}. Does not
   // advance the finder.
-  [[nodiscard]] Match find(std::size_t pos) const;
+  [[nodiscard]] Match find(std::size_t pos) const {
+    if (pos + 4 > data_.size()) return Match{};
+    return search(pos, (*head_)[hash_at(pos)]);
+  }
 
   // Insert position `pos` into the hash chains. Every position that the
   // compressor steps over (matched or literal) must be inserted, in order.
-  void insert(std::size_t pos);
+  void insert(std::size_t pos) {
+    if (pos + 4 > data_.size()) return;
+    const std::uint32_t h = hash_at(pos);
+    if (use_prev_) (*prev_)[pos] = (*head_)[h];
+    (*head_)[h] = static_cast<std::uint32_t>(pos);
+  }
+
+  // find(pos) immediately followed by insert(pos), hashing only once.
+  // Equivalent to the split calls for greedy parses; lazy parses that probe
+  // find(pos + 1) before committing insert(pos) must keep the calls split.
+  [[nodiscard]] Match find_and_insert(std::size_t pos) {
+    if (pos + 4 > data_.size()) return Match{};
+    const std::uint32_t h = hash_at(pos);
+    const std::uint32_t candidate = (*head_)[h];
+    const Match best = search(pos, candidate);
+    if (use_prev_) (*prev_)[pos] = candidate;
+    (*head_)[h] = static_cast<std::uint32_t>(pos);
+    return best;
+  }
 
   [[nodiscard]] std::uint32_t min_match() const { return min_match_; }
   [[nodiscard]] std::uint32_t max_match() const { return max_match_; }
@@ -47,13 +90,49 @@ class MatchFinder {
     return (v * 2654435761u) >> (32 - kHashBits);
   }
 
+  // Walk the chain starting at `candidate`. The budget check sits before
+  // the prev load, so the final link never touches prev_ - which is why a
+  // max_chain == 1 finder needs no prev table at all.
+  [[nodiscard]] Match search(std::size_t pos, std::uint32_t candidate) const {
+    Match best;
+    const std::size_t limit =
+        std::min<std::size_t>(data_.size() - pos, max_match_);
+    if (limit < min_match_) return best;
+
+    const std::byte* cur = data_.data() + pos;
+    std::uint32_t chain = max_chain_;
+    while (candidate != kNoPos) {
+      const std::size_t cand_pos = candidate;
+      if (cand_pos >= pos || pos - cand_pos > window_) break;
+      const std::byte* cand = data_.data() + cand_pos;
+      // Cheap rejection: a longer match must extend past the current best.
+      if (best.length == 0 || cand[best.length] == cur[best.length]) {
+        const std::size_t len = match_extent(cand, cur, limit);
+        if (len >= min_match_ && len > best.length) {
+          best.length = static_cast<std::uint32_t>(len);
+          best.distance = static_cast<std::uint32_t>(pos - cand_pos);
+          if (len == limit) break;
+        }
+      }
+      if (--chain == 0) break;
+      candidate = (*prev_)[cand_pos];
+      if (candidate != kNoPos) {
+        __builtin_prefetch(data_.data() + candidate);
+      }
+    }
+    return best;
+  }
+
   ByteSpan data_;
   std::uint32_t window_;
   std::uint32_t min_match_;
   std::uint32_t max_match_;
+  bool use_prev_;
   std::uint32_t max_chain_;
-  std::vector<std::uint32_t> head_;
-  std::vector<std::uint32_t> prev_;
+  std::vector<std::uint32_t> owned_head_;
+  std::vector<std::uint32_t> owned_prev_;
+  std::vector<std::uint32_t>* head_;
+  std::vector<std::uint32_t>* prev_;
 };
 
 }  // namespace ndpcr::compress

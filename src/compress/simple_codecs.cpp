@@ -1,5 +1,9 @@
 #include "compress/simple_codecs.hpp"
 
+#include <cstring>
+
+#include "compress/kernels.hpp"
+
 namespace ndpcr::compress {
 namespace {
 
@@ -30,67 +34,113 @@ std::uint64_t read_varint(ByteSpan data, std::size_t& pos) {
 
 }  // namespace
 
-void NullCodec::compress_payload(ByteSpan input, Bytes& out) const {
+void NullCodec::compress_payload(ByteSpan input, Bytes& out,
+                                 CodecScratch&) const {
   out.insert(out.end(), input.begin(), input.end());
 }
 
-void NullCodec::decompress_payload(ByteSpan payload,
-                                   std::size_t original_size,
-                                   Bytes& out) const {
+std::size_t NullCodec::decompress_payload(ByteSpan payload, std::byte* dst,
+                                          std::size_t original_size,
+                                          CodecScratch&) const {
   if (payload.size() != original_size) {
     throw CodecError("null codec payload size mismatch");
   }
-  out.insert(out.end(), payload.begin(), payload.end());
+  if (!payload.empty()) {
+    std::memcpy(dst, payload.data(), payload.size());
+  }
+  return payload.size();
 }
 
-void RleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+void RleCodec::compress_payload(ByteSpan input, Bytes& out,
+                                CodecScratch&) const {
+  const std::byte* const data = input.data();
+  const std::size_t n = input.size();
   std::size_t i = 0;
-  while (i < input.size()) {
-    std::size_t run = 1;
-    while (i + run < input.size() && input[i + run] == input[i]) ++run;
-    if (run >= 4) {
+  std::size_t lit_start = 0;
+  // Emit [lit_start, lit_end) literally, bulk-copying between escape bytes.
+  const auto flush_literals = [&](std::size_t lit_end) {
+    std::size_t p = lit_start;
+    while (p < lit_end) {
+      const auto* esc = static_cast<const std::byte*>(std::memchr(
+          data + p, std::to_integer<int>(kEsc), lit_end - p));
+      const std::size_t span =
+          (esc ? static_cast<std::size_t>(esc - data) : lit_end) - p;
+      out.insert(out.end(), input.begin() + p, input.begin() + p + span);
+      p += span;
+      while (p < lit_end && data[p] == kEsc) {
+        out.push_back(kEsc);
+        out.push_back(kEsc);
+        append_varint(out, 0);
+        ++p;
+      }
+    }
+  };
+  while (i < n) {
+    // Cheap guard: only positions that open a run of >= 4 pay for the
+    // word-wide scan; everything else rides the literal span.
+    if (i + 4 <= n && data[i + 1] == data[i] && data[i + 2] == data[i] &&
+        data[i + 3] == data[i]) {
+      // Run length via the word-wide kernel: a run of N equal bytes is the
+      // longest self-overlapping match between the buffer and itself
+      // shifted by one, plus the first byte.
+      const std::size_t run =
+          1 + match_extent(data + i, data + i + 1, n - i - 1);
+      flush_literals(i);
       out.push_back(kEsc);
-      out.push_back(input[i]);
+      out.push_back(data[i]);
       append_varint(out, run);
       i += run;
+      lit_start = i;
     } else {
-      for (std::size_t k = 0; k < run; ++k) {
-        if (input[i] == kEsc) {
-          out.push_back(kEsc);
-          out.push_back(kEsc);
-          append_varint(out, 0);
-        } else {
-          out.push_back(input[i]);
-        }
-      }
-      i += run;
+      ++i;
     }
   }
+  flush_literals(n);
 }
 
-void RleCodec::decompress_payload(ByteSpan payload, std::size_t original_size,
-                                  Bytes& out) const {
+std::size_t RleCodec::decompress_payload(ByteSpan payload, std::byte* dst,
+                                         std::size_t original_size,
+                                         CodecScratch&) const {
   std::size_t pos = 0;
+  std::size_t written = 0;
   while (pos < payload.size()) {
-    const std::byte b = payload[pos++];
-    if (b != kEsc) {
-      out.push_back(b);
-      continue;
+    // Bulk-copy the literal span up to the next escape.
+    const auto* esc = static_cast<const std::byte*>(
+        std::memchr(payload.data() + pos, std::to_integer<int>(kEsc),
+                    payload.size() - pos));
+    const std::size_t lit_len =
+        (esc ? static_cast<std::size_t>(esc - payload.data())
+             : payload.size()) -
+        pos;
+    if (lit_len > 0) {
+      if (lit_len > original_size - written) {
+        throw CodecError("RLE output overflows declared size");
+      }
+      std::memcpy(dst + written, payload.data() + pos, lit_len);
+      written += lit_len;
+      pos += lit_len;
     }
+    if (esc == nullptr) break;
+    ++pos;  // consume the escape byte
     if (pos >= payload.size()) {
       throw CodecError("truncated RLE escape");
     }
     const std::byte value = payload[pos++];
     const std::uint64_t run = read_varint(payload, pos);
     if (run == 0) {
-      out.push_back(kEsc);
+      if (written >= original_size) {
+        throw CodecError("RLE output overflows declared size");
+      }
+      dst[written++] = kEsc;
     } else {
-      if (out.size() + run > original_size) {
+      if (run > original_size - written) {
         throw CodecError("RLE run overflows declared size");
       }
-      out.insert(out.end(), run, value);
+      std::memset(dst + written, std::to_integer<int>(value), run);
+      written += run;
     }
   }
+  return written;
 }
 
 }  // namespace ndpcr::compress

@@ -16,9 +16,11 @@ class NullCodec final : public Codec {
   [[nodiscard]] int level() const override { return 0; }
 
  protected:
-  void compress_payload(ByteSpan input, Bytes& out) const override;
-  void decompress_payload(ByteSpan payload, std::size_t original_size,
-                          Bytes& out) const override;
+  void compress_payload(ByteSpan input, Bytes& out,
+                        CodecScratch& scratch) const override;
+  std::size_t decompress_payload(ByteSpan payload, std::byte* dst,
+                                 std::size_t original_size,
+                                 CodecScratch& scratch) const override;
 };
 
 // RLE format: runs of 4+ identical bytes are encoded as
@@ -33,9 +35,11 @@ class RleCodec final : public Codec {
   [[nodiscard]] int level() const override { return 1; }
 
  protected:
-  void compress_payload(ByteSpan input, Bytes& out) const override;
-  void decompress_payload(ByteSpan payload, std::size_t original_size,
-                          Bytes& out) const override;
+  void compress_payload(ByteSpan input, Bytes& out,
+                        CodecScratch& scratch) const override;
+  std::size_t decompress_payload(ByteSpan payload, std::byte* dst,
+                                 std::size_t original_size,
+                                 CodecScratch& scratch) const override;
 };
 
 }  // namespace ndpcr::compress

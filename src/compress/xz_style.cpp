@@ -4,8 +4,10 @@
 #include <bit>
 #include <memory>
 
+#include "compress/kernels.hpp"
 #include "compress/matcher.hpp"
 #include "compress/range_coder.hpp"
+#include "compress/scratch.hpp"
 
 namespace ndpcr::compress {
 namespace {
@@ -98,11 +100,15 @@ XzStyleCodec::XzStyleCodec(int level) : level_(level) {
   }
 }
 
-void XzStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
+void XzStyleCodec::compress_payload(ByteSpan input, Bytes& out,
+                                    CodecScratch& scratch) const {
   auto model = std::make_unique<Model>();
   RangeEncoder rc(out);
+  // Lazy matching probes find(pos + 1) before committing pos, so find and
+  // insert must stay split (no find_and_insert here).
   MatchFinder finder(input, kWindow, kMinMatch, kMaxMatch,
-                     chain_depth_for_level(level_));
+                     chain_depth_for_level(level_), scratch.match_head,
+                     scratch.match_prev);
 
   std::size_t pos = 0;
   std::uint8_t prev_byte = 0;
@@ -134,14 +140,15 @@ void XzStyleCodec::compress_payload(ByteSpan input, Bytes& out) const {
   rc.finish();
 }
 
-void XzStyleCodec::decompress_payload(ByteSpan payload,
-                                      std::size_t original_size,
-                                      Bytes& out) const {
-  if (original_size == 0) return;
+std::size_t XzStyleCodec::decompress_payload(ByteSpan payload, std::byte* dst,
+                                             std::size_t original_size,
+                                             CodecScratch&) const {
+  if (original_size == 0) return 0;
   auto model = std::make_unique<Model>();
   RangeDecoder rc(payload);
+  std::size_t written = 0;
   std::uint8_t prev_byte = 0;
-  while (out.size() < original_size) {
+  while (written < original_size) {
     if (rc.overrun() > 16) {
       // Only the 5-byte flush slack may legitimately read past the end; a
       // persistent overrun means the declared size or the stream is
@@ -150,22 +157,23 @@ void XzStyleCodec::decompress_payload(ByteSpan payload,
     }
     if (rc.decode_bit(model->is_match) == 0) {
       const std::uint32_t byte = model->literal[prev_byte >> 5].decode(rc);
-      out.push_back(static_cast<std::byte>(byte));
+      dst[written++] = static_cast<std::byte>(byte);
       prev_byte = static_cast<std::uint8_t>(byte);
     } else {
       const std::uint32_t len = decode_length(rc, *model);
       const std::uint32_t distance = decode_distance(rc, *model);
-      if (distance == 0 || distance > out.size()) {
+      if (distance == 0 || distance > written) {
         throw CodecError("invalid nxz match distance");
       }
-      if (out.size() + len > original_size) {
+      if (len > original_size - written) {
         throw CodecError("nxz match overflows declared size");
       }
-      std::size_t src = out.size() - distance;
-      for (std::uint32_t k = 0; k < len; ++k) out.push_back(out[src + k]);
-      prev_byte = static_cast<std::uint8_t>(out.back());
+      copy_match(dst + written, distance, len);
+      written += len;
+      prev_byte = static_cast<std::uint8_t>(dst[written - 1]);
     }
   }
+  return written;
 }
 
 }  // namespace ndpcr::compress

@@ -25,6 +25,7 @@ NdpAgent::NdpAgent(const AgentConfig& config, ckpt::KvStore& io_store)
   if (cfg_.codec != compress::CodecId::kNull) {
     codec_.emplace(cfg_.codec, cfg_.codec_level, cfg_.chunk_bytes,
                    std::max(1u, cfg_.codec_threads));
+    codec_->warm(std::max(1u, cfg_.codec_threads));
   }
   if (trace_->enabled()) {
     const std::string base = "ndp r" + std::to_string(cfg_.rank);

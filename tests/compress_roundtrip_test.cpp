@@ -1,0 +1,210 @@
+// Randomized round-trip and adversarial-input coverage for every registered
+// codec at every level, plus targeted regressions for the pointer-based
+// decode kernels (which write into pre-sized buffers and must therefore
+// bound every copy against the declared output size, not just the input).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "compress/chunked.hpp"
+#include "compress/codec.hpp"
+#include "compress/lz4_style.hpp"
+#include "compress/scratch.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+struct CodecCfg {
+  const char* name;
+  std::vector<int> levels;
+};
+
+// Every constructible (codec, level) pair in the registry.
+const std::vector<CodecCfg>& all_codecs() {
+  static const std::vector<CodecCfg> cfgs = {
+      {"null", {0}},
+      {"rle", {0}},
+      {"nlz4", {1, 2, 3, 4, 5, 6, 7, 8, 9}},
+      {"ngzip", {1, 2, 3, 4, 5, 6, 7, 8, 9}},
+      {"nbzip2", {1, 2, 3, 4, 5, 6, 7, 8, 9}},
+      {"nxz", {1, 2, 3, 4, 5, 6, 7, 8, 9}},
+  };
+  return cfgs;
+}
+
+// Seeded payload with tunable redundancy: stretches of small-alphabet
+// bytes (compressible) interleaved with full-range bytes (not), plus
+// occasional long runs to exercise RLE/match paths.
+Bytes fuzz_payload(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes data;
+  data.reserve(size);
+  while (data.size() < size) {
+    const std::size_t burst =
+        std::min<std::size_t>(1 + rng.next_below(97), size - data.size());
+    switch (rng.next_below(4)) {
+      case 0: {  // long run
+        const auto b = static_cast<std::byte>(rng.next_below(256));
+        data.insert(data.end(), burst, b);
+        break;
+      }
+      case 1:  // small alphabet
+        for (std::size_t i = 0; i < burst; ++i)
+          data.push_back(static_cast<std::byte>(rng.next_below(4)));
+        break;
+      default:  // full range
+        for (std::size_t i = 0; i < burst; ++i)
+          data.push_back(static_cast<std::byte>(rng.next_u64()));
+        break;
+    }
+  }
+  return data;
+}
+
+void expect_roundtrip(const Codec& codec, ByteSpan input,
+                      CodecScratch& scratch) {
+  const Bytes packed = codec.compress(input, scratch);
+  const Bytes back = codec.decompress(packed, scratch);
+  ASSERT_EQ(back.size(), input.size());
+  EXPECT_TRUE(std::equal(back.begin(), back.end(), input.begin()));
+}
+
+TEST(CompressRoundTrip, EveryCodecEveryLevelSeededPayloads) {
+  CodecScratch scratch;  // shared across all pairs, like a pooled worker's
+  std::uint64_t seed = 0x5EED;
+  for (const auto& cfg : all_codecs()) {
+    for (int level : cfg.levels) {
+      const auto codec = make_codec(cfg.name, level);
+      for (std::size_t size : {std::size_t{0}, std::size_t{1},
+                               std::size_t{1337}, std::size_t{16 * 1024}}) {
+        SCOPED_TRACE(std::string(cfg.name) + " level " +
+                     std::to_string(level) + " size " + std::to_string(size));
+        expect_roundtrip(*codec, fuzz_payload(size, seed++), scratch);
+      }
+    }
+  }
+}
+
+TEST(CompressRoundTrip, TruncationNeverCrashesOrMisdecodes) {
+  // Chop each framed stream at every prefix length (stride 3 to bound
+  // runtime, plus the last 64 lengths exhaustively, where the interesting
+  // end-of-stream states live). Every prefix must either throw CodecError
+  // or round-trip exactly; anything else (crash, OOB write under the
+  // sanitizer jobs, silent wrong bytes) is a decoder bug.
+  CodecScratch scratch;
+  const Bytes input = fuzz_payload(6 * 1024, 42);
+  for (const auto& cfg : all_codecs()) {
+    const auto codec = make_codec(cfg.name, cfg.levels[0]);
+    const Bytes packed = codec->compress(input, scratch);
+    auto check_prefix = [&](std::size_t len) {
+      SCOPED_TRACE(std::string(cfg.name) + " truncated to " +
+                   std::to_string(len) + "/" + std::to_string(packed.size()));
+      try {
+        const Bytes back =
+            codec->decompress(ByteSpan(packed).first(len), scratch);
+        EXPECT_TRUE(back.size() == input.size() &&
+                    std::equal(back.begin(), back.end(), input.begin()));
+      } catch (const CodecError&) {
+        // Expected for nearly every prefix.
+      }
+    };
+    const std::size_t tail_start =
+        packed.size() > 64 ? packed.size() - 64 : 0;
+    for (std::size_t len = 0; len < tail_start; len += 3) check_prefix(len);
+    for (std::size_t len = tail_start; len <= packed.size(); ++len) {
+      check_prefix(len);
+    }
+  }
+}
+
+TEST(CompressRoundTrip, Lz4LiteralRunBeyondDeclaredSizeThrows) {
+  // Regression: a frame can declare a small original size while its payload
+  // encodes a longer literal run. The pointer-based decoder memcpys
+  // literals into a buffer sized from the header, so it must reject the
+  // run *before* copying, not discover the overflow afterwards.
+  Bytes frame;
+  frame.push_back(static_cast<std::byte>('N'));
+  frame.push_back(static_cast<std::byte>(CodecId::kLz4Style));
+  frame.push_back(std::byte{1});                 // level
+  append_le<std::uint64_t>(frame, 5);            // declared original size
+  append_le<std::uint32_t>(frame, 0xDEADBEEFu);  // CRC (never reached)
+  frame.push_back(std::byte{0xF0});              // token: 15 literals, ...
+  frame.push_back(std::byte{5});                 // ... extended to 20
+  frame.insert(frame.end(), 20, std::byte{0x41});
+  const Lz4StyleCodec codec(1);
+  try {
+    const Bytes out = codec.decompress(frame);
+    FAIL() << "decoded " << out.size() << " bytes from an overflowing frame";
+  } catch (const CodecError& e) {
+    EXPECT_NE(std::string(e.what()).find("literals overflow"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CompressRoundTrip, Lz4AcceleratedModeRoundTrips) {
+  // Acceleration trades ratio for speed and is opt-in precisely because it
+  // changes the emitted bytes; it must still round-trip through the
+  // unchanged decoder, including when the probe strides past the end of
+  // the input.
+  CodecScratch scratch;
+  const Lz4StyleCodec plain(1);
+  const Lz4StyleCodec fast(1, /*accelerate=*/true);
+  std::uint64_t seed = 0xACCE1;
+  for (std::size_t size :
+       {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{4096},
+        std::size_t{64 * 1024}}) {
+    SCOPED_TRACE("size " + std::to_string(size));
+    const Bytes input = fuzz_payload(size, seed++);
+    expect_roundtrip(fast, input, scratch);
+    // Incompressible data is where the skip heuristic engages hardest.
+    Rng rng(seed++);
+    Bytes noise(size);
+    for (auto& b : noise) b = static_cast<std::byte>(rng.next_u64());
+    expect_roundtrip(fast, noise, scratch);
+    // Sanity: both modes agree on content, not necessarily on bytes.
+    EXPECT_EQ(plain.decompress(plain.compress(input)), input);
+  }
+}
+
+TEST(CompressRoundTrip, ChunkedAcceleratedRoundTripsAcrossThreadCounts) {
+  const Bytes input = fuzz_payload(200 * 1024, 77);
+  Bytes reference;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const ChunkedCodec cc(CodecId::kLz4Style, 1, 16 * 1024, threads,
+                          /*accelerate=*/true);
+    const Bytes packed = cc.compress(input);
+    if (threads == 1) {
+      reference = packed;
+    } else {
+      // Thread count is an execution detail even in accelerated mode.
+      EXPECT_EQ(packed, reference);
+    }
+    EXPECT_EQ(cc.decompress(packed), input);
+  }
+  EXPECT_THROW(ChunkedCodec(CodecId::kDeflateStyle, 1, 16 * 1024, 1,
+                            /*accelerate=*/true),
+               CodecError);
+}
+
+TEST(CompressRoundTrip, ImplausibleDeclaredSizeIsRejectedBeforeAllocating) {
+  // A corrupted header must raise CodecError instead of attempting a
+  // TiB-scale eager allocation (robustness tests flip header bytes; the
+  // size field at offsets 3..10 is the dangerous one).
+  Bytes frame;
+  frame.push_back(static_cast<std::byte>('N'));
+  frame.push_back(static_cast<std::byte>(CodecId::kLz4Style));
+  frame.push_back(std::byte{1});
+  append_le<std::uint64_t>(frame, 1ull << 40);  // 1 TiB declared
+  append_le<std::uint32_t>(frame, 0);
+  frame.push_back(std::byte{0});  // tiny payload
+  const Lz4StyleCodec codec(1);
+  EXPECT_THROW((void)codec.decompress(frame), CodecError);
+}
+
+}  // namespace
+}  // namespace ndpcr::compress
