@@ -1,0 +1,157 @@
+#include "ckpt/dedup_level.hpp"
+
+#include "common/crc32.hpp"
+
+namespace ndpcr::ckpt {
+namespace {
+
+constexpr std::uint32_t kRecipeMagic = 0x4E445243;  // "NDRC"
+// magic(4) image_size(8) count(4), then per block key(8) size(4) crc(4).
+constexpr std::size_t kRecipeHeader = 4 + 8 + 4;
+constexpr std::size_t kRefBytes = 8 + 4 + 4;
+
+std::uint32_t crc_of(ByteSpan block) {
+  Crc32 crc;
+  crc.update(block);
+  return crc.value();
+}
+
+}  // namespace
+
+DedupIndex::DedupIndex(delta::CdcParams cdc) : cdc_(cdc) {
+  // Validate eagerly (cdc_boundaries would throw on first use otherwise).
+  (void)delta::cdc_boundaries(ByteSpan(), cdc_);
+}
+
+DedupIndex::Plan DedupIndex::plan(ByteSpan image) const {
+  Plan plan;
+  plan.raw_bytes = image.size();
+  const std::vector<std::size_t> bounds = delta::cdc_boundaries(image, cdc_);
+  plan.refs.reserve(bounds.size());
+
+  // Blocks this plan itself introduces: later duplicates within the same
+  // image must resolve against them, and a key probed past a collision
+  // here must stay probed for the rest of the plan.
+  std::map<std::uint64_t, Entry> pending;
+
+  std::size_t start = 0;
+  for (const std::size_t end : bounds) {
+    const ByteSpan block = image.subspan(start, end - start);
+    start = end;
+    BlockRef ref;
+    ref.size = static_cast<std::uint32_t>(block.size());
+    ref.crc = crc_of(block);
+    ref.key = delta::block_hash(block);
+    // Identity is (key, size, crc); a slot holding a different identity
+    // is a hash collision, probed past deterministically.
+    for (;; ++ref.key) {
+      const auto it = blocks_.find(ref.key);
+      if (it != blocks_.end()) {
+        if (it->second.size == ref.size && it->second.crc == ref.crc) {
+          plan.dup_bytes += block.size();
+          break;
+        }
+        continue;  // collision with an admitted block
+      }
+      const auto pit = pending.find(ref.key);
+      if (pit != pending.end()) {
+        if (pit->second.size == ref.size && pit->second.crc == ref.crc) {
+          plan.dup_bytes += block.size();
+          break;
+        }
+        continue;  // collision with a block staged by this very plan
+      }
+      pending.emplace(ref.key, Entry{ref.size, ref.crc, 1});
+      plan.new_blocks.emplace_back(ref.key,
+                                   Bytes(block.begin(), block.end()));
+      plan.new_bytes += block.size();
+      break;
+    }
+    plan.refs.push_back(ref);
+  }
+
+  plan.recipe.reserve(kRecipeHeader + plan.refs.size() * kRefBytes);
+  append_le<std::uint32_t>(plan.recipe, kRecipeMagic);
+  append_le<std::uint64_t>(plan.recipe, image.size());
+  append_le<std::uint32_t>(plan.recipe,
+                           static_cast<std::uint32_t>(plan.refs.size()));
+  for (const BlockRef& ref : plan.refs) {
+    append_le<std::uint64_t>(plan.recipe, ref.key);
+    append_le<std::uint32_t>(plan.recipe, ref.size);
+    append_le<std::uint32_t>(plan.recipe, ref.crc);
+  }
+  return plan;
+}
+
+void DedupIndex::admit(const Plan& plan, std::uint32_t rank,
+                       std::uint64_t id) {
+  for (const BlockRef& ref : plan.refs) {
+    auto [it, inserted] =
+        blocks_.try_emplace(ref.key, Entry{ref.size, ref.crc, 0});
+    if (inserted) stored_bytes_ += ref.size;
+    ++it->second.refs;
+  }
+  logical_bytes_ += plan.raw_bytes;
+  const auto map_key = std::make_pair(rank, id);
+  if (auto existing = recipes_.find(map_key); existing != recipes_.end()) {
+    // Re-admit under the same id replaces the previous recipe.
+    (void)release(rank, id);
+  }
+  recipes_.emplace(map_key, plan.refs);
+}
+
+std::vector<std::uint64_t> DedupIndex::release(std::uint32_t rank,
+                                               std::uint64_t id) {
+  std::vector<std::uint64_t> freed;
+  const auto it = recipes_.find(std::make_pair(rank, id));
+  if (it == recipes_.end()) return freed;
+  for (const BlockRef& ref : it->second) {
+    auto block = blocks_.find(ref.key);
+    if (block == blocks_.end()) continue;
+    logical_bytes_ -= ref.size;
+    if (--block->second.refs == 0) {
+      stored_bytes_ -= block->second.size;
+      blocks_.erase(block);
+      freed.push_back(ref.key);
+    }
+  }
+  recipes_.erase(it);
+  return freed;
+}
+
+bool DedupIndex::is_recipe(ByteSpan raw) {
+  return raw.size() >= 4 && read_le<std::uint32_t>(raw, 0) == kRecipeMagic;
+}
+
+std::optional<Bytes> DedupIndex::assemble(
+    ByteSpan recipe,
+    const std::function<std::optional<Bytes>(const BlockRef&)>& fetch) {
+  if (recipe.size() < kRecipeHeader || !is_recipe(recipe)) {
+    return std::nullopt;
+  }
+  const auto image_size = read_le<std::uint64_t>(recipe, 4);
+  const auto count = read_le<std::uint32_t>(recipe, 12);
+  if (recipe.size() != kRecipeHeader + std::size_t{count} * kRefBytes) {
+    return std::nullopt;
+  }
+  Bytes out;
+  out.reserve(image_size);
+  std::size_t pos = kRecipeHeader;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BlockRef ref;
+    ref.key = read_le<std::uint64_t>(recipe, pos);
+    ref.size = read_le<std::uint32_t>(recipe, pos + 8);
+    ref.crc = read_le<std::uint32_t>(recipe, pos + 12);
+    pos += kRefBytes;
+    const std::optional<Bytes> block = fetch(ref);
+    if (!block || block->size() != ref.size ||
+        crc_of(ByteSpan(*block)) != ref.crc) {
+      return std::nullopt;
+    }
+    out.insert(out.end(), block->begin(), block->end());
+  }
+  if (out.size() != image_size) return std::nullopt;
+  return out;
+}
+
+}  // namespace ndpcr::ckpt

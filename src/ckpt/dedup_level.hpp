@@ -1,0 +1,98 @@
+#pragma once
+
+// Content-defined block dedup for the IO level (docs/DELTA.md). Instead
+// of one opaque blob per (rank, checkpoint), the manager stores each
+// image as a small *recipe* plus content-addressed blocks shared across
+// ranks and commits: halo regions, constant tables and slowly-varying
+// state are shipped to the parallel file system once, not node_count
+// times per checkpoint.
+//
+// Chunking is content-defined (delta::cdc_boundaries), so an insertion
+// early in an image shifts boundaries with the data and downstream blocks
+// still dedup. Block identity is (content hash, size, CRC32) - the index
+// never stores bytes, the device does - with linear key probing on hash
+// collisions. The index is bookkeeping only: planning which blocks a new
+// image needs is separated from admitting them (refcounts move only after
+// the device writes verified), so a failed put never corrupts the index.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "delta/delta.hpp"
+
+namespace ndpcr::ckpt {
+
+// Reserved store rank for dedup block entries: blocks live in the same
+// (possibly fault-scheduled) KvStore as the recipes, keyed (kDedupBlockRank,
+// block key), so chaos schedules exercise them like any other IO write.
+inline constexpr std::uint32_t kDedupBlockRank = 0xFFFFFFFFu;
+
+class DedupIndex {
+ public:
+  explicit DedupIndex(delta::CdcParams cdc);
+
+  struct BlockRef {
+    std::uint64_t key = 0;   // content hash, probed past collisions
+    std::uint32_t size = 0;  // raw block bytes
+    std::uint32_t crc = 0;   // CRC32 of the raw block bytes
+  };
+
+  // What storing one image through the index means: the recipe bytes to
+  // put under (rank, id), and the blocks the device does not hold yet.
+  struct Plan {
+    Bytes recipe;
+    std::vector<BlockRef> refs;  // every block of the image, in order
+    std::vector<std::pair<std::uint64_t, Bytes>> new_blocks;
+    std::size_t raw_bytes = 0;
+    std::size_t new_bytes = 0;  // bytes in new_blocks (pre-compression)
+    std::size_t dup_bytes = 0;  // bytes resolved against existing blocks
+  };
+
+  // Chunk `image` and resolve each block against the index. Pure lookup:
+  // the index is not modified until admit().
+  [[nodiscard]] Plan plan(ByteSpan image) const;
+
+  // Commit a plan after its device writes verified: refcount existing
+  // blocks, insert the new ones, record the recipe's key list.
+  void admit(const Plan& plan, std::uint32_t rank, std::uint64_t id);
+
+  // Drop an image's references; returns the keys whose refcount reached
+  // zero (the caller erases those device entries).
+  std::vector<std::uint64_t> release(std::uint32_t rank, std::uint64_t id);
+
+  [[nodiscard]] std::size_t unique_blocks() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t stored_bytes() const { return stored_bytes_; }
+  [[nodiscard]] std::size_t logical_bytes() const { return logical_bytes_; }
+
+  // Parse a recipe and reassemble the image it describes. `fetch` returns
+  // the raw (decompressed) block bytes for a key, or nullopt when the
+  // device lost it. Returns nullopt on any missing block, size or CRC
+  // mismatch - an unreadable image, never a silently wrong one.
+  [[nodiscard]] static std::optional<Bytes> assemble(
+      ByteSpan recipe,
+      const std::function<std::optional<Bytes>(const BlockRef&)>& fetch);
+
+  // Whether stored bytes are a dedup recipe (vs a plain framed image).
+  [[nodiscard]] static bool is_recipe(ByteSpan raw);
+
+ private:
+  struct Entry {
+    std::uint32_t size = 0;
+    std::uint32_t crc = 0;
+    std::size_t refs = 0;
+  };
+
+  delta::CdcParams cdc_;
+  std::size_t stored_bytes_ = 0;   // unique block bytes admitted
+  std::size_t logical_bytes_ = 0;  // image bytes represented
+  std::map<std::uint64_t, Entry> blocks_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::vector<BlockRef>>
+      recipes_;
+};
+
+}  // namespace ndpcr::ckpt

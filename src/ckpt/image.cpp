@@ -6,8 +6,9 @@ namespace ndpcr::ckpt {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4E444349;  // "NDCI"
-// magic(4) app_id(8) rank(4) ckpt_id(8) step(8) payload_size(8) crc(4)
-constexpr std::size_t kHeaderSize = 4 + 8 + 4 + 8 + 8 + 8 + 4;
+// magic(4) app_id(8) rank(4) ckpt_id(8) step(8) kind(4) base_id(8)
+// payload_size(8) crc(4)
+constexpr std::size_t kHeaderSize = 4 + 8 + 4 + 8 + 8 + 4 + 8 + 8 + 4;
 // The CRC covers everything before the CRC field plus the payload, so a
 // flip anywhere in the image - metadata included - fails validation.
 constexpr std::size_t kCrcOffset = kHeaderSize - 4;
@@ -21,6 +22,16 @@ std::uint32_t image_crc(ByteSpan header_prefix, ByteSpan payload) {
 
 }  // namespace
 
+const char* to_string(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kFull:
+      return "full";
+    case PayloadKind::kDelta:
+      return "delta";
+  }
+  return "?";
+}
+
 Bytes CheckpointImage::build(const CheckpointMeta& meta, ByteSpan payload) {
   Bytes out;
   out.reserve(kHeaderSize + payload.size());
@@ -29,6 +40,8 @@ Bytes CheckpointImage::build(const CheckpointMeta& meta, ByteSpan payload) {
   append_le<std::uint32_t>(out, meta.rank);
   append_le<std::uint64_t>(out, meta.checkpoint_id);
   append_le<std::uint64_t>(out, meta.step);
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(meta.kind));
+  append_le<std::uint64_t>(out, meta.base_id);
   append_le<std::uint64_t>(out, payload.size());
   append_le<std::uint32_t>(out, image_crc(ByteSpan(out), payload));
   out.insert(out.end(), payload.begin(), payload.end());
@@ -47,19 +60,25 @@ CheckpointMeta CheckpointImage::peek_meta(ByteSpan raw) {
   meta.rank = read_le<std::uint32_t>(raw, 12);
   meta.checkpoint_id = read_le<std::uint64_t>(raw, 16);
   meta.step = read_le<std::uint64_t>(raw, 24);
+  const auto kind = read_le<std::uint32_t>(raw, 32);
+  if (kind > static_cast<std::uint32_t>(PayloadKind::kDelta)) {
+    throw ImageError("unknown checkpoint payload kind");
+  }
+  meta.kind = static_cast<PayloadKind>(kind);
+  meta.base_id = read_le<std::uint64_t>(raw, 36);
   return meta;
 }
 
 std::size_t CheckpointImage::framed_size(ByteSpan raw) {
   (void)peek_meta(raw);  // validates magic and header presence
-  return kHeaderSize + read_le<std::uint64_t>(raw, 32);
+  return kHeaderSize + read_le<std::uint64_t>(raw, 44);
 }
 
 CheckpointImage CheckpointImage::parse(ByteSpan raw) {
   CheckpointImage image;
   image.meta_ = peek_meta(raw);
-  const auto payload_size = read_le<std::uint64_t>(raw, 32);
-  const auto expected_crc = read_le<std::uint32_t>(raw, 40);
+  const auto payload_size = read_le<std::uint64_t>(raw, 44);
+  const auto expected_crc = read_le<std::uint32_t>(raw, 52);
   if (raw.size() != kHeaderSize + payload_size) {
     throw ImageError("checkpoint image size mismatch");
   }

@@ -17,6 +17,14 @@ class ImageError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// What an image's payload is: a self-contained snapshot, or a delta
+// stream that must be applied to the payload of the checkpoint named by
+// `base_id` (docs/DELTA.md). Recovery walks base_id links back to a full
+// anchor and replays forward.
+enum class PayloadKind : std::uint32_t { kFull = 0, kDelta = 1 };
+
+const char* to_string(PayloadKind kind);
+
 // The metadata BLCR attaches to each checkpoint (section 4.2.1): "the
 // process ID of the parent application process, the MPI process ID, and a
 // unique checkpoint ID".
@@ -25,6 +33,8 @@ struct CheckpointMeta {
   std::uint32_t rank = 0;           // MPI process id
   std::uint64_t checkpoint_id = 0;  // unique, monotonically increasing
   std::uint64_t step = 0;           // application step at capture
+  PayloadKind kind = PayloadKind::kFull;
+  std::uint64_t base_id = 0;        // delta reference; 0 for full images
 };
 
 class CheckpointImage {

@@ -48,20 +48,30 @@ void merge_level(LevelHealth& into, const LevelHealth& delta) {
   into.backoff_seconds += delta.backoff_seconds;
 }
 
-// Parse + CRC-check raw image bytes; payload iff they are rank/id's
+// Parse + CRC-check raw image bytes; the image iff they are rank/id's
 // checkpoint. Pure - safe from any task.
-std::optional<Bytes> validate_image(std::uint32_t rank, std::uint64_t id,
-                                    ByteSpan raw) {
+std::optional<CheckpointImage> parse_image(std::uint32_t rank,
+                                           std::uint64_t id, ByteSpan raw) {
   try {
     CheckpointImage image = CheckpointImage::parse(raw);
     if (image.meta().rank != rank || image.meta().checkpoint_id != id) {
       return std::nullopt;
     }
-    return Bytes(image.payload().begin(), image.payload().end());
+    return image;
   } catch (const ImageError&) {
     return std::nullopt;
   }
 }
+
+// Recovery walks levels fastest to slowest; a chain is charged the
+// deepest level any of its links came from.
+RecoveryLevel deeper(RecoveryLevel a, RecoveryLevel b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+// Bound on delta links walked before recovery declares a chain cyclic or
+// corrupt (base_id must strictly decrease, so this only trips on damage).
+constexpr std::size_t kMaxChainLinks = 4096;
 
 }  // namespace
 
@@ -110,6 +120,29 @@ void record_health(obs::MetricsRegistry& metrics, const HealthReport& report,
   metrics.counter(base + "degraded_commits").add(report.degraded_commits);
 }
 
+void record_data_path(obs::MetricsRegistry& metrics,
+                      const DataPathStats& stats, std::string_view prefix) {
+  const std::string base = std::string(prefix) + ".";
+  metrics.counter(base + "commits_full").add(stats.commits_full);
+  metrics.counter(base + "commits_delta").add(stats.commits_delta);
+  metrics.counter(base + "payload_bytes_in").add(stats.payload_bytes_in);
+  metrics.counter(base + "delta_input_bytes").add(stats.delta_input_bytes);
+  metrics.counter(base + "delta_encoded_bytes")
+      .add(stats.delta_encoded_bytes);
+  metrics.counter(base + "local_bytes_written")
+      .add(stats.local_bytes_written);
+  metrics.counter(base + "partner_bytes_written")
+      .add(stats.partner_bytes_written);
+  metrics.counter(base + "io_logical_bytes").add(stats.io_logical_bytes);
+  metrics.counter(base + "io_bytes_written").add(stats.io_bytes_written);
+  metrics.counter(base + "dedup_new_bytes").add(stats.dedup_new_bytes);
+  metrics.counter(base + "dedup_dup_bytes").add(stats.dedup_dup_bytes);
+  metrics.counter(base + "chain_links").add(stats.chain_links);
+  metrics.counter(base + "chain_replays").add(stats.chain_replays);
+  metrics.gauge(base + "delta_factor").set(stats.delta_factor());
+  metrics.gauge(base + "dedup_hit_rate").set(stats.dedup_hit_rate());
+}
+
 MultilevelManager::MultilevelManager(const MultilevelConfig& config)
     : config_(config),
       trace_(config.trace ? config.trace : &obs::Tracer::null()) {
@@ -139,9 +172,21 @@ MultilevelManager::MultilevelManager(const MultilevelConfig& config)
                       config.io_chunk_bytes, threads);
     io_codec_->warm(threads);
   }
+  if (config.delta.enabled) {
+    if (config.delta.block_bytes == 0) {
+      throw std::invalid_argument("delta.block_bytes must be positive");
+    }
+    delta_codec_.emplace(config.delta.block_bytes);
+    prev_payload_.resize(config.node_count);
+    delta_scratch_.warm(config.node_count);
+  }
+  if (config.delta.io_dedup) {
+    io_dedup_.emplace(config.delta.cdc);  // throws on bad CDC parameters
+  }
   local_.reserve(config.node_count);
   for (std::uint32_t n = 0; n < config.node_count; ++n) {
-    local_.emplace_back(config.nvm_capacity_bytes);
+    local_.emplace_back(config.nvm_capacity_bytes,
+                        config.delta.nvm_dedup_block_bytes);
   }
   local_write_ops_.assign(config.node_count, 0);
   auto make_store = [&](StoreLevel level,
@@ -344,7 +389,11 @@ void MultilevelManager::commit_local(std::uint64_t id,
   trace_->splice(tbs);
   for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
     merge_level(health_.local, deltas[rank]);
-    if (!ok[rank]) health_.local.state = LevelState::kDegraded;
+    if (ok[rank]) {
+      data_stats_.local_bytes_written += images[rank].size();
+    } else {
+      health_.local.state = LevelState::kDegraded;
+    }
   }
   if (rb && !was_degraded && health_.local.degraded()) {
     rb->instant("level_degraded", "ckpt.local", 0, {obs::u64("id", id)});
@@ -379,6 +428,7 @@ void MultilevelManager::commit_partner(std::uint64_t id,
           level_ok = false;
           break;  // still down: one failed probe is proof enough
         }
+        data_stats_.partner_bytes_written += images[rank].size();
       }
     } else {
       for (std::uint32_t first = 0; first < config_.node_count;
@@ -396,12 +446,14 @@ void MultilevelManager::commit_partner(std::uint64_t id,
           p.resize(width, std::byte{0});
           padded.push_back(std::move(p));
         }
+        const Bytes parity = xor_parity(padded);
+        const std::size_t parity_size = parity.size();
         if (!checked_put(*partner_space_[parity_host(first)], health, first,
-                         id, xor_parity(padded), true,
-                         {rb, 0, "ckpt.partner"})) {
+                         id, parity, true, {rb, 0, "ckpt.partner"})) {
           level_ok = false;
           break;
         }
+        data_stats_.partner_bytes_written += parity_size;
       }
     }
   } else if (config_.partner_scheme == PartnerScheme::kCopy) {
@@ -433,7 +485,11 @@ void MultilevelManager::commit_partner(std::uint64_t id,
     trace_->splice(tbs);
     for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
       merge_level(health, deltas[rank]);
-      if (!ok[rank]) level_ok = false;
+      if (ok[rank]) {
+        data_stats_.partner_bytes_written += images[rank].size();
+      } else {
+        level_ok = false;
+      }
     }
   } else {
     // XOR groups: one parity buffer per group, padded to the group's
@@ -444,6 +500,7 @@ void MultilevelManager::commit_partner(std::uint64_t id,
         config_.xor_group_size;
     std::vector<LevelHealth> deltas(groups);
     std::vector<char> ok(groups, 1);
+    std::vector<std::size_t> parity_bytes(groups, 0);
     std::vector<obs::TraceBuffer> tbs = trace_->task_buffers(groups);
     for_tasks(groups, [&](std::size_t g) {
       const auto first =
@@ -470,6 +527,7 @@ void MultilevelManager::commit_partner(std::uint64_t id,
         padded.push_back(std::move(p));
       }
       Bytes parity = xor_parity(padded);
+      parity_bytes[g] = parity.size();
       encode.close();
       obs::TraceBuffer::Span put;
       if (tc.buf) {
@@ -485,7 +543,11 @@ void MultilevelManager::commit_partner(std::uint64_t id,
     trace_->splice(tbs);
     for (std::size_t g = 0; g < groups; ++g) {
       merge_level(health, deltas[g]);
-      if (!ok[g]) level_ok = false;
+      if (ok[g]) {
+        data_stats_.partner_bytes_written += parity_bytes[g];
+      } else {
+        level_ok = false;
+      }
     }
   }
   settle_level(health, level_ok);
@@ -504,8 +566,65 @@ void MultilevelManager::commit_io(std::uint64_t id,
   obs::TraceBuffer* rb = trace_->root();
   obs::TraceBuffer::Span phase;
   if (rb) phase = rb->span("io", "ckpt.io", 0, {obs::u64("id", id)});
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    data_stats_.io_logical_bytes += images[rank].size();
+  }
   const bool was_degraded = health.degraded();
   bool level_ok = true;
+  if (io_dedup_) {
+    // Dedup path: each image becomes a recipe plus the content-addressed
+    // blocks no prior image already stored. Serial in rank order (one
+    // shared fault-scheduled device), and the index is only updated after
+    // every block and the recipe are durably in place - a failed put
+    // leaves the index describing exactly what the store holds.
+    const bool probe = health.degraded();
+    if (probe && rb) rb->instant("probe", "ckpt.io", 0, {obs::u64("id", id)});
+    for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+      const DedupIndex::Plan plan = io_dedup_->plan(images[rank]);
+      bool rank_ok = true;
+      std::size_t rank_bytes = 0;
+      for (const auto& [key, block] : plan.new_blocks) {
+        const Bytes stored =
+            io_codec_ ? io_codec_->compress(block) : block;
+        if (!checked_put(*io_, health, kDedupBlockRank, key, stored, probe,
+                         {rb, 0, "ckpt.io"})) {
+          rank_ok = false;
+          break;
+        }
+        rank_bytes += stored.size();
+      }
+      if (rank_ok) {
+        // Recipes stay uncompressed: they are tiny and must be readable
+        // before any codec state is known.
+        rank_ok = checked_put(*io_, health, rank, id, plan.recipe, probe,
+                              {rb, 0, "ckpt.io"});
+      }
+      if (rank_ok) {
+        io_dedup_->admit(plan, rank, id);
+        data_stats_.io_bytes_written += rank_bytes + plan.recipe.size();
+        data_stats_.dedup_new_bytes += plan.new_bytes;
+        data_stats_.dedup_dup_bytes += plan.dup_bytes;
+        if (rb) {
+          rb->instant("io_dedup_put", "ckpt.io", 0,
+                      {obs::u64("rank", rank),
+                       obs::u64("new_bytes", plan.new_bytes),
+                       obs::u64("dup_bytes", plan.dup_bytes)});
+        }
+      } else {
+        level_ok = false;
+        if (probe) break;
+      }
+    }
+    settle_level(health, level_ok);
+    if (rb) {
+      if (!was_degraded && health.degraded()) {
+        rb->instant("level_degraded", "ckpt.io", 0, {obs::u64("id", id)});
+      } else if (was_degraded && !health.degraded()) {
+        rb->instant("level_healed", "ckpt.io", 0, {obs::u64("id", id)});
+      }
+    }
+    return;
+  }
   if (health.degraded()) {
     // Probe mode: serial, compress-as-you-go, stop at the first failure.
     if (rb) rb->instant("probe", "ckpt.io", 0, {obs::u64("id", id)});
@@ -517,6 +636,7 @@ void MultilevelManager::commit_io(std::uint64_t id,
         level_ok = false;
         break;
       }
+      data_stats_.io_bytes_written += packed.size();
     }
   } else {
     // The CPU-heavy half - chunk compression - fans out first: every
@@ -575,8 +695,10 @@ void MultilevelManager::commit_io(std::uint64_t id,
         rb->instant("io_put", "ckpt.io", 0,
                     {obs::u64("rank", rank), obs::u64("bytes", data.size())});
       }
-      if (!checked_put(*io_, health, rank, id, data, false,
-                       {rb, 0, "ckpt.io"})) {
+      if (checked_put(*io_, health, rank, id, data, false,
+                      {rb, 0, "ckpt.io"})) {
+        data_stats_.io_bytes_written += data.size();
+      } else {
         level_ok = false;
       }
     }
@@ -600,6 +722,12 @@ std::uint64_t MultilevelManager::commit(
   const bool to_partner =
       config_.partner_every > 0 && id % config_.partner_every == 0;
   const bool to_io = config_.io_every > 0 && id % config_.io_every == 0;
+  // Delta commits encode against the previous committed checkpoint; a
+  // full anchor is forced for the first commit and whenever the chain
+  // reaches its configured length.
+  const bool as_delta = delta_codec_.has_value() &&
+                        config_.delta.chain_length > 0 && have_prev_ &&
+                        links_since_full_ < config_.delta.chain_length;
 
   obs::TraceBuffer* rb = trace_->root();
   obs::TraceBuffer::Span commit_span;
@@ -607,14 +735,24 @@ std::uint64_t MultilevelManager::commit(
     commit_span = rb->span("commit", "ckpt", 0,
                            {obs::u64("id", id),
                             obs::u64("partner", to_partner ? 1 : 0),
-                            obs::u64("io", to_io ? 1 : 0)});
+                            obs::u64("io", to_io ? 1 : 0),
+                            obs::str("kind", as_delta ? "delta" : "full")});
   }
 
-  // Serialize + CRC every rank's image in parallel (pure per-rank work).
+  // Serialize + CRC every rank's image in parallel (pure per-rank work:
+  // each task owns its index's image slot, delta stats slot and a pooled
+  // encoder scratch, so the fan-out is allocation-light and the stats
+  // fold below runs serially in rank order).
   std::vector<Bytes> images(config_.node_count);
+  std::vector<delta::DeltaStats> dstats(
+      as_delta ? config_.node_count : 0);
   {
     obs::TraceBuffer::Span build;
-    if (rb) build = rb->span("image_build", "ckpt", 0, {obs::u64("id", id)});
+    if (rb) {
+      build = rb->span("image_build", "ckpt", 0,
+                       {obs::u64("id", id),
+                        obs::str("kind", as_delta ? "delta" : "full")});
+    }
     std::vector<obs::TraceBuffer> tbs =
         trace_->task_buffers(config_.node_count);
     for_tasks(config_.node_count, [&](std::size_t rank) {
@@ -622,7 +760,17 @@ std::uint64_t MultilevelManager::commit(
       meta.app_id = config_.app_id;
       meta.rank = static_cast<std::uint32_t>(rank);
       meta.checkpoint_id = id;
-      images[rank] = CheckpointImage::build(meta, payloads[rank]);
+      if (as_delta) {
+        meta.kind = PayloadKind::kDelta;
+        meta.base_id = id - 1;
+        auto scratch = delta_scratch_.acquire();
+        const Bytes stream = delta_codec_->encode(
+            ByteSpan(prev_payload_[rank]), payloads[rank], *scratch,
+            &dstats[rank]);
+        images[rank] = CheckpointImage::build(meta, stream);
+      } else {
+        images[rank] = CheckpointImage::build(meta, payloads[rank]);
+      }
       if (!tbs.empty()) {
         tbs[rank].instant("image", "ckpt",
                           1 + static_cast<std::uint32_t>(rank),
@@ -633,6 +781,20 @@ std::uint64_t MultilevelManager::commit(
     trace_->splice(tbs);
   }
 
+  // Data-path accounting, serial in rank order.
+  if (as_delta) {
+    ++data_stats_.commits_delta;
+  } else {
+    ++data_stats_.commits_full;
+  }
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    data_stats_.payload_bytes_in += payloads[rank].size();
+    if (as_delta) {
+      data_stats_.delta_input_bytes += dstats[rank].input_bytes;
+      data_stats_.delta_encoded_bytes += dstats[rank].encoded_bytes;
+    }
+  }
+
   ++health_.commits;
   if (to_partner && config_.node_count > 1) commit_partner(id, images);
   if (to_io) commit_io(id, images);
@@ -640,6 +802,23 @@ std::uint64_t MultilevelManager::commit(
   if (health_.any_degraded()) {
     ++health_.degraded_commits;
     if (rb) rb->instant("commit_degraded", "ckpt", 0, {obs::u64("id", id)});
+  }
+
+  // This commit's payloads become the next delta's reference (a copy: the
+  // caller's spans die with the call). Per-rank copies are independent,
+  // so the refresh fans out too.
+  if (delta_codec_) {
+    for_tasks(config_.node_count, [&](std::size_t rank) {
+      prev_payload_[rank].assign(payloads[rank].begin(),
+                                 payloads[rank].end());
+    });
+    have_prev_ = true;
+    links_since_full_ = as_delta ? links_since_full_ + 1 : 0;
+    if (rb) {
+      rb->instant("chain_state", "ckpt", 0,
+                  {obs::u64("id", id),
+                   obs::u64("links_since_full", links_since_full_)});
+    }
   }
   return id;
 }
@@ -712,7 +891,45 @@ bool MultilevelManager::corrupt_io(std::uint32_t rank) {
   return io_->corrupt_entry(rank, *id, *id * 139 + rank);
 }
 
-std::optional<Bytes> MultilevelManager::try_remote_rank(
+std::optional<CheckpointImage> MultilevelManager::fetch_local(
+    std::uint32_t rank, std::uint64_t id) const {
+  const auto span = local_[rank].get(id);
+  if (!span) return std::nullopt;
+  return parse_image(rank, id, *span);
+}
+
+std::optional<Bytes> MultilevelManager::fetch_io_raw(
+    std::uint32_t rank, std::uint64_t id) const {
+  obs::TraceBuffer* rb = trace_->root();
+  const auto stored =
+      checked_get(*io_, health_.io, rank, id, {rb, 0, "ckpt.io"});
+  if (!stored) return std::nullopt;
+  if (DedupIndex::is_recipe(*stored)) {
+    // Recipe: reassemble from the content-addressed block space. Checked
+    // even when dedup is off in this manager's config - the store may
+    // hold recipes written before a restart reconfigured it.
+    return DedupIndex::assemble(
+        *stored, [&](const DedupIndex::BlockRef& ref) -> std::optional<Bytes> {
+          auto block = checked_get(*io_, health_.io, kDedupBlockRank,
+                                   ref.key, {rb, 0, "ckpt.io"});
+          if (!block) return std::nullopt;
+          if (!io_codec_) return block;
+          try {
+            return io_codec_->decompress(*block);
+          } catch (const compress::CodecError&) {
+            return std::nullopt;
+          }
+        });
+  }
+  if (!io_codec_) return stored;
+  try {
+    return io_codec_->decompress(*stored);
+  } catch (const compress::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<CheckpointImage> MultilevelManager::try_remote_rank(
     std::uint32_t rank, std::uint64_t id, RecoveryLevel& level_out) const {
   obs::TraceBuffer* rb = trace_->root();
   if (config_.node_count > 1) {
@@ -720,38 +937,73 @@ std::optional<Bytes> MultilevelManager::try_remote_rank(
       if (const auto copy = checked_get(*partner_space_[partner_of(rank)],
                                         health_.partner, rank, id,
                                         {rb, 0, "ckpt.partner"})) {
-        if (auto payload = validate_image(rank, id, *copy)) {
+        if (auto image = parse_image(rank, id, *copy)) {
           level_out = RecoveryLevel::kPartner;
-          return payload;
+          return image;
         }
       }
-    } else if (auto rebuilt = try_xor_rebuild(rank, id)) {
-      if (auto payload = validate_image(rank, id, *rebuilt)) {
+    } else if (const auto rebuilt = try_xor_rebuild(rank, id)) {
+      if (auto image = parse_image(rank, id, *rebuilt)) {
         level_out = RecoveryLevel::kPartner;
-        return payload;
+        return image;
       }
     }
   }
-  if (const auto stored =
-          checked_get(*io_, health_.io, rank, id, {rb, 0, "ckpt.io"})) {
-    std::optional<Bytes> raw;
-    if (io_codec_) {
-      try {
-        raw = io_codec_->decompress(*stored);
-      } catch (const compress::CodecError&) {
-        raw = std::nullopt;
-      }
-    } else {
-      raw = *stored;
-    }
-    if (raw) {
-      if (auto payload = validate_image(rank, id, *raw)) {
-        level_out = RecoveryLevel::kIo;
-        return payload;
-      }
+  if (const auto raw = fetch_io_raw(rank, id)) {
+    if (auto image = parse_image(rank, id, *raw)) {
+      level_out = RecoveryLevel::kIo;
+      return image;
     }
   }
   return std::nullopt;
+}
+
+std::optional<Bytes> MultilevelManager::resolve_payload(
+    std::uint32_t rank, std::uint64_t id, bool local_only,
+    RecoveryLevel& level_out, std::size_t& links_out) const {
+  level_out = RecoveryLevel::kLocal;
+  links_out = 0;
+  // Walk base_id links back to the full anchor, collecting delta streams
+  // newest-first. Every link is fetched independently (local first, then
+  // partner/io unless `local_only`), so a single damaged link only fails
+  // this id - the caller then tries an older checkpoint.
+  std::vector<Bytes> links;
+  Bytes base;
+  RecoveryLevel deepest = RecoveryLevel::kLocal;
+  std::uint64_t cur = id;
+  for (;;) {
+    if (links.size() >= kMaxChainLinks) return std::nullopt;
+    RecoveryLevel level = RecoveryLevel::kLocal;
+    std::optional<CheckpointImage> image = fetch_local(rank, cur);
+    if (!image && !local_only) image = try_remote_rank(rank, cur, level);
+    if (!image) return std::nullopt;
+    deepest = deeper(deepest, level);
+    if (image->meta().kind == PayloadKind::kFull) {
+      base.assign(image->payload().begin(), image->payload().end());
+      break;
+    }
+    // A delta must reference a strictly earlier checkpoint; anything else
+    // is damage (peek'd headers are CRC-covered, but stay defensive).
+    const std::uint64_t base_id = image->meta().base_id;
+    if (base_id == 0 || base_id >= cur) return std::nullopt;
+    links.emplace_back(image->payload().begin(), image->payload().end());
+    cur = base_id;
+  }
+  // Replay forward, oldest link first. Each stream carries its block size
+  // and its reference digest, so a chain spliced against the wrong base
+  // throws instead of reconstructing garbage.
+  try {
+    for (std::size_t i = links.size(); i-- > 0;) {
+      const delta::DeltaCodec codec(
+          delta::DeltaCodec::stream_block_size(links[i]));
+      base = codec.decode(ByteSpan(base), ByteSpan(links[i]));
+    }
+  } catch (const delta::DeltaError&) {
+    return std::nullopt;
+  }
+  level_out = deepest;
+  links_out = links.size();
+  return base;
 }
 
 std::optional<MultilevelManager::Recovery> MultilevelManager::recover()
@@ -770,41 +1022,45 @@ std::optional<MultilevelManager::Recovery> MultilevelManager::recover()
       try_span = rb->span("try_checkpoint", "ckpt", 0, {obs::u64("id", id)});
     }
 
-    // Phase 1: every rank fetches and CRC-validates its own NVM copy in
-    // parallel - pure local reads, no fault-scheduled store operations,
-    // so the fan-out cannot perturb a replay.
+    // Phase 1: every rank resolves its payload - full image or whole
+    // delta chain - from its own NVM in parallel. Pure local reads, no
+    // fault-scheduled store operations, so the fan-out cannot perturb a
+    // replay; chain stats come back through per-rank slots and fold
+    // serially below.
     std::vector<std::optional<Bytes>> local_hit(config_.node_count);
+    std::vector<std::size_t> local_links(config_.node_count, 0);
     {
       std::vector<obs::TraceBuffer> tbs =
           trace_->task_buffers(config_.node_count);
       for_tasks(config_.node_count, [&](std::size_t rank) {
-        if (const auto span =
-                local_[rank].get(id)) {
-          local_hit[rank] =
-              validate_image(static_cast<std::uint32_t>(rank), id, *span);
-        }
+        RecoveryLevel level = RecoveryLevel::kLocal;
+        local_hit[rank] =
+            resolve_payload(static_cast<std::uint32_t>(rank), id,
+                            /*local_only=*/true, level, local_links[rank]);
         if (!tbs.empty()) {
           tbs[rank].instant("local_probe", "ckpt.local",
                             1 + static_cast<std::uint32_t>(rank),
                             {obs::u64("rank", rank),
-                             obs::u64("hit", local_hit[rank] ? 1 : 0)});
+                             obs::u64("hit", local_hit[rank] ? 1 : 0),
+                             obs::u64("links", local_links[rank])});
         }
       });
       trace_->splice(tbs);
     }
 
-    // Phase 2: ranks that missed walk partner -> io in rank order. These
-    // touch shared fault-scheduled stores, so their op sequence is part
-    // of the deterministic replay and stays serial.
+    // Phase 2: ranks that missed re-resolve with partner -> io fallback
+    // per chain link, in rank order. These touch shared fault-scheduled
+    // stores, so their op sequence is part of the deterministic replay
+    // and stays serial.
     bool ok = true;
     for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-      if (local_hit[rank]) {
-        result.payloads[rank] = std::move(*local_hit[rank]);
-        result.levels[rank] = RecoveryLevel::kLocal;
-        continue;
-      }
       RecoveryLevel level = RecoveryLevel::kLocal;
-      auto payload = try_remote_rank(rank, id, level);
+      std::size_t links = local_links[rank];
+      std::optional<Bytes> payload = std::move(local_hit[rank]);
+      if (!payload) {
+        payload = resolve_payload(rank, id, /*local_only=*/false, level,
+                                  links);
+      }
       if (!payload) {
         if (rb) {
           rb->instant("rank_unrecoverable", "ckpt", 0,
@@ -813,7 +1069,9 @@ std::optional<MultilevelManager::Recovery> MultilevelManager::recover()
         ok = false;
         break;
       }
-      if (rb) {
+      data_stats_.chain_links += links;
+      if (links > 0) ++data_stats_.chain_replays;
+      if (rb && level != RecoveryLevel::kLocal) {
         rb->instant("rank_recovered", "ckpt", 0,
                     {obs::u64("rank", rank), obs::u64("id", id),
                      obs::str("level", to_string(level))});

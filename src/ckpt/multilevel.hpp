@@ -42,11 +42,13 @@
 #include <string_view>
 #include <vector>
 
+#include "ckpt/dedup_level.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/nvm_store.hpp"
 #include "ckpt/stores.hpp"
 #include "compress/chunked.hpp"
 #include "compress/codec.hpp"
+#include "delta/delta.hpp"
 
 namespace ndpcr::exec {
 class TaskPool;
@@ -121,6 +123,62 @@ struct HealthReport {
   }
 };
 
+// Incremental-checkpointing policy for the commit path (docs/DELTA.md).
+// With `enabled`, commits after the first write delta images against the
+// previous committed checkpoint's payload; every `chain_length`-th link
+// forces a full image so recovery chains stay bounded. Dedup layers
+// content-addressed block stores under the IO level (CDC recipes) and the
+// local NVM (fixed-block capacity accounting).
+struct DeltaPolicy {
+  bool enabled = false;
+  // Maximum delta links between full anchors (0 behaves like disabled:
+  // every commit is a full).
+  std::uint32_t chain_length = 7;
+  std::size_t block_bytes = 4096;  // DeltaCodec block size
+  // CDC block dedup across ranks/commits at the IO level: images become
+  // recipes + content-addressed blocks in the same KvStore.
+  bool io_dedup = false;
+  delta::CdcParams cdc;
+  // Fixed-block dedup accounting inside each local NVM store (0 = off).
+  std::size_t nvm_dedup_block_bytes = 0;
+};
+
+// Byte-movement accounting for the commit/recover data path: what the
+// delta and dedup layers save is visible here (and through
+// record_data_path) rather than inferred from device sizes. All counters
+// are accumulated serially in rank order, so they are bit-identical at
+// any pool size.
+struct DataPathStats {
+  std::uint64_t commits_full = 0;
+  std::uint64_t commits_delta = 0;
+  std::uint64_t payload_bytes_in = 0;      // raw payload bytes offered
+  std::uint64_t delta_input_bytes = 0;     // payload bytes delta-encoded
+  std::uint64_t delta_encoded_bytes = 0;   // delta streams produced
+  std::uint64_t local_bytes_written = 0;   // image bytes into local NVM
+  std::uint64_t partner_bytes_written = 0; // image/parity bytes to partners
+  std::uint64_t io_logical_bytes = 0;      // framed image bytes bound for IO
+  std::uint64_t io_bytes_written = 0;      // bytes actually put to IO
+  std::uint64_t dedup_new_bytes = 0;       // block bytes new to the IO store
+  std::uint64_t dedup_dup_bytes = 0;       // block bytes resolved as dups
+  std::uint64_t chain_links = 0;           // delta links walked in recover
+  std::uint64_t chain_replays = 0;         // chains replayed to a payload
+
+  // 1 - encoded/input over the payloads that were delta-encoded.
+  [[nodiscard]] double delta_factor() const {
+    return delta_input_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(delta_encoded_bytes) /
+                           static_cast<double>(delta_input_bytes);
+  }
+  [[nodiscard]] double dedup_hit_rate() const {
+    const std::uint64_t total = dedup_new_bytes + dedup_dup_bytes;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(dedup_dup_bytes) /
+                     static_cast<double>(total);
+  }
+};
+
 struct MultilevelConfig {
   std::uint64_t app_id = 1;
   std::uint32_t node_count = 1;
@@ -163,6 +221,10 @@ struct MultilevelConfig {
                      Bytes& image)>
       local_write_hook;
 
+  // Incremental checkpointing + dedup (docs/DELTA.md). Off by default:
+  // every commit is a self-contained full image.
+  DeltaPolicy delta;
+
   RetryPolicy retry;
   bool verify_writes = true;  // readback + compare after every put
 
@@ -181,6 +243,11 @@ struct MultilevelConfig {
 // the self-healing path to a --metrics snapshot.
 void record_health(obs::MetricsRegistry& metrics, const HealthReport& report,
                    std::string_view prefix);
+
+// Likewise for the data-path accounting: counters plus the derived
+// delta_factor / dedup_hit_rate gauges under `prefix` (e.g. "ckpt.data").
+void record_data_path(obs::MetricsRegistry& metrics,
+                      const DataPathStats& stats, std::string_view prefix);
 
 // Where a store operation's trace events land: the buffer is either the
 // tracer's root (serial phases) or the task's private buffer (parallel
@@ -231,6 +298,7 @@ class MultilevelManager {
   [[nodiscard]] NvmStore& local_store(std::uint32_t rank);
   [[nodiscard]] const KvStore& io_store() const { return *io_; }
   [[nodiscard]] const HealthReport& health() const { return health_; }
+  [[nodiscard]] const DataPathStats& data_path() const { return data_stats_; }
   [[nodiscard]] std::uint64_t last_checkpoint_id() const { return next_id_ - 1; }
   [[nodiscard]] std::uint32_t partner_of(std::uint32_t rank) const {
     return (rank + 1) % config_.node_count;
@@ -246,10 +314,31 @@ class MultilevelManager {
   // already inside a pool worker (nested parallel_for is rejected).
   void for_tasks(std::size_t n,
                  const std::function<void(std::size_t)>& body) const;
-  [[nodiscard]] std::optional<Bytes> try_remote_rank(
+  // Parse + CRC-check + dedup-assemble one rank's image from the remote
+  // levels (partner copy / XOR rebuild, then IO). Serial: touches shared
+  // fault-scheduled stores.
+  [[nodiscard]] std::optional<CheckpointImage> try_remote_rank(
       std::uint32_t rank, std::uint64_t id, RecoveryLevel& level_out) const;
   [[nodiscard]] std::optional<Bytes> try_xor_rebuild(std::uint32_t rank,
                                                      std::uint64_t id) const;
+  // Read one rank/id image from the local NVM only. Pure (no shared-store
+  // ops, no health counters): safe from any task.
+  [[nodiscard]] std::optional<CheckpointImage> fetch_local(
+      std::uint32_t rank, std::uint64_t id) const;
+  // Resolve rank/id to a full payload, walking delta chains back to their
+  // anchor and replaying forward (docs/DELTA.md). `local_only` restricts
+  // every link to the local NVM (the parallel phase-1 probe); otherwise
+  // each link falls back local -> partner -> io. `level_out` reports the
+  // deepest level any link came from, `links_out` the delta links walked
+  // (0 for a directly-full image). Chain stats go through `links_out`, not
+  // data_stats_, so the parallel phase-1 probes stay race-free.
+  [[nodiscard]] std::optional<Bytes> resolve_payload(
+      std::uint32_t rank, std::uint64_t id, bool local_only,
+      RecoveryLevel& level_out, std::size_t& links_out) const;
+  // Raw IO-level image bytes for rank/id: checked_get plus dedup recipe
+  // assembly and chunked decompression, but no CRC/meta validation yet.
+  [[nodiscard]] std::optional<Bytes> fetch_io_raw(std::uint32_t rank,
+                                                  std::uint64_t id) const;
   // Read through a remote store with bounded retry on transient errors.
   [[nodiscard]] std::optional<Bytes> checked_get(const KvStore& store,
                                                  LevelHealth& health,
@@ -274,6 +363,16 @@ class MultilevelManager {
   MultilevelConfig config_;
   // Chunked container codec for the IO level; empty when uncompressed.
   std::optional<compress::ChunkedCodec> io_codec_;
+  // Delta-chain state: the previous committed checkpoint's full payloads
+  // (the encode reference), the links since the last full anchor, and the
+  // pooled encoder scratch for the per-rank fan-out.
+  std::optional<delta::DeltaCodec> delta_codec_;
+  mutable delta::DeltaScratchPool delta_scratch_;
+  std::vector<Bytes> prev_payload_;
+  bool have_prev_ = false;
+  std::uint32_t links_since_full_ = 0;
+  // IO-level block dedup bookkeeping (config_.delta.io_dedup).
+  std::optional<DedupIndex> io_dedup_;
   std::vector<NvmStore> local_;
   // partner_space_[n] holds copies for rank (n + N - 1) % N.
   std::vector<std::unique_ptr<KvStore>> partner_space_;
@@ -284,6 +383,8 @@ class MultilevelManager {
   std::vector<std::uint64_t> local_write_ops_;
   // Mutable: recover() is logically const but counts its read retries.
   mutable HealthReport health_;
+  // Mutable: recover() counts chain links walked and replays completed.
+  mutable DataPathStats data_stats_;
   // Never null: config.trace or the shared disabled Tracer::null().
   obs::Tracer* trace_;
 };

@@ -1,7 +1,8 @@
 #include "delta/delta.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
-#include <unordered_map>
 
 namespace ndpcr::delta {
 namespace {
@@ -16,7 +17,94 @@ bool spans_equal(ByteSpan a, ByteSpan b) {
          (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
 }
 
+// Local splitmix64 for the gear table (common/ has no header for it and
+// ckpt/stores.hpp would invert the dependency direction).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// 256-entry gear table, fixed for the format's lifetime: chunk boundaries
+// are part of the dedup recipe wire format, so the table may never change.
+const std::array<std::uint64_t, 256>& gear_table() {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      t[i] = mix64(0x4E445043ull + i);  // "NDPC" + byte value
+    }
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace
+
+void DeltaScratch::reset(std::size_t blocks) {
+  // Load factor <= 0.5: capacity is the next power of two >= 2 * blocks.
+  std::size_t cap = 16;
+  while (cap < blocks * 2) cap <<= 1;
+  if (slots.size() != cap) {
+    keys.assign(cap, 0);
+    slots.assign(cap, 0);
+  } else {
+    std::fill(slots.begin(), slots.end(), 0);
+  }
+  mask = cap - 1;
+}
+
+void DeltaScratchPool::warm(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (free_.size() < count) {
+    free_.push_back(std::make_unique<DeltaScratch>());
+  }
+}
+
+std::unique_ptr<DeltaScratch> DeltaScratchPool::take() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      auto scratch = std::move(free_.back());
+      free_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<DeltaScratch>();
+}
+
+void DeltaScratchPool::give(std::unique_ptr<DeltaScratch> scratch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(scratch));
+}
+
+std::vector<std::size_t> cdc_boundaries(ByteSpan data,
+                                        const CdcParams& params) {
+  if (params.min_bytes == 0 || params.avg_bytes == 0 ||
+      (params.avg_bytes & (params.avg_bytes - 1)) != 0 ||
+      params.min_bytes > params.max_bytes ||
+      params.avg_bytes > params.max_bytes) {
+    throw DeltaError("invalid CDC parameters");
+  }
+  const auto& gear = gear_table();
+  const std::uint64_t boundary_mask = params.avg_bytes - 1;
+  std::vector<std::size_t> out;
+  out.reserve(data.size() / params.avg_bytes + 1);
+  std::size_t start = 0;
+  std::uint64_t h = 0;
+  for (std::size_t pos = 0; pos < data.size(); ++pos) {
+    h = (h << 1) + gear[static_cast<std::uint8_t>(data[pos])];
+    const std::size_t len = pos - start + 1;
+    if ((len >= params.min_bytes && (h & boundary_mask) == 0) ||
+        len >= params.max_bytes) {
+      out.push_back(pos + 1);
+      start = pos + 1;
+      h = 0;
+    }
+  }
+  if (start < data.size()) out.push_back(data.size());
+  return out;
+}
 
 std::uint64_t block_hash(ByteSpan block) {
   std::uint64_t h = 0xcbf29ce484222325ull;
@@ -35,19 +123,30 @@ DeltaCodec::DeltaCodec(std::size_t block_size) : block_size_(block_size) {
 
 Bytes DeltaCodec::encode(ByteSpan reference, ByteSpan current,
                          DeltaStats* stats) const {
+  DeltaScratch scratch;
+  return encode(reference, current, scratch, stats);
+}
+
+Bytes DeltaCodec::encode(ByteSpan reference, ByteSpan current,
+                         DeltaScratch& scratch, DeltaStats* stats) const {
   DeltaStats local_stats;
   local_stats.input_bytes = current.size();
 
-  // Index the reference blocks by content hash. Only full-size blocks are
-  // indexed for moves; the (possibly short) tail block still matches via
-  // the same-position check.
-  std::unordered_multimap<std::uint64_t, std::uint32_t> ref_index;
+  // Index the reference blocks by content hash in the scratch's
+  // open-addressed table. Only full-size blocks are indexed for moves; the
+  // (possibly short) tail block still matches via the same-position check.
+  // Duplicates all get a slot; linear probing resolves lookups in
+  // insertion order, so the lowest matching block index always wins and
+  // the stream is deterministic.
   const std::size_t ref_full_blocks = reference.size() / block_size_;
-  ref_index.reserve(ref_full_blocks);
+  scratch.reset(ref_full_blocks);
   for (std::size_t b = 0; b < ref_full_blocks; ++b) {
-    ref_index.emplace(
-        block_hash(reference.subspan(b * block_size_, block_size_)),
-        static_cast<std::uint32_t>(b));
+    const std::uint64_t h =
+        block_hash(reference.subspan(b * block_size_, block_size_));
+    std::size_t slot = h & scratch.mask;
+    while (scratch.slots[slot] != 0) slot = (slot + 1) & scratch.mask;
+    scratch.keys[slot] = h;
+    scratch.slots[slot] = static_cast<std::uint32_t>(b) + 1;
   }
 
   Bytes out;
@@ -69,15 +168,18 @@ Bytes DeltaCodec::encode(ByteSpan reference, ByteSpan current,
       continue;
     }
     // Moved match: full blocks only.
-    if (len == block_size_) {
-      const auto [lo, hi] = ref_index.equal_range(block_hash(block));
+    if (len == block_size_ && ref_full_blocks > 0) {
+      const std::uint64_t h = block_hash(block);
       bool matched = false;
-      for (auto it = lo; it != hi; ++it) {
+      for (std::size_t slot = h & scratch.mask; scratch.slots[slot] != 0;
+           slot = (slot + 1) & scratch.mask) {
+        if (scratch.keys[slot] != h) continue;
+        const std::uint32_t b = scratch.slots[slot] - 1;
         const ByteSpan cand =
-            reference.subspan(it->second * block_size_, block_size_);
+            reference.subspan(std::size_t{b} * block_size_, block_size_);
         if (spans_equal(block, cand)) {
           out.push_back(static_cast<std::byte>(kOpMoved));
-          append_le<std::uint32_t>(out, it->second);
+          append_le<std::uint32_t>(out, b);
           ++local_stats.moved_blocks;
           matched = true;
           break;
@@ -94,6 +196,13 @@ Bytes DeltaCodec::encode(ByteSpan reference, ByteSpan current,
   local_stats.encoded_bytes = out.size();
   if (stats != nullptr) *stats = local_stats;
   return out;
+}
+
+std::size_t DeltaCodec::stream_block_size(ByteSpan delta) {
+  if (delta.size() < 24 || read_le<std::uint32_t>(delta, 0) != kMagic) {
+    throw DeltaError("not a delta stream");
+  }
+  return read_le<std::uint32_t>(delta, 4);
 }
 
 Bytes DeltaCodec::decode(ByteSpan reference, ByteSpan delta) const {

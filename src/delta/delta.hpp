@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -29,6 +31,83 @@ class DeltaError : public std::runtime_error {
 // 64-bit content hash used for block identity (FNV-1a; collisions are
 // guarded by a full byte comparison before any block is reused).
 std::uint64_t block_hash(ByteSpan block);
+
+// Reusable encoder workspace. Encoding indexes every reference block in a
+// hash table; on the multilevel commit path that happens once per rank per
+// checkpoint, so the table (and the page faults behind a fresh allocation)
+// would dominate sparse-update deltas. The open-addressed index keeps
+// duplicate contents and resolves lookups in insertion order, so the
+// encoded stream is identical whether or not a scratch is reused.
+struct DeltaScratch {
+  // Open-addressed reference index: slot -> block index + 1 (0 = empty),
+  // keys[] carries the hash for the occupied slots. Linear probing.
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> slots;
+  std::size_t mask = 0;
+  // Staging buffer for callers that frame the delta (e.g. the NDP drain's
+  // wire frames); the codec itself does not touch it.
+  Bytes staging;
+
+  // Size the index for `blocks` reference blocks and clear it.
+  void reset(std::size_t blocks);
+};
+
+// A mutex-guarded freelist of DeltaScratch instances, the same shape as
+// compress::ScratchPool: acquire() pops (or creates) a workspace, the
+// Lease returns it on destruction, so N concurrent encoders converge on N
+// live workspaces.
+class DeltaScratchPool {
+ public:
+  class Lease {
+   public:
+    explicit Lease(DeltaScratchPool& pool)
+        : pool_(&pool), scratch_(pool.take()) {}
+    ~Lease() {
+      if (scratch_) pool_->give(std::move(scratch_));
+    }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), scratch_(std::move(other.scratch_)) {}
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    [[nodiscard]] DeltaScratch& operator*() const { return *scratch_; }
+    [[nodiscard]] DeltaScratch* operator->() const { return scratch_.get(); }
+
+   private:
+    DeltaScratchPool* pool_;
+    std::unique_ptr<DeltaScratch> scratch_;
+  };
+
+  [[nodiscard]] Lease acquire() { return Lease(*this); }
+
+  // Pre-create workspaces so the first parallel batch does not serialize
+  // on first-touch allocation.
+  void warm(std::size_t count);
+
+ private:
+  std::unique_ptr<DeltaScratch> take();
+  void give(std::unique_ptr<DeltaScratch> scratch);
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<DeltaScratch>> free_;
+};
+
+// Content-defined chunking (gear hash). Boundaries depend only on the
+// bytes, so an insertion early in an image shifts chunk boundaries with
+// the data instead of re-keying every fixed block after it - that is what
+// makes cross-rank and cross-commit dedup effective on shifted state.
+struct CdcParams {
+  std::size_t min_bytes = 2048;
+  std::size_t avg_bytes = 4096;  // must be a power of two
+  std::size_t max_bytes = 8192;
+};
+
+// End offsets of each chunk, covering [0, data.size()). The final offset
+// is always data.size(); empty input yields no chunks. Deterministic: a
+// pure function of the bytes and the parameters.
+std::vector<std::size_t> cdc_boundaries(ByteSpan data,
+                                        const CdcParams& params = {});
 
 struct DeltaStats {
   std::size_t input_bytes = 0;
@@ -55,6 +134,19 @@ class DeltaCodec {
   // provided, receive the block accounting.
   [[nodiscard]] Bytes encode(ByteSpan reference, ByteSpan current,
                              DeltaStats* stats = nullptr) const;
+
+  // Allocation-reusing variant: the reference index lives in `scratch`,
+  // which grows to the largest reference it has seen and is reused across
+  // calls. Emits exactly the same stream as the plain overload (which
+  // delegates here with a throwaway scratch).
+  [[nodiscard]] Bytes encode(ByteSpan reference, ByteSpan current,
+                             DeltaScratch& scratch,
+                             DeltaStats* stats = nullptr) const;
+
+  // Block size recorded in a delta stream's header; lets a reader build a
+  // matching codec without out-of-band configuration. Throws on malformed
+  // streams.
+  static std::size_t stream_block_size(ByteSpan delta);
 
   // Reconstruct the current image from the reference and the delta.
   // Throws DeltaError on malformed deltas or a reference digest mismatch

@@ -91,6 +91,35 @@ Bytes random_payload(Rng& rng, std::size_t base_size) {
   return payload;
 }
 
+// Rewrite ~fraction of the payload at seeded positions: the sparse-update
+// workload that gives the delta/dedup layers something to save.
+void sparse_update(Rng& rng, Bytes& payload, double fraction) {
+  if (payload.empty()) return;
+  const auto touches = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(payload.size()) * fraction));
+  for (std::uint64_t t = 0; t < touches; ++t) {
+    const std::size_t pos = rng.next_below(payload.size());
+    payload[pos] = static_cast<std::byte>(rng.next_below(256));
+  }
+}
+
+void feed_data_path(Crc32& crc, const ckpt::DataPathStats& d) {
+  feed_u64(crc, d.commits_full);
+  feed_u64(crc, d.commits_delta);
+  feed_u64(crc, d.payload_bytes_in);
+  feed_u64(crc, d.delta_input_bytes);
+  feed_u64(crc, d.delta_encoded_bytes);
+  feed_u64(crc, d.local_bytes_written);
+  feed_u64(crc, d.partner_bytes_written);
+  feed_u64(crc, d.io_logical_bytes);
+  feed_u64(crc, d.io_bytes_written);
+  feed_u64(crc, d.dedup_new_bytes);
+  feed_u64(crc, d.dedup_dup_bytes);
+  feed_u64(crc, d.chain_links);
+  feed_u64(crc, d.chain_replays);
+}
+
 }  // namespace
 
 ChaosReport run_chaos(const ChaosConfig& config) {
@@ -132,6 +161,16 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   mc.io_threads = config.io_threads;
   mc.pool = config.pool;
   mc.trace = config.trace;
+  if (config.delta_chain > 0) {
+    mc.delta.enabled = true;
+    mc.delta.chain_length = config.delta_chain;
+    mc.delta.block_bytes = config.delta_block_bytes;
+  }
+  if (config.io_dedup) {
+    mc.delta.io_dedup = true;
+    // CDC parameters scaled to the KB-sized chaos payloads.
+    mc.delta.cdc = {256, 512, 1024};
+  }
   mc.store_factory = [&](ckpt::StoreLevel level, std::uint32_t host) {
     const Target target = level == ckpt::StoreLevel::kIo
                               ? io_target()
@@ -191,11 +230,26 @@ ChaosReport run_chaos(const ChaosConfig& config) {
     }
   };
 
+  // Sparse-update mode: persistent per-rank state, perturbed a little
+  // each commit (sizes stay fixed so consecutive checkpoints align).
+  std::vector<Bytes> state;
+  if (config.sparse_updates) {
+    state.reserve(config.node_count);
+    for (std::uint32_t rank = 0; rank < config.node_count; ++rank) {
+      state.push_back(random_payload(rng, config.payload_bytes));
+    }
+  }
+
   for (std::uint32_t i = 0; i < config.commits; ++i) {
     std::vector<Bytes> payloads;
     payloads.reserve(config.node_count);
     for (std::uint32_t rank = 0; rank < config.node_count; ++rank) {
-      payloads.push_back(random_payload(rng, config.payload_bytes));
+      if (config.sparse_updates) {
+        sparse_update(rng, state[rank], config.update_fraction);
+        payloads.push_back(state[rank]);
+      } else {
+        payloads.push_back(random_payload(rng, config.payload_bytes));
+      }
     }
     std::vector<ByteSpan> views(payloads.begin(), payloads.end());
     const std::uint64_t id = manager.commit(views);
@@ -237,6 +291,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   probe_recovery();  // every run ends with a full recovery check
 
   report.health = manager.health();
+  report.data = manager.data_path();
   report.faults = *local_stats;
   for (const FaultyKvStore* store : tracked) {
     report.faults += store->stats();
@@ -252,6 +307,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   if (config.metrics != nullptr) {
     obs::MetricsRegistry& m = *config.metrics;
     ckpt::record_health(m, report.health, "chaos");
+    ckpt::record_data_path(m, report.data, "chaos.data");
     m.counter("chaos.run.commits").add(report.commits);
     m.counter("chaos.run.recover_calls").add(report.recover_calls);
     m.counter("chaos.run.recoveries").add(report.recoveries);
@@ -276,6 +332,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   feed_level(crc, report.health.io);
   feed_u64(crc, report.health.commits);
   feed_u64(crc, report.health.degraded_commits);
+  feed_data_path(crc, report.data);
   feed_u64(crc, report.faults.ops);
   feed_u64(crc, report.faults.injected());
   feed_double(crc, report.faults.stall_seconds);

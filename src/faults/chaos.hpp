@@ -48,6 +48,19 @@ struct ChaosConfig {
   // Schedule a permanent IO outage over the middle third of the run's
   // expected IO operations (cleared afterwards, so repair is observable).
   bool io_outage = false;
+  // Incremental commit path (docs/DELTA.md): delta_chain > 0 enables
+  // delta images with that many links between full anchors; io_dedup
+  // layers CDC block dedup under the IO level (CDC parameters scaled to
+  // the small chaos payloads). The DataPathStats counters join the run
+  // fingerprint, so thread-invariance covers the incremental path too.
+  std::uint32_t delta_chain = 0;
+  std::size_t delta_block_bytes = 512;
+  bool io_dedup = false;
+  // Sparse-update workload: ranks keep persistent state and each commit
+  // rewrites ~update_fraction of each rank's bytes (instead of fully
+  // random payloads) - the regime where delta/dedup actually save bytes.
+  bool sparse_updates = false;
+  double update_fraction = 0.05;
   // IO-level ChunkedCodec parameters forwarded to the manager (chunk size
   // is format-visible; threads are an execution detail).
   std::size_t io_chunk_bytes = 1ull << 20;
@@ -78,6 +91,7 @@ struct ChaosReport {
   std::uint64_t violations = 0;
   std::vector<std::string> violation_notes;  // first few, for diagnostics
   ckpt::HealthReport health;                 // manager health at run end
+  ckpt::DataPathStats data;                  // byte-movement accounting
   FaultStats faults;                         // aggregated injections
   std::uint32_t fingerprint = 0;             // CRC32 of the run's outcomes
 };

@@ -38,11 +38,13 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/image.hpp"
 #include "ckpt/multilevel.hpp"
 #include "ckpt/nvm_store.hpp"
 #include "ckpt/stores.hpp"
 #include "compress/chunked.hpp"
 #include "compress/codec.hpp"
+#include "delta/delta.hpp"
 
 namespace ndpcr::obs {
 class Tracer;
@@ -74,6 +76,20 @@ struct AgentConfig {
   std::uint32_t drain_put_attempts = 4;
   double drain_retry_backoff = 0.05;
 
+  // Incremental drain mode (docs/DELTA.md): with delta_chain > 0 the
+  // agent wraps every shipped image in a self-describing "NDFR" frame and
+  // delta-encodes it against the last image it successfully shipped - the
+  // paper's "compare data for consecutive checkpoints" NDP extension. Up
+  // to delta_chain delta frames ride between full frames; fallbacks and
+  // resets restart the chain at a full. The encode is a preprocess
+  // pipeline stage charged at delta_bw (a hash-and-compare pass over the
+  // image) before chunk compression begins, so the composed pipeline is
+  // delta -> codec -> wire. 0 keeps the classic raw-container drain -
+  // consumers of the IO store see byte-identical entries.
+  std::uint32_t delta_chain = 0;
+  std::size_t delta_block_bytes = 4096;
+  double delta_bw = 2e9;  // bytes/s through the delta preprocess stage
+
   // Optional tracer (docs/OBSERVABILITY.md). The agent emits on the
   // virtual clock: a span per drain and per pipeline stage (compress vs
   // wire, so the overlap is visible in Perfetto), plus retry/fallback
@@ -104,6 +120,12 @@ struct AgentStats {
   std::uint64_t io_quarantined = 0;      // torn IO entries erased
   std::uint64_t host_fallbacks = 0;      // HostFallback handoffs staged
   std::uint64_t io_repairs = 0;          // degraded -> healthy transitions
+  // Delta drain mode (delta_chain > 0): frames built by kind, raw bytes
+  // fed to the delta encoder, and delta-stream bytes it produced.
+  std::uint64_t full_frames = 0;
+  std::uint64_t delta_frames = 0;
+  std::uint64_t delta_input_bytes = 0;
+  std::uint64_t delta_frame_bytes = 0;
 };
 
 class NdpAgent {
@@ -144,6 +166,21 @@ class NdpAgent {
   };
   [[nodiscard]] std::optional<HostFallback> take_host_fallback();
 
+  // Delta drain wire frame (delta_chain > 0): what a decompressed IO
+  // entry holds. A kFull frame's payload is the raw image; a kDelta
+  // frame's payload is a delta stream against the payload of the frame
+  // shipped as `base_id`. Static so IO-side consumers can decode without
+  // an agent instance.
+  struct Frame {
+    ckpt::PayloadKind kind = ckpt::PayloadKind::kFull;
+    std::uint64_t base_id = 0;
+    Bytes payload;
+  };
+  static Bytes build_frame(ckpt::PayloadKind kind, std::uint64_t base_id,
+                           ByteSpan payload);
+  // Nullopt on bad magic or truncation.
+  static std::optional<Frame> parse_frame(ByteSpan raw);
+
   // Align the agent's virtual clock with the caller's simulation time
   // (monotone: never moves backwards). Only affects trace timestamps.
   void sync_clock(double now_seconds);
@@ -165,7 +202,17 @@ class NdpAgent {
  private:
   struct Drain {
     std::uint64_t checkpoint_id = 0;
+    // Bytes entering the chunk pipeline: the raw image size classically,
+    // the frame size in delta mode.
     std::size_t image_size = 0;
+    std::size_t raw_bytes = 0;  // the image's true size (trace/stats)
+    // Delta mode: the pipeline compresses this frame instead of reading
+    // the NVM span, after a preprocess stage models the encode cost.
+    Bytes frame;
+    bool framed = false;
+    bool is_delta = false;
+    double preprocess_remaining = 0.0;
+    double preprocess_start_v = 0.0;
     // Two-stage chunk pipeline. chunks[j] is produced lazily when chunk
     // j's compress stage begins (the source NVM entry is locked for the
     // whole drain, so the span stays valid).
@@ -204,6 +251,18 @@ class NdpAgent {
   std::optional<std::uint64_t> pending_;  // newest committed, not drained
   std::optional<std::uint64_t> newest_on_io_;
   std::optional<HostFallback> fallback_;
+  // Delta drain chain state (cfg_.delta_chain > 0): the last image that
+  // fully landed on IO (the next delta's reference), and the delta frames
+  // shipped since the last full. A fallback or reset clears both, so the
+  // chain restarts at a full frame.
+  std::optional<delta::DeltaCodec> delta_codec_;
+  delta::DeltaScratch delta_scratch_;
+  struct Shipped {
+    std::uint64_t id = 0;
+    Bytes image;
+  };
+  std::optional<Shipped> last_shipped_;
+  std::uint32_t links_since_full_ = 0;
   AgentStats stats_;
   // Never null: cfg.trace or the shared disabled Tracer::null().
   obs::Tracer* trace_;

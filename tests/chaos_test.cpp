@@ -462,6 +462,153 @@ TEST(ThreadInvariance, ChaosFingerprintInvariantAcrossManagerPools) {
   EXPECT_EQ(a.violations, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental commit path under chaos (docs/DELTA.md): torn mid-chain
+// deltas, killed anchor fulls, seeded soaks with delta + dedup enabled,
+// and thread-invariance of the delta-mode fingerprint at pools 1/2/8.
+
+// Evolving per-rank payloads: each commit rewrites one small region, so
+// consecutive commits genuinely delta-encode.
+std::vector<std::vector<Bytes>> evolving_payloads(std::uint32_t ranks,
+                                                  std::uint32_t commits,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> state;
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    Bytes p(2048);
+    for (auto& b : p) b = static_cast<std::byte>(rng.next_below(256));
+    state.push_back(std::move(p));
+  }
+  std::vector<std::vector<Bytes>> history;
+  for (std::uint32_t c = 0; c < commits; ++c) {
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      const std::size_t at = rng.next_below(state[r].size() - 64);
+      for (std::size_t i = 0; i < 64; ++i) {
+        state[r][at + i] = static_cast<std::byte>(rng.next_below(256));
+      }
+    }
+    history.push_back(state);
+  }
+  return history;
+}
+
+TEST(ChaosDelta, TornMidChainDeltaFallsBackToIntactAnchor) {
+  // IO is the only surviving level after both nodes die; the newest IO
+  // entry for rank 0 (a mid-chain delta) is torn. Recovery must abandon
+  // the broken chain tip and settle on the newest checkpoint whose whole
+  // chain is intact - never return a wrong payload.
+  ckpt::MultilevelConfig mc;
+  mc.node_count = 2;
+  mc.nvm_capacity_bytes = 1 << 20;
+  mc.partner_every = 0;
+  mc.io_every = 1;
+  mc.delta.enabled = true;
+  mc.delta.chain_length = 3;
+  mc.delta.block_bytes = 128;
+  ckpt::MultilevelManager mgr(mc);
+
+  const auto history = evolving_payloads(2, 4, 71);  // kinds: F D D D
+  for (const auto& payloads : history) mgr.commit(views(payloads));
+
+  ASSERT_TRUE(mgr.corrupt_io(0));  // tears the id-4 delta link
+  mgr.fail_node(0);
+  mgr.fail_node(1);
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->checkpoint_id, 3u);
+  EXPECT_EQ(rec->payloads, history[2]);
+  EXPECT_EQ(rec->levels[0], ckpt::RecoveryLevel::kIo);
+  EXPECT_EQ(rec->levels[1], ckpt::RecoveryLevel::kIo);
+}
+
+TEST(ChaosDelta, KilledAnchorFullRecoversOlderCheckpoint) {
+  // Local NVM only. Kill one rank's anchor full and tear the other
+  // rank's chain tip: every checkpoint above the previous intact chain
+  // is unrecoverable, and recovery walks back to it.
+  ckpt::MultilevelConfig mc;
+  mc.node_count = 2;
+  mc.nvm_capacity_bytes = 1 << 20;
+  mc.partner_every = 0;
+  mc.io_every = 0;
+  mc.delta.enabled = true;
+  mc.delta.chain_length = 2;
+  mc.delta.block_bytes = 128;
+  ckpt::MultilevelManager mgr(mc);
+
+  const auto history = evolving_payloads(2, 5, 73);  // kinds: F D D F D
+  for (const auto& payloads : history) mgr.commit(views(payloads));
+
+  mgr.local_store(0).erase(4);       // rank 0 loses the second anchor
+  ASSERT_TRUE(mgr.corrupt_local(1));  // rank 1's newest delta is torn
+  const auto rec = mgr.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->checkpoint_id, 3u);  // newest id whose chains all replay
+  EXPECT_EQ(rec->payloads, history[2]);
+}
+
+TEST(ChaosDelta, SoakWithDeltaDedupHoldsInvariants) {
+  exec::TaskPool pool(4);
+  std::vector<ChaosConfig> configs;
+  for (std::size_t k = 0; k < 16; ++k) {
+    ChaosConfig cfg;
+    cfg.seed = exec::sub_seed(20250808, k);
+    cfg.commits = 16;
+    cfg.delta_chain = 2 + static_cast<std::uint32_t>(k % 3);
+    cfg.io_dedup = (k % 2) == 0;
+    cfg.sparse_updates = true;
+    cfg.io_codec = (k % 4 < 2) ? compress::CodecId::kNull
+                               : compress::CodecId::kLz4Style;
+    cfg.io_outage = (k % 5) == 4;
+    configs.push_back(cfg);
+  }
+  const auto reports = run_chaos_suite(configs, pool);
+  ASSERT_EQ(reports.size(), configs.size());
+  std::uint64_t injected = 0, recoveries = 0, deltas = 0, dup_bytes = 0;
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.violations, 0u)
+        << (r.violation_notes.empty() ? "(no note)"
+                                      : r.violation_notes.front());
+    injected += r.faults.injected();
+    recoveries += r.recoveries;
+    deltas += r.data.commits_delta;
+    dup_bytes += r.data.dedup_dup_bytes;
+  }
+  // The soak exercised faults, recoveries, delta chains and dedup hits.
+  EXPECT_GT(injected, 0u);
+  EXPECT_GT(recoveries, 0u);
+  EXPECT_GT(deltas, 0u);
+  EXPECT_GT(dup_bytes, 0u);
+}
+
+TEST(ChaosDelta, FingerprintThreadInvariantAtPools128) {
+  // The delta + dedup + sparse-update data path must stay an execution
+  // detail: whole chaos schedules fingerprint identically (DataPathStats
+  // included) through 1-, 2- and 8-thread manager pools.
+  ChaosConfig cfg;
+  cfg.seed = 808;
+  cfg.commits = 16;
+  cfg.delta_chain = 3;
+  cfg.io_dedup = true;
+  cfg.sparse_updates = true;
+  cfg.io_codec = compress::CodecId::kDeflateStyle;
+  cfg.io_chunk_bytes = 1024;
+  cfg.io_threads = 0;
+  exec::TaskPool one(1);
+  exec::TaskPool two(2);
+  exec::TaskPool eight(8);
+  cfg.pool = &one;
+  const auto a = run_chaos(cfg);
+  cfg.pool = &two;
+  const auto b = run_chaos(cfg);
+  cfg.pool = &eight;
+  const auto c = run_chaos(cfg);
+  EXPECT_GT(a.faults.injected(), 0u);
+  EXPECT_GT(a.data.commits_delta, 0u);
+  EXPECT_EQ(a.violations, 0u);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.fingerprint, c.fingerprint);
+}
+
 TEST(Chaos, RerunReproducesBitIdentically) {
   ChaosConfig cfg;
   cfg.seed = 99;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "delta/delta.hpp"
 #include "workloads/miniapp.hpp"
@@ -191,6 +193,121 @@ TEST(DedupStore, RePutReplaces) {
   store.put(0, 1, v2);
   EXPECT_EQ(store.get(0, 1).value(), v2);
   EXPECT_EQ(store.logical_bytes(), v2.size());
+}
+
+TEST(DeltaScratch, ScratchEncodeIsBitIdenticalToPlain) {
+  DeltaCodec codec(1024);
+  DeltaScratch scratch;
+  // Mixed sizes exercise index growth and reuse (shrinking reference).
+  const std::size_t sizes[] = {100000, 5000, 0, 64 * 1024, 1023};
+  Bytes reference;
+  std::uint64_t seed = 40;
+  for (const std::size_t n : sizes) {
+    Bytes current = random_bytes(n, ++seed);
+    // Make runs partially redundant against the reference.
+    const std::size_t shared = std::min(reference.size(), current.size()) / 2;
+    std::copy(reference.begin(),
+              reference.begin() + static_cast<std::ptrdiff_t>(shared),
+              current.begin());
+    DeltaStats plain_stats, scratch_stats;
+    const Bytes plain = codec.encode(reference, current, &plain_stats);
+    const Bytes reused =
+        codec.encode(reference, current, scratch, &scratch_stats);
+    EXPECT_EQ(plain, reused);
+    EXPECT_EQ(plain_stats.encoded_bytes, scratch_stats.encoded_bytes);
+    EXPECT_EQ(plain_stats.moved_blocks, scratch_stats.moved_blocks);
+    EXPECT_EQ(codec.decode(reference, reused), current);
+    reference = std::move(current);
+  }
+}
+
+TEST(DeltaScratch, PoolLeasesAreReusable) {
+  DeltaScratchPool pool;
+  pool.warm(2);
+  const Bytes a = random_bytes(8192, 50);
+  const Bytes b = random_bytes(8192, 51);
+  DeltaCodec codec(512);
+  Bytes first, second;
+  {
+    auto lease = pool.acquire();
+    first = codec.encode(a, b, *lease);
+  }
+  {
+    auto lease = pool.acquire();  // same workspace, recycled
+    second = codec.encode(a, b, *lease);
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(codec.decode(a, first), b);
+}
+
+TEST(DeltaCodec, StreamBlockSizeRecovered) {
+  const Bytes image = random_bytes(4096, 60);
+  for (const std::size_t bs : {256u, 1024u, 4096u}) {
+    const Bytes delta = DeltaCodec(bs).encode({}, image);
+    EXPECT_EQ(DeltaCodec::stream_block_size(delta), bs);
+  }
+  EXPECT_THROW((void)DeltaCodec::stream_block_size(Bytes(2)), DeltaError);
+}
+
+TEST(Cdc, BoundariesCoverInputAndRespectLimits) {
+  const CdcParams params{64, 256, 1024};
+  const Bytes data = random_bytes(50000, 70);
+  const auto bounds = cdc_boundaries(data, params);
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.back(), data.size());
+  std::size_t start = 0;
+  for (const std::size_t end : bounds) {
+    const std::size_t len = end - start;
+    EXPECT_GT(len, 0u);
+    EXPECT_LE(len, params.max_bytes);
+    // Every chunk but the last honors the minimum.
+    if (end != data.size()) {
+      EXPECT_GE(len, params.min_bytes);
+    }
+    start = end;
+  }
+  EXPECT_TRUE(cdc_boundaries({}, params).empty());
+}
+
+TEST(Cdc, BoundariesShiftWithContent) {
+  // Insert bytes near the front: fixed-block chunking would re-key every
+  // later block; CDC boundaries realign after the insertion point.
+  const CdcParams params{64, 256, 1024};
+  const Bytes original = random_bytes(16 * 1024, 71);
+  Bytes shifted;
+  shifted.reserve(original.size() + 5);
+  shifted.insert(shifted.end(), 5, std::byte{0xEE});
+  shifted.insert(shifted.end(), original.begin(), original.end());
+
+  auto chunk_set = [&](const Bytes& data) {
+    std::vector<std::uint64_t> hashes;
+    std::size_t start = 0;
+    for (const std::size_t end : cdc_boundaries(data, params)) {
+      hashes.push_back(block_hash(ByteSpan(data).subspan(start, end - start)));
+      start = end;
+    }
+    return hashes;
+  };
+  const auto a = chunk_set(original);
+  const auto b = chunk_set(shifted);
+  std::size_t common = 0;
+  for (const auto h : b) {
+    for (const auto g : a) {
+      if (h == g) {
+        ++common;
+        break;
+      }
+    }
+  }
+  // Most of the shifted image's chunks still match the original's.
+  EXPECT_GT(common * 2, b.size());
+}
+
+TEST(Cdc, RejectsBadParameters) {
+  const Bytes data = random_bytes(1024, 72);
+  EXPECT_THROW((void)cdc_boundaries(data, {0, 256, 1024}), DeltaError);
+  EXPECT_THROW((void)cdc_boundaries(data, {64, 300, 1024}), DeltaError);
+  EXPECT_THROW((void)cdc_boundaries(data, {512, 256, 256}), DeltaError);
 }
 
 }  // namespace
