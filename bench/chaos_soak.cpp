@@ -9,9 +9,16 @@
 // attached and fails the harness if any produced trace is not parseable
 // JSON (the exporter's output is part of the contract, docs/OBSERVABILITY.md).
 //
+// An equivalence leg closes the soak: a rotation of crash-anywhere
+// restart-equivalence sweeps (docs/EQUIVALENCE.md) across the proxy
+// kernels and payload modes, half of them under seeded device faults.
+// Any crash point that fails to restart bit-identically fails the
+// harness.
+//
 //   --schedules N   seeded schedules to run (default 240)
 //   --seed S        base seed (schedule k uses sub_seed(S, k))
 //   --commits N     commits per schedule (default 24)
+//   --equiv N       equivalence sweeps to run (default 6)
 //   --csv PATH      per-schedule structured rows
 //   --trace PATH    write the first validation schedule's Chrome trace
 
@@ -24,6 +31,7 @@
 #include "common/json.hpp"
 #include "exec/task_pool.hpp"
 #include "faults/chaos.hpp"
+#include "harness/equivalence.hpp"
 #include "obs/trace.hpp"
 
 using namespace ndpcr;
@@ -175,6 +183,48 @@ int main(int argc, char** argv) {
   }
   std::printf("trace validation: %zu schedules exported valid JSON\n",
               traced);
+
+  // Equivalence leg: crash-anywhere sweeps rotating kernel and payload
+  // mode; odd sweeps add a seeded device-fault schedule under the gates.
+  const auto equiv_count = static_cast<std::size_t>(args.number("equiv", 6));
+  const char* kernels[] = {"cg", "mg", "ft"};
+  const harness::PayloadMode modes[] = {harness::PayloadMode::kFull,
+                                        harness::PayloadMode::kDelta,
+                                        harness::PayloadMode::kDedup};
+  std::size_t equiv_points = 0;
+  std::size_t equiv_failures = 0;
+  for (std::size_t k = 0; k < equiv_count; ++k) {
+    harness::EquivalenceConfig ec;
+    ec.kernel = kernels[k % 3];
+    ec.mode = modes[(k / 3) % 3];
+    ec.node_count = 3;
+    ec.iterations = 6;
+    ec.cadence = 2;
+    ec.state_bytes = 8 << 10;
+    ec.seed = exec::sub_seed(seed ^ 0xE001ull, k);
+    if (k % 2 == 1) {
+      ec.rates.transient = 0.03;
+      ec.rates.torn = 0.02;
+      ec.rates.bitflip = 0.01;
+      ec.fault_seed = exec::sub_seed(seed ^ 0xE002ull, k);
+    }
+    const auto report = harness::run_sweep(ec, 2);
+    equiv_points += report.points_run;
+    equiv_failures += report.failures;
+    for (const auto& f : report.failed) {
+      std::fprintf(stderr,
+                   "equivalence violation: sweep %zu (%s/%s) point %zu: "
+                   "%s\n",
+                   k, ec.kernel.c_str(), harness::to_string(ec.mode),
+                   f.point, f.failure.c_str());
+    }
+  }
+  std::printf("equivalence: %zu sweeps, %zu crash points, %zu failures\n",
+              equiv_count, equiv_points, equiv_failures);
+  if (equiv_failures > 0) {
+    std::fprintf(stderr, "FAIL: restart-equivalence violated\n");
+    return 1;
+  }
 
   std::puts("all invariants held");
   return 0;

@@ -20,6 +20,10 @@
 //                     off row is the <1% disabled-cost budget of
 //                     docs/OBSERVABILITY.md, the on row the real price
 //
+//   equiv_overhead    the same commit loop against plain stores vs a
+//                     recording CrashSimulator (docs/EQUIVALENCE.md):
+//                     what the crash-point gates cost the data path
+//
 //   --smoke 1     tiny sizes (CI); also the `perf` ctest label
 //   --csv PATH    structured output (default BENCH_datapath.json)
 //   --trace PATH  write the traced commit loop's Chrome trace JSON
@@ -39,6 +43,7 @@
 #include "compress/lz4_style.hpp"
 #include "compress/scratch.hpp"
 #include "exec/task_pool.hpp"
+#include "faults/crash.hpp"
 #include "ndp/agent.hpp"
 #include "obs/trace.hpp"
 
@@ -473,6 +478,51 @@ int main(int argc, char** argv) {
     out.add_row({"off", fmt(off_s, 4), "1.00"});
     out.add_row({"on", fmt(on_s, 4), fmt(on_s / off_s)});
     if (!args.trace.empty()) tracer.write(args.trace);
+  }
+
+  // --- equivalence-harness overhead -----------------------------------
+  {
+    // The same commit loop against plain in-process stores vs stores
+    // owned by a recording CrashSimulator: every durable mutation then
+    // passes a MutationGate and is logged as a crash point. The ratio is
+    // the price a golden run pays over an ungated run.
+    const std::uint32_t ranks = 4;
+    const std::size_t per_rank = smoke ? (64ull << 10) : (256ull << 10);
+    const int commits = smoke ? 4 : 8;
+    std::vector<Bytes> payloads;
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      payloads.push_back(mixed_payload(per_rank, seed + 300 + r));
+    }
+    const std::vector<ByteSpan> views(payloads.begin(), payloads.end());
+    const std::size_t capacity = (per_rank + 4096) * (commits + 1);
+    auto run_commits = [&](faults::CrashSimulator* sim) {
+      ckpt::MultilevelConfig mc;
+      mc.node_count = ranks;
+      mc.nvm_capacity_bytes = capacity;
+      mc.partner_every = 1;
+      mc.io_every = 1;
+      if (sim) sim->attach(mc);
+      ckpt::MultilevelManager manager(mc);
+      return seconds_of([&] {
+        for (int c = 0; c < commits; ++c) {
+          if (sim) sim->begin_commit(manager.last_checkpoint_id() + 1);
+          (void)manager.commit(views);
+        }
+      });
+    };
+    const double plain_s = run_commits(nullptr);
+    faults::CrashSimConfig sc;
+    sc.node_count = ranks;
+    sc.nvm_capacity_bytes = capacity;
+    faults::CrashSimulator sim(sc);
+    sim.record();
+    const double gated_s = run_commits(&sim);
+    const std::size_t points = sim.canonical_points().size();
+    out.add_section("equiv_overhead",
+                    {"stores", "commit_s", "ratio", "crash_points"});
+    out.add_row({"plain", fmt(plain_s, 4), "1.00", "0"});
+    out.add_row({"recording", fmt(gated_s, 4), fmt(gated_s / plain_s),
+                 std::to_string(points)});
   }
 
   out.finish();

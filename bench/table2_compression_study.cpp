@@ -15,6 +15,7 @@
 #include "bench_util.hpp"
 #include "study/compression_study.hpp"
 #include "workloads/miniapp.hpp"
+#include "workloads/proxy_kernels.hpp"
 
 int main(int argc, char** argv) {
   using namespace ndpcr;
@@ -106,6 +107,35 @@ int main(int argc, char** argv) {
       report.add_row(
           {app, fmt_percent(prod.find(app, "ngzip(1)")->factor, 1),
            fmt_percent(prod.find(app, "nbzip2(1)")->factor, 1)});
+    }
+  }
+
+  // The crash-equivalence harness's NPB-style proxy kernels (cg/mg/ft,
+  // docs/EQUIVALENCE.md) are MiniApps too; their checkpoints go through
+  // the same study so their compressibility sits next to the paper's
+  // seven.
+  {
+    StudyConfig kcfg;
+    kcfg.bytes_per_app = bytes_per_app;
+    kcfg.seed = cfg.seed;
+    kcfg.apps = workloads::proxy_kernel_names();
+    const StudyResults kern = run_compression_study(kcfg);
+    std::vector<std::string> header = {"Kernel", "Data"};
+    for (const auto& c : suite) header.push_back(c.display_name);
+    report.add_section(
+        "NPB-style proxy kernels (restart-equivalence harness workloads)",
+        header);
+    for (const auto& app : kcfg.apps) {
+      const auto* first = kern.find(app, suite.front().display_name);
+      std::vector<std::string> cells = {
+          app, fmt_fixed(static_cast<double>(first->input_bytes) / 1e6, 1) +
+                   " MB"};
+      for (const auto& c : suite) {
+        const auto* m = kern.find(app, c.display_name);
+        cells.push_back(fmt_percent(m->factor, 1) + " @" +
+                        fmt_fixed(m->compress_bw / 1e6, 1));
+      }
+      report.add_row(cells);
     }
   }
   report.finish();

@@ -83,21 +83,37 @@ DedupIndex::Plan DedupIndex::plan(ByteSpan image) const {
   return plan;
 }
 
-void DedupIndex::admit(const Plan& plan, std::uint32_t rank,
-                       std::uint64_t id) {
-  for (const BlockRef& ref : plan.refs) {
+void DedupIndex::admit_refs(const std::vector<BlockRef>& refs,
+                            std::size_t image_size, std::uint32_t rank,
+                            std::uint64_t id) {
+  // Release-before-charge: a replayed admit (a commit retried across a
+  // simulated crash) must land exactly once, so any previous recording
+  // under this (rank, id) gives back its refcounts before the new ones
+  // are charged. The order matters - charging first would let a replay
+  // free shared blocks its own re-charge still needs if release ran
+  // between, and doubles the transient footprint.
+  if (recipes_.count(std::make_pair(rank, id)) > 0) {
+    (void)release(rank, id);
+  }
+  for (const BlockRef& ref : refs) {
     auto [it, inserted] =
         blocks_.try_emplace(ref.key, Entry{ref.size, ref.crc, 0});
     if (inserted) stored_bytes_ += ref.size;
     ++it->second.refs;
   }
-  logical_bytes_ += plan.raw_bytes;
-  const auto map_key = std::make_pair(rank, id);
-  if (auto existing = recipes_.find(map_key); existing != recipes_.end()) {
-    // Re-admit under the same id replaces the previous recipe.
-    (void)release(rank, id);
-  }
-  recipes_.emplace(map_key, plan.refs);
+  logical_bytes_ += image_size;
+  recipes_.emplace(std::make_pair(rank, id), refs);
+}
+
+void DedupIndex::admit(const Plan& plan, std::uint32_t rank,
+                       std::uint64_t id) {
+  admit_refs(plan.refs, plan.raw_bytes, rank, id);
+}
+
+void DedupIndex::restore(const std::vector<BlockRef>& refs,
+                         std::size_t image_size, std::uint32_t rank,
+                         std::uint64_t id) {
+  admit_refs(refs, image_size, rank, id);
 }
 
 std::vector<std::uint64_t> DedupIndex::release(std::uint32_t rank,
@@ -123,26 +139,41 @@ bool DedupIndex::is_recipe(ByteSpan raw) {
   return raw.size() >= 4 && read_le<std::uint32_t>(raw, 0) == kRecipeMagic;
 }
 
-std::optional<Bytes> DedupIndex::assemble(
-    ByteSpan recipe,
-    const std::function<std::optional<Bytes>(const BlockRef&)>& fetch) {
+std::optional<DedupIndex::ParsedRecipe> DedupIndex::parse_recipe(
+    ByteSpan recipe) {
   if (recipe.size() < kRecipeHeader || !is_recipe(recipe)) {
     return std::nullopt;
   }
-  const auto image_size = read_le<std::uint64_t>(recipe, 4);
+  ParsedRecipe parsed;
+  parsed.image_size = read_le<std::uint64_t>(recipe, 4);
   const auto count = read_le<std::uint32_t>(recipe, 12);
   if (recipe.size() != kRecipeHeader + std::size_t{count} * kRefBytes) {
     return std::nullopt;
   }
-  Bytes out;
-  out.reserve(image_size);
+  parsed.refs.reserve(count);
   std::size_t pos = kRecipeHeader;
+  std::size_t total = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
     BlockRef ref;
     ref.key = read_le<std::uint64_t>(recipe, pos);
     ref.size = read_le<std::uint32_t>(recipe, pos + 8);
     ref.crc = read_le<std::uint32_t>(recipe, pos + 12);
     pos += kRefBytes;
+    total += ref.size;
+    parsed.refs.push_back(ref);
+  }
+  if (total != parsed.image_size) return std::nullopt;
+  return parsed;
+}
+
+std::optional<Bytes> DedupIndex::assemble(
+    ByteSpan recipe,
+    const std::function<std::optional<Bytes>(const BlockRef&)>& fetch) {
+  const auto parsed = parse_recipe(recipe);
+  if (!parsed) return std::nullopt;
+  Bytes out;
+  out.reserve(parsed->image_size);
+  for (const BlockRef& ref : parsed->refs) {
     const std::optional<Bytes> block = fetch(ref);
     if (!block || block->size() != ref.size ||
         crc_of(ByteSpan(*block)) != ref.crc) {
@@ -150,7 +181,7 @@ std::optional<Bytes> DedupIndex::assemble(
     }
     out.insert(out.end(), block->begin(), block->end());
   }
-  if (out.size() != image_size) return std::nullopt;
+  if (out.size() != parsed->image_size) return std::nullopt;
   return out;
 }
 

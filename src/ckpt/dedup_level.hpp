@@ -65,6 +65,24 @@ class DedupIndex {
   // zero (the caller erases those device entries).
   std::vector<std::uint64_t> release(std::uint32_t rank, std::uint64_t id);
 
+  // Rebuild one image's bookkeeping from a recipe that survived on the
+  // device (MultilevelConfig::adopt_existing): refcount its blocks and
+  // record it under (rank, id), exactly as admit() would have. Idempotent
+  // under replay - re-restoring (or re-admitting) the same (rank, id)
+  // releases the previous recording first, so refcounts are never
+  // double-charged.
+  void restore(const std::vector<BlockRef>& refs, std::size_t image_size,
+               std::uint32_t rank, std::uint64_t id);
+
+  // Decode a recipe's block list + image size. nullopt when the bytes are
+  // not a structurally valid recipe.
+  struct ParsedRecipe {
+    std::size_t image_size = 0;
+    std::vector<BlockRef> refs;
+  };
+  [[nodiscard]] static std::optional<ParsedRecipe> parse_recipe(
+      ByteSpan recipe);
+
   [[nodiscard]] std::size_t unique_blocks() const { return blocks_.size(); }
   [[nodiscard]] std::size_t stored_bytes() const { return stored_bytes_; }
   [[nodiscard]] std::size_t logical_bytes() const { return logical_bytes_; }
@@ -86,6 +104,12 @@ class DedupIndex {
     std::uint32_t crc = 0;
     std::size_t refs = 0;
   };
+
+  // Shared by admit() and restore(): charge refcounts for `refs` and
+  // record the recipe, replacing (and releasing) any previous recording
+  // under the same (rank, id).
+  void admit_refs(const std::vector<BlockRef>& refs, std::size_t image_size,
+                  std::uint32_t rank, std::uint64_t id);
 
   delta::CdcParams cdc_;
   std::size_t stored_bytes_ = 0;   // unique block bytes admitted

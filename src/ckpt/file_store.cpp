@@ -8,6 +8,8 @@
 #include <fstream>
 #include <system_error>
 
+#include "common/crc32.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <unistd.h>
@@ -19,6 +21,11 @@ namespace {
 
 constexpr const char* kPrefix = "ckpt-";
 constexpr const char* kSuffix = ".ndcr";
+constexpr const char* kLatestName = "latest";
+
+// Latest-pointer wire format: magic(4) id(8) crc32-of-magic+id(4).
+constexpr std::uint32_t kLatestMagic = 0x4E444C50;  // "NDLP"
+constexpr std::size_t kLatestBytes = 4 + 8 + 4;
 
 StoreErrorKind classify_errno(int err) {
   switch (err) {
@@ -64,16 +71,17 @@ std::filesystem::path FileStore::file_path(
          (kPrefix + std::to_string(checkpoint_id) + kSuffix);
 }
 
-StoreStatus FileStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
+std::filesystem::path FileStore::latest_path(std::uint32_t rank) const {
+  return rank_dir(rank) / kLatestName;
+}
+
+namespace {
+
+// Write-temp + fsync + rename + directory fsync: the atomic-replace
+// discipline shared by checkpoint data files and the latest pointer.
+StoreStatus atomic_replace(const std::filesystem::path& dir,
+                           const std::filesystem::path& target,
                            ByteSpan data) {
-  const auto dir = rank_dir(rank);
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return StoreStatus::failure(StoreErrorKind::kPermanent,
-                                "create_directories: " + ec.message());
-  }
-  const auto target = file_path(rank, checkpoint_id);
   const auto tmp = target.string() + ".tmp";
 #ifdef NDPCR_HAVE_FSYNC
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -120,6 +128,7 @@ StoreStatus FileStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
     }
   }
 #endif
+  std::error_code ec;
   std::filesystem::rename(tmp, target, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
@@ -131,6 +140,98 @@ StoreStatus FileStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
   fsync_path(dir);
 #endif
   return StoreStatus::success();
+}
+
+}  // namespace
+
+StoreStatus FileStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
+                           ByteSpan data) {
+  MutationDecision gated;
+  if (gate_) {
+    gated = gate_({MutationOp::kPut, rank, checkpoint_id, data.size()});
+    if (gated.drop) return StoreStatus::success();
+  }
+  const auto dir = rank_dir(rank);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return StoreStatus::failure(StoreErrorKind::kPermanent,
+                                "create_directories: " + ec.message());
+  }
+  const ByteSpan effective =
+      gated.torn && gated.keep_bytes < data.size()
+          ? data.subspan(0, gated.keep_bytes)
+          : data;
+  const StoreStatus wrote =
+      atomic_replace(dir, file_path(rank, checkpoint_id), effective);
+  if (!wrote.ok()) return wrote;
+  // Publish only after the data file is durable: the pointer update is
+  // the commit point, and its own crash site.
+  write_latest(rank, checkpoint_id);
+  return StoreStatus::success();
+}
+
+void FileStore::write_latest(std::uint32_t rank,
+                             std::uint64_t checkpoint_id) {
+  // The pointer only advances: a put of an older id (out-of-order
+  // backfill) does not move "latest" backwards past a newer published
+  // checkpoint.
+  if (const auto current = latest_pointer(rank);
+      current && *current >= checkpoint_id) {
+    return;
+  }
+  if (gate_) {
+    const MutationDecision d =
+        gate_({MutationOp::kPointer, rank, checkpoint_id, kLatestBytes});
+    if (d.drop) return;  // died before publishing: previous pointer wins
+  }
+  Bytes record;
+  record.reserve(kLatestBytes);
+  append_le<std::uint32_t>(record, kLatestMagic);
+  append_le<std::uint64_t>(record, checkpoint_id);
+  Crc32 crc;
+  crc.update(ByteSpan(record));
+  append_le<std::uint32_t>(record, crc.value());
+  // Pointer-update failures are not reported: the pointer is an
+  // accelerator with a scan fallback, and put() already succeeded.
+  (void)atomic_replace(rank_dir(rank), latest_path(rank), ByteSpan(record));
+}
+
+std::optional<std::uint64_t> FileStore::latest_pointer(
+    std::uint32_t rank) const {
+  std::ifstream in(latest_path(rank), std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes record(kLatestBytes);
+  in.read(reinterpret_cast<char*>(record.data()),
+          static_cast<std::streamsize>(kLatestBytes));
+  // A short, oversized, or bit-damaged pointer is torn: detected here and
+  // ignored, never trusted.
+  if (static_cast<std::size_t>(in.gcount()) != kLatestBytes ||
+      in.peek() != std::ifstream::traits_type::eof()) {
+    return std::nullopt;
+  }
+  if (read_le<std::uint32_t>(ByteSpan(record), 0) != kLatestMagic) {
+    return std::nullopt;
+  }
+  Crc32 crc;
+  crc.update(ByteSpan(record).subspan(0, kLatestBytes - 4));
+  if (read_le<std::uint32_t>(ByteSpan(record), kLatestBytes - 4) !=
+      crc.value()) {
+    return std::nullopt;
+  }
+  const auto id = read_le<std::uint64_t>(ByteSpan(record), 4);
+  if (!contains(rank, id)) return std::nullopt;  // stale: file was erased
+  return id;
+}
+
+void FileStore::refresh_latest(std::uint32_t rank) {
+  const auto ids = list(rank);
+  if (ids.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(latest_path(rank), ec);
+    return;
+  }
+  write_latest(rank, ids.back());
 }
 
 StoreResult<Bytes> FileStore::get(std::uint32_t rank,
@@ -194,14 +295,25 @@ std::vector<std::uint64_t> FileStore::list(std::uint32_t rank) const {
 }
 
 std::optional<std::uint64_t> FileStore::newest_id(std::uint32_t rank) const {
+  // The pointer is the commit point: a data file newer than a *valid*
+  // pointer was never published (crash between rename and pointer
+  // update), so the pointer answer wins. Only a missing or torn pointer
+  // falls back to the directory scan.
+  if (const auto published = latest_pointer(rank)) return published;
   const auto ids = list(rank);
   if (ids.empty()) return std::nullopt;
   return ids.back();
 }
 
 void FileStore::erase(std::uint32_t rank, std::uint64_t checkpoint_id) {
+  if (gate_) {
+    const MutationDecision d =
+        gate_({MutationOp::kErase, rank, checkpoint_id, 0});
+    if (d.drop) return;
+  }
   std::error_code ec;
   std::filesystem::remove(file_path(rank, checkpoint_id), ec);
+  refresh_latest(rank);
 }
 
 }  // namespace ndpcr::ckpt

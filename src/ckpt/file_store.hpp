@@ -5,20 +5,36 @@
 // tracked by metadata). The directory structure is
 //
 //   <root>/rank-<r>/ckpt-<id>.ndcr
+//   <root>/rank-<r>/latest          (latest-pointer metadata)
 //
 // Durability: data is written to a temporary name, fsync'd, renamed into
 // place, and the parent directory is fsync'd - so a crash at any point
 // leaves either the old state or the complete new file under the valid
 // name, never a torn one.
 //
+// The latest pointer is the checkpoint's commit point: it is updated with
+// the same write-temp + fsync + rename discipline *after* the data file
+// is durable, names the newest published checkpoint id, and carries a
+// CRC. A crash between the data rename and the pointer update leaves the
+// previous pointer in place - the new file exists but is not yet
+// published, and newest_id() keeps answering with the previous
+// checkpoint. A torn or corrupt pointer (a non-atomic foreign writer) is
+// detected by size/magic/CRC validation and newest_id() falls back to
+// scanning the directory, so the pointer can lose freshness but never
+// correctness (docs/EQUIVALENCE.md).
+//
 // Methods are virtual so the fault-injection layer (faults::FaultyFileStore)
-// can decorate the same interface with seeded IO errors.
+// can decorate the same interface with seeded IO errors. The base put()
+// additionally consults an optional MutationGate (crash-point injection;
+// the data write and the pointer update are distinct crash sites).
 
 #include <cstdint>
 #include <filesystem>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "ckpt/mutation_gate.hpp"
 #include "ckpt/store_error.hpp"
 #include "common/bytes.hpp"
 
@@ -52,12 +68,28 @@ class FileStore {
 
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
 
+  // The validated latest-pointer value, if the pointer file exists, parses
+  // (size/magic/CRC) and references a checkpoint file that is present.
+  // nullopt means torn/stale/absent - callers fall back to list().
+  [[nodiscard]] std::optional<std::uint64_t> latest_pointer(
+      std::uint32_t rank) const;
+
+  // Crash-point injection hook (docs/EQUIVALENCE.md).
+  void set_mutation_gate(MutationGate gate) { gate_ = std::move(gate); }
+
  private:
   [[nodiscard]] std::filesystem::path rank_dir(std::uint32_t rank) const;
   [[nodiscard]] std::filesystem::path file_path(
       std::uint32_t rank, std::uint64_t checkpoint_id) const;
+  [[nodiscard]] std::filesystem::path latest_path(std::uint32_t rank) const;
+  // Atomically publish `checkpoint_id` as the rank's latest (write-temp +
+  // fsync + rename). Consults the gate under MutationOp::kPointer.
+  void write_latest(std::uint32_t rank, std::uint64_t checkpoint_id);
+  // Re-derive the pointer from the directory after an erase.
+  void refresh_latest(std::uint32_t rank);
 
   std::filesystem::path root_;
+  MutationGate gate_;
 };
 
 }  // namespace ndpcr::ckpt

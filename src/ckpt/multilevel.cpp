@@ -185,8 +185,15 @@ MultilevelManager::MultilevelManager(const MultilevelConfig& config)
   }
   local_.reserve(config.node_count);
   for (std::uint32_t n = 0; n < config.node_count; ++n) {
-    local_.emplace_back(config.nvm_capacity_bytes,
-                        config.delta.nvm_dedup_block_bytes);
+    if (config_.nvm_factory) {
+      local_.push_back(config_.nvm_factory(n));
+      if (!local_.back()) {
+        throw std::invalid_argument("nvm_factory returned null");
+      }
+    } else {
+      local_.push_back(std::make_shared<NvmStore>(
+          config.nvm_capacity_bytes, config.delta.nvm_dedup_block_bytes));
+    }
   }
   local_write_ops_.assign(config.node_count, 0);
   auto make_store = [&](StoreLevel level,
@@ -199,10 +206,51 @@ MultilevelManager::MultilevelManager(const MultilevelConfig& config)
     partner_space_.push_back(make_store(StoreLevel::kPartner, n));
   }
   io_ = make_store(StoreLevel::kIo, 0);
+  if (config.adopt_existing) adopt_existing_state();
   if (trace_->enabled()) {
     trace_->set_track_name(0, "ckpt.manager");
     for (std::uint32_t n = 0; n < config.node_count; ++n) {
       trace_->set_track_name(1 + n, "rank " + std::to_string(n));
+    }
+  }
+}
+
+void MultilevelManager::adopt_existing_state() {
+  // Restart over surviving stores (docs/EQUIVALENCE.md): find the newest
+  // checkpoint id any level still holds for any rank, so new commits
+  // continue the id sequence instead of colliding with a previous life's
+  // entries. Every key space the commit path writes under is scanned:
+  // local NVM per rank, partner spaces (keyed by rank for copies, by the
+  // group's first rank for parity - both in [0, node_count)), and the IO
+  // store.
+  std::uint64_t newest = 0;
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    if (const auto id = local_[rank]->newest_id()) {
+      newest = std::max(newest, *id);
+    }
+    for (std::uint32_t host = 0; host < config_.node_count; ++host) {
+      if (const auto id = partner_space_[host]->newest_id(rank)) {
+        newest = std::max(newest, *id);
+      }
+    }
+    if (const auto id = io_->newest_id(rank)) {
+      newest = std::max(newest, *id);
+    }
+  }
+  next_id_ = newest + 1;
+  // Rebuild the dedup bookkeeping from the recipes that survived: without
+  // this, the first post-restart commit would re-plan every block as new
+  // (wasted IO) and a later release could never free shared blocks. The
+  // block space itself (kDedupBlockRank) needs no scan - blocks a
+  // surviving recipe does not reference are garbage, not state.
+  if (!io_dedup_) return;
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    for (const std::uint64_t id : io_->list(rank)) {
+      const StoreResult<Bytes> raw = io_->get(rank, id);
+      if (!raw.ok()) continue;
+      const auto parsed = DedupIndex::parse_recipe(ByteSpan(*raw));
+      if (!parsed) continue;  // plain framed image, or torn: not a recipe
+      io_dedup_->restore(parsed->refs, parsed->image_size, rank, id);
     }
   }
 }
@@ -327,19 +375,19 @@ bool MultilevelManager::commit_local_rank(std::uint32_t rank,
     if (config_.local_write_hook) {
       config_.local_write_hook(rank, local_write_ops_[rank]++, staged);
     }
-    if (!local_[rank].put(id, std::move(staged))) {
+    if (!local_[rank]->put(id, std::move(staged))) {
       // Capacity exhaustion is a configuration error, not a device fault.
       throw std::logic_error("local NVM cannot accept checkpoint " +
                              std::to_string(id));
     }
     if (!config_.verify_writes) return true;
-    const auto readback = local_[rank].get(id);
+    const auto readback = local_[rank]->get(id);
     if (readback && readback->size() == image.size() &&
         std::equal(readback->begin(), readback->end(), image.begin())) {
       return true;
     }
     ++health.verify_failures;
-    local_[rank].erase(id);
+    local_[rank]->erase(id);
     ++health.quarantined;
     if (tc.buf) {
       tc.buf->instant("verify_fail", tc.level, tc.track,
@@ -837,7 +885,7 @@ std::optional<Bytes> MultilevelManager::try_xor_rebuild(
   std::vector<Bytes> survivors;
   for (std::uint32_t r = first; r < last; ++r) {
     if (r == rank) continue;
-    const auto span = local_[r].get(id);
+    const auto span = local_[r]->get(id);
     if (!span || span->size() > parity->size()) return std::nullopt;
     Bytes padded(span->begin(), span->end());
     padded.resize(parity->size(), std::byte{0});
@@ -856,12 +904,12 @@ std::optional<Bytes> MultilevelManager::try_xor_rebuild(
 }
 
 void MultilevelManager::fail_node(std::uint32_t rank) {
-  local_.at(rank).clear();
+  local_.at(rank)->clear();
   partner_space_.at(rank)->clear();
 }
 
 bool MultilevelManager::corrupt_local(std::uint32_t rank) {
-  auto& store = local_.at(rank);
+  auto& store = *local_.at(rank);
   const auto id = store.newest_id();
   if (!id) return false;
   return store.corrupt_entry(*id, *id * 131 + rank);
@@ -893,7 +941,7 @@ bool MultilevelManager::corrupt_io(std::uint32_t rank) {
 
 std::optional<CheckpointImage> MultilevelManager::fetch_local(
     std::uint32_t rank, std::uint64_t id) const {
-  const auto span = local_[rank].get(id);
+  const auto span = local_[rank]->get(id);
   if (!span) return std::nullopt;
   return parse_image(rank, id, *span);
 }
@@ -1091,11 +1139,11 @@ std::optional<MultilevelManager::Recovery> MultilevelManager::recover()
 }
 
 const NvmStore& MultilevelManager::local_store(std::uint32_t rank) const {
-  return local_.at(rank);
+  return *local_.at(rank);
 }
 
 NvmStore& MultilevelManager::local_store(std::uint32_t rank) {
-  return local_.at(rank);
+  return *local_.at(rank);
 }
 
 }  // namespace ndpcr::ckpt

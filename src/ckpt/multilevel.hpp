@@ -207,10 +207,29 @@ struct MultilevelConfig {
   // Factory for the remote stores (one partner space per hosting node,
   // one IO store; `host` is the hosting rank for partner spaces, 0 for
   // IO). Null builds plain KvStores; the fault layer installs
-  // FaultyKvStore decorators here.
+  // FaultyKvStore decorators here, and the crash simulator forwarding
+  // views over stores that outlive the manager (docs/EQUIVALENCE.md).
   std::function<std::unique_ptr<KvStore>(StoreLevel level,
                                          std::uint32_t host)>
       store_factory;
+
+  // Factory for the per-rank local NVM devices. Null builds fresh stores
+  // from nvm_capacity_bytes / delta.nvm_dedup_block_bytes. The crash
+  // simulator hands the *same* NvmStore objects to the dying manager and
+  // the restart manager, so local state survives a simulated process
+  // death the way a real NVDIMM survives one.
+  std::function<std::shared_ptr<NvmStore>(std::uint32_t rank)> nvm_factory;
+
+  // Restart mode: the stores the factories hand over may already hold a
+  // previous life's checkpoints. The constructor inventories every level
+  // for the newest surviving id so new commits continue the id sequence
+  // instead of colliding with it, and rebuilds the IO dedup index from
+  // the recipes still on the device. Without this flag a manager built
+  // over surviving stores starts at id 1: recover() finds nothing (its
+  // scan starts below every stored id) and the first commit collides
+  // with checkpoint 1's leftovers - the crash-consistency bug the
+  // equivalence sweep exposed, pinned by MultilevelDelta.AdoptExisting*.
+  bool adopt_existing = false;
 
   // Invoked on the image bytes just before each local NVM write (op_index
   // counts the rank's local writes, monotonically). The fault layer uses
@@ -310,6 +329,10 @@ class MultilevelManager {
   [[nodiscard]] std::uint32_t parity_host(std::uint32_t rank) const;
 
  private:
+  // Constructor helper for config.adopt_existing: inventory every level
+  // for surviving checkpoint ids (so next_id_ continues the sequence) and
+  // rebuild the IO dedup index from the recipes still on the device.
+  void adopt_existing_state();
   // Run body(i) for i in [0, n) on the configured pool, or inline when
   // already inside a pool worker (nested parallel_for is rejected).
   void for_tasks(std::size_t n,
@@ -373,7 +396,9 @@ class MultilevelManager {
   std::uint32_t links_since_full_ = 0;
   // IO-level block dedup bookkeeping (config_.delta.io_dedup).
   std::optional<DedupIndex> io_dedup_;
-  std::vector<NvmStore> local_;
+  // shared_ptr: with a nvm_factory the devices outlive the manager (the
+  // crash simulator re-attaches them to the restart manager).
+  std::vector<std::shared_ptr<NvmStore>> local_;
   // partner_space_[n] holds copies for rank (n + N - 1) % N.
   std::vector<std::unique_ptr<KvStore>> partner_space_;
   std::unique_ptr<KvStore> io_;

@@ -81,6 +81,12 @@ void NvmStore::release_entry(const Entry& entry) {
 }
 
 bool NvmStore::put(std::uint64_t checkpoint_id, Bytes data) {
+  if (gate_) {
+    const MutationDecision d =
+        gate_({MutationOp::kPut, 0, checkpoint_id, data.size()});
+    if (d.drop) return true;  // the dead device reports success
+    if (d.torn && d.keep_bytes < data.size()) data.resize(d.keep_bytes);
+  }
   if (!entries_.empty() && checkpoint_id <= entries_.back().id) {
     throw std::logic_error("checkpoint ids must be strictly increasing");
   }
@@ -165,6 +171,10 @@ bool NvmStore::is_locked(std::uint64_t checkpoint_id) const {
 }
 
 void NvmStore::erase(std::uint64_t checkpoint_id) {
+  if (gate_) {
+    const MutationDecision d = gate_({MutationOp::kErase, 0, checkpoint_id, 0});
+    if (d.drop) return;
+  }
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const Entry& e) { return e.id == checkpoint_id; });
   if (it == entries_.end()) return;

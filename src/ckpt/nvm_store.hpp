@@ -22,7 +22,9 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <utility>
 
+#include "ckpt/mutation_gate.hpp"
 #include "common/bytes.hpp"
 
 namespace ndpcr::ckpt {
@@ -61,6 +63,11 @@ class NvmStore {
 
   // Simulated whole-device loss (node failure): clears everything.
   void clear();
+
+  // Durable-mutation gate (docs/EQUIVALENCE.md), consulted before every
+  // put/erase - before even the id-monotonicity check, so a dead device
+  // silently swallows the retries of a write whose torn tail survived.
+  void set_mutation_gate(MutationGate gate) { gate_ = std::move(gate); }
 
   // Flip one byte of a stored checkpoint in place (deterministic position
   // from `salt`; same primitive as KvStore::corrupt_entry). Returns false
@@ -102,6 +109,7 @@ class NvmStore {
 
   std::size_t capacity_;
   std::size_t dedup_block_;
+  MutationGate gate_;
   std::size_t used_ = 0;
   std::size_t logical_ = 0;
   std::uint64_t evictions_ = 0;

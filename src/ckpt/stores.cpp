@@ -4,8 +4,26 @@
 
 namespace ndpcr::ckpt {
 
+const char* to_string(MutationOp op) {
+  switch (op) {
+    case MutationOp::kPut:
+      return "put";
+    case MutationOp::kErase:
+      return "erase";
+    case MutationOp::kPointer:
+      return "pointer";
+  }
+  return "?";
+}
+
 StoreStatus KvStore::put(std::uint32_t rank, std::uint64_t checkpoint_id,
                          Bytes data) {
+  if (gate_) {
+    const MutationDecision d =
+        gate_({MutationOp::kPut, rank, checkpoint_id, data.size()});
+    if (d.drop) return StoreStatus::success();
+    if (d.torn && d.keep_bytes < data.size()) data.resize(d.keep_bytes);
+  }
   const auto key = std::make_pair(rank, checkpoint_id);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -41,7 +59,21 @@ std::optional<std::uint64_t> KvStore::newest_id(std::uint32_t rank) const {
   return it->first.second;
 }
 
+std::vector<std::uint64_t> KvStore::list(std::uint32_t rank) const {
+  std::vector<std::uint64_t> ids;
+  for (auto it = entries_.lower_bound(std::make_pair(rank, std::uint64_t{0}));
+       it != entries_.end() && it->first.first == rank; ++it) {
+    ids.push_back(it->first.second);
+  }
+  return ids;
+}
+
 void KvStore::erase(std::uint32_t rank, std::uint64_t checkpoint_id) {
+  if (gate_) {
+    const MutationDecision d =
+        gate_({MutationOp::kErase, rank, checkpoint_id, 0});
+    if (d.drop) return;
+  }
   auto it = entries_.find(std::make_pair(rank, checkpoint_id));
   if (it == entries_.end()) return;
   used_ -= it->second.size();

@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "ckpt/mutation_gate.hpp"
 #include "ckpt/store_error.hpp"
 #include "common/bytes.hpp"
 
@@ -39,8 +41,17 @@ class KvStore {
   // Newest id stored for a rank, if any.
   [[nodiscard]] virtual std::optional<std::uint64_t> newest_id(
       std::uint32_t rank) const;
+  // Checkpoint ids present for a rank, ascending. Used by the restart
+  // path (MultilevelConfig::adopt_existing) to inventory surviving state.
+  [[nodiscard]] virtual std::vector<std::uint64_t> list(
+      std::uint32_t rank) const;
   virtual void erase(std::uint32_t rank, std::uint64_t checkpoint_id);
   virtual void clear();
+
+  // Install (or clear, with nullptr) the durable-mutation gate consulted
+  // before every put/erase (docs/EQUIVALENCE.md). Lives in the base class
+  // so fault decorators that forward to KvStore::put stay gated.
+  void set_mutation_gate(MutationGate gate) { gate_ = std::move(gate); }
 
   // Flip one byte of a stored entry in place (deterministic position and
   // mask from `salt`). This is the single corruption primitive shared by
@@ -55,6 +66,7 @@ class KvStore {
  private:
   std::map<std::pair<std::uint32_t, std::uint64_t>, Bytes> entries_;
   std::size_t used_ = 0;
+  MutationGate gate_;
 };
 
 // Deterministically flip one byte of `data` (position and bit chosen from

@@ -109,8 +109,6 @@ void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out,
   do {
     const std::size_t block_end =
         std::min(input.size(), pos + kBlockSize);
-    const bool final_block = block_end == input.size();
-    bw.write(final_block ? 1 : 0, 1);
 
     // Parse the block into literals and matches. The lazy parse probes
     // find(pos + 1) before committing pos, so find and insert stay split
@@ -137,6 +135,12 @@ void DeflateStyleCodec::compress_payload(ByteSpan input, Bytes& out,
         ++pos;
       }
     }
+
+    // The final match of a block may run past block_end (matches are
+    // bounded by the input, not the block), so whether this block is the
+    // last one is only known after the parse: a boundary-crossing match
+    // can swallow the entire remainder of the input.
+    bw.write(pos >= input.size() ? 1 : 0, 1);
 
     // Build per-block Huffman tables.
     std::vector<std::uint64_t> lit_freq(kLitLenSymbols, 0);

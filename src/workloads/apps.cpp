@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "workloads/array_state.hpp"
 #include "workloads/miniapp.hpp"
+#include "workloads/proxy_kernels.hpp"
 
 namespace ndpcr::workloads {
 namespace {
@@ -609,6 +610,14 @@ std::unique_ptr<MiniApp> make_miniapp(const std::string& name,
     return std::make_unique<LammpsProxy>(target_bytes, seed);
   }
   if (name == "cth") return std::make_unique<CthProxy>(target_bytes, seed);
+  // NPB-style proxy kernels (proxy_kernels.hpp): real iterative solvers
+  // whose state lives in region registries, adapted to the MiniApp
+  // interface so the compression study can measure them too.
+  for (const auto& kernel : proxy_kernel_names()) {
+    if (name == kernel) {
+      return make_proxy_kernel_miniapp(name, target_bytes, seed);
+    }
+  }
   throw std::runtime_error("unknown mini-app: " + name);
 }
 

@@ -131,5 +131,34 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.level);
     });
 
+// Regression: a match found near the ngzip 256 KiB block boundary may run
+// past it (matches are bounded by the input, not the block) and swallow
+// the whole remainder, so the encoder can only decide the final-block flag
+// after parsing. Run-heavy payloads a few bytes past the boundary used to
+// produce streams whose last block claimed not to be final; the decoder
+// then read off the end of the stream.
+TEST(DeflateBlockBoundary, MatchCrossingFinalBlockRoundTrips) {
+  constexpr std::size_t kBlock = 256 * 1024;
+  for (const int level : {1, 6, 9}) {
+    const auto codec = make_codec("ngzip", level);
+    for (const std::size_t size :
+         {kBlock - 1, kBlock, kBlock + 1, kBlock + 3, kBlock + 200,
+          2 * kBlock + 3}) {
+      Rng rng(size * 31 + level);
+      Bytes data(size);
+      for (std::size_t i = 0; i < size;) {
+        const std::size_t run = 1 + rng.next_below(64);
+        const auto value = static_cast<std::byte>(rng.next_below(4));
+        for (std::size_t j = 0; j < run && i < size; ++j, ++i) {
+          data[i] = value;
+        }
+      }
+      const Bytes packed = codec->compress(data);
+      EXPECT_EQ(codec->decompress(packed), data)
+          << "level " << level << " size " << size;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ndpcr::compress

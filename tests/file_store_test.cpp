@@ -107,5 +107,80 @@ TEST_F(FileStoreTest, EmptyPayload) {
   EXPECT_TRUE(store.get(0, 1).value().empty());
 }
 
+TEST_F(FileStoreTest, LatestPointerPublishesNewest) {
+  FileStore store(root_);
+  store.put(0, 3, payload(64, 1));
+  EXPECT_TRUE(std::filesystem::exists(root_ / "rank-0" / "latest"));
+  EXPECT_EQ(store.latest_pointer(0), 3u);
+  EXPECT_EQ(store.newest_id(0), 3u);
+}
+
+TEST_F(FileStoreTest, LatestPointerOnlyAdvances) {
+  FileStore store(root_);
+  store.put(0, 5, payload(64, 1));
+  store.put(0, 2, payload(64, 2));  // backfill must not move the pointer
+  EXPECT_EQ(store.latest_pointer(0), 5u);
+  EXPECT_EQ(store.newest_id(0), 5u);
+}
+
+// A crash between the data rename and the pointer update leaves the new
+// file unpublished: the previous pointer wins and newest_id() keeps
+// answering with the previous checkpoint.
+TEST_F(FileStoreTest, CrashBeforePointerUpdatePreviousPointerWins) {
+  FileStore store(root_);
+  store.put(0, 1, payload(64, 1));
+  store.set_mutation_gate([](const MutationSite& site) {
+    MutationDecision d;
+    d.drop = site.op == MutationOp::kPointer;
+    return d;
+  });
+  EXPECT_TRUE(store.put(0, 2, payload(64, 2)).ok());
+  store.set_mutation_gate({});
+  EXPECT_TRUE(store.contains(0, 2));  // data is durable...
+  EXPECT_EQ(store.latest_pointer(0), 1u);  // ...but not published
+  EXPECT_EQ(store.newest_id(0), 1u);
+
+  // A reopening process sees the same thing.
+  FileStore reopened(root_);
+  EXPECT_EQ(reopened.latest_pointer(0), 1u);
+  EXPECT_EQ(reopened.newest_id(0), 1u);
+}
+
+// A torn pointer write (non-atomic foreign writer) is detected by the
+// size/magic/CRC validation; newest_id() falls back to scanning.
+TEST_F(FileStoreTest, TornPointerDetectedAndScanWins) {
+  FileStore store(root_);
+  store.put(0, 1, payload(64, 1));
+  store.put(0, 4, payload(64, 2));
+  const std::filesystem::path latest = root_ / "rank-0" / "latest";
+  for (const std::string& junk :
+       {std::string("\x50"), std::string("not a pointer"),
+        std::string(20, '\0'), std::string()}) {
+    { std::ofstream(latest, std::ios::trunc | std::ios::binary) << junk; }
+    EXPECT_EQ(store.latest_pointer(0), std::nullopt);
+    EXPECT_EQ(store.newest_id(0), 4u);
+  }
+}
+
+// A valid-looking pointer naming a checkpoint file that is missing is
+// stale, not authoritative.
+TEST_F(FileStoreTest, PointerToMissingFileFallsBackToScan) {
+  FileStore store(root_);
+  store.put(0, 1, payload(64, 1));
+  store.put(0, 2, payload(64, 2));
+  std::filesystem::remove(root_ / "rank-0" / "ckpt-2.ndcr");
+  EXPECT_EQ(store.latest_pointer(0), std::nullopt);
+  EXPECT_EQ(store.newest_id(0), 1u);
+}
+
+TEST_F(FileStoreTest, EraseRefreshesPointer) {
+  FileStore store(root_);
+  store.put(0, 1, payload(64, 1));
+  store.put(0, 2, payload(64, 2));
+  store.erase(0, 2);
+  EXPECT_EQ(store.latest_pointer(0), 1u);
+  EXPECT_EQ(store.newest_id(0), 1u);
+}
+
 }  // namespace
 }  // namespace ndpcr::ckpt

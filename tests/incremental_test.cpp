@@ -213,6 +213,42 @@ TEST(Incremental, DedupIndexPlanAdmitAssemble) {
   EXPECT_EQ(index.stored_bytes(), 0u);
 }
 
+// Regression for the crash-replay audit (docs/EQUIVALENCE.md): a restart
+// that re-admits a (rank, id) the index already recorded - the process
+// died mid-admit, or adopt_existing restores a recipe the dying run also
+// admitted - must not double-charge refcounts.
+TEST(Incremental, DedupAdmitReplayIsIdempotent) {
+  DedupIndex index(delta::CdcParams{256, 512, 1024});
+  const Bytes image = random_bytes(8192, 52);
+
+  const auto plan = index.plan(image);
+  index.admit(plan, 0, 1);
+  const std::size_t unique = index.unique_blocks();
+  const std::size_t stored = index.stored_bytes();
+  const std::size_t logical = index.logical_bytes();
+
+  // Replaying the same admit changes nothing.
+  index.admit(plan, 0, 1);
+  EXPECT_EQ(index.unique_blocks(), unique);
+  EXPECT_EQ(index.stored_bytes(), stored);
+  EXPECT_EQ(index.logical_bytes(), logical);
+
+  // restore() of the surviving recipe is the same recording.
+  const auto parsed = DedupIndex::parse_recipe(ByteSpan(plan.recipe));
+  ASSERT_TRUE(parsed.has_value());
+  index.restore(parsed->refs, parsed->image_size, 0, 1);
+  EXPECT_EQ(index.unique_blocks(), unique);
+  EXPECT_EQ(index.stored_bytes(), stored);
+  EXPECT_EQ(index.logical_bytes(), logical);
+
+  // One release frees everything: the replays charged exactly once.
+  const auto freed = index.release(0, 1);
+  EXPECT_EQ(freed.size(), unique);
+  EXPECT_EQ(index.stored_bytes(), 0u);
+  EXPECT_EQ(index.logical_bytes(), 0u);
+  EXPECT_TRUE(index.release(0, 1).empty());
+}
+
 TEST(Incremental, AgentDeltaDrainShipsFramesAndReconstructs) {
   ckpt::KvStore io;
   ndp::AgentConfig cfg;

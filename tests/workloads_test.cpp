@@ -3,6 +3,7 @@
 #include "compress/codec.hpp"
 #include "workloads/array_state.hpp"
 #include "workloads/miniapp.hpp"
+#include "workloads/proxy_kernels.hpp"
 
 namespace ndpcr::workloads {
 namespace {
@@ -180,6 +181,51 @@ TEST(MiniApps, CompressibilityOrderingMatchesTable2) {
   EXPECT_LT(minismac, 0.45);
   EXPECT_GT(comd, minimd);
   EXPECT_GT(minimd, minismac);
+}
+
+class ProxyKernelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProxyKernelTest, DeterministicAndResidualVerified) {
+  auto a = make_proxy_kernel(GetParam(), 16 << 10, 7);
+  auto b = make_proxy_kernel(GetParam(), 16 << 10, 7);
+  for (int i = 0; i < 6; ++i) {
+    a->iterate();
+    b->iterate();
+    ASSERT_TRUE(a->verify()) << GetParam() << " iteration " << a->iteration();
+  }
+  EXPECT_EQ(a->iteration(), 6u);
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());
+  EXPECT_NE(make_proxy_kernel(GetParam(), 16 << 10, 8)->fingerprint(),
+            a->fingerprint());
+}
+
+TEST_P(ProxyKernelTest, CaptureRestoreReplaysBitIdentically) {
+  auto kernel = make_proxy_kernel(GetParam(), 16 << 10, 21);
+  for (int i = 0; i < 3; ++i) kernel->iterate();
+  const Bytes image = kernel->registry().capture();
+  for (int i = 0; i < 3; ++i) kernel->iterate();
+  const std::uint64_t final_fp = kernel->fingerprint();
+
+  // Restore to iteration 3 and replay: bit-identical end state.
+  kernel->registry().restore(ByteSpan(image));
+  EXPECT_EQ(kernel->iteration(), 3u);
+  for (int i = 0; i < 3; ++i) kernel->iterate();
+  EXPECT_EQ(kernel->fingerprint(), final_fp);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, ProxyKernelTest,
+                         ::testing::ValuesIn(proxy_kernel_names()));
+
+TEST(ProxyKernels, RegisteredWithTheMiniAppFactory) {
+  for (const auto& name : proxy_kernel_names()) {
+    const auto app = make_miniapp(name, 32 * 1024, 5);
+    ASSERT_NE(app, nullptr);
+    EXPECT_EQ(app->name(), name);
+    const auto digest = app->state_digest();
+    app->step();
+    EXPECT_NE(app->state_digest(), digest);
+    EXPECT_EQ(app->step_count(), 1u);
+  }
 }
 
 }  // namespace

@@ -19,6 +19,17 @@
 //                             (open in Perfetto; docs/OBSERVABILITY.md)
 //       --metrics <file>      write a metrics snapshot (.json = JSON,
 //                             else CSV, "-" = stdout)
+//   ndpcr equiv [options]                crash-anywhere restart-equivalence
+//                                        sweep (docs/EQUIVALENCE.md)
+//       --kernel {cg|mg|ft}   --mode {full|delta|dedup}
+//       --nodes <n> --iters <n> --cadence <n> --bytes <per-rank state>
+//       --seed <s> --stride <k>          sweep every k-th crash point
+//       --list-crash-points 1            print the canonical enumeration
+//       --crash-point <k>                run a single crash point
+//       --torn {0|1}          dying writes land torn (1) or vanish (0)
+//       --transient/--torn-rate/--bitflip/--stall <rate>  seeded device
+//                             faults layered under the crash gates
+//       --io-root <dir>       file-backed IO level (real latest pointers)
 //
 // Common options (defaults = the paper's Table 4 scenario):
 //   --mtti <minutes>      --ckpt-gb <GB>       --local-gbps <GB/s>
@@ -53,6 +64,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "proj/projection.hpp"
+#include "harness/equivalence.hpp"
 #include "study/compression_study.hpp"
 
 namespace {
@@ -399,8 +411,86 @@ int cmd_faults(const Options& opts) {
   return report.violations == 0 ? 0 : 1;
 }
 
+int cmd_equiv(const Options& opts) {
+  harness::EquivalenceConfig config;
+  config.kernel = opts.text("kernel", "cg");
+  config.mode = harness::payload_mode_from(opts.text("mode", "full"));
+  config.node_count = static_cast<std::uint32_t>(opts.number("nodes", 3));
+  config.iterations = static_cast<std::uint64_t>(opts.number("iters", 12));
+  config.cadence = static_cast<std::uint64_t>(opts.number("cadence", 3));
+  config.state_bytes =
+      static_cast<std::size_t>(opts.number("bytes", 32 << 10));
+  config.seed = static_cast<std::uint64_t>(opts.number("seed", 1));
+  config.rates.transient = opts.number("transient", 0.0);
+  config.rates.torn = opts.number("torn-rate", 0.0);
+  config.rates.bitflip = opts.number("bitflip", 0.0);
+  config.rates.stall = opts.number("stall", 0.0);
+  config.fault_seed =
+      static_cast<std::uint64_t>(opts.number("fault-seed", 1));
+  config.torn = opts.number("torn", 1) != 0;
+  const std::string io_root = opts.text("io-root", "");
+  if (!io_root.empty()) config.io_root = io_root;
+
+  if (opts.number("list-crash-points", 0) != 0) {
+    const auto golden = harness::run_golden(config);
+    for (std::size_t k = 0; k < golden.points.size(); ++k) {
+      std::printf("%4zu  %s\n", k,
+                  faults::describe(golden.points[k]).c_str());
+    }
+    std::printf("%zu crash points over %llu commits (%s payloads, "
+                "kernel %s)\n",
+                golden.points.size(),
+                static_cast<unsigned long long>(golden.commits),
+                harness::to_string(config.mode), config.kernel.c_str());
+    return 0;
+  }
+
+  if (opts.values.count("crash-point") > 0) {
+    const auto k =
+        static_cast<std::size_t>(opts.number("crash-point", 0));
+    const auto golden = harness::run_golden(config);
+    if (k >= golden.points.size()) {
+      std::fprintf(stderr, "crash point %zu out of range (0..%zu)\n", k,
+                   golden.points.size() - 1);
+      return 2;
+    }
+    const auto res = harness::run_crash_point(config, golden, k);
+    std::printf("crash point %zu: %s\n", k,
+                faults::describe(golden.points[k]).c_str());
+    std::printf("  crashed:    %s\n", res.crashed ? "yes" : "no");
+    if (res.recovered) {
+      std::printf("  recovered:  checkpoint %llu\n",
+                  static_cast<unsigned long long>(res.recovered_id));
+    } else {
+      std::printf("  recovered:  none (restarted from initial state)\n");
+    }
+    std::printf("  equivalent: %s\n", res.ok() ? "yes" : "NO");
+    if (!res.failure.empty()) {
+      std::printf("  failure:    %s\n", res.failure.c_str());
+    }
+    return res.ok() ? 0 : 1;
+  }
+
+  const auto stride = static_cast<std::size_t>(opts.number("stride", 1));
+  const auto report = harness::run_sweep(config, stride);
+  std::printf("equivalence sweep: kernel %s, %s payloads, %u nodes\n",
+              config.kernel.c_str(), harness::to_string(config.mode),
+              config.node_count);
+  std::printf("  crash points:  %zu (ran %zu, stride %zu)\n",
+              report.points_total, report.points_run,
+              std::max<std::size_t>(1, stride));
+  std::printf("  failures:      %zu\n", report.failures);
+  std::printf("  fingerprint:   %08x\n", report.fingerprint);
+  for (const auto& f : report.failed) {
+    std::printf("  FAILED point %zu: %s\n      %s\n", f.point,
+                faults::describe(report.golden.points[f.point]).c_str(),
+                f.failure.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 void usage() {
-  std::puts("usage: ndpcr {project|evaluate|study|sweep|chaos} "
+  std::puts("usage: ndpcr {project|evaluate|study|sweep|chaos|equiv} "
             "[--key value ...]");
   std::puts("       ndpcr --faults <seed> [--nodes n --commits n "
             "--scheme copy|xor --outage 0|1]");
@@ -432,6 +522,7 @@ int main(int argc, char** argv) {
   if (command == "study") return cmd_study(opts);
   if (command == "sweep") return cmd_sweep(opts);
   if (command == "chaos") return cmd_faults(opts);
+  if (command == "equiv") return cmd_equiv(opts);
   usage();
   return 2;
 }
