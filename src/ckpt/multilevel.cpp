@@ -143,6 +143,20 @@ void record_data_path(obs::MetricsRegistry& metrics,
   metrics.gauge(base + "dedup_hit_rate").set(stats.dedup_hit_rate());
 }
 
+void record_pipeline(obs::MetricsRegistry& metrics,
+                     const PipelineStats& stats, std::string_view prefix) {
+  const std::string base = std::string(prefix) + ".";
+  metrics.counter(base + "jobs").add(stats.jobs);
+  metrics.counter(base + "inline_jobs").add(stats.inline_jobs);
+  metrics.counter(base + "flushes").add(stats.flushes);
+  // Wall-clock observations (scheduling-dependent): gauges, and excluded
+  // from fingerprints the way wall-time trace events are.
+  metrics.gauge(base + "queue_peak")
+      .set(static_cast<double>(stats.queue_peak));
+  metrics.gauge(base + "enqueue_stalls")
+      .set(static_cast<double>(stats.enqueue_stalls));
+}
+
 MultilevelManager::MultilevelManager(const MultilevelConfig& config)
     : config_(config),
       trace_(config.trace ? config.trace : &obs::Tracer::null()) {
@@ -162,15 +176,27 @@ MultilevelManager::MultilevelManager(const MultilevelConfig& config)
           "xor_group_size must be in [1, node_count)");
     }
   }
+  unsigned codec_threads = config.io_threads;
+  if (codec_threads == 0) {
+    codec_threads = config.pool ? config.pool->thread_count()
+                                : exec::default_thread_count();
+  }
   if (config.io_codec != compress::CodecId::kNull) {
-    unsigned threads = config.io_threads;
-    if (threads == 0) {
-      threads = config.pool ? config.pool->thread_count()
-                            : exec::default_thread_count();
-    }
     io_codec_.emplace(config.io_codec, config.io_codec_level,
-                      config.io_chunk_bytes, threads);
-    io_codec_->warm(threads);
+                      config.io_chunk_bytes, codec_threads);
+    io_codec_->warm(codec_threads);
+  } else if (config.io_codec_adaptive) {
+    // Online selection (docs/PERF.md): one pre-built codec per candidate,
+    // so the per-commit probe choice costs a table lookup, never a codec
+    // allocation. A static io_codec overrides adaptive entirely.
+    adaptive_codecs_.reserve(compress::kCodecCandidates);
+    for (std::size_t c = 0; c < compress::kCodecCandidates; ++c) {
+      const compress::CodecChoice choice = compress::codec_candidate(c);
+      adaptive_codecs_.push_back(std::make_unique<compress::ChunkedCodec>(
+          choice.id, choice.level, config.io_chunk_bytes, codec_threads,
+          choice.accelerate));
+      adaptive_codecs_.back()->warm(codec_threads);
+    }
   }
   if (config.delta.enabled) {
     if (config.delta.block_bytes == 0) {
@@ -266,8 +292,29 @@ std::uint32_t MultilevelManager::parity_host(std::uint32_t rank) const {
   return (last + 1) % config_.node_count;
 }
 
+namespace {
+
+// Minimum bytes of estimated work one pool task should amortize. Below
+// this, the fix for the committed-bench regressions applies: claims are
+// batched (TaskPool grain) and tiny batches run inline - waking a pool
+// for a few hundred KiB of memcpy/CRC costs more than the work
+// (BENCH_datapath.json's null-codec 2-thread dip and the 8-thread
+// recover collapse were exactly this overhead).
+constexpr std::size_t kMinTaskBytes = 2ull << 20;
+
+std::size_t grain_for(std::size_t n, std::size_t work_bytes) {
+  if (n == 0 || work_bytes == 0) return 1;
+  const std::size_t per_index = work_bytes / n;
+  if (per_index >= kMinTaskBytes) return 1;
+  if (per_index == 0) return n;
+  return std::min(n, (kMinTaskBytes + per_index - 1) / per_index);
+}
+
+}  // namespace
+
 void MultilevelManager::for_tasks(
-    std::size_t n, const std::function<void(std::size_t)>& body) const {
+    std::size_t n, const std::function<void(std::size_t)>& body,
+    std::size_t work_bytes) const {
   if (exec::TaskPool::in_worker()) {
     // Already running as someone's task (the chaos suite executes whole
     // replicates on the pool): nested parallel_for is rejected, and the
@@ -277,7 +324,7 @@ void MultilevelManager::for_tasks(
   }
   exec::TaskPool& pool =
       config_.pool ? *config_.pool : exec::global_pool();
-  pool.parallel_for(n, body);
+  pool.parallel_for(n, body, grain_for(n, work_bytes));
 }
 
 bool MultilevelManager::checked_put(KvStore& store, LevelHealth& health,
@@ -297,23 +344,21 @@ bool MultilevelManager::checked_put(KvStore& store, LevelHealth& health,
                          obs::u64("attempt", attempt)});
       }
     }
-    const StoreStatus status = store.put(rank, id, Bytes(data));
-    if (!status.ok()) {
-      if (status.error().permanent()) break;  // outage: retries are futile
-      continue;                               // transient: back off, retry
+    // One attempt of the shared write-verify-quarantine primitive (the
+    // same stage the NDP agent's drain runs; docs/PERF.md).
+    const PutOutcome out =
+        verified_put_once(store, rank, id, data, config_.verify_writes);
+    if (out.ok) return true;
+    if (!out.accepted) {
+      if (out.put_permanent) break;  // outage: retries are futile
+      continue;                      // transient: back off, retry
     }
-    if (!config_.verify_writes) return true;
-    StoreResult<Bytes> readback = store.get(rank, id);
-    if (readback.ok() && *readback == data) return true;
     ++health.verify_failures;
     if (tc.buf) {
       tc.buf->instant("verify_fail", tc.level, tc.track,
                       {obs::u64("rank", rank), obs::u64("id", id)});
     }
-    if (readback.ok()) {
-      // Torn or bit-flipped write landed under a valid key: quarantine it
-      // so no reader can mistake it for the real entry, then rewrite.
-      store.erase(rank, id);
+    if (out.quarantined) {
       ++health.quarantined;
       if (tc.buf) {
         tc.buf->instant("quarantine", tc.level, tc.track,
@@ -418,6 +463,8 @@ void MultilevelManager::commit_local(std::uint64_t id,
   std::vector<LevelHealth> deltas(config_.node_count);
   std::vector<char> ok(config_.node_count, 1);
   std::vector<obs::TraceBuffer> tbs = trace_->task_buffers(config_.node_count);
+  std::size_t image_bytes = 0;
+  for (const Bytes& image : images) image_bytes += image.size();
   for_tasks(config_.node_count, [&](std::size_t rank) {
     TraceCtx tc;
     if (!tbs.empty()) {
@@ -433,7 +480,7 @@ void MultilevelManager::commit_local(std::uint64_t id,
                                  images[rank], deltas[rank], tc)
                    ? 1
                    : 0;
-  });
+  }, image_bytes);
   trace_->splice(tbs);
   for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
     merge_level(health_.local, deltas[rank]);
@@ -511,6 +558,8 @@ void MultilevelManager::commit_partner(std::uint64_t id,
     std::vector<char> ok(config_.node_count, 1);
     std::vector<obs::TraceBuffer> tbs =
         trace_->task_buffers(config_.node_count);
+    std::size_t image_bytes = 0;
+    for (const Bytes& image : images) image_bytes += image.size();
     for_tasks(config_.node_count, [&](std::size_t rank) {
       TraceCtx tc;
       if (!tbs.empty()) {
@@ -529,7 +578,7 @@ void MultilevelManager::commit_partner(std::uint64_t id,
                              id, images[rank], false, tc)
                      ? 1
                      : 0;
-    });
+    }, image_bytes);
     trace_->splice(tbs);
     for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
       merge_level(health, deltas[rank]);
@@ -550,6 +599,8 @@ void MultilevelManager::commit_partner(std::uint64_t id,
     std::vector<char> ok(groups, 1);
     std::vector<std::size_t> parity_bytes(groups, 0);
     std::vector<obs::TraceBuffer> tbs = trace_->task_buffers(groups);
+    std::size_t image_bytes = 0;
+    for (const Bytes& image : images) image_bytes += image.size();
     for_tasks(groups, [&](std::size_t g) {
       const auto first =
           static_cast<std::uint32_t>(g * config_.xor_group_size);
@@ -587,7 +638,7 @@ void MultilevelManager::commit_partner(std::uint64_t id,
                           first, id, parity, false, tc)
                   ? 1
                   : 0;
-    });
+    }, image_bytes);
     trace_->splice(tbs);
     for (std::size_t g = 0; g < groups; ++g) {
       merge_level(health, deltas[g]);
@@ -608,8 +659,47 @@ void MultilevelManager::commit_partner(std::uint64_t id,
   }
 }
 
+const compress::ChunkedCodec* MultilevelManager::codec_for(
+    const compress::CodecChoice& choice) const {
+  if (io_codec_) return &*io_codec_;  // static codec overrides adaptive
+  for (const auto& codec : adaptive_codecs_) {
+    if (codec->id() == choice.id && codec->level() == choice.level) {
+      return codec.get();
+    }
+  }
+  return nullptr;  // adaptive off: store raw
+}
+
+std::optional<Bytes> MultilevelManager::decode_io_stream(Bytes stored) const {
+  const auto header = compress::ChunkedCodec::peek(ByteSpan(stored));
+  if (!header) return stored;  // raw (null-codec) image bytes
+  // Streams are self-describing: the container header names the codec
+  // the writer chose (adaptive selection, or another life's static
+  // config), so recovery never needs this manager's codec to match.
+  try {
+    if (io_codec_ && io_codec_->id() == header->id &&
+        io_codec_->level() == header->level) {
+      return io_codec_->decompress(ByteSpan(stored));
+    }
+    for (const auto& codec : adaptive_codecs_) {
+      if (codec->id() == header->id && codec->level() == header->level) {
+        return codec->decompress(ByteSpan(stored));
+      }
+    }
+    // Unfamiliar (older-config) stream: a transient decoder with the
+    // manager's chunk geometry. make_codec validates id/level.
+    const compress::ChunkedCodec codec(header->id, header->level,
+                                       config_.io_chunk_bytes, 1);
+    return codec.decompress(ByteSpan(stored));
+  } catch (const compress::CodecError&) {
+    return std::nullopt;
+  }
+}
+
 void MultilevelManager::commit_io(std::uint64_t id,
-                                  const std::vector<Bytes>& images) {
+                                  const std::vector<Bytes>& images,
+                                  AsyncStageWriter* writer,
+                                  IoPending& pending) {
   LevelHealth& health = health_.io;
   obs::TraceBuffer* rb = trace_->root();
   obs::TraceBuffer::Span phase;
@@ -677,8 +767,14 @@ void MultilevelManager::commit_io(std::uint64_t id,
     // Probe mode: serial, compress-as-you-go, stop at the first failure.
     if (rb) rb->instant("probe", "ckpt.io", 0, {obs::u64("id", id)});
     for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+      const compress::ChunkedCodec* codec =
+          io_codec_ ? &*io_codec_
+                    : (config_.io_codec_adaptive
+                           ? codec_for(compress::choose_codec(
+                                 ByteSpan(images[rank])))
+                           : nullptr);
       const Bytes packed =
-          io_codec_ ? io_codec_->compress(images[rank]) : images[rank];
+          codec ? codec->compress(images[rank]) : images[rank];
       if (!checked_put(*io_, health, rank, id, packed, true,
                        {rb, 0, "ckpt.io"})) {
         level_ok = false;
@@ -686,76 +782,133 @@ void MultilevelManager::commit_io(std::uint64_t id,
       }
       data_stats_.io_bytes_written += packed.size();
     }
-  } else {
-    // The CPU-heavy half - chunk compression - fans out first: every
-    // (rank, chunk) pair becomes one task in a single flat batch (nested
-    // parallel_for is rejected, so chunks are hoisted rather than letting
-    // each rank's ChunkedCodec spin its own workers). The puts then walk
-    // ranks in order: the IO store is one shared device whose fault
-    // schedule is op-ordered, so its operations must stay serial.
-    std::vector<Bytes> packed(config_.node_count);
-    if (io_codec_) {
-      struct ChunkRef {
-        std::uint32_t rank;
-        std::uint32_t chunk;
-      };
-      std::vector<ChunkRef> refs;
-      std::vector<std::size_t> first_slot(config_.node_count);
-      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-        first_slot[rank] = refs.size();
-        const std::size_t n = io_codec_->chunk_count(images[rank].size());
-        for (std::size_t c = 0; c < n; ++c) {
-          refs.push_back({rank, static_cast<std::uint32_t>(c)});
-        }
-      }
-      std::vector<Bytes> chunks(refs.size());
-      {
-        obs::TraceBuffer::Span compress;
-        if (rb) {
-          compress = rb->span("io_compress", "ckpt.io", 0,
-                              {obs::u64("id", id),
-                               obs::u64("chunks", refs.size())});
-        }
-        std::vector<obs::TraceBuffer> tbs = trace_->task_buffers(refs.size());
-        for_tasks(refs.size(), [&](std::size_t i) {
-          chunks[i] =
-              io_codec_->compress_chunk(images[refs[i].rank], refs[i].chunk);
-          if (!tbs.empty()) {
-            tbs[i].instant("compress_chunk", "ckpt.io", 1 + refs[i].rank,
-                           {obs::u64("rank", refs[i].rank),
-                            obs::u64("chunk", refs[i].chunk),
-                            obs::u64("out_bytes", chunks[i].size())});
-          }
-        });
-        trace_->splice(tbs);
-      }
-      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-        packed[rank] = io_codec_->assemble(
-            images[rank].size(), chunks, first_slot[rank],
-            io_codec_->chunk_count(images[rank].size()));
+    settle_level(health, level_ok);
+    if (rb) {
+      if (!was_degraded && health.degraded()) {
+        rb->instant("level_degraded", "ckpt.io", 0, {obs::u64("id", id)});
+      } else if (was_degraded && !health.degraded()) {
+        rb->instant("level_healed", "ckpt.io", 0, {obs::u64("id", id)});
       }
     }
-    obs::TraceBuffer::Span write;
-    if (rb) write = rb->span("io_write", "ckpt.io", 0, {obs::u64("id", id)});
-    for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-      const Bytes& data = io_codec_ ? packed[rank] : images[rank];
+    return;
+  }
+  // Healthy path: rank-granular pipeline. Rank r's chunks compress on the
+  // task pool (intra-image parallelism: one big rank no longer serializes
+  // the batch behind a flat (rank, chunk) fan-out), then its put is handed
+  // to the async writer, so rank r's level write overlaps rank r+1's
+  // compression - and, because finish_commit_io runs after commit_local,
+  // the whole IO write train overlaps the local-NVM fan-out. The writer
+  // runs jobs strictly in submission (rank) order on one thread, so the
+  // shared fault-scheduled IO device sees the exact op sequence the serial
+  // path issued. Each job fills only its rank's IoPending slots; health
+  // deltas and trace buffers merge in rank order in finish_commit_io.
+  pending.active = true;
+  pending.was_degraded = was_degraded;
+  pending.deltas.assign(config_.node_count, LevelHealth{});
+  pending.ok.assign(config_.node_count, 0);
+  pending.bytes.assign(config_.node_count, 0);
+  pending.tbs = trace_->task_buffers(config_.node_count);
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    const compress::ChunkedCodec* codec = io_codec_ ? &*io_codec_ : nullptr;
+    if (!codec && config_.io_codec_adaptive) {
+      // Online selection: probe this rank's bytes and pick the candidate
+      // codec. The stream records the choice in its container header, so
+      // recovery is self-describing (decode_io_stream).
+      compress::ProbeStats ps;
+      const compress::CodecChoice choice =
+          compress::choose_codec(ByteSpan(images[rank]), &ps);
+      codec = codec_for(choice);
       if (rb) {
-        rb->instant("io_put", "ckpt.io", 0,
-                    {obs::u64("rank", rank), obs::u64("bytes", data.size())});
+        rb->instant("codec_choice", "ckpt.io", 0,
+                    {obs::u64("rank", rank),
+                     obs::u64("codec", static_cast<std::uint64_t>(choice.id)),
+                     obs::u64("accel", choice.accelerate ? 1 : 0),
+                     obs::u64("entropy_millibits",
+                              static_cast<std::uint64_t>(
+                                  ps.entropy_bits * 1000.0)),
+                     obs::u64("match_permille",
+                              static_cast<std::uint64_t>(
+                                  ps.match_fraction * 1000.0))});
       }
-      if (checked_put(*io_, health, rank, id, data, false,
-                      {rb, 0, "ckpt.io"})) {
-        data_stats_.io_bytes_written += data.size();
-      } else {
-        level_ok = false;
+    }
+    Bytes packed;
+    const Bytes* borrowed = nullptr;
+    if (codec) {
+      const std::size_t n = codec->chunk_count(images[rank].size());
+      std::vector<Bytes> chunks(n);
+      obs::TraceBuffer::Span cspan;
+      if (rb) {
+        cspan = rb->span("io_compress", "ckpt.io", 0,
+                         {obs::u64("id", id), obs::u64("rank", rank),
+                          obs::u64("chunks", n)});
       }
+      std::vector<obs::TraceBuffer> ctbs = trace_->task_buffers(n);
+      for_tasks(
+          n,
+          [&](std::size_t c) {
+            chunks[c] = codec->compress_chunk(images[rank], c);
+            if (!ctbs.empty()) {
+              ctbs[c].instant("compress_chunk", "ckpt.io", 1 + rank,
+                              {obs::u64("rank", rank), obs::u64("chunk", c),
+                               obs::u64("out_bytes", chunks[c].size())});
+            }
+          },
+          images[rank].size());
+      trace_->splice(ctbs);
+      packed = codec->assemble(images[rank].size(), chunks, 0, n);
+    } else {
+      // Null codec: the job borrows the caller's image - `images` outlives
+      // the flush barrier in commit() - instead of copying half a rank.
+      borrowed = &images[rank];
+    }
+    auto job = [this, &pending, rank, id, owned = std::move(packed),
+                borrowed]() {
+      const Bytes& data = borrowed ? *borrowed : owned;
+      TraceCtx tc;
+      if (!pending.tbs.empty()) tc = {&pending.tbs[rank], 1 + rank, "ckpt.io"};
+      if (tc.buf) {
+        tc.buf->instant("io_put", "ckpt.io", tc.track,
+                        {obs::u64("rank", rank),
+                         obs::u64("bytes", data.size())});
+      }
+      if (checked_put(*io_, pending.deltas[rank], rank, id, data, false,
+                      tc)) {
+        pending.ok[rank] = 1;
+        pending.bytes[rank] = data.size();
+      }
+    };
+    if (writer) {
+      writer->submit(std::move(job));
+    } else {
+      ++pipeline_stats_.jobs;
+      ++pipeline_stats_.inline_jobs;
+      job();
+    }
+  }
+}
+
+void MultilevelManager::finish_commit_io(std::uint64_t id, IoPending& pending) {
+  if (!pending.active) return;
+  pending.active = false;
+  LevelHealth& health = health_.io;
+  obs::TraceBuffer* rb = trace_->root();
+  obs::TraceBuffer::Span phase;
+  if (rb) phase = rb->span("io_settle", "ckpt.io", 0, {obs::u64("id", id)});
+  trace_->splice(pending.tbs);
+  bool level_ok = true;
+  for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+    merge_level(health, pending.deltas[rank]);
+    if (pending.ok[rank]) {
+      data_stats_.io_bytes_written += pending.bytes[rank];
+    } else {
+      level_ok = false;
     }
   }
   settle_level(health, level_ok);
   if (rb) {
-    if (!was_degraded && health.degraded()) {
+    if (!pending.was_degraded && health.degraded()) {
       rb->instant("level_degraded", "ckpt.io", 0, {obs::u64("id", id)});
-    } else if (was_degraded && !health.degraded()) {
+    } else if (pending.was_degraded && !health.degraded()) {
       rb->instant("level_healed", "ckpt.io", 0, {obs::u64("id", id)});
     }
   }
@@ -794,6 +947,8 @@ std::uint64_t MultilevelManager::commit(
   std::vector<Bytes> images(config_.node_count);
   std::vector<delta::DeltaStats> dstats(
       as_delta ? config_.node_count : 0);
+  std::size_t payload_bytes = 0;
+  for (const ByteSpan& p : payloads) payload_bytes += p.size();
   {
     obs::TraceBuffer::Span build;
     if (rb) {
@@ -825,7 +980,7 @@ std::uint64_t MultilevelManager::commit(
                           {obs::u64("rank", rank),
                            obs::u64("bytes", images[rank].size())});
       }
-    });
+    }, payload_bytes);
     trace_->splice(tbs);
   }
 
@@ -845,8 +1000,31 @@ std::uint64_t MultilevelManager::commit(
 
   ++health_.commits;
   if (to_partner && config_.node_count > 1) commit_partner(id, images);
-  if (to_io) commit_io(id, images);
+  // Pipelined IO (docs/PERF.md): the healthy compressed path submits its
+  // per-rank puts to a double-buffered writer thread, so level writes
+  // overlap both the next rank's compression (inside commit_io) and the
+  // whole local-NVM fan-out (finish_commit_io runs after commit_local).
+  // The writer is skipped - puts run inline, bit-identically - for the
+  // dedup/degraded serial paths, when the config disables it, and inside
+  // pool workers (the chaos suite runs replicates as tasks; no nested
+  // thread churn).
+  IoPending io_pending;
+  std::optional<AsyncStageWriter> io_writer;
+  if (to_io) {
+    const bool pipelined = !io_dedup_ && !health_.io.degraded() &&
+                           config_.io_writer_depth > 0 &&
+                           !exec::TaskPool::in_worker();
+    if (pipelined) io_writer.emplace(config_.io_writer_depth);
+    commit_io(id, images, io_writer ? &*io_writer : nullptr, io_pending);
+  }
   commit_local(id, images);
+  if (io_pending.active) {
+    // Commit point: no health settle, no trace splice, and no return to
+    // the caller until every submitted IO write has landed.
+    if (io_writer) io_writer->flush();
+    finish_commit_io(id, io_pending);
+  }
+  if (io_writer) pipeline_stats_.merge(io_writer->stats());
   if (health_.any_degraded()) {
     ++health_.degraded_commits;
     if (rb) rb->instant("commit_degraded", "ckpt", 0, {obs::u64("id", id)});
@@ -859,7 +1037,7 @@ std::uint64_t MultilevelManager::commit(
     for_tasks(config_.node_count, [&](std::size_t rank) {
       prev_payload_[rank].assign(payloads[rank].begin(),
                                  payloads[rank].end());
-    });
+    }, payload_bytes);
     have_prev_ = true;
     links_since_full_ = as_delta ? links_since_full_ + 1 : 0;
     if (rb) {
@@ -961,20 +1139,16 @@ std::optional<Bytes> MultilevelManager::fetch_io_raw(
           auto block = checked_get(*io_, health_.io, kDedupBlockRank,
                                    ref.key, {rb, 0, "ckpt.io"});
           if (!block) return std::nullopt;
+          // Raw blocks are arbitrary app bytes, so no container sniffing
+          // with a null codec; with one set, peek also tolerates blocks a
+          // previous life compressed differently.
           if (!io_codec_) return block;
-          try {
-            return io_codec_->decompress(*block);
-          } catch (const compress::CodecError&) {
-            return std::nullopt;
-          }
+          return decode_io_stream(std::move(*block));
         });
   }
-  if (!io_codec_) return stored;
-  try {
-    return io_codec_->decompress(*stored);
-  } catch (const compress::CodecError&) {
-    return std::nullopt;
-  }
+  // Whole streams are self-describing (container header, or raw NDCI
+  // image bytes); decode_io_stream dispatches on the recorded codec.
+  return decode_io_stream(std::move(*stored));
 }
 
 std::optional<CheckpointImage> MultilevelManager::try_remote_rank(
@@ -1075,57 +1249,164 @@ std::optional<MultilevelManager::Recovery> MultilevelManager::recover()
     // fault-scheduled store operations, so the fan-out cannot perturb a
     // replay; chain stats come back through per-rank slots and fold
     // serially below.
-    std::vector<std::optional<Bytes>> local_hit(config_.node_count);
-    std::vector<std::size_t> local_links(config_.node_count, 0);
+    std::vector<std::optional<Bytes>> payload(config_.node_count);
+    std::vector<std::size_t> links(config_.node_count, 0);
+    std::vector<RecoveryLevel> levels(config_.node_count,
+                                      RecoveryLevel::kLocal);
+    std::size_t local_bytes = 0;
+    for (std::uint32_t r = 0; r < config_.node_count; ++r) {
+      if (const auto span = local_[r]->get(id)) local_bytes += span->size();
+    }
     {
       std::vector<obs::TraceBuffer> tbs =
           trace_->task_buffers(config_.node_count);
       for_tasks(config_.node_count, [&](std::size_t rank) {
         RecoveryLevel level = RecoveryLevel::kLocal;
-        local_hit[rank] =
+        payload[rank] =
             resolve_payload(static_cast<std::uint32_t>(rank), id,
-                            /*local_only=*/true, level, local_links[rank]);
+                            /*local_only=*/true, level, links[rank]);
         if (!tbs.empty()) {
           tbs[rank].instant("local_probe", "ckpt.local",
                             1 + static_cast<std::uint32_t>(rank),
                             {obs::u64("rank", rank),
-                             obs::u64("hit", local_hit[rank] ? 1 : 0),
-                             obs::u64("links", local_links[rank])});
+                             obs::u64("hit", payload[rank] ? 1 : 0),
+                             obs::u64("links", links[rank])});
         }
-      });
+      }, local_bytes);
       trace_->splice(tbs);
     }
 
-    // Phase 2: ranks that missed re-resolve with partner -> io fallback
-    // per chain link, in rank order. These touch shared fault-scheduled
-    // stores, so their op sequence is part of the deterministic replay
-    // and stays serial.
+    // Phase 2: ranks that missed locally fall back remote. Store reads
+    // stay serial in rank order - partner/IO are shared fault-scheduled
+    // devices whose op sequence is part of the deterministic replay - but
+    // a directly-usable IO stream's decompress + parse (pure CPU work) is
+    // handed to a decode stage, so rank r's decode overlaps rank r+1's
+    // reads (the committed 8-thread recover collapse was this serialized;
+    // docs/PERF.md). Delta heads, recipes and any damage fall back to the
+    // fully-serial chain walk after the stage drains.
     bool ok = true;
-    for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
-      RecoveryLevel level = RecoveryLevel::kLocal;
-      std::size_t links = local_links[rank];
-      std::optional<Bytes> payload = std::move(local_hit[rank]);
-      if (!payload) {
-        payload = resolve_payload(rank, id, /*local_only=*/false, level,
-                                  links);
-      }
-      if (!payload) {
-        if (rb) {
-          rb->instant("rank_unrecoverable", "ckpt", 0,
-                      {obs::u64("rank", rank), obs::u64("id", id)});
+    enum class Pend : unsigned char { kDone, kStaged, kFallback };
+    std::vector<Pend> pend(config_.node_count, Pend::kDone);
+    std::vector<Bytes> staged_raw(config_.node_count);
+    std::vector<std::optional<Bytes>> staged_out(config_.node_count);
+    std::vector<obs::TraceBuffer> dtbs =
+        trace_->task_buffers(config_.node_count);
+    {
+      AsyncStageWriter decode_stage(
+          (exec::TaskPool::in_worker() || config_.io_writer_depth == 0)
+              ? 0
+              : config_.io_writer_depth);
+      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+        if (payload[rank]) continue;
+        // Serial remote head fetch: partner copy / XOR rebuild first.
+        std::optional<CheckpointImage> head;
+        if (config_.node_count > 1) {
+          if (config_.partner_scheme == PartnerScheme::kCopy) {
+            if (const auto copy =
+                    checked_get(*partner_space_[partner_of(rank)],
+                                health_.partner, rank, id,
+                                {rb, 0, "ckpt.partner"})) {
+              head = parse_image(rank, id, *copy);
+            }
+          } else if (const auto rebuilt = try_xor_rebuild(rank, id)) {
+            head = parse_image(rank, id, *rebuilt);
+          }
         }
-        ok = false;
-        break;
+        if (head) {
+          if (head->meta().kind == PayloadKind::kFull) {
+            payload[rank] = Bytes(head->payload().begin(),
+                                  head->payload().end());
+            levels[rank] = RecoveryLevel::kPartner;
+          } else {
+            pend[rank] = Pend::kFallback;  // delta head: chain walk
+          }
+          continue;
+        }
+        const auto raw =
+            checked_get(*io_, health_.io, rank, id, {rb, 0, "ckpt.io"});
+        if (!raw) {
+          // Nothing remote. A local delta head could still anchor a
+          // mixed-level chain; otherwise this id is unrecoverable and -
+          // exactly like the serial path - the sweep stops here.
+          if (fetch_local(rank, id)) {
+            pend[rank] = Pend::kFallback;
+            continue;
+          }
+          if (rb) {
+            rb->instant("rank_unrecoverable", "ckpt", 0,
+                        {obs::u64("rank", rank), obs::u64("id", id)});
+          }
+          ok = false;
+          break;
+        }
+        if (DedupIndex::is_recipe(*raw)) {
+          pend[rank] = Pend::kFallback;  // block fetches must stay serial
+          continue;
+        }
+        pend[rank] = Pend::kStaged;
+        staged_raw[rank] = std::move(*raw);
+        decode_stage.submit([this, rank, id, &staged_raw, &staged_out,
+                             &dtbs]() {
+          std::optional<Bytes> decoded =
+              decode_io_stream(std::move(staged_raw[rank]));
+          if (!dtbs.empty()) {
+            dtbs[rank].instant(
+                "io_decode", "ckpt.io", 1 + rank,
+                {obs::u64("rank", rank),
+                 obs::u64("bytes", decoded ? decoded->size() : 0)});
+          }
+          if (!decoded) return;
+          if (const auto image = parse_image(rank, id, ByteSpan(*decoded))) {
+            if (image->meta().kind == PayloadKind::kFull) {
+              staged_out[rank] = Bytes(image->payload().begin(),
+                                       image->payload().end());
+            }
+          }
+        });
       }
-      data_stats_.chain_links += links;
-      if (links > 0) ++data_stats_.chain_replays;
-      if (rb && level != RecoveryLevel::kLocal) {
-        rb->instant("rank_recovered", "ckpt", 0,
-                    {obs::u64("rank", rank), obs::u64("id", id),
-                     obs::str("level", to_string(level))});
+      decode_stage.flush();
+      pipeline_stats_.merge(decode_stage.stats());
+    }
+    trace_->splice(dtbs);
+    if (ok) {
+      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+        if (pend[rank] == Pend::kStaged) {
+          if (staged_out[rank]) {
+            payload[rank] = std::move(staged_out[rank]);
+            levels[rank] = RecoveryLevel::kIo;
+          } else {
+            pend[rank] = Pend::kFallback;  // delta head or damage
+          }
+        }
       }
-      result.payloads[rank] = std::move(*payload);
-      result.levels[rank] = level;
+      // Whatever the fast paths could not settle walks the full serial
+      // chain resolution, rank order, exactly as before.
+      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+        if (payload[rank]) continue;
+        payload[rank] = resolve_payload(rank, id, /*local_only=*/false,
+                                        levels[rank], links[rank]);
+        if (!payload[rank]) {
+          if (rb) {
+            rb->instant("rank_unrecoverable", "ckpt", 0,
+                        {obs::u64("rank", rank), obs::u64("id", id)});
+          }
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      for (std::uint32_t rank = 0; rank < config_.node_count; ++rank) {
+        data_stats_.chain_links += links[rank];
+        if (links[rank] > 0) ++data_stats_.chain_replays;
+        if (rb && levels[rank] != RecoveryLevel::kLocal) {
+          rb->instant("rank_recovered", "ckpt", 0,
+                      {obs::u64("rank", rank), obs::u64("id", id),
+                       obs::str("level", to_string(levels[rank]))});
+        }
+        result.payloads[rank] = std::move(*payload[rank]);
+        result.levels[rank] = levels[rank];
+      }
     }
     if (ok) {
       if (rb) {

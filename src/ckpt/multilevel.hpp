@@ -45,10 +45,13 @@
 #include "ckpt/dedup_level.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/nvm_store.hpp"
+#include "ckpt/store_writer.hpp"
 #include "ckpt/stores.hpp"
 #include "compress/chunked.hpp"
 #include "compress/codec.hpp"
+#include "compress/probe.hpp"
 #include "delta/delta.hpp"
+#include "obs/trace.hpp"
 
 namespace ndpcr::exec {
 class TaskPool;
@@ -56,8 +59,6 @@ class TaskPool;
 
 namespace ndpcr::obs {
 class MetricsRegistry;
-class TraceBuffer;
-class Tracer;
 }  // namespace ndpcr::obs
 
 namespace ndpcr::ckpt {
@@ -197,6 +198,27 @@ struct MultilevelConfig {
   std::size_t io_chunk_bytes = 1ull << 20;
   unsigned io_threads = 0;
 
+  // Online per-region codec selection (docs/PERF.md): probe every rank's
+  // image at commit time (compress::choose_codec) and pick accel-nlz4
+  // for incompressible arrays, ngzip for repetitive/structured bytes,
+  // plain nlz4 in between. The choice rides in the ChunkedCodec
+  // container header, so recovery is self-describing (any mix of codecs
+  // across ranks/checkpoints decodes). The static io_codec above is the
+  // override: adaptive only engages when io_codec is kNull - configuring
+  // a real codec pins every write to it. Dedup block streams always use
+  // the static codec (one block is shared by many images; its coding
+  // must not depend on which image wrote it first).
+  bool io_codec_adaptive = false;
+
+  // Handoff-queue depth of the async IO writer (the pipelined commit
+  // path): level writes run on a dedicated writer thread, in rank order,
+  // overlapping the next rank's compression and the local-NVM fan-out.
+  // 2 = double buffering. 0 runs every IO write synchronously on the
+  // committing thread - bit-identical results either way (the writer
+  // preserves the store's op order; health/trace merge in rank order),
+  // which the writer-on/off chaos test pins.
+  std::size_t io_writer_depth = 2;
+
   // Execution engine for the parallel data path (null = the process-wide
   // exec::global_pool()). Thread count is an execution detail: committed
   // bytes, checkpoint ids and HealthReport counters are bit-identical at
@@ -268,6 +290,13 @@ void record_health(obs::MetricsRegistry& metrics, const HealthReport& report,
 void record_data_path(obs::MetricsRegistry& metrics,
                       const DataPathStats& stats, std::string_view prefix);
 
+// Pipeline-stage accounting (docs/OBSERVABILITY.md): job counts plus the
+// queue-depth/stall gauges of the async writer under `prefix` (e.g.
+// "ckpt.pipeline"). Queue depth and stalls are wall-clock observations -
+// never fold them into a determinism fingerprint.
+void record_pipeline(obs::MetricsRegistry& metrics,
+                     const PipelineStats& stats, std::string_view prefix);
+
 // Where a store operation's trace events land: the buffer is either the
 // tracer's root (serial phases) or the task's private buffer (parallel
 // phases), null when tracing is off. `level` becomes the event category.
@@ -318,6 +347,10 @@ class MultilevelManager {
   [[nodiscard]] const KvStore& io_store() const { return *io_; }
   [[nodiscard]] const HealthReport& health() const { return health_; }
   [[nodiscard]] const DataPathStats& data_path() const { return data_stats_; }
+  // Async-stage counters (observational; see record_pipeline).
+  [[nodiscard]] const PipelineStats& pipeline() const {
+    return pipeline_stats_;
+  }
   [[nodiscard]] std::uint64_t last_checkpoint_id() const { return next_id_ - 1; }
   [[nodiscard]] std::uint32_t partner_of(std::uint32_t rank) const {
     return (rank + 1) % config_.node_count;
@@ -335,8 +368,13 @@ class MultilevelManager {
   void adopt_existing_state();
   // Run body(i) for i in [0, n) on the configured pool, or inline when
   // already inside a pool worker (nested parallel_for is rejected).
-  void for_tasks(std::size_t n,
-                 const std::function<void(std::size_t)>& body) const;
+  // `work_bytes` estimates the batch's total work: when per-index work
+  // is tiny, indices are claimed in blocks (TaskPool grain) so pool
+  // handoff overhead cannot dominate - small batches degrade all the way
+  // to one inline task. 0 keeps one index per claim. Grain never changes
+  // results: per-index slots are reduced in index order regardless.
+  void for_tasks(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t work_bytes = 0) const;
   // Parse + CRC-check + dedup-assemble one rank's image from the remote
   // levels (partner copy / XOR rebuild, then IO). Serial: touches shared
   // fault-scheduled stores.
@@ -381,11 +419,46 @@ class MultilevelManager {
                          TraceCtx tc = TraceCtx());
   void commit_local(std::uint64_t id, const std::vector<Bytes>& images);
   void commit_partner(std::uint64_t id, const std::vector<Bytes>& images);
-  void commit_io(std::uint64_t id, const std::vector<Bytes>& images);
+  // In-flight state of the pipelined IO level: per-rank health deltas,
+  // outcomes and trace buffers the writer jobs fill in, merged - in rank
+  // order - by finish_commit_io after the writer flushes.
+  struct IoPending {
+    bool active = false;  // writer jobs submitted; finish_commit_io owed
+    bool was_degraded = false;
+    std::vector<LevelHealth> deltas;
+    std::vector<char> ok;
+    std::vector<std::size_t> bytes;  // stored bytes per rank (if ok)
+    std::vector<obs::TraceBuffer> tbs;
+  };
+  // Serialize/compress rank images and hand their puts to `writer` (null
+  // = run each put synchronously in place). The healthy compressed path
+  // pipelines: rank r's store write overlaps rank r+1's chunk
+  // compression. Dedup and degraded-probe paths stay serial and settle
+  // the level themselves (pending.active stays false).
+  void commit_io(std::uint64_t id, const std::vector<Bytes>& images,
+                 AsyncStageWriter* writer, IoPending& pending);
+  // Barrier half: merge writer-job results in rank order and settle the
+  // level. Runs after commit_local, so IO writes overlap the local
+  // fan-out; the caller flushed `writer` first.
+  void finish_commit_io(std::uint64_t id, IoPending& pending);
+  // The ChunkedCodec a rank's IO stream uses: the adaptive candidate for
+  // `choice`, or io_codec_ when adaptive is off (nullptr = store raw).
+  [[nodiscard]] const compress::ChunkedCodec* codec_for(
+      const compress::CodecChoice& choice) const;
+  // Decode a stored IO stream by its own container header (adaptive
+  // streams are self-describing; raw/legacy bytes pass through). By
+  // value so the raw passthrough moves instead of copying. Nullopt on
+  // damage.
+  [[nodiscard]] std::optional<Bytes> decode_io_stream(Bytes stored) const;
 
   MultilevelConfig config_;
   // Chunked container codec for the IO level; empty when uncompressed.
   std::optional<compress::ChunkedCodec> io_codec_;
+  // Adaptive candidates (config_.io_codec_adaptive), indexed like
+  // compress::codec_candidate. Built once so per-commit selection never
+  // allocates codec tables; all share io_chunk_bytes, so any of them can
+  // validate any adaptive stream's chunk geometry on decode.
+  std::vector<std::unique_ptr<compress::ChunkedCodec>> adaptive_codecs_;
   // Delta-chain state: the previous committed checkpoint's full payloads
   // (the encode reference), the links since the last full anchor, and the
   // pooled encoder scratch for the per-rank fan-out.
@@ -410,6 +483,10 @@ class MultilevelManager {
   mutable HealthReport health_;
   // Mutable: recover() counts chain links walked and replays completed.
   mutable DataPathStats data_stats_;
+  // Async-stage accounting, folded after every flush. Mutable: recover's
+  // decode stage contributes too. Observational only - never part of a
+  // fingerprint (queue depth is wall-clock scheduling).
+  mutable PipelineStats pipeline_stats_;
   // Never null: config.trace or the shared disabled Tracer::null().
   obs::Tracer* trace_;
 };

@@ -126,6 +126,21 @@ std::size_t ChunkedCodec::header_bytes(std::size_t chunk_count) {
   return kHeaderSize + chunk_count * 8;
 }
 
+std::optional<ChunkedCodec::Header> ChunkedCodec::peek(ByteSpan framed) {
+  if (framed.size() < kHeaderSize) return std::nullopt;
+  if (read_le<std::uint32_t>(framed, 0) != kMagic) return std::nullopt;
+  const auto id_byte = static_cast<std::uint8_t>(framed[4]);
+  if (id_byte > static_cast<std::uint8_t>(CodecId::kXzStyle)) {
+    return std::nullopt;
+  }
+  Header h;
+  h.id = static_cast<CodecId>(id_byte);
+  h.level = static_cast<int>(static_cast<std::uint8_t>(framed[5]));
+  h.chunk_count = read_le<std::uint32_t>(framed, 6);
+  h.original_size = read_le<std::uint64_t>(framed, 10);
+  return h;
+}
+
 Bytes ChunkedCodec::compress(ByteSpan input) const {
   const std::size_t chunks = chunk_count(input.size());
   std::vector<Bytes> compressed(chunks);

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,23 @@ class ChunkedCodec {
                                std::size_t count = SIZE_MAX) const;
   // Container bytes that are not chunk payload (header + size table).
   [[nodiscard]] static std::size_t header_bytes(std::size_t chunk_count);
+
+  // What the container header declares, without touching chunk payloads.
+  // The codec id/level make stored streams self-describing: a reader
+  // peeks, then decompresses with a matching codec - the adaptive
+  // per-region selection in MultilevelManager depends on this, since the
+  // store may hold a different codec per rank per checkpoint.
+  struct Header {
+    CodecId id = CodecId::kNull;
+    int level = 0;
+    std::uint32_t chunk_count = 0;
+    std::uint64_t original_size = 0;
+  };
+  // Nullopt when `framed` is not a chunked container (wrong magic or too
+  // short) or its declared codec id is not a registered codec. A valid
+  // header does not guarantee intact payloads - decompress still throws
+  // CodecError on damage.
+  [[nodiscard]] static std::optional<Header> peek(ByteSpan framed);
 
   [[nodiscard]] CodecId id() const { return id_; }
   [[nodiscard]] int level() const { return level_; }

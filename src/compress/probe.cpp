@@ -1,0 +1,107 @@
+#include "compress/probe.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace ndpcr::compress {
+namespace {
+
+// Sample layout: up to kWindows windows of kWindowBytes each, spread
+// evenly across the payload so a header-only structure cannot fool the
+// probe. Small payloads are sampled whole.
+constexpr std::size_t kWindows = 16;
+constexpr std::size_t kWindowBytes = 4096;
+
+// 4-gram repetition hash table: 2^12 entries of the gram value itself.
+// A hit means the same 4 bytes recurred within the table's reach - the
+// cheapest possible proxy for "an LZ match finder will find work here".
+constexpr std::size_t kTableBits = 12;
+
+std::uint32_t load32(const std::byte* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+CodecChoice codec_candidate(std::size_t index) {
+  switch (index) {
+    case 0:
+      return {CodecId::kLz4Style, 1, false};
+    case 1:
+      return {CodecId::kLz4Style, 1, true};
+    case 2:
+      return {CodecId::kDeflateStyle, 6, false};
+    default:
+      throw std::out_of_range("codec_candidate index");
+  }
+}
+
+CodecChoice choose_codec(ByteSpan payload, ProbeStats* stats) {
+  std::array<std::uint32_t, 256> hist{};
+  std::array<std::uint32_t, 1u << kTableBits> table{};
+  table.fill(0xFFFFFFFFu);  // sentinel: no gram seen in this slot yet
+
+  std::size_t sampled = 0;
+  std::uint64_t grams = 0;
+  std::uint64_t hits = 0;
+
+  const std::size_t n = payload.size();
+  const std::size_t window =
+      n <= kWindows * kWindowBytes ? n : kWindowBytes;
+  const std::size_t windows =
+      window == n ? 1 : std::min(kWindows, n / kWindowBytes);
+  for (std::size_t w = 0; w < windows; ++w) {
+    // Even spread, first window at 0, last ending at n: offsets are a
+    // pure function of (n, w), never of timing.
+    const std::size_t offset =
+        windows == 1 ? 0 : (n - window) * w / (windows - 1);
+    const std::byte* p = payload.data() + offset;
+    for (std::size_t i = 0; i < window; ++i) {
+      ++hist[static_cast<std::uint8_t>(p[i])];
+    }
+    sampled += window;
+    if (window >= 4) {
+      for (std::size_t i = 0; i + 4 <= window; i += 4) {
+        const std::uint32_t gram = load32(p + i);
+        const std::uint32_t slot =
+            (gram * 2654435761u) >> (32 - kTableBits);
+        hits += table[slot] == gram ? 1 : 0;
+        table[slot] = gram;
+        ++grams;
+      }
+    }
+  }
+
+  double entropy = 0.0;
+  if (sampled > 0) {
+    const double inv = 1.0 / static_cast<double>(sampled);
+    for (const std::uint32_t c : hist) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) * inv;
+      entropy -= p * std::log2(p);
+    }
+  }
+  const double match =
+      grams == 0 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(grams);
+  if (stats) {
+    stats->entropy_bits = entropy;
+    stats->match_fraction = match;
+    stats->sampled_bytes = sampled;
+  }
+
+  // Thresholds: near-uniform bytes with no short-range repeats are not
+  // worth a match finder's time; strong structure pays for the entropy
+  // coder; the middle ground takes the balanced default.
+  if (entropy > 7.2 && match < 0.05) return codec_candidate(1);
+  if (entropy < 5.5 || match > 0.35) return codec_candidate(2);
+  return codec_candidate(0);
+}
+
+}  // namespace ndpcr::compress

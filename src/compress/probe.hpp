@@ -1,0 +1,64 @@
+#pragma once
+
+// Online codec selection for the checkpoint IO path (docs/PERF.md).
+//
+// The `study` grid measures the app x codec tradeoff offline; commits
+// cannot afford that. This probe spends a few microseconds sampling the
+// payload and picks a codec per region from a small closed candidate
+// set:
+//
+//   - incompressible arrays (high byte entropy, no short-range repeats,
+//     the FT-style random-phase state): accelerated nlz4 - near-memcpy
+//     throughput, and a real compressor would not have won bytes anyway.
+//   - repetitive / structured bytes (CSR index arrays, zero-padded
+//     grids, low entropy or dense 4-gram repeats): ngzip at a real
+//     level - the bytes are there to win and the entropy coder earns
+//     its CPU.
+//   - everything in between: plain nlz4 level 1, the balanced default.
+//
+// The decision is a pure function of the payload bytes (fixed-stride
+// sampling, no clocks, no RNG), so a commit replays the same choice at
+// any thread count and the stored stream stays deterministic. The chosen
+// codec travels in the ChunkedCodec container header (ChunkedCodec::peek),
+// so recovery needs no side channel.
+
+#include <cstddef>
+
+#include "compress/codec.hpp"
+
+namespace ndpcr::compress {
+
+// One candidate the probe can pick.
+struct CodecChoice {
+  CodecId id = CodecId::kLz4Style;
+  int level = 1;
+  bool accelerate = false;
+
+  [[nodiscard]] bool operator==(const CodecChoice& o) const {
+    return id == o.id && level == o.level && accelerate == o.accelerate;
+  }
+};
+
+// The closed candidate set, in a fixed order callers can pre-instantiate
+// (MultilevelManager builds one ChunkedCodec per entry up front so the
+// commit path never allocates codec tables).
+// [0] balanced: nlz4 level 1
+// [1] incompressible: nlz4 level 1, accelerated
+// [2] structured: ngzip level 6
+constexpr std::size_t kCodecCandidates = 3;
+CodecChoice codec_candidate(std::size_t index);
+
+// What the probe measured; returned for tests/telemetry.
+struct ProbeStats {
+  double entropy_bits = 0.0;    // byte entropy of the sample, [0, 8]
+  double match_fraction = 0.0;  // 4-gram repeat hits / grams hashed
+  std::size_t sampled_bytes = 0;
+};
+
+// Pick a codec for `payload`. Deterministic: fixed-stride windows (at
+// most ~64 KiB sampled), byte-histogram entropy, and a tiny 4-gram hash
+// table for short-range repetition. `stats` (optional) receives the raw
+// measurements.
+CodecChoice choose_codec(ByteSpan payload, ProbeStats* stats = nullptr);
+
+}  // namespace ndpcr::compress

@@ -31,6 +31,7 @@ struct TaskPool::Impl {
   // they join a batch, so no unlocked write/read pair exists.
   const std::function<void(std::size_t)>* job = nullptr;
   std::size_t job_size = 0;
+  std::size_t job_grain = 1;
   std::atomic<std::size_t> next{0};
   std::uint64_t generation = 0;
 
@@ -46,20 +47,29 @@ struct TaskPool::Impl {
   std::vector<std::thread> workers;
   unsigned thread_count = 1;
 
-  void run_indices(const std::function<void(std::size_t)>& fn,
-                   std::size_t n) {
+  void run_indices(const std::function<void(std::size_t)>& fn, std::size_t n,
+                   std::size_t grain) {
     const bool outer = tl_in_worker;
     tl_in_worker = true;
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(error_m);
-        if (!error) error = std::current_exception();
-        // Cut the batch short: unclaimed indices are abandoned.
-        next.store(n, std::memory_order_relaxed);
+    bool aborted = false;
+    while (!aborted) {
+      // One atomic claim per block of `grain` indices; indices inside a
+      // block run in ascending order, so per-index-slot callers see the
+      // same results as grain == 1.
+      const std::size_t base = next.fetch_add(grain, std::memory_order_relaxed);
+      if (base >= n) break;
+      const std::size_t end = std::min(base + grain, n);
+      for (std::size_t i = base; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(error_m);
+          if (!error) error = std::current_exception();
+          // Cut the batch short: unclaimed indices are abandoned.
+          next.store(n, std::memory_order_relaxed);
+          aborted = true;
+          break;
+        }
       }
     }
     tl_in_worker = outer;
@@ -76,10 +86,11 @@ struct TaskPool::Impl {
       // job/job_size when no worker is active.
       const auto* fn = job;
       const std::size_t n = job_size;
+      const std::size_t grain = job_grain;
       if (fn == nullptr) continue;  // batch already fully retired
       ++active;
       lk.unlock();
-      run_indices(*fn, n);
+      run_indices(*fn, n, grain);
       lk.lock();
       if (--active == 0) cv_done.notify_all();
     }
@@ -108,18 +119,26 @@ bool TaskPool::in_worker() { return tl_in_worker; }
 
 void TaskPool::parallel_for(std::size_t n,
                             const std::function<void(std::size_t)>& body) {
+  parallel_for(n, body, 1);
+}
+
+void TaskPool::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& body,
+                            std::size_t grain) {
   if (n == 0) return;
+  if (grain == 0) grain = 1;
   if (in_worker()) {
     throw std::logic_error(
         "TaskPool: nested parallel_for from inside a task is rejected; "
         "use the serial path (see TaskPool::in_worker)");
   }
-  if (impl_->workers.empty() || n == 1) {
+  const std::size_t tasks = (n + grain - 1) / grain;
+  if (impl_->workers.empty() || tasks == 1) {
     // Serial fast path: same index order, same exception behaviour (the
     // first throw aborts the remainder), no pool machinery involved.
     impl_->error = nullptr;
     impl_->next.store(0, std::memory_order_relaxed);
-    impl_->run_indices(body, n);
+    impl_->run_indices(body, n, grain);
     if (impl_->error) std::rethrow_exception(impl_->error);
     return;
   }
@@ -127,12 +146,22 @@ void TaskPool::parallel_for(std::size_t n,
     std::lock_guard<std::mutex> lk(impl_->m);
     impl_->job = &body;
     impl_->job_size = n;
+    impl_->job_grain = grain;
     impl_->next.store(0, std::memory_order_relaxed);
     impl_->error = nullptr;
     ++impl_->generation;
   }
-  impl_->cv_work.notify_all();
-  impl_->run_indices(body, n);  // the submitting thread pulls its weight
+  // The submitting thread takes one task itself, so only tasks - 1 helpers
+  // can possibly find work: waking more just burns wakeups (and on an
+  // oversubscribed host, context switches) on threads that will claim
+  // nothing. Unwoken workers stay parked; their generation check catches
+  // them up on whichever future batch wakes them.
+  if (tasks - 1 >= impl_->workers.size()) {
+    impl_->cv_work.notify_all();
+  } else {
+    for (std::size_t w = 0; w < tasks - 1; ++w) impl_->cv_work.notify_one();
+  }
+  impl_->run_indices(body, n, grain);  // the submitting thread pulls its weight
   {
     std::unique_lock<std::mutex> lk(impl_->m);
     impl_->cv_done.wait(lk, [&] { return impl_->active == 0; });

@@ -49,6 +49,17 @@ class TaskPool {
   // the batch was cut short by an exception, which is rethrown here).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  // Same contract, but executors claim indices in blocks of `grain`
+  // (clamped to >= 1). Within a block indices run in ascending order, so
+  // a caller that already owns per-index slots sees identical results -
+  // grain changes only how much work one atomic claim amortizes. A batch
+  // of ceil(n/grain) == 1 task runs inline on the calling thread, and
+  // only min(workers, tasks - 1) sleepers are woken, so oversubscribed
+  // hosts stop paying a full notify_all storm for a handful of tiny
+  // tasks.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    std::size_t grain);
+
   // parallel_for that collects fn(i) into a vector, index-ordered. The
   // result type must be default-constructible; reduce the vector in index
   // order to keep aggregates thread-count-invariant.

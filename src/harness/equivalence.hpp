@@ -64,6 +64,15 @@ struct EquivalenceConfig {
   std::uint32_t partner_every = 1;
   std::uint32_t io_every = 2;
   std::uint64_t seed = 1;
+  // Online per-rank codec selection on the IO level (docs/PERF.md). The
+  // sweep proves the probe's choices - recorded in each stream's
+  // container header - survive any crash point: restart managers decode
+  // whatever codec the dying run picked.
+  bool io_codec_adaptive = false;
+  // Async IO writer depth (MultilevelConfig::io_writer_depth): the
+  // default 2 sweeps the pipelined commit path; 0 pins the serial
+  // reference.
+  std::size_t io_writer_depth = 2;
   // Seeded device-fault schedule under the crash gates (clean when zero).
   faults::FaultRates rates;
   std::uint64_t fault_seed = 1;

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "ckpt/store_writer.hpp"
 #include "obs/trace.hpp"
 
 namespace ndpcr::ndp {
@@ -301,33 +302,26 @@ void NdpAgent::finish_drain() {
   ++d.put_attempts;
   ++stats_.io_put_attempts;
   obs::TraceBuffer* rb = trace_->root();
-  const auto status = io_.put(cfg_.rank, id, Bytes(d.compressed));
-  bool ok = false;
-  bool permanent = false;
-  if (status.ok()) {
-    // Verify the write actually landed intact (torn writes report
-    // success); quarantine anything that reads back wrong.
-    const auto readback = io_.get(cfg_.rank, id);
-    if (readback.ok() && *readback == d.compressed) {
-      ok = true;
-    } else if (readback.ok()) {
-      io_.erase(cfg_.rank, id);
-      ++stats_.io_verify_failures;
+  // One attempt of the shared write-verify-quarantine primitive - the
+  // same stage the host commit path's writer jobs run (docs/PERF.md), so
+  // a drained checkpoint hits the IO device with the identical op
+  // sequence a host-side commit would.
+  const ckpt::PutOutcome out = ckpt::verified_put_once(
+      io_, cfg_.rank, id, d.compressed, /*verify=*/true);
+  const bool ok = out.ok;
+  const bool permanent = out.put_permanent || out.read_error_permanent;
+  if (out.verify_failed) {
+    ++stats_.io_verify_failures;
+    if (out.quarantined) {
       ++stats_.io_quarantined;
       if (rb) {
         rb->instant_at(vclock_, "io_quarantine", "ndp", cfg_.trace_track,
                        {obs::u64("id", id)});
       }
-    } else {
-      ++stats_.io_verify_failures;
-      permanent = readback.error().permanent();
-      if (rb) {
-        rb->instant_at(vclock_, "io_verify_fail", "ndp", cfg_.trace_track,
-                       {obs::u64("id", id)});
-      }
+    } else if (rb) {
+      rb->instant_at(vclock_, "io_verify_fail", "ndp", cfg_.trace_track,
+                     {obs::u64("id", id)});
     }
-  } else {
-    permanent = status.error().permanent();
   }
 
   if (ok) {

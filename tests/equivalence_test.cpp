@@ -68,6 +68,33 @@ TEST_F(EquivalenceTest, DedupPayloadSweep) {
   ExpectCleanSweep(run_sweep(SmokeConfig(PayloadMode::kDedup, "ft"), 2));
 }
 
+// The pipelined commit path under crash: the async writer (depth 2, the
+// default every sweep above already drives) and the serial reference
+// (depth 0) must enumerate identical canonical crash points and recover
+// equivalently at each - the writer reorders nothing the crash gates can
+// observe.
+TEST_F(EquivalenceTest, PipelinedWriterMatchesSerialSweep) {
+  EquivalenceConfig piped = SmokeConfig(PayloadMode::kFull, "cg");
+  EquivalenceConfig serial = piped;
+  serial.io_writer_depth = 0;
+  const SweepReport a = run_sweep(piped, 2);
+  const SweepReport b = run_sweep(serial, 2);
+  ExpectCleanSweep(a);
+  ExpectCleanSweep(b);
+  EXPECT_EQ(a.golden.points.size(), b.golden.points.size());
+  EXPECT_EQ(a.golden.final_fingerprint, b.golden.final_fingerprint);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+// Online codec selection under crash: a dying run's probe choices are
+// recorded in the stream containers, so any restart - which re-probes
+// nothing - must decode whatever the victim wrote.
+TEST_F(EquivalenceTest, AdaptiveCodecSweep) {
+  EquivalenceConfig config = SmokeConfig(PayloadMode::kDelta, "ft");
+  config.io_codec_adaptive = true;
+  ExpectCleanSweep(run_sweep(config, 2));
+}
+
 // Seeded device faults (transient failures, torn writes, bitflips) layer
 // under the crash gates, so crash points land inside retry and quarantine
 // sequences too.

@@ -236,10 +236,12 @@ TEST(ObsDeterminism, CleanTraceBitIdenticalAtPoolSizes128) {
   const auto base = run_traced_data_path(1, /*with_faults=*/false);
   EXPECT_GT(base.events, 0u);
   EXPECT_TRUE(json_valid(base.json));
-  // Every commit phase and the recovery walk appear in the trace.
+  // Every commit phase and the recovery walk appear in the trace. The
+  // pipelined commit path emits per-rank io_compress/io_put and the
+  // io_settle barrier where the old flat batch had one io_write span.
   for (const char* name : {"commit", "image_build", "local", "partner",
-                           "io", "io_compress", "io_write", "recover",
-                           "try_checkpoint"}) {
+                           "io", "io_compress", "io_put", "io_settle",
+                           "recover", "try_checkpoint"}) {
     EXPECT_TRUE(has_event(base.json, name)) << name;
   }
   for (unsigned threads : {2u, 8u}) {

@@ -1,0 +1,130 @@
+// Online codec selection (docs/PERF.md): choose_codec must be a pure
+// function of the payload bytes, and its decisions on representative
+// checkpoint content are pinned here - a probe change that silently
+// reroutes a workload class to a different codec fails this suite, not a
+// bench run three PRs later.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/chunked.hpp"
+#include "compress/probe.hpp"
+#include "workloads/proxy_kernels.hpp"
+
+namespace ndpcr::compress {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::byte>(rng.next_below(256));
+  return b;
+}
+
+// CSR-style metadata: long runs of small monotone integers - low entropy,
+// heavy 4-gram repetition.
+Bytes csr_like(std::size_t rows) {
+  std::vector<std::uint32_t> words;
+  std::uint32_t offset = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    words.push_back(offset);
+    offset += 3 + static_cast<std::uint32_t>(r % 5);
+    for (int k = 0; k < 3; ++k) {
+      words.push_back(static_cast<std::uint32_t>(r + k));
+    }
+  }
+  Bytes b(words.size() * sizeof(std::uint32_t));
+  std::memcpy(b.data(), words.data(), b.size());
+  return b;
+}
+
+TEST(CodecProbe, CandidateTableIsStable) {
+  // The adaptive streams record candidate choices in their container
+  // headers; reordering this table would misdecode nothing (streams are
+  // self-describing) but silently change what new commits write.
+  EXPECT_EQ(codec_candidate(0).id, CodecId::kLz4Style);
+  EXPECT_FALSE(codec_candidate(0).accelerate);
+  EXPECT_EQ(codec_candidate(1).id, CodecId::kLz4Style);
+  EXPECT_TRUE(codec_candidate(1).accelerate);
+  EXPECT_EQ(codec_candidate(2).id, CodecId::kDeflateStyle);
+  EXPECT_EQ(codec_candidate(2).level, 6);
+  EXPECT_THROW(codec_candidate(kCodecCandidates), std::out_of_range);
+}
+
+TEST(CodecProbe, PureFunctionOfPayloadBytes) {
+  const Bytes payload = random_bytes(100000, 99);
+  ProbeStats a, b;
+  const CodecChoice ca = choose_codec(ByteSpan(payload), &a);
+  const CodecChoice cb = choose_codec(ByteSpan(payload), &b);
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(a.entropy_bits, b.entropy_bits);
+  EXPECT_EQ(a.match_fraction, b.match_fraction);
+  EXPECT_GT(a.sampled_bytes, 0u);
+}
+
+TEST(CodecProbe, IncompressibleBytesPickAcceleratedLz) {
+  // Uniform random bytes: entropy ~8 bits/byte, no 4-gram matches. The
+  // probe must route these to the accelerated (match-skipping) nlz4
+  // candidate instead of burning full match-search on noise.
+  ProbeStats ps;
+  const CodecChoice c = choose_codec(ByteSpan(random_bytes(1 << 18, 7)), &ps);
+  EXPECT_GT(ps.entropy_bits, 7.2);
+  EXPECT_LT(ps.match_fraction, 0.05);
+  EXPECT_EQ(c.id, CodecId::kLz4Style);
+  EXPECT_TRUE(c.accelerate);
+}
+
+TEST(CodecProbe, StructuredMetadataPicksEntropyCodec) {
+  // CSR-style index arrays: low byte entropy, dense repetition - worth
+  // the slower entropy coder (ngzip-style) for the extra ratio.
+  ProbeStats ps;
+  const CodecChoice c = choose_codec(ByteSpan(csr_like(4096)), &ps);
+  EXPECT_LT(ps.entropy_bits, 5.5);
+  EXPECT_EQ(c.id, CodecId::kDeflateStyle);
+  EXPECT_FALSE(c.accelerate);
+}
+
+TEST(CodecProbe, TinyPayloadsStillDecide) {
+  for (std::size_t n : {0u, 1u, 3u, 15u, 64u}) {
+    ProbeStats ps;
+    const CodecChoice c = choose_codec(ByteSpan(Bytes(n, std::byte{42})), &ps);
+    // Constant bytes are maximally structured whenever there is enough
+    // signal to probe; the empty/near-empty cases take the balanced
+    // default. Either way: a valid candidate, deterministically.
+    bool known = false;
+    for (std::size_t i = 0; i < kCodecCandidates; ++i) {
+      known = known || c == codec_candidate(i);
+    }
+    EXPECT_TRUE(known) << n;
+  }
+}
+
+// Pinned decisions on the proxy-kernel checkpoint corpora (NPB cg/mg/ft,
+// docs/EQUIVALENCE.md): double-precision solver state probes as
+// high-entropy, so all three route to an nlz4 candidate - the paper's
+// observation that scientific-array checkpoints rarely reward a heavy
+// entropy stage. The assertions pin the *routing class*, not raw probe
+// numbers, so probe tuning within a class stays green.
+TEST(CodecProbe, ProxyKernelCorporaPinned) {
+  for (const std::string& name : workloads::proxy_kernel_names()) {
+    auto kernel = workloads::make_proxy_kernel(name, 1 << 18, 1234);
+    for (int i = 0; i < 3; ++i) kernel->iterate();
+    const Bytes payload = kernel->registry().capture();
+    ProbeStats ps;
+    const CodecChoice c = choose_codec(ByteSpan(payload), &ps);
+    EXPECT_GT(ps.sampled_bytes, 0u) << name;
+    EXPECT_EQ(c.id, CodecId::kLz4Style) << name;
+    if (name == "cg") {
+      // CG's fresh solver vectors are the least structured of the three.
+      EXPECT_GT(ps.entropy_bits, 5.5) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ndpcr::compress
