@@ -19,6 +19,10 @@
 //   --seed S        base seed (schedule k uses sub_seed(S, k))
 //   --commits N     commits per schedule (default 24)
 //   --equiv N       equivalence sweeps to run (default 6)
+//   --svc N         multi-tenant service soak leg (docs/SERVICE.md): N
+//                   interleaved tenant sessions under seeded faults, at
+//                   pool sizes 1/2/8 with bit-identical reports required
+//                   (default 0 = off; CI uses --svc 256)
 //   --csv PATH      per-schedule structured rows
 //   --trace PATH    write the first validation schedule's Chrome trace
 
@@ -33,6 +37,7 @@
 #include "faults/chaos.hpp"
 #include "harness/equivalence.hpp"
 #include "obs/trace.hpp"
+#include "svc/svc_chaos.hpp"
 
 using namespace ndpcr;
 
@@ -224,6 +229,57 @@ int main(int argc, char** argv) {
   if (equiv_failures > 0) {
     std::fprintf(stderr, "FAIL: restart-equivalence violated\n");
     return 1;
+  }
+
+  // Service leg (docs/SERVICE.md): --svc N drives N interleaved tenant
+  // sessions - heterogeneous QoS weights, quotas, codecs and delta
+  // chains, half the tenants under seeded fault plans - through one
+  // CheckpointService, at pool sizes 1, 2 and 8. Any cross-tenant
+  // corruption (a tenant restarting bytes it never committed), any
+  // report fingerprint differing across pool sizes, fails the harness.
+  const auto svc_tenants = static_cast<std::uint32_t>(args.number("svc", 0));
+  if (svc_tenants > 0) {
+    std::uint32_t base_fingerprint = 0;
+    svc::SvcChaosReport last;
+    const std::size_t pools[] = {1, 2, 8};
+    for (std::size_t i = 0; i < 3; ++i) {
+      exec::TaskPool svc_pool(pools[i]);
+      svc::SvcChaosConfig scfg;
+      scfg.seed = exec::sub_seed(seed ^ 0x53C0ull, 0);
+      scfg.tenants = svc_tenants;
+      scfg.pool = &svc_pool;
+      const auto report = svc::run_svc_chaos(scfg);
+      for (const auto& note : report.violation_notes) {
+        std::fprintf(stderr, "service violation: %s\n", note.c_str());
+      }
+      if (report.violations > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %" PRIu64
+                     " cross-tenant invariant violations (%u tenants, "
+                     "%zu threads)\n",
+                     report.violations, svc_tenants, pools[i]);
+        return 1;
+      }
+      if (i == 0) {
+        base_fingerprint = report.fingerprint;
+      } else if (report.fingerprint != base_fingerprint) {
+        std::fprintf(stderr,
+                     "FAIL: service fingerprint differs at pool size %zu "
+                     "(%08x vs %08x)\n",
+                     pools[i], report.fingerprint, base_fingerprint);
+        return 1;
+      }
+      last = report;
+    }
+    std::printf(
+        "service: %u tenants x3 pool sizes, %" PRIu64 " staged, %" PRIu64
+        " committed, %" PRIu64 " throttled, %" PRIu64 " denied, %" PRIu64
+        "/%" PRIu64 " restores, %" PRIu64
+        " faults injected, jain %.4f, fingerprint %08x\n",
+        svc_tenants, last.staged, last.committed, last.throttled,
+        last.denied_backpressure + last.denied_quota, last.restored,
+        last.restarts, last.fault_injections, last.jain_io,
+        base_fingerprint);
   }
 
   std::puts("all invariants held");

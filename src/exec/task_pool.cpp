@@ -199,4 +199,9 @@ std::uint64_t sub_seed(std::uint64_t base, std::uint64_t index) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t sub_seed(std::uint64_t base, std::uint64_t index,
+                       std::uint64_t index2) {
+  return sub_seed(sub_seed(base, index), index2);
+}
+
 }  // namespace ndpcr::exec

@@ -103,4 +103,11 @@ unsigned global_thread_count();
 // path that predates the engine).
 std::uint64_t sub_seed(std::uint64_t base, std::uint64_t index);
 
+// Two-level sub-seed: independent streams for (base, index, index2)
+// triples. The service layer (src/svc) derives every tenant's workload,
+// schedule and fault streams this way so one seed fans out to thousands
+// of tenants without correlated streams.
+std::uint64_t sub_seed(std::uint64_t base, std::uint64_t index,
+                       std::uint64_t index2);
+
 }  // namespace ndpcr::exec

@@ -79,31 +79,6 @@ void check_health_monotone(ChaosReport& report,
   }
 }
 
-Bytes random_payload(Rng& rng, std::size_t base_size) {
-  Bytes payload(base_size + rng.next_below(256));
-  std::size_t i = 0;
-  while (i < payload.size()) {
-    const std::uint64_t word = rng.next_u64();
-    const std::size_t n = std::min(sizeof word, payload.size() - i);
-    std::memcpy(payload.data() + i, &word, n);
-    i += n;
-  }
-  return payload;
-}
-
-// Rewrite ~fraction of the payload at seeded positions: the sparse-update
-// workload that gives the delta/dedup layers something to save.
-void sparse_update(Rng& rng, Bytes& payload, double fraction) {
-  if (payload.empty()) return;
-  const auto touches = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(
-             static_cast<double>(payload.size()) * fraction));
-  for (std::uint64_t t = 0; t < touches; ++t) {
-    const std::size_t pos = rng.next_below(payload.size());
-    payload[pos] = static_cast<std::byte>(rng.next_below(256));
-  }
-}
-
 void feed_data_path(Crc32& crc, const ckpt::DataPathStats& d) {
   feed_u64(crc, d.commits_full);
   feed_u64(crc, d.commits_delta);
@@ -121,6 +96,31 @@ void feed_data_path(Crc32& crc, const ckpt::DataPathStats& d) {
 }
 
 }  // namespace
+
+Bytes chaos_payload(Rng& rng, std::size_t base_size) {
+  Bytes payload(base_size + rng.next_below(256));
+  std::size_t i = 0;
+  while (i < payload.size()) {
+    const std::uint64_t word = rng.next_u64();
+    const std::size_t n = std::min(sizeof word, payload.size() - i);
+    std::memcpy(payload.data() + i, &word, n);
+    i += n;
+  }
+  return payload;
+}
+
+// Rewrite ~fraction of the payload at seeded positions: the sparse-update
+// workload that gives the delta/dedup layers something to save.
+void chaos_sparse_update(Rng& rng, Bytes& payload, double fraction) {
+  if (payload.empty()) return;
+  const auto touches = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(payload.size()) * fraction));
+  for (std::uint64_t t = 0; t < touches; ++t) {
+    const std::size_t pos = rng.next_below(payload.size());
+    payload[pos] = static_cast<std::byte>(rng.next_below(256));
+  }
+}
 
 ChaosReport run_chaos(const ChaosConfig& config) {
   ChaosReport report;
@@ -236,7 +236,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   if (config.sparse_updates) {
     state.reserve(config.node_count);
     for (std::uint32_t rank = 0; rank < config.node_count; ++rank) {
-      state.push_back(random_payload(rng, config.payload_bytes));
+      state.push_back(chaos_payload(rng, config.payload_bytes));
     }
   }
 
@@ -245,10 +245,10 @@ ChaosReport run_chaos(const ChaosConfig& config) {
     payloads.reserve(config.node_count);
     for (std::uint32_t rank = 0; rank < config.node_count; ++rank) {
       if (config.sparse_updates) {
-        sparse_update(rng, state[rank], config.update_fraction);
+        chaos_sparse_update(rng, state[rank], config.update_fraction);
         payloads.push_back(state[rank]);
       } else {
-        payloads.push_back(random_payload(rng, config.payload_bytes));
+        payloads.push_back(chaos_payload(rng, config.payload_bytes));
       }
     }
     std::vector<ByteSpan> views(payloads.begin(), payloads.end());

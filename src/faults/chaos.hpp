@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ckpt/multilevel.hpp"
+#include "common/rng.hpp"
 #include "compress/codec.hpp"
 #include "exec/task_pool.hpp"
 #include "faults/faulty_stores.hpp"
@@ -114,5 +115,14 @@ std::uint32_t suite_fingerprint(const std::vector<ChaosReport>& reports);
 // bit-for-bit): the thread-invariance tests compare these across pool
 // sizes instead of spelling out each field.
 std::uint32_t health_fingerprint(const ckpt::HealthReport& health);
+
+// Seeded workload generators shared by the chaos runners (including the
+// service-layer soak in src/svc). chaos_payload draws a fresh payload of
+// base_size plus up to 255 jitter bytes; chaos_sparse_update rewrites
+// ~fraction of an existing payload at seeded positions (size unchanged),
+// the regime where delta/dedup layers save bytes. Both consume the Rng
+// deterministically.
+Bytes chaos_payload(Rng& rng, std::size_t base_size);
+void chaos_sparse_update(Rng& rng, Bytes& payload, double fraction);
 
 }  // namespace ndpcr::faults

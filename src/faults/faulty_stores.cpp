@@ -213,6 +213,98 @@ ckpt::StoreResult<Bytes> FaultyFileStore::get(
   return FileStore::get(rank, checkpoint_id);
 }
 
+FaultyStoreProxy::FaultyStoreProxy(std::shared_ptr<const FaultPlan> plan,
+                                   Target target,
+                                   std::unique_ptr<ckpt::KvStore> inner)
+    : plan_(std::move(plan)), target_(target), inner_(std::move(inner)) {}
+
+ckpt::StoreStatus FaultyStoreProxy::put(std::uint32_t rank,
+                                        std::uint64_t checkpoint_id,
+                                        Bytes data) {
+  if (plan_ == nullptr) {
+    return inner_->put(rank, checkpoint_id, std::move(data));
+  }
+  const std::uint64_t op = op_counter_++;
+  ++stats_.ops;
+  switch (plan_->decide(target_, StoreOp::kPut, op)) {
+    case FaultKind::kTransient:
+      ++stats_.transient_errors;
+      return transient_error(target_, op);
+    case FaultKind::kOutage:
+      ++stats_.outage_errors;
+      return outage_error(target_, op);
+    case FaultKind::kTorn:
+      ++stats_.torn_writes;
+      data.resize(torn_length(data.size(), plan_->salt(target_, op)));
+      return inner_->put(rank, checkpoint_id, std::move(data));
+    case FaultKind::kBitFlip:
+      ++stats_.bit_flips;
+      ckpt::corrupt_in_place(MutableByteSpan(data),
+                             plan_->salt(target_, op));
+      return inner_->put(rank, checkpoint_id, std::move(data));
+    case FaultKind::kStall:
+      ++stats_.stalls;
+      stats_.stall_seconds += kStallSeconds;
+      [[fallthrough]];
+    case FaultKind::kNone:
+      break;
+  }
+  return inner_->put(rank, checkpoint_id, std::move(data));
+}
+
+ckpt::StoreResult<Bytes> FaultyStoreProxy::get(
+    std::uint32_t rank, std::uint64_t checkpoint_id) const {
+  if (plan_ == nullptr) return inner_->get(rank, checkpoint_id);
+  const std::uint64_t op = op_counter_++;
+  ++stats_.ops;
+  switch (plan_->decide(target_, StoreOp::kGet, op)) {
+    case FaultKind::kTransient:
+      ++stats_.transient_errors;
+      return transient_error(target_, op);
+    case FaultKind::kOutage:
+      ++stats_.outage_errors;
+      return outage_error(target_, op);
+    case FaultKind::kBitFlip: {
+      ++stats_.bit_flips;
+      auto got = inner_->get(rank, checkpoint_id);
+      if (got.ok()) {
+        ckpt::corrupt_in_place(MutableByteSpan(*got),
+                               plan_->salt(target_, op));
+      }
+      return got;
+    }
+    case FaultKind::kStall:
+      ++stats_.stalls;
+      stats_.stall_seconds += kStallSeconds;
+      break;
+    case FaultKind::kTorn:  // puts only; decide() never returns it for gets
+    case FaultKind::kNone:
+      break;
+  }
+  return inner_->get(rank, checkpoint_id);
+}
+
+bool FaultyStoreProxy::contains(std::uint32_t rank,
+                                std::uint64_t checkpoint_id) const {
+  return inner_->contains(rank, checkpoint_id);
+}
+
+std::optional<std::uint64_t> FaultyStoreProxy::newest_id(
+    std::uint32_t rank) const {
+  return inner_->newest_id(rank);
+}
+
+std::vector<std::uint64_t> FaultyStoreProxy::list(std::uint32_t rank) const {
+  return inner_->list(rank);
+}
+
+void FaultyStoreProxy::erase(std::uint32_t rank,
+                             std::uint64_t checkpoint_id) {
+  inner_->erase(rank, checkpoint_id);
+}
+
+void FaultyStoreProxy::clear() { inner_->clear(); }
+
 std::function<void(std::uint32_t, std::uint64_t, Bytes&)>
 make_local_write_hook(std::shared_ptr<const FaultPlan> plan,
                       std::shared_ptr<FaultStats> stats) {

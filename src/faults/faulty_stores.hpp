@@ -114,6 +114,48 @@ class FaultyFileStore final : public ckpt::FileStore {
   mutable FaultStats stats_;
 };
 
+// Forwarding fault decorator over a store the caller does NOT own.
+// FaultyKvStore above *is* the device (it inherits the entry map), which
+// is right when each manager gets a private store - but the service layer
+// (src/svc) shares one IO device across tenants, and each tenant needs
+// its own fault schedule over its own window of that device. The proxy
+// holds no entries: it numbers operations, consults the plan, and
+// forwards to `inner` (typically a ckpt::TenantStoreView). Injection
+// semantics match FaultyKvStore exactly; a null plan forwards everything
+// untouched.
+//
+// Like every fault store, operations must be serialized per proxy (the op
+// counter and stats are unsynchronized) - the manager's data path already
+// guarantees that for remote stores.
+class FaultyStoreProxy final : public ckpt::KvStore {
+ public:
+  FaultyStoreProxy(std::shared_ptr<const FaultPlan> plan, Target target,
+                   std::unique_ptr<ckpt::KvStore> inner);
+
+  ckpt::StoreStatus put(std::uint32_t rank, std::uint64_t checkpoint_id,
+                        Bytes data) override;
+  [[nodiscard]] ckpt::StoreResult<Bytes> get(
+      std::uint32_t rank, std::uint64_t checkpoint_id) const override;
+  [[nodiscard]] bool contains(std::uint32_t rank,
+                              std::uint64_t checkpoint_id) const override;
+  [[nodiscard]] std::optional<std::uint64_t> newest_id(
+      std::uint32_t rank) const override;
+  [[nodiscard]] std::vector<std::uint64_t> list(
+      std::uint32_t rank) const override;
+  void erase(std::uint32_t rank, std::uint64_t checkpoint_id) override;
+  void clear() override;
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] ckpt::KvStore& inner() { return *inner_; }
+
+ private:
+  std::shared_ptr<const FaultPlan> plan_;  // may be null (clean tenant)
+  Target target_;
+  std::unique_ptr<ckpt::KvStore> inner_;
+  mutable std::uint64_t op_counter_ = 0;
+  mutable FaultStats stats_;
+};
+
 // Local-NVM write hook for MultilevelConfig::local_write_hook: consults
 // the plan under local_target(rank) and mutates the staged image for
 // kTorn / kBitFlip faults (transients and outages do not apply to a local

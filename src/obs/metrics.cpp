@@ -98,6 +98,17 @@ Summary summarize(std::vector<double> samples) {
   return s;
 }
 
+double jain_index(const std::vector<double>& shares) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (shares.empty() || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;

@@ -100,6 +100,13 @@ struct Summary {
 
 [[nodiscard]] Summary summarize(std::vector<double> samples);
 
+// Jain's fairness index over per-party allocations: (sum x)^2 / (n * sum
+// x^2), in (0, 1] with 1 = perfectly even. The service layer reports it
+// over per-tenant IO bytes (raw, and normalized by QoS weight so a
+// weighted-fair schedule scores ~1). Empty or all-zero input counts as
+// fair: 1.
+[[nodiscard]] double jain_index(const std::vector<double>& shares);
+
 // Named metric store. Lookup creates on first use; export is name-sorted
 // and therefore deterministic.
 class MetricsRegistry {

@@ -1,0 +1,92 @@
+#pragma once
+
+// Service-layer chaos soak (docs/SERVICE.md): drive hundreds of
+// interleaved tenant sessions over one CheckpointService - heterogeneous
+// ranks, codecs, delta chains, QoS weights and quotas, roughly half the
+// tenants under seeded fault plans - and check the cross-tenant
+// invariants after every restart probe:
+//
+//   1. A restarted tenant's payloads are byte-identical to what *that
+//      tenant* committed under the recovered id (cross-tenant corruption
+//      would surface here: tenant A's faults must never change tenant
+//      B's recovered bytes).
+//   2. The recovered id never exceeds the session's latest-pointer.
+//   3. A tenant whose latest-pointer is set always restarts (local NVM
+//      writes are verified, so the newest checkpoint is always intact).
+//
+// A run is a pure function of its SvcChaosConfig: the tenant
+// interleaving, admission outcomes and restart probes all derive from
+// the seed, so the report - per-tenant and service fingerprints included
+// - is bit-identical at any pool size. And because each tenant's fault
+// plan only decorates that tenant's store views, a tenant's fingerprint
+// is unchanged when *other* tenants' fault schedules change (the
+// isolation property svc_test pins by diffing clean-tenant fingerprints
+// between a clean run and a faulted run).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "svc/service.hpp"
+
+namespace ndpcr::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace ndpcr::obs
+
+namespace ndpcr::svc {
+
+struct SvcChaosConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t tenants = 32;
+  std::uint32_t waves = 6;  // seeded staging sweeps over every tenant
+  std::size_t payload_bytes = 1024;  // base per-rank payload
+  double update_fraction = 0.10;     // sparse-update churn per wave
+  // Fault rates for the faulted half of the tenants (odd tenant ids).
+  faults::FaultRates rates{0.02, 0.01, 0.01, 0.01};
+  bool faults = true;
+  double p_restart = 0.125;  // per-tenant per-wave restart probe chance
+  // Every quota_every-th tenant gets an IO grant sized to exhaust
+  // mid-run (seam denials + degraded IO + admission kDeniedQuota all get
+  // exercised). 0 disables quotas.
+  std::uint32_t quota_every = 5;
+  // Shared-NVM budget as a fraction of the sum of per-rank capacities;
+  // ~0.3 puts the steady-state residency in the throttle band so
+  // backpressure statuses appear. 0 = unlimited (no backpressure).
+  double nvm_budget_fraction = 0.30;
+  exec::TaskPool* pool = nullptr;  // forwarded to the service
+  obs::MetricsRegistry* metrics = nullptr;  // "svc." export at run end
+  obs::Tracer* trace = nullptr;
+};
+
+struct SvcChaosReport {
+  std::uint64_t seed = 0;
+  std::uint32_t tenants = 0;
+  std::uint64_t staged = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t denied_backpressure = 0;
+  std::uint64_t denied_quota = 0;
+  std::uint64_t quota_write_denials = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t no_checkpoint = 0;
+  std::uint64_t fault_injections = 0;
+  std::uint64_t violations = 0;
+  std::vector<std::string> violation_notes;  // first few, for diagnostics
+  double jain_io = 1.0;
+  double jain_io_weighted = 1.0;
+  double virtual_time = 0.0;
+  // Per-tenant session fingerprints, tenant order: the isolation test's
+  // unit of comparison.
+  std::vector<std::uint32_t> tenant_fingerprints;
+  std::uint32_t service_fingerprint = 0;
+  std::uint32_t fingerprint = 0;  // CRC32 of the whole run's outcomes
+};
+
+// Execute one seeded service soak. Deterministic: same config, same
+// report (fingerprints included), at any pool size.
+SvcChaosReport run_svc_chaos(const SvcChaosConfig& config);
+
+}  // namespace ndpcr::svc

@@ -7,6 +7,7 @@
 #include "ckpt/nvm_store.hpp"
 #include "ckpt/region.hpp"
 #include "ckpt/stores.hpp"
+#include "ckpt/tenant_store.hpp"
 #include "common/rng.hpp"
 
 namespace ndpcr::ckpt {
@@ -305,6 +306,53 @@ TEST(NvmStore, OversizedCheckpointRejected) {
   EXPECT_EQ(store.count(), 0u);
 }
 
+TEST(NvmStore, ExactCapacityFillRefundAndReuse) {
+  // Capacity accounting at the exact-fit boundary: an insert landing
+  // exactly on capacity must be admitted, the refund on erase must
+  // balance to zero, and the refunded space must be reusable byte for
+  // byte.
+  NvmStore store(100);
+  ASSERT_TRUE(store.put(1, Bytes(100)));
+  EXPECT_EQ(store.used_bytes(), 100u);
+  EXPECT_EQ(store.count(), 1u);
+  // Another exact-fit insert evicts the resident entry and reuses every
+  // refunded byte.
+  ASSERT_TRUE(store.put(2, Bytes(100)));
+  EXPECT_EQ(store.used_bytes(), 100u);
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_EQ(store.eviction_count(), 1u);
+  store.erase(2);
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_EQ(store.logical_bytes(), 0u);
+  ASSERT_TRUE(store.put(3, Bytes(100)));
+  EXPECT_EQ(store.used_bytes(), 100u);
+}
+
+TEST(NvmStore, DedupExactCapacityRefundOnLastRefDrop) {
+  // Dedup accounting at the same boundary: a fully shared second
+  // checkpoint fits even with the device exactly full (it charges
+  // nothing), dropping one referent refunds nothing, dropping the last
+  // referent refunds everything, and the refunded space admits an
+  // exact-fit insert of fresh content.
+  NvmStore store(128, /*dedup_block_bytes=*/64);
+  Bytes shared(128, std::byte{0xAA});
+  shared[64] = std::byte{0xBB};  // two distinct 64B blocks
+  ASSERT_TRUE(store.put(1, shared));
+  EXPECT_EQ(store.used_bytes(), 128u);  // exactly at capacity
+  ASSERT_TRUE(store.put(2, shared));    // all blocks resident: cost 0
+  EXPECT_EQ(store.used_bytes(), 128u);
+  EXPECT_EQ(store.logical_bytes(), 256u);
+  store.erase(1);
+  EXPECT_EQ(store.used_bytes(), 128u);  // id 2 still references them
+  store.erase(2);                       // last-ref drop
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_EQ(store.logical_bytes(), 0u);
+  Bytes fresh(128, std::byte{0x11});
+  fresh[64] = std::byte{0x22};
+  ASSERT_TRUE(store.put(3, fresh));
+  EXPECT_EQ(store.used_bytes(), 128u);
+}
+
 TEST(KvStore, PutGetNewest) {
   KvStore store;
   store.put(0, 1, Bytes(10));
@@ -318,6 +366,78 @@ TEST(KvStore, PutGetNewest) {
   EXPECT_EQ(store.used_bytes(), 30u);
   store.erase(0, 3);
   EXPECT_EQ(store.newest_id(0).value(), 1u);
+}
+
+TEST(TenantStoreView, DisjointNamespacesOnSharedDevice) {
+  KvStore device;
+  TenantStoreView a(device, /*tenant_id=*/0, /*rank_count=*/2);
+  TenantStoreView b(device, /*tenant_id=*/1, /*rank_count=*/2);
+  ASSERT_TRUE(a.put(0, 1, payload_of("tenant a")));
+  ASSERT_TRUE(b.put(0, 1, payload_of("tenant b")));
+  // Same (rank, id) key, no collision: each view reads its own bytes.
+  EXPECT_EQ(a.get(0, 1).value(), payload_of("tenant a"));
+  EXPECT_EQ(b.get(0, 1).value(), payload_of("tenant b"));
+  // A fresh view with the same tenant id sees the tenant's data (restart
+  // after a simulated process death).
+  TenantStoreView a2(device, 0, 2);
+  EXPECT_TRUE(a2.contains(0, 1));
+  EXPECT_EQ(a2.newest_id(0).value(), 1u);
+  // clear() scrubs only the clearing tenant's namespace.
+  a.clear();
+  EXPECT_FALSE(a.contains(0, 1));
+  EXPECT_TRUE(b.contains(0, 1));
+}
+
+TEST(TenantStoreView, SubSlotsSeparateRolesWithinATenant) {
+  KvStore device;
+  TenantStoreView slot0(device, 3, 2, nullptr, /*sub_slot=*/0);
+  TenantStoreView slot1(device, 3, 2, nullptr, /*sub_slot=*/1);
+  ASSERT_TRUE(slot0.put(1, 7, payload_of("own space")));
+  ASSERT_TRUE(slot1.put(1, 7, payload_of("partner space")));
+  EXPECT_EQ(slot0.get(1, 7).value(), payload_of("own space"));
+  EXPECT_EQ(slot1.get(1, 7).value(), payload_of("partner space"));
+  EXPECT_EQ(slot1.rank_offset() - slot0.rank_offset(),
+            kTenantSubSlotStride);
+}
+
+TEST(StoreQuota, ChargesDeniesAndExhausts) {
+  StoreQuota quota;
+  quota.byte_budget = 100;
+  EXPECT_FALSE(quota.would_deny(100));  // exact fit is within the grant
+  EXPECT_TRUE(quota.would_deny(101));
+  EXPECT_TRUE(quota.charge_write(60));
+  EXPECT_FALSE(quota.exhausted());
+  EXPECT_FALSE(quota.charge_write(41));  // over budget: denied, uncharged
+  EXPECT_EQ(quota.write_denials, 1u);
+  EXPECT_EQ(quota.bytes_charged, 60u);
+  EXPECT_FALSE(quota.exhausted());  // denied for size, headroom remains
+  EXPECT_TRUE(quota.charge_write(40));
+  EXPECT_TRUE(quota.exhausted());  // grant fully spent
+
+  StoreQuota ops;
+  ops.op_budget = 2;
+  EXPECT_TRUE(ops.charge_write(10));
+  ops.charge_read();  // reads count against the op budget...
+  EXPECT_TRUE(ops.exhausted());
+  ops.charge_read();  // ...but are never denied
+  EXPECT_EQ(ops.ops_charged, 3u);
+  EXPECT_FALSE(ops.charge_write(1));
+}
+
+TEST(TenantStoreView, QuotaDeniesWritesNeverReads) {
+  KvStore device;
+  StoreQuota quota;
+  quota.byte_budget = 10;
+  TenantStoreView view(device, 0, 1, &quota);
+  ASSERT_TRUE(view.put(0, 1, Bytes(10)));
+  const StoreStatus denied = view.put(0, 2, Bytes(1));
+  EXPECT_FALSE(denied.ok());
+  EXPECT_TRUE(denied.error().permanent());
+  EXPECT_EQ(quota.write_denials, 1u);
+  EXPECT_FALSE(device.contains(0, 2));  // denied put stored nothing
+  // Reads still work with the grant spent: restart is always possible.
+  EXPECT_TRUE(view.get(0, 1).ok());
+  EXPECT_TRUE(quota.exhausted());
 }
 
 TEST(XorParity, RebuildsMissingBuffer) {

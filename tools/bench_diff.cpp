@@ -1,15 +1,18 @@
 // bench_diff: compare two BENCH_*.json reports section by section.
 //
-//   bench_diff OLD.json NEW.json [--threshold PCT]
+//   bench_diff OLD.json NEW.json [--threshold PCT] [--fail-on-regress PCT]
 //
 // Rows are matched within each section by their non-numeric (key) cells,
 // falling back to row index when keys collide or vanish; every numeric
 // column prints old -> new with the relative change. Rows whose change
 // exceeds the threshold (default 10%) are flagged WARN. The tool is
-// warn-only by design: bench numbers on shared CI hosts are noisy, so it
-// never fails a build - it exists to make a perf regression visible in
-// the PR conversation, not to gate on one. Exit status is 0 unless the
-// inputs cannot be parsed.
+// warn-only by default: bench numbers on shared CI hosts are noisy, so
+// out of the box it never fails a build - it exists to make a perf
+// regression visible in the PR conversation. A pipeline that does want a
+// gate opts in with --fail-on-regress PCT: any row whose relative change
+// reaches that (usually looser) bound flags FAIL and the exit status
+// becomes 1. Exit status is otherwise 0 unless the inputs cannot be
+// parsed (2).
 
 #include <cctype>
 #include <cmath>
@@ -230,17 +233,22 @@ bool load_report(const char* path, Report& report, std::string& meta) {
 
 int main(int argc, char** argv) {
   double threshold = 10.0;
+  double fail_threshold = -1.0;  // < 0 = warn-only (the default)
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
       threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--fail-on-regress") == 0 &&
+               i + 1 < argc) {
+      fail_threshold = std::strtod(argv[++i], nullptr);
     } else {
       files.push_back(argv[i]);
     }
   }
   if (files.size() != 2) {
     std::fprintf(stderr,
-                 "usage: bench_diff OLD.json NEW.json [--threshold PCT]\n");
+                 "usage: bench_diff OLD.json NEW.json [--threshold PCT] "
+                 "[--fail-on-regress PCT]\n");
     return 2;
   }
   Report before;
@@ -253,8 +261,12 @@ int main(int argc, char** argv) {
   }
   std::printf("bench_diff: %s (%s) vs %s (%s), warn at %.0f%%\n", files[0],
               meta_a.c_str(), files[1], meta_b.c_str(), threshold);
+  if (fail_threshold >= 0.0) {
+    std::printf("gating: fail at %.0f%%\n", fail_threshold);
+  }
 
   int warnings = 0;
+  int failures = 0;
   for (const auto& [name, sec_b] : after) {
     const auto it = before.find(name);
     if (it == before.end()) {
@@ -280,6 +292,7 @@ int main(int argc, char** argv) {
       std::string label;
       std::string deltas;
       bool warned = false;
+      bool failed = false;
       for (std::size_t c = 0; c < row.size() && c < sec_b.header.size();
            ++c) {
         double nv = 0.0;
@@ -300,13 +313,18 @@ int main(int argc, char** argv) {
                       row[c].c_str(), pct);
         deltas += buf;
         if (std::fabs(pct) >= threshold) warned = true;
+        if (fail_threshold >= 0.0 && std::fabs(pct) >= fail_threshold) {
+          failed = true;
+        }
       }
       if (!old_row) {
         std::printf("  %-28s (new row)\n", label.c_str());
       } else if (!deltas.empty()) {
-        std::printf("%s %-28s%s\n", warned ? "WARN" : "    ",
+        std::printf("%s %-28s%s\n",
+                    failed ? "FAIL" : (warned ? "WARN" : "    "),
                     label.c_str(), deltas.c_str());
         warnings += warned ? 1 : 0;
+        failures += failed ? 1 : 0;
       }
     }
   }
@@ -315,6 +333,11 @@ int main(int argc, char** argv) {
       std::printf("\n[%s] section removed (%zu rows)\n", name.c_str(),
                   sec.rows.size());
     }
+  }
+  if (fail_threshold >= 0.0) {
+    std::printf("\n%d warning(s), %d row(s) past the fail bound; exit %d\n",
+                warnings, failures, failures > 0 ? 1 : 0);
+    return failures > 0 ? 1 : 0;
   }
   std::printf("\n%d warning(s); warn-only, exit 0\n", warnings);
   return 0;

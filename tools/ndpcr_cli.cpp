@@ -30,6 +30,18 @@
 //       --transient/--torn-rate/--bitflip/--stall <rate>  seeded device
 //                             faults layered under the crash gates
 //       --io-root <dir>       file-backed IO level (real latest pointers)
+//   ndpcr serve [options]                seeded multi-tenant checkpoint
+//                                        service demo (docs/SERVICE.md):
+//                                        per-tenant admission/fairness
+//                                        table, Jain indices, commit
+//                                        latency, exit 1 on any
+//                                        cross-tenant invariant violation
+//       --tenants <n> --waves <n> --bytes <per-rank payload>
+//       --faults {0|1}        seeded fault plans on odd tenants
+//       --quota-every <n>     every n-th tenant gets a tight IO grant
+//       --nvm-fraction <f>    shared-NVM budget (backpressure band)
+//       --metrics <file>      per-tenant metrics snapshot ("-" = stdout)
+//       --trace <file>        per-tenant scheduler event tracks
 //
 // Common options (defaults = the paper's Table 4 scenario):
 //   --mtti <minutes>      --ckpt-gb <GB>       --local-gbps <GB/s>
@@ -66,6 +78,7 @@
 #include "proj/projection.hpp"
 #include "harness/equivalence.hpp"
 #include "study/compression_study.hpp"
+#include "svc/svc_chaos.hpp"
 
 namespace {
 
@@ -411,6 +424,97 @@ int cmd_faults(const Options& opts) {
   return report.violations == 0 ? 0 : 1;
 }
 
+int cmd_serve(const Options& opts) {
+  svc::SvcChaosConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(opts.number("seed", 1));
+  cfg.tenants = static_cast<std::uint32_t>(opts.number("tenants", 12));
+  cfg.waves = static_cast<std::uint32_t>(opts.number("waves", 6));
+  cfg.payload_bytes =
+      static_cast<std::size_t>(opts.number("bytes", 1024));
+  cfg.faults = opts.number("faults", 1) != 0;
+  cfg.quota_every =
+      static_cast<std::uint32_t>(opts.number("quota-every", 5));
+  cfg.nvm_budget_fraction = opts.number("nvm-fraction", 0.30);
+  const std::string trace_path = opts.text("trace", "");
+  const std::string metrics_path = opts.text("metrics", "");
+  obs::Tracer tracer(!trace_path.empty());
+  if (!trace_path.empty()) cfg.trace = &tracer;
+  obs::MetricsRegistry metrics;
+  cfg.metrics = &metrics;
+
+  const auto report = svc::run_svc_chaos(cfg);
+
+  std::printf("checkpoint service: %u tenants, %u waves, seed %llu%s\n\n",
+              report.tenants, cfg.waves,
+              static_cast<unsigned long long>(report.seed),
+              cfg.faults ? ", seeded faults on odd tenants" : "");
+
+  TextTable table({"Tenant", "Weight", "Accepted", "Throttled", "Denied",
+                   "Commits", "IO bytes", "p50", "p99", "Restores"});
+  for (std::uint32_t t = 0; t < report.tenants; ++t) {
+    char name[16];
+    std::snprintf(name, sizeof name, "t%04u", t);
+    const std::string p = std::string("svc.") + name;
+    const auto denied =
+        metrics.counter(p + ".denied_backpressure").value() +
+        metrics.counter(p + ".denied_quota").value();
+    table.add_row(
+        {name, fmt_fixed(metrics.gauge(p + ".weight").value(), 0),
+         std::to_string(metrics.counter(p + ".accepted").value()),
+         std::to_string(metrics.counter(p + ".throttled").value()),
+         std::to_string(denied),
+         std::to_string(metrics.counter(p + ".commits").value()),
+         std::to_string(metrics.counter(p + ".io_bytes").value()),
+         fmt_fixed(metrics.gauge(p + ".latency_p50").value() * 1e3, 3) +
+             " ms",
+         fmt_fixed(metrics.gauge(p + ".latency_p99").value() * 1e3, 3) +
+             " ms",
+         std::to_string(metrics.counter(p + ".restarts").value())});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf("\nfairness: jain %.4f raw, %.4f weight-normalized; "
+              "virtual time %.4f s\n",
+              report.jain_io, report.jain_io_weighted,
+              report.virtual_time);
+  std::printf("admission: %llu staged, %llu throttled, %llu denied "
+              "(backpressure), %llu denied (quota), %llu seam denials\n",
+              static_cast<unsigned long long>(report.staged),
+              static_cast<unsigned long long>(report.throttled),
+              static_cast<unsigned long long>(report.denied_backpressure),
+              static_cast<unsigned long long>(report.denied_quota),
+              static_cast<unsigned long long>(report.quota_write_denials));
+  std::printf("restores: %llu of %llu probes, %llu faults injected\n",
+              static_cast<unsigned long long>(report.restored),
+              static_cast<unsigned long long>(report.restarts),
+              static_cast<unsigned long long>(report.fault_injections));
+  std::printf("fingerprint %08x, violations %llu\n", report.fingerprint,
+              static_cast<unsigned long long>(report.violations));
+  for (const auto& note : report.violation_notes) {
+    std::printf("  violation: %s\n", note.c_str());
+  }
+  if (!trace_path.empty()) {
+    tracer.write(trace_path);
+    std::printf("trace: %s (%zu events)\n", trace_path.c_str(),
+                tracer.events().size());
+  }
+  if (!metrics_path.empty()) {
+    exec::RunMeta meta;
+    meta.bench = "serve";
+    meta.seed = report.seed;
+    meta.trials = 1;
+    meta.threads = exec::global_thread_count();
+    meta.config = "tenants=" + std::to_string(report.tenants) +
+                  " waves=" + std::to_string(cfg.waves);
+    metrics.write(metrics_path, meta);
+    if (metrics_path != "-") {
+      std::printf("metrics: %s (fingerprint %08x)\n", metrics_path.c_str(),
+                  metrics.fingerprint());
+    }
+  }
+  return report.violations == 0 ? 0 : 1;
+}
+
 int cmd_equiv(const Options& opts) {
   harness::EquivalenceConfig config;
   config.kernel = opts.text("kernel", "cg");
@@ -490,7 +594,7 @@ int cmd_equiv(const Options& opts) {
 }
 
 void usage() {
-  std::puts("usage: ndpcr {project|evaluate|study|sweep|chaos|equiv} "
+  std::puts("usage: ndpcr {project|evaluate|study|sweep|chaos|equiv|serve} "
             "[--key value ...]");
   std::puts("       ndpcr --faults <seed> [--nodes n --commits n "
             "--scheme copy|xor --outage 0|1]");
@@ -523,6 +627,7 @@ int main(int argc, char** argv) {
   if (command == "sweep") return cmd_sweep(opts);
   if (command == "chaos") return cmd_faults(opts);
   if (command == "equiv") return cmd_equiv(opts);
+  if (command == "serve") return cmd_serve(opts);
   usage();
   return 2;
 }
