@@ -3,11 +3,16 @@
 // [4] measured Weibull inter-arrivals with shape ~0.7-0.8 on petascale
 // systems (failures cluster). This harness re-runs the Figure-7
 // configurations with Weibull interrupts of the same mean and sweeps the
-// shape, isolating what burstiness does to the C/R comparison.
+// shape, isolating what burstiness does to the C/R comparison - then
+// asks the same question of the 100k-node failure DES (docs/SIM.md):
+// does burstiness (Weibull renewals, explicit cascades) move the
+// double-failure window enough to change P(recovery from local)?
 
 #include <cstdio>
 
+#include "cluster/failure_analysis.hpp"
 #include "common/table.hpp"
+#include "common/units.hpp"
 #include "sim/timeline.hpp"
 
 int main() {
@@ -58,5 +63,68 @@ int main() {
   std::puts("let work complete untaxed - and the configuration ordering");
   std::puts("and the NDP advantage are unchanged. The paper's exponential");
   std::puts("assumption is therefore mildly conservative but safe.");
+
+  // ---- the same ablation at cluster scale, through the failure DES ----
+  {
+    using namespace ndpcr::cluster;
+    using namespace ndpcr::units;
+
+    std::puts("\nP(recovery from local) under Weibull renewals (failure");
+    std::puts("DES, 100k nodes, 5-year node MTTF, 30-minute rebuild,");
+    std::puts("200k failures; shape 1.0 = exponential):\n");
+
+    TextTable des({"Shape", "Engine", "System MTTI", "P(local)",
+                   "IO recoveries"});
+    for (double shape : shapes) {
+      FailureAnalysisConfig cfg;
+      cfg.node_count = 100000;
+      cfg.node_mttf = years(5);
+      cfg.rebuild_time = minutes(30);
+      cfg.target_failures = 200000;
+      cfg.seed = 41;
+      if (shape != 1.0) {
+        cfg.distribution = cluster::FailureDistribution::kWeibull;
+        cfg.weibull_shape = shape;
+      }
+      const auto r = analyze_failures(cfg);
+      des.add_row({fmt_fixed(shape, 2),
+                   cfg.memoryless() ? "superposition" : "calendar",
+                   fmt_fixed(to_minutes(r.observed_system_mtti), 1) + " min",
+                   fmt_percent(r.p_local(), 3),
+                   std::to_string(r.io_required)});
+    }
+    std::fputs(des.str().c_str(), stdout);
+
+    std::puts("\nReading: shape < 1 front-loads each node's renewals, so");
+    std::puts("the observed system MTTI shortens and failures cluster -");
+    std::puts("yet a partner pair is still almost never caught inside one");
+    std::puts("rebuild window, because the clustering is *temporal*, not");
+    std::puts("spatial. Independent burstiness alone cannot explain the");
+    std::puts("paper's 85% P(local) input; spatially correlated failures");
+    std::puts("(cascades) are the stronger lever:\n");
+
+    TextTable casc({"P(cascade trigger)", "P(cascade)", "P(local)",
+                    "IO recoveries"});
+    for (double p : {0.0, 0.05, 0.1, 0.2}) {
+      FailureAnalysisConfig cfg;
+      cfg.node_count = 100000;
+      cfg.node_mttf = years(5);
+      cfg.rebuild_time = minutes(30);
+      cfg.target_failures = 200000;
+      cfg.seed = 41;
+      cfg.cascade.probability = p;
+      const auto r = analyze_failures(cfg);
+      casc.add_row({fmt_fixed(p, 2), fmt_percent(r.p_cascade(), 2),
+                    fmt_percent(r.p_local(), 3),
+                    std::to_string(r.io_required)});
+    }
+    std::fputs(casc.str().c_str(), stdout);
+
+    std::puts("\nReading: cascade victims are ring-neighbours of the origin");
+    std::puts("inside the rebuild window, which is exactly the partner");
+    std::puts("scheme's blind spot - a few percent of correlated failures");
+    std::puts("erode P(local) far faster than any renewal-shape change,");
+    std::puts("matching why Moody et al. measured 85% rather than ~100%.");
+  }
   return 0;
 }

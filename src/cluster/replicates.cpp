@@ -86,4 +86,29 @@ NdpClusterReplicateSummary run_ndp_cluster_replicates(
   return s;
 }
 
+FailureReplicateSummary run_failure_replicates(
+    const FailureAnalysisConfig& base, int replicates,
+    exec::TaskPool* pool) {
+  FailureReplicateSummary s;
+  s.runs = run_replicated<FailureAnalysisResult>(
+      replicates, pool, [&](std::size_t r) {
+        FailureAnalysisConfig cfg = base;
+        cfg.seed = exec::sub_seed(base.seed, r);
+        cfg.metrics = nullptr;  // single-writer; never shared across tasks
+        return analyze_failures(cfg);
+      });
+  for (const auto& r : s.runs) {
+    s.total_failures += r.failures;
+    s.total_local_recoverable += r.local_recoverable;
+    s.total_io_required += r.io_required;
+    s.total_cascade_failures += r.cascade_failures;
+    s.total_rack_outages += r.rack_outages;
+    s.total_rack_node_failures += r.rack_node_failures;
+    s.total_events_processed += r.events_processed;
+    s.total_elapsed += r.elapsed;
+    s.total_energy_joules += r.energy.total_joules();
+  }
+  return s;
+}
+
 }  // namespace ndpcr::cluster

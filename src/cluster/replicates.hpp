@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.hpp"
+#include "cluster/failure_analysis.hpp"
 #include "cluster/ndp_cluster_sim.hpp"
 
 namespace ndpcr::exec {
@@ -42,6 +43,50 @@ struct NdpClusterReplicateSummary {
   bool all_verified = false;
 };
 
+// Replicated analyze_failures. Aggregation is exact: the totals are
+// sums of the per-replicate integer counters (no float accumulation, so
+// the summary is bit-identical for any pool size), and every probability
+// below is *derived* from those totals on demand.
+struct FailureReplicateSummary {
+  std::vector<FailureAnalysisResult> runs;  // index = replicate
+
+  std::uint64_t total_failures = 0;
+  std::uint64_t total_local_recoverable = 0;
+  std::uint64_t total_io_required = 0;
+  std::uint64_t total_cascade_failures = 0;
+  std::uint64_t total_rack_outages = 0;
+  std::uint64_t total_rack_node_failures = 0;
+  std::uint64_t total_events_processed = 0;
+  double total_elapsed = 0.0;        // index-order sum (fixed order)
+  double total_energy_joules = 0.0;  // index-order sum of per-run totals
+
+  [[nodiscard]] double p_local() const {
+    return total_failures ? static_cast<double>(total_local_recoverable) /
+                                static_cast<double>(total_failures)
+                          : 0.0;
+  }
+  [[nodiscard]] double p_cascade() const {
+    return total_failures ? static_cast<double>(total_cascade_failures) /
+                                static_cast<double>(total_failures)
+                          : 0.0;
+  }
+  [[nodiscard]] double p_rack() const {
+    return total_failures ? static_cast<double>(total_rack_node_failures) /
+                                static_cast<double>(total_failures)
+                          : 0.0;
+  }
+  [[nodiscard]] double mean_system_mtti() const {
+    return total_failures ? total_elapsed /
+                                static_cast<double>(total_failures)
+                          : 0.0;
+  }
+  [[nodiscard]] double mean_failures() const {
+    return runs.empty() ? 0.0
+                        : static_cast<double>(total_failures) /
+                              static_cast<double>(runs.size());
+  }
+};
+
 // Run `replicates` independent ClusterSim / NdpClusterSim instances of
 // `base` (seed = sub_seed(base.seed, r)) across `pool`; nullptr = the
 // global engine pool, or serial when called from inside a pool task.
@@ -51,6 +96,13 @@ ClusterReplicateSummary run_cluster_replicates(
 
 NdpClusterReplicateSummary run_ndp_cluster_replicates(
     const NdpClusterConfig& base, int replicates,
+    exec::TaskPool* pool = nullptr);
+
+// Replicated failure analysis. Each replicate drops `base.metrics`
+// (registries are single-writer); pass a registry in `base` only if you
+// also keep replicates == 1.
+FailureReplicateSummary run_failure_replicates(
+    const FailureAnalysisConfig& base, int replicates,
     exec::TaskPool* pool = nullptr);
 
 }  // namespace ndpcr::cluster

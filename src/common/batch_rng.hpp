@@ -1,0 +1,65 @@
+#pragma once
+
+// BatchRng: bulk random sampling for the hot simulation loops - batches
+// of exponential inter-arrival gaps (prefix-summed into absolute event
+// times) and bounded uniform picks.
+//
+// The stream is defined as EIGHT interleaved xoshiro256** lanes (lane =
+// index mod 8, each lane splitmix-seeded), with the ziggurat accept test
+// per draw and a shared scalar Rng for the rare rejection continuations.
+// That definition is what makes the implementation swappable: the
+// AVX-512 path evaluates all eight lanes in vector registers, and the
+// portable path emulates the same lanes - same integer ops, same IEEE
+// multiply/add order (the prefix sum uses a fixed shift-1/2/4 tree in
+// both) - so a (seed, call-sequence) pair yields bit-identical output on
+// every host. Runtime dispatch picks the vector kernels when the CPU has
+// AVX-512F/DQ; vectorized() reports which path is live, and the common
+// test suite pins the two paths against each other.
+//
+// The stream differs from common/rng.hpp's Rng and from ziggurat_exp for
+// the same seed - like the engines of docs/SIM.md, callers choose one
+// sampler per context and stay with it.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ndpcr {
+
+class BatchRng {
+ public:
+  static constexpr std::size_t kLanes = 8;
+
+  explicit BatchRng(std::uint64_t seed);
+
+  // Testing/bench hook: pin the implementation path (use_vector = false
+  // forces the portable lane emulation even on AVX-512 hosts). The
+  // common test suite uses this to assert both paths emit bit-identical
+  // streams; production callers use the one-argument form.
+  BatchRng(std::uint64_t seed, bool use_vector);
+
+  // times[i] = carry + sum of the first i+1 Exp(mean) gaps; carry
+  // advances to times[count-1]. The prefix association is the fixed
+  // shift-1/2/4 tree within each 8-lane block, identical on both paths.
+  void fill_exp_times(double* times, std::size_t count, double mean,
+                      double& carry);
+
+  // out[i] uniform in [0, bound) via the 53-bit double method
+  // (floor(u53 * 2^-53 * bound), clamped); bound must be in [1, 2^32).
+  void fill_below(std::uint32_t* out, std::size_t count,
+                  std::uint32_t bound);
+
+  // True when the AVX-512 kernels are active on this host.
+  [[nodiscard]] static bool vectorized();
+
+ private:
+  // Two independent 8-lane xoshiro256** states (gaps, picks), kept as
+  // plain arrays so this header stays ISA-free: state_[word][lane].
+  alignas(64) std::uint64_t gap_state_[4][kLanes];
+  alignas(64) std::uint64_t pick_state_[4][kLanes];
+  Rng tail_;     // scalar stream for ziggurat rejection continuations
+  bool vector_;  // resolved implementation path for this instance
+};
+
+}  // namespace ndpcr

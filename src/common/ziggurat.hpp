@@ -1,0 +1,83 @@
+#pragma once
+
+// Ziggurat sampler for the unit exponential (Marsaglia & Tsang 2000).
+//
+// Rng::exponential() pays a std::log1p per draw (~16 ns); the failure
+// simulator draws one exponential per event, so at 100k+ nodes the log
+// dominates the whole event loop. The ziggurat replaces it with one
+// 64-bit draw, a table lookup and a compare on the fast path (~3 ns),
+// falling back to the exact log only in the tail and wedge cases (~1.5%
+// of draws). The returned distribution is exactly Exp(1) - the ziggurat
+// is a rejection method, not an approximation.
+//
+// Determinism: tables are derived once from closed form, draws consume
+// the Rng stream in a fixed pattern, and every arithmetic step is plain
+// IEEE multiply/compare, so a (seed, call-sequence) pair yields the same
+// stream everywhere the repo's Rng does. Note the stream *differs* from
+// Rng::exponential for the same seed: callers choose one sampler per
+// context and stay with it (docs/SIM.md).
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ndpcr {
+
+namespace detail {
+
+struct ZigguratExpTables {
+  // 256 layers: x_[i] is the right edge of layer i (descending, x_[256]
+  // = 0), y_[i] = exp(-x_[i]). Layer 0 is the base strip + tail.
+  double x_[257];
+  double y_[256];
+
+  ZigguratExpTables() {
+    constexpr double r = 7.69711747013104972;      // tail cut
+    constexpr double v = 0.0039496598225815571993;  // per-layer area
+    x_[0] = v * std::exp(r);
+    x_[1] = r;
+    x_[256] = 0.0;
+    for (int i = 2; i < 256; ++i) {
+      x_[i] = -std::log(std::exp(-x_[i - 1]) + v / x_[i - 1]);
+    }
+    for (int i = 0; i < 256; ++i) y_[i] = std::exp(-x_[i]);
+  }
+};
+
+inline const ZigguratExpTables& ziggurat_exp_tables() {
+  static const ZigguratExpTables tables;
+  return tables;
+}
+
+}  // namespace detail
+
+// One Exp(1) variate. Layer index comes from the draw's low 8 bits, the
+// uniform from its (disjoint) top 53 bits, so the fast path costs a
+// single next_u64().
+inline double ziggurat_exp(Rng& rng) {
+  const auto& t = detail::ziggurat_exp_tables();
+  for (;;) {
+    const std::uint64_t u = rng.next_u64();
+    const int i = static_cast<int>(u & 255u);
+    const double ux = static_cast<double>(u >> 11) * 0x1.0p-53;
+    const double val = ux * t.x_[i];
+    if (val < t.x_[i + 1]) return val;  // strictly inside the layer
+    if (i == 0) {
+      // Tail beyond r: exact inverse-CDF of the conditional tail.
+      double uu = rng.next_double();
+      while (uu <= 0.0) uu = rng.next_double();
+      return 7.69711747013104972 - std::log(uu);
+    }
+    // Wedge: accept against the true density between the layer edges.
+    const double u2 = rng.next_double();
+    if (t.y_[i] + u2 * (t.y_[i - 1] - t.y_[i]) < std::exp(-val)) return val;
+  }
+}
+
+// Exp(mean) via the unit sampler.
+inline double ziggurat_exp(Rng& rng, double mean) {
+  return mean * ziggurat_exp(rng);
+}
+
+}  // namespace ndpcr

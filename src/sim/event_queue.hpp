@@ -1,0 +1,111 @@
+#pragma once
+
+// CalendarQueue: an O(1)-amortized event scheduler for discrete-event
+// simulation (Brown 1988), replacing the binary-heap priority queue whose
+// O(log N) cache-missing sift dominated the failure simulator at 100k+
+// nodes (docs/SIM.md).
+//
+// Events are (time, id, seq) triples and pop order follows the
+// deterministic total order
+//
+//     time, then id, then seq
+//
+// - the tie-break contract every engine built on this queue relies on
+// (the property suite pins pop order, ties included, against a reference
+// std::priority_queue with the same comparator).
+//
+// Mechanics: the time axis is divided into fixed-width windows; window k
+// maps to bucket k & (nbuckets-1), so each bucket holds every window
+// congruent mod nbuckets (one "year" = nbuckets windows). Buckets are
+// deliberately small (a handful of events) and UNSORTED: enqueue is a
+// plain append - no ordered insert, no per-push memmove - and dequeue
+// scans the cursor bucket for its minimum under the total order (a
+// couple of contiguous cache lines). If the bucket minimum belongs to
+// the current window it is swap-removed; otherwise the cursor advances.
+// A full fruitless lap falls back to a direct min search that jumps the
+// cursor (sparse-queue case). An event landing behind the cursor
+// rewinds it. Pop order is identical to the sorted variant: the bucket
+// minimum under (time, id, seq) is unique, however the bucket is stored.
+//
+// Window membership is decided by widx(time) - the same monotone
+// float->window mapping on both enqueue and dequeue - never by comparing
+// times against accumulated window edges, so boundary rounding cannot
+// misfile or skip an event.
+//
+// The queue self-tunes: it tracks the mean inter-dequeue gap (EMA) and
+// rebuilds with a matched width/bucket count when size doubles/halves or
+// the width has drifted far from the observed gap. Callers that know
+// their event density (the failure DES knows the mean failure gap is
+// mttf/N) pass it as width_hint to skip the warm-up drift.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ndpcr::sim {
+
+struct SimEvent {
+  double time = 0.0;
+  std::uint32_t id = 0;   // node / actor id: the first tie-break
+  std::uint32_t seq = 0;  // scheduling generation: the final tie-break
+};
+
+// The deterministic total order: time, then id, then seq.
+[[nodiscard]] inline bool event_less(const SimEvent& a, const SimEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.id != b.id) return a.id < b.id;
+  return a.seq < b.seq;
+}
+
+class CalendarQueue {
+ public:
+  // `expected` sizes the initial bucket array (0 = small); `width_hint`
+  // is the expected gap between consecutive dequeues (0 = self-tune).
+  explicit CalendarQueue(std::size_t expected = 0, double width_hint = 0.0);
+
+  // Times must be finite and >= 0.
+  void push(const SimEvent& event);
+
+  // Remove and return the minimum event by (time, id, seq). The queue
+  // must not be empty.
+  SimEvent pop();
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  // Introspection for tests/benchmarks.
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] std::uint64_t direct_searches() const {
+    return direct_searches_;
+  }
+
+ private:
+  // Monotone time -> absolute window index. Far-future times past the
+  // representable window range collapse into one terminal window (still
+  // a single bucket, still ordered within it).
+  [[nodiscard]] std::uint64_t widx(double time) const {
+    const double q = time * inv_width_;
+    return q < kMaxWindow ? static_cast<std::uint64_t>(q)
+                          : static_cast<std::uint64_t>(kMaxWindow);
+  }
+
+  void rebuild(std::size_t nbuckets, double width);
+  void maybe_retune();
+  SimEvent pop_direct();  // global min search; jumps the cursor
+
+  static constexpr double kMaxWindow = 9.0e18;  // < 2^63, exact in double
+
+  std::vector<std::vector<SimEvent>> buckets_;  // unsorted, min by scan
+  std::size_t mask_ = 0;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+  std::uint64_t cur_window_ = 0;  // absolute window the cursor is on
+  std::size_t size_ = 0;
+  double last_pop_time_ = 0.0;
+  double gap_ema_ = 0.0;          // mean inter-dequeue gap estimate
+  std::uint64_t pops_since_tune_ = 0;
+  std::uint64_t direct_searches_ = 0;
+};
+
+}  // namespace ndpcr::sim

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cluster/cluster_sim.hpp"
 #include "cluster/failure_analysis.hpp"
+#include "cluster/replicates.hpp"
 #include "common/units.hpp"
+#include "exec/task_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace ndpcr::cluster {
 namespace {
@@ -56,6 +61,253 @@ TEST(FailureAnalysis, InvalidInputsThrow) {
   cfg.node_count = 2;
   cfg.node_mttf = 0;
   EXPECT_THROW(analyze_failures(cfg), std::invalid_argument);
+
+  cfg = {};
+  cfg.distribution = FailureDistribution::kWeibull;
+  cfg.weibull_shape = 0.0;
+  EXPECT_THROW(analyze_failures(cfg), std::invalid_argument);
+
+  cfg = {};
+  cfg.cascade.probability = 1.5;
+  EXPECT_THROW(analyze_failures(cfg), std::invalid_argument);
+
+  cfg = {};
+  cfg.placement = PartnerPlacement::kCrossRack;  // but no rack structure
+  EXPECT_THROW(analyze_failures(cfg), std::invalid_argument);
+
+  cfg = {};
+  cfg.engine = FailureEngine::kSuperposition;  // not memoryless: cascades
+  cfg.cascade.probability = 0.1;
+  EXPECT_THROW(analyze_failures(cfg), std::invalid_argument);
+
+  cfg = {};
+  cfg.energy.enabled = true;
+  cfg.energy.checkpoint_interval = 0.0;
+  EXPECT_THROW(analyze_failures(cfg), std::invalid_argument);
+}
+
+// The scheduler swap is behavior-preserving: the heap and calendar
+// engines share one DES and must produce bit-identical results across
+// the whole scenario grid (the queue-level property test pins pop
+// order; this pins the end-to-end analysis).
+TEST(FailureAnalysis, HeapAndCalendarEnginesAreBitIdentical) {
+  std::vector<FailureAnalysisConfig> grid;
+  for (const auto dist :
+       {FailureDistribution::kExponential, FailureDistribution::kWeibull}) {
+    for (const bool cascade : {false, true}) {
+      for (const bool racks : {false, true}) {
+        FailureAnalysisConfig cfg;
+        cfg.node_count = 256;
+        cfg.node_mttf = days(30);
+        cfg.rebuild_time = 1800.0;
+        cfg.target_failures = 4000;
+        cfg.seed = 99;
+        cfg.distribution = dist;
+        cfg.weibull_shape = 0.7;
+        if (cascade) cfg.cascade.probability = 0.10;
+        if (racks) {
+          cfg.racks.rack_size = 16;
+          cfg.racks.outage_mttf = days(365);
+          cfg.placement = PartnerPlacement::kCrossRack;
+        }
+        grid.push_back(cfg);
+      }
+    }
+  }
+  for (auto& cfg : grid) {
+    cfg.engine = FailureEngine::kHeap;
+    const auto heap = analyze_failures(cfg);
+    cfg.engine = FailureEngine::kCalendar;
+    const auto calendar = analyze_failures(cfg);
+    EXPECT_EQ(heap.failures, calendar.failures);
+    EXPECT_EQ(heap.local_recoverable, calendar.local_recoverable);
+    EXPECT_EQ(heap.io_required, calendar.io_required);
+    EXPECT_EQ(heap.cascade_failures, calendar.cascade_failures);
+    EXPECT_EQ(heap.rack_outages, calendar.rack_outages);
+    EXPECT_EQ(heap.rack_node_failures, calendar.rack_node_failures);
+    EXPECT_EQ(heap.events_processed, calendar.events_processed);
+    EXPECT_EQ(heap.elapsed, calendar.elapsed);
+    EXPECT_EQ(heap.observed_system_mtti, calendar.observed_system_mtti);
+  }
+}
+
+// The superposition fast path samples the same distribution the DES
+// does (union of N Poisson processes); it must agree statistically on
+// the physics even though the sample paths differ.
+TEST(FailureAnalysis, SuperpositionAgreesWithDesStatistically) {
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 1000;
+  cfg.node_mttf = days(10);
+  cfg.rebuild_time = 3600.0;
+  cfg.target_failures = 50000;
+  cfg.engine = FailureEngine::kSuperposition;
+  const auto super = analyze_failures(cfg);
+  cfg.engine = FailureEngine::kCalendar;
+  const auto des = analyze_failures(cfg);
+  EXPECT_NEAR(super.p_local(), des.p_local(), 0.02);
+  EXPECT_NEAR(super.observed_system_mtti / des.observed_system_mtti, 1.0,
+              0.05);
+  EXPECT_EQ(super.failures, 50000u);
+  EXPECT_EQ(super.failures, super.local_recoverable + super.io_required);
+}
+
+TEST(FailureAnalysis, AutoEngineSelection) {
+  // Memoryless -> superposition (events == failures, no queue); any
+  // widened scenario -> calendar (init events for every node count).
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 100;
+  cfg.node_mttf = days(10);
+  cfg.target_failures = 1000;
+  EXPECT_TRUE(cfg.memoryless());
+  const auto fast = analyze_failures(cfg);
+  EXPECT_EQ(fast.events_processed, fast.failures);
+
+  cfg.distribution = FailureDistribution::kWeibull;
+  EXPECT_FALSE(cfg.memoryless());
+  const auto des = analyze_failures(cfg);
+  EXPECT_GE(des.events_processed, des.failures);
+}
+
+TEST(FailureAnalysis, CascadesClusterFailures) {
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 512;
+  cfg.node_mttf = days(30);
+  cfg.rebuild_time = 1800.0;
+  cfg.target_failures = 20000;
+  cfg.cascade.probability = 0.25;
+  cfg.cascade.max_fanout = 4;
+  cfg.cascade.radius = 8;
+  cfg.cascade.window = 600.0;
+  const auto with = analyze_failures(cfg);
+  EXPECT_GT(with.cascade_failures, 0u);
+  EXPECT_GT(with.p_cascade(), 0.0);
+  EXPECT_LT(with.p_cascade(), 1.0);
+  EXPECT_EQ(with.failures, with.local_recoverable + with.io_required);
+
+  cfg.cascade.probability = 0.0;
+  const auto without = analyze_failures(cfg);
+  EXPECT_EQ(without.cascade_failures, 0u);
+  // Cascade victims land within the radius of the origin while it (or
+  // its neighbors) rebuild, so correlated bursts must hurt p_local.
+  EXPECT_LT(with.p_local(), without.p_local());
+}
+
+TEST(FailureAnalysis, RackOutagesInteractWithPlacement) {
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 512;
+  cfg.node_mttf = days(365);  // node failures rare: outages dominate
+  cfg.rebuild_time = 600.0;
+  cfg.target_failures = 20000;
+  cfg.racks.rack_size = 16;
+  cfg.racks.outage_mttf = days(10);
+  cfg.racks.outage_duration = 900.0;
+
+  cfg.placement = PartnerPlacement::kRing;
+  const auto ring = analyze_failures(cfg);
+  EXPECT_GT(ring.rack_outages, 0u);
+  EXPECT_GT(ring.rack_node_failures, 0u);
+  EXPECT_NEAR(ring.mean_outage_width(), 16.0, 1e-9);
+
+  cfg.placement = PartnerPlacement::kCrossRack;
+  const auto cross = analyze_failures(cfg);
+  // Ring keeps 15 of 16 partners inside the downed rack; cross-rack
+  // keeps all 16 outside. The placement gap is the whole point.
+  EXPECT_GT(cross.p_local(), ring.p_local() + 0.5);
+}
+
+TEST(FailureAnalysis, EnergyModelDerivesFromCounters) {
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 256;
+  cfg.node_mttf = days(30);
+  cfg.rebuild_time = 1800.0;
+  cfg.target_failures = 5000;
+  cfg.energy.enabled = true;
+  const auto r = analyze_failures(cfg);
+  EXPECT_GT(r.energy.compute_joules, 0.0);
+  EXPECT_GT(r.energy.checkpoint_joules, 0.0);
+  EXPECT_GT(r.energy.rebuild_joules, 0.0);
+  EXPECT_GT(r.energy.restart_joules, 0.0);
+  EXPECT_GT(r.energy.total_joules(), 0.0);
+  EXPECT_GT(r.energy.overhead_fraction(), 0.0);
+  EXPECT_LT(r.energy.overhead_fraction(), 1.0);
+  EXPECT_GT(r.energy_per_failure(), 0.0);
+
+  cfg.energy.enabled = false;
+  const auto off = analyze_failures(cfg);
+  EXPECT_EQ(off.energy.total_joules(), 0.0);
+  EXPECT_EQ(off.energy.overhead_fraction(), 0.0);
+}
+
+TEST(FailureAnalysis, DivisionGuardsOnEmptyResults) {
+  const FailureAnalysisResult empty;
+  EXPECT_EQ(empty.p_local(), 0.0);
+  EXPECT_EQ(empty.p_cascade(), 0.0);
+  EXPECT_EQ(empty.p_rack(), 0.0);
+  EXPECT_EQ(empty.mean_outage_width(), 0.0);
+  EXPECT_EQ(empty.energy_per_failure(), 0.0);
+  const EnergyReport zero;
+  EXPECT_EQ(zero.overhead_fraction(), 0.0);
+  const FailureReplicateSummary none;
+  EXPECT_EQ(none.p_local(), 0.0);
+  EXPECT_EQ(none.p_cascade(), 0.0);
+  EXPECT_EQ(none.p_rack(), 0.0);
+  EXPECT_EQ(none.mean_system_mtti(), 0.0);
+  EXPECT_EQ(none.mean_failures(), 0.0);
+}
+
+TEST(FailureAnalysis, PublishesMetrics) {
+  obs::MetricsRegistry metrics;
+  FailureAnalysisConfig cfg;
+  cfg.node_count = 64;
+  cfg.node_mttf = days(10);
+  cfg.target_failures = 2000;
+  cfg.energy.enabled = true;
+  cfg.metrics = &metrics;
+  const auto r = analyze_failures(cfg);
+  EXPECT_EQ(metrics.counter("cluster.failures").value(), r.failures);
+  EXPECT_EQ(metrics.counter("cluster.io_required").value(), r.io_required);
+  EXPECT_EQ(metrics.gauge("cluster.p_local").value(), r.p_local());
+  EXPECT_GT(metrics.gauge("cluster.energy.compute_joules").value(), 0.0);
+}
+
+// Replica fan-out must be a pure function of the base seed: identical
+// summaries - bit for bit, integers and derived doubles - at pool sizes
+// 1, 2 and 8, under both distributions.
+TEST(FailureAnalysis, ReplicateAggregatesArePoolSizeInvariant) {
+  for (const auto dist :
+       {FailureDistribution::kExponential, FailureDistribution::kWeibull}) {
+    FailureAnalysisConfig base;
+    base.node_count = 256;
+    base.node_mttf = days(30);
+    base.rebuild_time = 1800.0;
+    base.target_failures = 3000;
+    base.seed = 7;
+    base.distribution = dist;
+    base.cascade.probability = dist == FailureDistribution::kWeibull ? 0.1
+                                                                     : 0.0;
+
+    exec::TaskPool pool1(1);
+    exec::TaskPool pool2(2);
+    exec::TaskPool pool8(8);
+    const auto a = run_failure_replicates(base, 12, &pool1);
+    const auto b = run_failure_replicates(base, 12, &pool2);
+    const auto c = run_failure_replicates(base, 12, &pool8);
+
+    for (const auto* s : {&b, &c}) {
+      EXPECT_EQ(a.total_failures, s->total_failures);
+      EXPECT_EQ(a.total_local_recoverable, s->total_local_recoverable);
+      EXPECT_EQ(a.total_io_required, s->total_io_required);
+      EXPECT_EQ(a.total_cascade_failures, s->total_cascade_failures);
+      EXPECT_EQ(a.total_events_processed, s->total_events_processed);
+      EXPECT_EQ(a.total_elapsed, s->total_elapsed);
+      EXPECT_EQ(a.total_energy_joules, s->total_energy_joules);
+      EXPECT_EQ(a.p_local(), s->p_local());
+      EXPECT_EQ(a.mean_system_mtti(), s->mean_system_mtti());
+    }
+    ASSERT_EQ(a.runs.size(), 12u);
+    // Replicates are genuinely independent streams, not copies.
+    EXPECT_NE(a.runs[0].elapsed, a.runs[1].elapsed);
+  }
 }
 
 TEST(ClusterSim, CompletesWithFailuresAndVerifies) {

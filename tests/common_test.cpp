@@ -3,7 +3,9 @@
 #include <cstring>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "common/batch_rng.hpp"
 #include "common/breakdown_table.hpp"
 #include "common/bytes.hpp"
 #include "common/crc32.hpp"
@@ -222,3 +224,73 @@ TEST(BreakdownTable, RowsMatchHeadersAndSumSanely) {
 
 }  // namespace
 }  // namespace ndpcr
+
+// ---- BatchRng (common/batch_rng.hpp) ---------------------------------
+
+TEST(BatchRng, PortableAndDispatchedPathsAreBitIdentical) {
+  // On AVX-512 hosts this pins the vector kernels against the portable
+  // lane emulation - the cross-host bit-identity contract. Elsewhere
+  // both instances resolve to the portable path and this degenerates to
+  // a determinism check.
+  for (const std::uint64_t seed : {1ull, 42ull, 20260808ull}) {
+    ndpcr::BatchRng fast(seed);
+    ndpcr::BatchRng portable(seed, /*use_vector=*/false);
+    // Sizes cross 8-lane block boundaries and exercise the partial
+    // tail (a full lane step with only the first `rest` values kept).
+    const std::size_t sizes[] = {8, 3, 16, 129, 4096, 5};
+    double carry_fast = 0.0;
+    double carry_portable = 0.0;
+    for (const std::size_t count : sizes) {
+      std::vector<double> a(count), b(count);
+      fast.fill_exp_times(a.data(), count, 3600.0, carry_fast);
+      portable.fill_exp_times(b.data(), count, 3600.0, carry_portable);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(a[i], b[i]) << "gap stream diverged at " << i;
+      }
+      ASSERT_EQ(carry_fast, carry_portable);
+      std::vector<std::uint32_t> va(count), vb(count);
+      fast.fill_below(va.data(), count, 100003);
+      portable.fill_below(vb.data(), count, 100003);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(va[i], vb[i]) << "pick stream diverged at " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchRng, ExpTimesAreNonDecreasingWithMatchingMean) {
+  ndpcr::BatchRng rng(7);
+  const double mean = 10.0;
+  const std::size_t n = 200000;
+  std::vector<double> t(n);
+  double carry = 0.0;
+  rng.fill_exp_times(t.data(), n, mean, carry);
+  double prev = 0.0;
+  for (const double x : t) {
+    ASSERT_GE(x, prev);
+    prev = x;
+  }
+  EXPECT_EQ(carry, t.back());
+  EXPECT_NEAR(t.back() / static_cast<double>(n), mean, mean * 0.02);
+}
+
+TEST(BatchRng, FillBelowRespectsBoundAndCoversResidues) {
+  ndpcr::BatchRng rng(9);
+  std::vector<std::uint32_t> v(10000);
+  rng.fill_below(v.data(), v.size(), 7);
+  std::set<std::uint32_t> seen;
+  for (const std::uint32_t x : v) {
+    ASSERT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(BatchRng, DifferentSeedsDiverge) {
+  ndpcr::BatchRng a(1), b(2);
+  std::vector<double> ta(64), tb(64);
+  double ca = 0.0, cb = 0.0;
+  a.fill_exp_times(ta.data(), ta.size(), 1.0, ca);
+  b.fill_exp_times(tb.data(), tb.size(), 1.0, cb);
+  EXPECT_NE(ta, tb);
+}

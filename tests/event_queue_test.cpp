@@ -1,0 +1,189 @@
+// Property suite for sim::CalendarQueue: pop order must be identical -
+// tie-breaks included - to a std::priority_queue running the same
+// (time, id, seq) comparator, across seeded random workloads. This is
+// the proof that swapping the failure DES from the heap to the calendar
+// is behavior-preserving (docs/SIM.md).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ndpcr::sim {
+namespace {
+
+struct EventGreater {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
+    return event_less(b, a);
+  }
+};
+using ReferenceQueue =
+    std::priority_queue<SimEvent, std::vector<SimEvent>, EventGreater>;
+
+void expect_same_event(const SimEvent& got, const SimEvent& want,
+                       std::size_t step) {
+  ASSERT_EQ(got.time, want.time) << "step " << step;
+  ASSERT_EQ(got.id, want.id) << "step " << step;
+  ASSERT_EQ(got.seq, want.seq) << "step " << step;
+}
+
+// Drain both queues fully, comparing every pop.
+void drain_and_compare(CalendarQueue& calendar, ReferenceQueue& reference) {
+  std::size_t step = 0;
+  while (!reference.empty()) {
+    ASSERT_FALSE(calendar.empty());
+    const SimEvent want = reference.top();
+    reference.pop();
+    expect_same_event(calendar.pop(), want, step++);
+  }
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_EQ(calendar.size(), 0u);
+}
+
+TEST(CalendarQueue, MatchesHeapOnRandomWorkloads) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    CalendarQueue calendar;
+    ReferenceQueue reference;
+    // Mixed pushes and pops with heavily quantized times so exact ties
+    // (and id/seq tie-breaks) occur often.
+    for (int op = 0; op < 20000; ++op) {
+      if (reference.empty() || rng.next_double() < 0.6) {
+        const SimEvent event{
+            static_cast<double>(rng.next_below(500)) * 0.25,
+            static_cast<std::uint32_t>(rng.next_below(64)),
+            static_cast<std::uint32_t>(rng.next_below(4))};
+        calendar.push(event);
+        reference.push(event);
+      } else {
+        const SimEvent want = reference.top();
+        reference.pop();
+        SCOPED_TRACE(seed);
+        expect_same_event(calendar.pop(), want, static_cast<std::size_t>(op));
+      }
+      ASSERT_EQ(calendar.size(), reference.size());
+    }
+    drain_and_compare(calendar, reference);
+  }
+}
+
+TEST(CalendarQueue, MatchesHeapOnDesLikeWorkload) {
+  // The failure-simulator access pattern: hold-and-reschedule around an
+  // advancing clock, with occasional pull-forward pushes that land
+  // behind already-scheduled events (cascades rewinding the cursor).
+  Rng rng(42);
+  CalendarQueue calendar(1024, 0.5);
+  ReferenceQueue reference;
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    const SimEvent event{rng.exponential(500.0), i, 0};
+    calendar.push(event);
+    reference.push(event);
+  }
+  std::vector<std::uint32_t> gen(1024, 0);
+  for (int step = 0; step < 50000; ++step) {
+    const SimEvent want = reference.top();
+    reference.pop();
+    expect_same_event(calendar.pop(), want, static_cast<std::size_t>(step));
+    const double now = want.time;
+    const std::uint32_t id = want.id;
+    const SimEvent next{now + rng.exponential(500.0), id, ++gen[id]};
+    calendar.push(next);
+    reference.push(next);
+    if (rng.next_double() < 0.05) {
+      const auto victim = static_cast<std::uint32_t>(rng.next_below(1024));
+      const SimEvent pulled{now + rng.next_double() * 2.0, victim,
+                            ++gen[victim]};
+      calendar.push(pulled);
+      reference.push(pulled);
+    }
+  }
+  drain_and_compare(calendar, reference);
+}
+
+TEST(CalendarQueue, ExactTiesPopInIdThenSeqOrder) {
+  CalendarQueue calendar;
+  // Same time everywhere; insertion order deliberately scrambled.
+  calendar.push({3.0, 7, 1});
+  calendar.push({3.0, 2, 5});
+  calendar.push({3.0, 7, 0});
+  calendar.push({3.0, 2, 1});
+  calendar.push({1.0, 9, 9});
+  const SimEvent a = calendar.pop();
+  EXPECT_EQ(a.time, 1.0);
+  const SimEvent b = calendar.pop();
+  EXPECT_EQ(b.id, 2u);
+  EXPECT_EQ(b.seq, 1u);
+  const SimEvent c = calendar.pop();
+  EXPECT_EQ(c.id, 2u);
+  EXPECT_EQ(c.seq, 5u);
+  const SimEvent d = calendar.pop();
+  EXPECT_EQ(d.id, 7u);
+  EXPECT_EQ(d.seq, 0u);
+  const SimEvent e = calendar.pop();
+  EXPECT_EQ(e.id, 7u);
+  EXPECT_EQ(e.seq, 1u);
+  EXPECT_TRUE(calendar.empty());
+}
+
+TEST(CalendarQueue, SurvivesResizeAndSparseJumps) {
+  // Grow far past the initial bucket array (forcing rebuilds), then
+  // drain a sparse far-apart tail (forcing direct-search fallbacks).
+  Rng rng(7);
+  CalendarQueue calendar(16, 1.0);
+  ReferenceQueue reference;
+  for (int i = 0; i < 200000; ++i) {
+    const SimEvent event{rng.next_double() * 10.0,
+                         static_cast<std::uint32_t>(rng.next_below(1u << 20)),
+                         0};
+    calendar.push(event);
+    reference.push(event);
+  }
+  // Sparse tail: events separated by ~1e6x the dense spacing.
+  for (int i = 0; i < 64; ++i) {
+    const SimEvent event{1e6 + i * 5e4, static_cast<std::uint32_t>(i), 0};
+    calendar.push(event);
+    reference.push(event);
+  }
+  drain_and_compare(calendar, reference);
+}
+
+TEST(CalendarQueue, PushBehindCursorIsStillServedFirst) {
+  CalendarQueue calendar;
+  calendar.push({100.0, 1, 0});
+  calendar.push({200.0, 2, 0});
+  EXPECT_EQ(calendar.pop().id, 1u);  // cursor now past window(100)
+  calendar.push({50.0, 3, 0});       // behind the cursor: must rewind
+  EXPECT_EQ(calendar.pop().id, 3u);
+  EXPECT_EQ(calendar.pop().id, 2u);
+}
+
+TEST(CalendarQueue, FarFutureTimesStayOrdered) {
+  CalendarQueue calendar;
+  calendar.push({1e300, 1, 0});  // far past the window range: clamped
+  calendar.push({2e300, 2, 0});
+  calendar.push({5.0, 3, 0});
+  EXPECT_EQ(calendar.pop().id, 3u);
+  EXPECT_EQ(calendar.pop().id, 1u);
+  EXPECT_EQ(calendar.pop().id, 2u);
+}
+
+TEST(CalendarQueue, RejectsInvalidTimesAndEmptyPop) {
+  CalendarQueue calendar;
+  EXPECT_THROW(calendar.push({-1.0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(
+      calendar.push({std::numeric_limits<double>::infinity(), 0, 0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      calendar.push({std::numeric_limits<double>::quiet_NaN(), 0, 0}),
+      std::invalid_argument);
+  EXPECT_THROW(calendar.pop(), std::logic_error);
+  EXPECT_TRUE(calendar.empty());
+}
+
+}  // namespace
+}  // namespace ndpcr::sim

@@ -30,6 +30,23 @@
 //       --transient/--torn-rate/--bitflip/--stall <rate>  seeded device
 //                             faults layered under the crash gates
 //       --io-root <dir>       file-backed IO level (real latest pointers)
+//   ndpcr failures [options]             exascale failure simulator
+//                                        (docs/SIM.md): P(recovery from
+//                                        local), cascade/rack shares and
+//                                        per-phase energy from the DES,
+//                                        optionally as parallel replicas
+//       --nodes <n> --failures <n> --seed <s>
+//       --mttf-years <y>      per-node MTTF (default 5)
+//       --rebuild-min <m>     partner rebuild window (default 10)
+//       --distribution {exponential|weibull}  --weibull-shape <k>
+//       --cascade <p>         correlated-burst trigger probability
+//       --racks <size>        rack structure (0 = none) with outages
+//       --rack-mttf-years <y> per-rack outage MTTF (default 250)
+//       --placement {ring|cross-rack}  partner placement
+//       --engine {auto|heap|calendar|superposition}
+//       --energy {0|1}        per-phase energy accounting
+//       --replicas <n>        independent replicas on the engine pool
+//       --csv <file>          per-replica counters as CSV ("-" = stdout)
 //   ndpcr serve [options]                seeded multi-tenant checkpoint
 //                                        service demo (docs/SERVICE.md):
 //                                        per-tenant admission/fairness
@@ -62,6 +79,8 @@
 #include <memory>
 #include <string>
 
+#include "cluster/failure_analysis.hpp"
+#include "cluster/replicates.hpp"
 #include "common/breakdown_table.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -424,6 +443,128 @@ int cmd_faults(const Options& opts) {
   return report.violations == 0 ? 0 : 1;
 }
 
+int cmd_failures(const Options& opts) {
+  cluster::FailureAnalysisConfig cfg;
+  cfg.node_count = static_cast<std::uint32_t>(opts.number("nodes", 100000));
+  cfg.node_mttf = years(opts.number("mttf-years", 5.0));
+  cfg.rebuild_time = minutes(opts.number("rebuild-min", 10.0));
+  cfg.target_failures =
+      static_cast<std::uint64_t>(opts.number("failures", 100000));
+  cfg.seed = static_cast<std::uint64_t>(opts.number("seed", 1));
+  cfg.weibull_shape = opts.number("weibull-shape", 0.7);
+
+  const std::string dist = opts.text("distribution", "exponential");
+  if (dist == "weibull") {
+    cfg.distribution = cluster::FailureDistribution::kWeibull;
+  } else if (dist != "exponential") {
+    std::fprintf(stderr, "unknown distribution: %s\n", dist.c_str());
+    return 2;
+  }
+  cfg.cascade.probability = opts.number("cascade", 0.0);
+  cfg.racks.rack_size =
+      static_cast<std::uint32_t>(opts.number("racks", 0));
+  if (cfg.racks.rack_size > 0) {
+    cfg.racks.outage_mttf = years(opts.number("rack-mttf-years", 250.0));
+  }
+  const std::string placement = opts.text("placement", "ring");
+  if (placement == "cross-rack") {
+    cfg.placement = cluster::PartnerPlacement::kCrossRack;
+  } else if (placement != "ring") {
+    std::fprintf(stderr, "unknown placement: %s\n", placement.c_str());
+    return 2;
+  }
+  const std::string engine = opts.text("engine", "auto");
+  if (engine == "heap") {
+    cfg.engine = cluster::FailureEngine::kHeap;
+  } else if (engine == "calendar") {
+    cfg.engine = cluster::FailureEngine::kCalendar;
+  } else if (engine == "superposition") {
+    cfg.engine = cluster::FailureEngine::kSuperposition;
+  } else if (engine != "auto") {
+    std::fprintf(stderr, "unknown engine: %s\n", engine.c_str());
+    return 2;
+  }
+  cfg.energy.enabled = opts.number("energy", 0) != 0;
+
+  const int replicas =
+      std::max(1, static_cast<int>(opts.number("replicas", 1)));
+  const auto sum = cluster::run_failure_replicates(cfg, replicas);
+
+  std::printf("failure simulator: %u nodes, %s renewals, %d replica%s "
+              "(seed %llu)\n\n",
+              cfg.node_count,
+              dist == "weibull" ? "weibull" : "exponential", replicas,
+              replicas == 1 ? "" : "s",
+              static_cast<unsigned long long>(cfg.seed));
+
+  TextTable table({"Metric", "Value"});
+  table.add_row({"failures", std::to_string(sum.total_failures)});
+  table.add_row({"local recoverable",
+                 std::to_string(sum.total_local_recoverable)});
+  table.add_row({"io required", std::to_string(sum.total_io_required)});
+  table.add_row({"P(local)", fmt_percent(sum.p_local(), 3)});
+  if (cfg.cascade.probability > 0.0) {
+    table.add_row({"cascade failures",
+                   std::to_string(sum.total_cascade_failures)});
+    table.add_row({"P(cascade)", fmt_percent(sum.p_cascade(), 2)});
+  }
+  if (cfg.racks.rack_size > 0) {
+    table.add_row({"rack outages", std::to_string(sum.total_rack_outages)});
+    table.add_row({"rack node failures",
+                   std::to_string(sum.total_rack_node_failures)});
+    table.add_row({"P(rack)", fmt_percent(sum.p_rack(), 2)});
+  }
+  table.add_row({"system MTTI",
+                 fmt_fixed(to_minutes(sum.mean_system_mtti()), 2) + " min"});
+  table.add_row({"events processed",
+                 std::to_string(sum.total_events_processed)});
+  if (cfg.energy.enabled) {
+    table.add_row({"energy (total)",
+                   fmt_fixed(sum.total_energy_joules / 1e12, 3) + " TJ"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  const std::string csv_path = opts.text("csv", "");
+  if (!csv_path.empty()) {
+    std::FILE* out = csv_path == "-" ? stdout
+                                     : std::fopen(csv_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+      return 2;
+    }
+    if (csv_path == "-") std::fputs("\n", out);
+    std::fputs("replica,failures,local_recoverable,io_required,"
+               "cascade_failures,rack_outages,rack_node_failures,"
+               "events_processed,elapsed_s,energy_j\n",
+               out);
+    for (std::size_t r = 0; r < sum.runs.size(); ++r) {
+      const auto& run = sum.runs[r];
+      std::fprintf(out, "%zu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.6g,%.6g\n",
+                   r, static_cast<unsigned long long>(run.failures),
+                   static_cast<unsigned long long>(run.local_recoverable),
+                   static_cast<unsigned long long>(run.io_required),
+                   static_cast<unsigned long long>(run.cascade_failures),
+                   static_cast<unsigned long long>(run.rack_outages),
+                   static_cast<unsigned long long>(run.rack_node_failures),
+                   static_cast<unsigned long long>(run.events_processed),
+                   run.elapsed, run.energy.total_joules());
+    }
+    if (csv_path != "-") {
+      std::fclose(out);
+      std::printf("\ncsv: %s (%zu replicas)\n", csv_path.c_str(),
+                  sum.runs.size());
+    }
+  }
+
+  // Exact-counter invariant: every failure is classified exactly once.
+  if (sum.total_failures !=
+      sum.total_local_recoverable + sum.total_io_required) {
+    std::fputs("\nINVARIANT VIOLATION: failures != local + io\n", stderr);
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_serve(const Options& opts) {
   svc::SvcChaosConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(opts.number("seed", 1));
@@ -594,8 +735,8 @@ int cmd_equiv(const Options& opts) {
 }
 
 void usage() {
-  std::puts("usage: ndpcr {project|evaluate|study|sweep|chaos|equiv|serve} "
-            "[--key value ...]");
+  std::puts("usage: ndpcr {project|evaluate|study|sweep|chaos|equiv|"
+            "failures|serve} [--key value ...]");
   std::puts("       ndpcr --faults <seed> [--nodes n --commits n "
             "--scheme copy|xor --outage 0|1]");
   std::puts("       ndpcr --faults <seed> --trace out.json "
@@ -627,6 +768,7 @@ int main(int argc, char** argv) {
   if (command == "sweep") return cmd_sweep(opts);
   if (command == "chaos") return cmd_faults(opts);
   if (command == "equiv") return cmd_equiv(opts);
+  if (command == "failures") return cmd_failures(opts);
   if (command == "serve") return cmd_serve(opts);
   usage();
   return 2;
