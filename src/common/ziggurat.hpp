@@ -28,9 +28,10 @@ namespace detail {
 
 struct ZigguratExpTables {
   // 256 layers: x_[i] is the right edge of layer i (descending, x_[256]
-  // = 0), y_[i] = exp(-x_[i]). Layer 0 is the base strip + tail.
+  // = 0), y_[i] = exp(-x_[i]) (ascending, y_[256] = 1). Layer 0 is the
+  // base strip + tail.
   double x_[257];
-  double y_[256];
+  double y_[257];
 
   ZigguratExpTables() {
     constexpr double r = 7.69711747013104972;      // tail cut
@@ -41,7 +42,7 @@ struct ZigguratExpTables {
     for (int i = 2; i < 256; ++i) {
       x_[i] = -std::log(std::exp(-x_[i - 1]) + v / x_[i - 1]);
     }
-    for (int i = 0; i < 256; ++i) y_[i] = std::exp(-x_[i]);
+    for (int i = 0; i < 257; ++i) y_[i] = std::exp(-x_[i]);
   }
 };
 
@@ -70,8 +71,9 @@ inline double ziggurat_exp(Rng& rng) {
       return 7.69711747013104972 - std::log(uu);
     }
     // Wedge: accept against the true density between the layer edges.
+    // Layer i spans [y_[i], y_[i+1]] vertically (y_ ascends with i).
     const double u2 = rng.next_double();
-    if (t.y_[i] + u2 * (t.y_[i - 1] - t.y_[i]) < std::exp(-val)) return val;
+    if (t.y_[i] + u2 * (t.y_[i + 1] - t.y_[i]) < std::exp(-val)) return val;
   }
 }
 
