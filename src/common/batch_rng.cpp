@@ -77,7 +77,7 @@ double zig_from(std::uint64_t u, Rng& tail) {
       return 7.69711747013104972 - std::log(uu);
     }
     const double u2 = tail.next_double();
-    if (t.y_[i] + u2 * (t.y_[i + 1] - t.y_[i]) < std::exp(-val)) return val;
+    if (detail::wedge_accept(t, i, u2, val)) return val;
     u = tail.next_u64();
   }
 }
